@@ -1,0 +1,57 @@
+"""Extension: comparative analysis of the three algorithms (paper §9).
+
+The paper defers "a comparative analysis of various algorithms" to future
+work; this bench runs all three on the same workload across the memory
+range and reports who wins where.  Expected: Grace < sort-merge < nested
+loops once every algorithm is inside its design envelope, with nested
+loops catching up only when S is effectively memory-resident.
+"""
+
+from conftest import bench_scale
+
+from repro.harness.experiment import run_memory_sweep
+from repro.harness.report import ascii_chart, format_table
+from repro.workload import WorkloadSpec, generate_workload
+
+FRACTIONS = (0.1, 0.15, 0.2, 0.3, 0.5)
+
+
+def test_ext_algorithm_comparison(benchmark, bench_config, bench_machine, record):
+    scale = bench_scale(0.1)
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+
+    def run_all():
+        return {
+            name: run_memory_sweep(
+                name,
+                FRACTIONS,
+                machine=bench_machine,
+                sim_config=bench_config,
+                workload=workload,
+            )
+            for name in ("nested-loops", "sort-merge", "grace")
+        }
+
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    series = {name: sweep.sim_series for name, sweep in sweeps.items()}
+    rows = [
+        [f, *(series[name][i] for name in series)]
+        for i, f in enumerate(FRACTIONS)
+    ]
+    text = "\n".join(
+        [
+            "== Extension: algorithm comparison (measured ms/Rproc) ==",
+            format_table(["MRproc/|R|", *series.keys()], rows),
+            ascii_chart(list(FRACTIONS), series),
+        ]
+    )
+    record("ext_comparison", text)
+
+    # Inside the design envelope Grace wins and nested loops loses.
+    for i, fraction in enumerate(FRACTIONS):
+        if fraction >= 0.1:
+            assert series["grace"][i] <= series["sort-merge"][i] * 1.1
+    assert series["nested-loops"][0] > series["grace"][0]

@@ -1,0 +1,54 @@
+"""Extension: G-buffer size sweep (paper §5.2 parameter choice).
+
+G batches S-object requests between Rproc and Sproc: too small and the
+context-switch term ``2*CS*ceil(h/(G/(r+sptr+s)))`` explodes; large enough
+and it vanishes into the noise.  The paper used G = B (one page).
+"""
+
+from conftest import bench_scale
+
+from repro.harness.report import format_table
+from repro.joins import JoinEnvironment, ParallelNestedLoopsJoin
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+G_SIZES = (264, 1024, 4096, 16_384, 65_536)
+FRACTION = 0.15
+
+
+def test_ext_gbuffer_sweep(benchmark, bench_config, record):
+    scale = bench_scale(0.05)
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+    relations = workload.relation_parameters()
+
+    def run_all():
+        out = {}
+        for g in G_SIZES:
+            memory = MemoryParameters.from_fractions(
+                relations, FRACTION, g_bytes=g
+            )
+            env = JoinEnvironment(workload, memory, sim_config=bench_config)
+            result = ParallelNestedLoopsJoin().run(env, collect_pairs=False)
+            out[g] = (result.elapsed_ms, result.stats.context_switches)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[g, ms, cs] for g, (ms, cs) in results.items()]
+    text = "\n".join(
+        [
+            "== Extension: G-buffer sweep (nested loops) ==",
+            format_table(["G_bytes", "elapsed_ms", "context_switches"], rows),
+        ]
+    )
+    record("ext_gbuffer", text)
+
+    switches = [cs for _, cs in results.values()]
+    elapsed = [ms for ms, _ in results.values()]
+    # Bigger batches, strictly fewer context switches and no slowdown.
+    assert all(b <= a for a, b in zip(switches, switches[1:]))
+    assert elapsed[-1] <= elapsed[0]
+    # One-object batches are measurably worse than one-page batches.
+    assert results[264][0] > results[4096][0]

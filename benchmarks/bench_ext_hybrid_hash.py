@@ -1,0 +1,84 @@
+"""Extension: hybrid hash vs Grace (paper §2.3 lineage).
+
+The paper's model descends from Shekita & Carey's hybrid-hash analysis but
+validates the Grace variant; this bench adds the hybrid back.  With
+resident buckets joined on the fly, hybrid hash skips the spill write and
+probe read for the resident fraction of the redistributed relation, so it
+should beat Grace increasingly as memory grows — and collapse onto Grace
+when memory forces the resident set to zero.
+"""
+
+from conftest import bench_scale
+
+from repro.harness.experiment import run_memory_sweep
+from repro.harness.report import ascii_chart, format_table, shape_summary
+from repro.workload import WorkloadSpec, generate_workload
+
+FRACTIONS = (0.1, 0.2, 0.3, 0.5)
+BUCKETS = 8
+
+
+def test_ext_hybrid_hash_vs_grace(benchmark, bench_config, bench_machine, record):
+    scale = bench_scale(0.1)
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+
+    def run_both():
+        out = {}
+        out["grace"] = run_memory_sweep(
+            "grace",
+            FRACTIONS,
+            machine=bench_machine,
+            sim_config=bench_config,
+            workload=workload,
+            fixed_buckets=BUCKETS,
+        )
+        out["hybrid-hash"] = run_memory_sweep(
+            "hybrid-hash",
+            FRACTIONS,
+            machine=bench_machine,
+            sim_config=bench_config,
+            workload=workload,
+            algo_kwargs={"buckets": BUCKETS},
+            model_kwargs={"buckets": BUCKETS},
+        )
+        return out
+
+    sweeps = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    hh, gr = sweeps["hybrid-hash"], sweeps["grace"]
+    rows = [
+        [
+            f,
+            gr.sim_series[i],
+            hh.sim_series[i],
+            hh.model_series[i],
+            hh.points[i].sim_detail["resident_buckets"],
+        ]
+        for i, f in enumerate(FRACTIONS)
+    ]
+    text = "\n".join(
+        [
+            "== Extension: hybrid hash vs Grace (ms/Rproc) ==",
+            format_table(
+                ["MRproc/|R|", "grace_sim", "hybrid_sim", "hybrid_model",
+                 "resident_K"],
+                rows,
+            ),
+            ascii_chart(
+                list(FRACTIONS),
+                {"grace": gr.sim_series, "hybrid-hash": hh.sim_series},
+            ),
+            shape_summary(hh.model_series, hh.sim_series),
+        ]
+    )
+    record("ext_hybrid_hash", text)
+
+    # Hybrid never loses to Grace and wins clearly at ample memory.
+    for i in range(len(FRACTIONS)):
+        assert hh.sim_series[i] <= gr.sim_series[i] * 1.05
+    assert hh.sim_series[-1] < 0.9 * gr.sim_series[-1]
+    # Its model tracks its measurement within a factor of two.
+    for m, s in zip(hh.model_series, hh.sim_series):
+        assert 0.5 <= m / s <= 2.0

@@ -1,0 +1,91 @@
+"""Extension: the real-mmap backend (paper §2.1, µDatabase).
+
+Runs the three pointer-based joins on actual ``mmap``-backed segment files
+with one OS process per partition, and measures the real machine's
+Figure 1(b) analogue (timed newMap/openMap/deleteMap).  Wall-clock numbers
+here are of the *host*, not the simulated 1996 machine — the point is that
+the same algorithms run unchanged on a genuine single-level store.
+"""
+
+import tempfile
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.harness.report import format_table
+from repro.joins import verify_pairs
+from repro.parallel import run_real_join
+from repro.storage import timed_delete_map, timed_new_map, timed_open_map
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def test_ext_real_mmap_joins(benchmark, record):
+    scale = bench_scale(0.05)
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+
+    def run_all():
+        out = {}
+        with tempfile.TemporaryDirectory() as root:
+            for name in ("nested-loops", "sort-merge", "grace"):
+                result = run_real_join(
+                    name, workload, str(Path(root) / name), use_processes=True
+                )
+                verify_pairs(workload, result.pairs)
+                out[name] = result
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, res.wall_ms, res.pair_count]
+        for name, res in results.items()
+    ]
+    text = "\n".join(
+        [
+            "== Extension: real mmap backend (host wall-clock) ==",
+            format_table(["algorithm", "wall_ms", "pairs"], rows),
+        ]
+    )
+    record("ext_real_mmap", text)
+
+    for res in results.values():
+        assert res.pair_count == workload.r_objects_total
+
+
+def test_ext_real_mapping_setup(benchmark, record):
+    """A real Figure 1(b): timed mmap setup against mapping size."""
+
+    sizes = (256, 1024, 4096, 16_384)
+
+    def measure():
+        samples = []
+        with tempfile.TemporaryDirectory() as root:
+            for size in sizes:
+                path = Path(root) / f"m{size}.seg"
+                seg, new_ms = timed_new_map(path, capacity=size)
+                seg.close()
+                seg, open_ms = timed_open_map(path)
+                seg.close()
+                delete_ms = timed_delete_map(path)
+                samples.append((size, new_ms, open_ms, delete_ms))
+        return samples
+
+    samples = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    text = "\n".join(
+        [
+            "== Extension: real mmap setup costs (host wall-clock) ==",
+            format_table(
+                ["records", "newMap_ms", "openMap_ms", "deleteMap_ms"],
+                [list(s) for s in samples],
+            ),
+            "Host mmap is far faster than 1996 hardware; the shape of "
+            "interest is that all three costs stay small and bounded.",
+        ]
+    )
+    record("ext_real_mapping", text)
+
+    for _, new_ms, open_ms, delete_ms in samples:
+        assert new_ms >= 0 and open_ms >= 0 and delete_ms >= 0

@@ -1,0 +1,64 @@
+"""Extension: replacement-policy ablation (paper §9).
+
+The paper blames part of its low-memory misprediction on "the particular
+replacement strategy used by the Dynix operating system" and calls for
+databases to control replacement.  This bench runs the Grace join under
+exact LRU, CLOCK (second chance) and FIFO at a memory level near the
+thrashing knee, where policy differences are loudest.
+"""
+
+from conftest import bench_scale
+
+from repro.harness.report import format_table
+from repro.joins import JoinEnvironment, ParallelGraceJoin
+from repro.model import MemoryParameters
+from repro.sim import SimConfig
+from repro.workload import WorkloadSpec, generate_workload
+
+POLICIES = ("lru", "clock", "fifo")
+FRACTION = 0.06
+BUCKETS = 40
+
+
+def test_ext_replacement_policies(benchmark, record):
+    scale = bench_scale(0.1)
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), FRACTION
+    )
+
+    def run_all():
+        out = {}
+        for policy in POLICIES:
+            config = SimConfig().with_policy(policy)
+            env = JoinEnvironment(workload, memory, sim_config=config)
+            result = ParallelGraceJoin(buckets=BUCKETS).run(
+                env, collect_pairs=False
+            )
+            out[policy] = (
+                result.elapsed_ms,
+                result.stats.total_faults,
+                result.stats.total_blocks_written,
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[p, *results[p]] for p in POLICIES]
+    text = "\n".join(
+        [
+            "== Extension: replacement policy ablation "
+            f"(grace, K={BUCKETS}, MRproc/|R|={FRACTION}) ==",
+            format_table(
+                ["policy", "elapsed_ms", "faults", "blocks_written"], rows
+            ),
+        ]
+    )
+    record("ext_replacement", text)
+
+    # All policies complete and stay within a sane band of one another;
+    # the verified checksum (inside the join) guarantees correctness.
+    elapsed = [results[p][0] for p in POLICIES]
+    assert max(elapsed) < 3.0 * min(elapsed)

@@ -1,0 +1,30 @@
+"""Extension: speedup experiment (paper §9 future work).
+
+Fixed problem size, growing D (disks + process pairs).  The algorithms are
+designed for contention-free D-fold parallelism, so elapsed time should
+fall close to 1/D (sub-linear only through the serial mapping setup and
+per-partition constants).
+"""
+
+from conftest import bench_scale
+
+from repro.harness.scaling import run_speedup
+
+DISK_COUNTS = (1, 2, 4, 8)
+
+
+def test_ext_speedup(benchmark, record):
+    scale = bench_scale(0.1)
+    result = benchmark.pedantic(
+        lambda: run_speedup(
+            "sort-merge", disk_counts=DISK_COUNTS, scale=scale, fraction=0.1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record("ext_speedup", result.render())
+
+    elapsed = [p.elapsed_ms for p in result.points]
+    # More partitions never slower; 4-way at least 2x over serial.
+    assert all(b < a for a, b in zip(elapsed, elapsed[1:]))
+    assert result.points[2].speedup_vs(result.base) > 2.0

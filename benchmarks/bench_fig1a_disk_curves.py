@@ -1,0 +1,24 @@
+"""Figure 1(a): disk transfer time vs band size, measured on the simulator.
+
+Paper shape: dttr rises from ~6 ms (sequential) toward ~22 ms over a
+12,800-block band; dttw sits below dttr everywhere because dirty pages are
+written back lazily and scheduled by shortest seek time.
+"""
+
+from repro.harness.figures import figure_1a
+
+
+def test_fig1a_disk_transfer_curves(benchmark, bench_config, record):
+    fig = benchmark.pedantic(
+        lambda: figure_1a(bench_config), rounds=1, iterations=1
+    )
+    record("fig1a_disk_curves", fig.render())
+
+    dttr = fig.series["dttr_ms"]
+    dttw = fig.series["dttw_ms"]
+    # Shape assertions: monotone growth, sequential fast, writes cheaper.
+    assert all(b >= a for a, b in zip(dttr, dttr[1:]))
+    assert dttr[0] < 0.5 * dttr[-1]
+    assert dttw[-1] < dttr[-1]
+    benchmark.extra_info["dttr_sequential_ms"] = dttr[0]
+    benchmark.extra_info["dttr_12800_ms"] = dttr[-1]

@@ -1,0 +1,25 @@
+"""Figure 1(b): memory-mapping setup time vs mapping size.
+
+Paper shape: all three operations linear in the mapping size, with
+newMap > openMap > deleteMap (new mappings also acquire disk space; deletes
+only free the page table and space).
+"""
+
+from repro.harness.figures import figure_1b
+
+
+def test_fig1b_mapping_setup(benchmark, bench_config, record):
+    fig = benchmark.pedantic(
+        lambda: figure_1b(bench_config), rounds=1, iterations=1
+    )
+    record("fig1b_mapping_setup", fig.render())
+
+    new, opn, dele = (
+        fig.series["newMap_ms"],
+        fig.series["openMap_ms"],
+        fig.series["deleteMap_ms"],
+    )
+    for n, o, d in zip(new, opn, dele):
+        assert n > o > d
+    # Linearity: doubling the size roughly doubles the cost.
+    assert new[-1] / new[0] > 0.5 * (fig.x_values[-1] / fig.x_values[0])

@@ -1,0 +1,32 @@
+"""Figure 5(a): nested loops — model vs experiment over the memory sweep.
+
+Paper shape: elapsed time per Rproc falls steeply as memory grows and
+flattens once the inner partition fits the Sproc buffer; the model tracks
+the measurement across the sweep.  (At reduced scale the flattening point
+sits at a smaller fraction than the paper's 0.6 — see EXPERIMENTS.md.)
+"""
+
+from conftest import bench_scale
+
+from repro.harness.figures import figure_5a
+from repro.harness.report import shape_summary
+
+
+def test_fig5a_nested_loops(benchmark, bench_config, bench_machine, record):
+    scale = bench_scale(0.1)
+    fig = benchmark.pedantic(
+        lambda: figure_5a(scale=scale, config=bench_config, machine=bench_machine),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig5a_nested_loops", fig.render())
+
+    sim = fig.series["experiment_ms"]
+    model = fig.series["model_ms"]
+    # Shape: monotone non-increasing; low-memory point clearly slower.
+    assert all(b <= a * 1.02 for a, b in zip(sim, sim[1:]))
+    assert sim[0] > 2.0 * sim[-1]
+    # Model tracks experiment within a factor of two everywhere.
+    for m, s in zip(model, sim):
+        assert 0.5 <= m / s <= 2.0
+    benchmark.extra_info["agreement"] = shape_summary(model, sim)

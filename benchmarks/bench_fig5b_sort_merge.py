@@ -1,0 +1,32 @@
+"""Figure 5(b): sort-merge — model vs experiment over the memory sweep.
+
+Paper shape: gentle improvement with memory, punctuated by discontinuities
+where an additional merging pass becomes necessary; the model reproduces
+both the level and the location of the steps.
+"""
+
+from conftest import bench_scale
+
+from repro.harness.figures import figure_5b
+from repro.harness.report import shape_summary
+
+
+def test_fig5b_sort_merge(benchmark, bench_config, bench_machine, record):
+    scale = bench_scale(0.1)
+    fig = benchmark.pedantic(
+        lambda: figure_5b(scale=scale, config=bench_config, machine=bench_machine),
+        rounds=1,
+        iterations=1,
+    )
+    record("fig5b_sort_merge", fig.render())
+
+    sim = fig.series["experiment_ms"]
+    model = fig.series["model_ms"]
+    assert sim[0] > sim[-1]  # more memory helps overall
+    # The sweep crosses at least one NPASS discontinuity, in both series.
+    npasses = [p.sim_detail["npass"] for p in fig.sweep.points]
+    assert max(npasses) > min(npasses)
+    model_npasses = [p.model_report.derived["npass"] for p in fig.sweep.points]
+    assert max(model_npasses) > min(model_npasses)
+    benchmark.extra_info["agreement"] = shape_summary(model, sim)
+    benchmark.extra_info["npass_range"] = f"{min(npasses):.0f}-{max(npasses):.0f}"

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section.
+
+Figure 1(a): measured disk transfer curves; Figure 1(b): measured mapping
+setup costs; Figures 5(a,b,c): predicted vs measured elapsed time for the
+three join algorithms over the memory sweep.
+
+Usage::
+
+    python examples/figure_reproduction.py [scale]
+
+Without an argument each panel uses its own default scale (0.1 for 5a/5b,
+0.5 for 5c — the Grace knee's position depends on absolute frame counts).
+Pass 1.0 to reproduce the paper's full geometry (takes a few minutes).
+"""
+
+import sys
+
+from repro.harness import all_figures
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else None
+    for figure in all_figures(scale=scale):
+        print(figure.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

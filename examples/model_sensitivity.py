@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Which machine parameter matters for which join?
+
+The paper offers its model as a designer's "high-level filter"; this
+example uses it to rank machine parameters by how much the predicted join
+cost responds to them (elasticity = % cost change per % parameter change)
+at two operating points — memory-starved and memory-ample.
+
+Usage::
+
+    python examples/model_sensitivity.py
+"""
+
+from repro.harness import calibrated_machine_parameters
+from repro.harness.experiment import MODEL_FUNCTIONS
+from repro.model import MemoryParameters, RelationParameters
+from repro.model.sensitivity import parameter_sensitivity, render_sensitivities
+
+ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+
+
+def main() -> None:
+    machine = calibrated_machine_parameters()
+    relations = RelationParameters()  # the paper's 102,400-object workload
+
+    for label, fraction in (("starved (0.02)", 0.02), ("ample (0.3)", 0.3)):
+        memory = MemoryParameters.from_fractions(relations, fraction)
+        print(f"\n#### Operating point: {label} ####")
+        for name in ALGORITHMS:
+            sensitivities = parameter_sensitivity(
+                MODEL_FUNCTIONS[name], machine, relations, memory
+            )
+            meaningful = [s for s in sensitivities if s.matters]
+            print()
+            print(render_sensitivities(name, meaningful))
+
+    print(
+        "\nReading: disk transfer rates dominate everywhere (this is an\n"
+        "I/O-bound 1990s machine); CPU heap costs only surface for\n"
+        "sort-merge; mapping setup matters more when memory is ample and\n"
+        "the I/O terms shrink.  A designer can decide what to optimize\n"
+        "without running a single join."
+    )
+
+
+if __name__ == "__main__":
+    main()

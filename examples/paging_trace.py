@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Watch the paging behaviour the paper reasons about.
+
+Runs the Grace join twice — once with ample memory, once deep in the
+thrashing regime the paper's urn model approximates (§7.3) — while tracing
+every page access of Rproc0.  Prints a fault-rate heat strip over program
+time plus the premature-refault count the urn model predicts.
+
+Usage::
+
+    python examples/paging_trace.py [scale]
+"""
+
+import sys
+
+from repro.joins import JoinEnvironment, ParallelGraceJoin
+from repro.model import MemoryParameters
+from repro.sim.trace import attach_recorder, render_fault_strip
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def traced_grace_run(workload, fraction: float, buckets: int):
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), fraction
+    )
+    env = JoinEnvironment(workload, memory)
+    recorder = attach_recorder(env.rprocs[0].memory)
+    result = ParallelGraceJoin(buckets=buckets).run(env, collect_pairs=False)
+    return recorder, result
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale), disks=4
+    )
+    buckets = 40
+
+    print(f"Grace join, K = {buckets}, {workload.r_objects_total:,} objects.")
+    print("Fault-rate strip over Rproc0's program time "
+          "(' ' = all hits, '#' = all faults):\n")
+
+    for label, fraction in (("ample memory ", 0.4), ("starved memory", 0.04)):
+        recorder, result = traced_grace_run(workload, fraction, buckets)
+        strip = render_fault_strip(recorder, width=64)
+        refaults = recorder.premature_refaults("RS0")
+        print(f"{label} (MRproc/|R| = {fraction}):")
+        print(f"  [{strip}]")
+        print(
+            f"  accesses={recorder.access_count:,} "
+            f"faults={recorder.fault_count:,} "
+            f"RS0 premature refaults={refaults:,} "
+            f"elapsed={result.elapsed_ms:,.0f} ms\n"
+        )
+
+    print(
+        "At ample memory the strip stays light after the cold start: bucket\n"
+        "pages fill in place.  When memory shrinks below K, LRU keeps\n"
+        "evicting partially-filled bucket pages (dark strip, premature\n"
+        "refaults) — the exact effect the paper's urn model charges for."
+    )
+
+
+if __name__ == "__main__":
+    main()

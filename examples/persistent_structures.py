@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The single-level-store premise, demonstrated (paper §1/§2.1).
+
+The paper's opening argument: with memory mapping and exact positioning,
+pointer-based structures live on disk *as they are in memory* — no
+flattening, no serialization, no pointer swizzling when they come back.
+This example builds a persistent B-tree whose nodes are 4K records in one
+mapped segment and whose child pointers are plain record indices, then
+closes and reopens the mapping several times to show the pointers survive
+untouched.
+
+Usage::
+
+    python examples/persistent_structures.py [keys]
+"""
+
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.storage import MAX_KEYS, PersistentBTree
+
+
+def main() -> None:
+    n_keys = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    rng = random.Random(96)
+    pairs = [(rng.getrandbits(48), rng.getrandbits(48)) for _ in range(n_keys)]
+
+    with tempfile.TemporaryDirectory() as root:
+        path = Path(root) / "index.btree"
+
+        started = time.perf_counter()
+        with PersistentBTree.create(path, capacity_nodes=max(64, n_keys // 16)) as tree:
+            for key, value in pairs:
+                tree.insert(key, value)
+            size = len(tree)
+        build_ms = (time.perf_counter() - started) * 1000
+
+        print(
+            f"Built a persistent B-tree of {size:,} keys "
+            f"(node fan-out {MAX_KEYS}) in {build_ms:,.0f} ms; "
+            f"file is {path.stat().st_size / 1024:,.0f} KiB."
+        )
+
+        # The µDatabase moment: re-map the file and use the pointers as-is.
+        for attempt in range(3):
+            started = time.perf_counter()
+            with PersistentBTree.open(path) as tree:
+                open_ms = (time.perf_counter() - started) * 1000
+                probes = rng.sample(range(len(pairs)), 200)
+                assert all(
+                    tree.search(pairs[i][0]) == pairs[i][1] for i in probes
+                )
+                lookup_started = time.perf_counter()
+                for i in probes:
+                    tree.search(pairs[i][0])
+                lookup_us = (
+                    (time.perf_counter() - lookup_started) / len(probes) * 1e6
+                )
+            print(
+                f"  remap #{attempt + 1}: openMap {open_ms:.2f} ms, "
+                f"200 verified lookups, {lookup_us:.0f} us/lookup — "
+                "no pointer was swizzled."
+            )
+
+        with PersistentBTree.open(path) as tree:
+            low = pairs[0][0]
+            window = [k for k, _ in tree.range(low, low + 2**44)]
+        print(
+            f"Range scan straight off the mapping: {len(window):,} keys in "
+            "ascending order."
+        )
+
+
+if __name__ == "__main__":
+    main()

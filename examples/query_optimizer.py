@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""The model as a query-optimizer cost filter.
+
+The paper motivates its quantitative model as "an essential tool for
+subsystems such as a query optimizer" and "a high-level filter for data
+structure and algorithm designers".  This example plays that role: for a
+set of join scenarios (different relation sizes, memory grants and skews)
+it evaluates all three cost models and picks the cheapest algorithm —
+without simulating anything.
+
+It then spot-checks one scenario against the simulator to show the
+chosen plan really is the fastest.
+
+Usage::
+
+    python examples/query_optimizer.py
+"""
+
+from dataclasses import dataclass
+
+from repro.harness import calibrated_machine_parameters
+from repro.harness.experiment import MODEL_FUNCTIONS
+from repro.harness.report import format_table
+from repro.model import MemoryParameters, RelationParameters
+from repro.joins import JoinEnvironment, make_algorithm
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    relations: RelationParameters
+    memory_fraction: float
+
+
+SCENARIOS = (
+    Scenario(
+        "balanced / ample memory",
+        RelationParameters(r_objects=102_400, s_objects=102_400),
+        0.10,
+    ),
+    Scenario(
+        "balanced / starved memory",
+        RelationParameters(r_objects=102_400, s_objects=102_400),
+        0.01,
+    ),
+    Scenario(
+        "small R, large S",
+        RelationParameters(r_objects=10_240, s_objects=204_800),
+        0.20,
+    ),
+    Scenario(
+        "large R, small S (S cacheable)",
+        RelationParameters(r_objects=204_800, s_objects=10_240),
+        0.30,
+    ),
+    Scenario(
+        "heavy partition skew",
+        RelationParameters(r_objects=102_400, s_objects=102_400, skew=1.8),
+        0.10,
+    ),
+)
+
+
+# The paper's three algorithms; the extensions (hash-loops, hybrid-hash)
+# are deliberately excluded so the choices mirror the paper's design space.
+PAPER_ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+
+
+def choose_plan(machine, scenario: Scenario):
+    memory = MemoryParameters.from_fractions(
+        scenario.relations, scenario.memory_fraction
+    )
+    costs = {
+        name: MODEL_FUNCTIONS[name](machine, scenario.relations, memory).total_ms
+        for name in PAPER_ALGORITHMS
+    }
+    winner = min(costs, key=costs.get)
+    return winner, costs
+
+
+def main() -> None:
+    machine = calibrated_machine_parameters()
+
+    rows = []
+    for scenario in SCENARIOS:
+        winner, costs = choose_plan(machine, scenario)
+        rows.append(
+            [
+                scenario.name,
+                costs["nested-loops"],
+                costs["sort-merge"],
+                costs["grace"],
+                winner,
+            ]
+        )
+    print("== Optimizer choices from the analytical model (ms/Rproc) ==")
+    print(
+        format_table(
+            ["scenario", "nested-loops", "sort-merge", "grace", "chosen"], rows
+        )
+    )
+
+    # Spot-check the first scenario on the simulator at reduced scale.
+    print("\nSpot check on the simulator (scale 0.1):")
+    workload = generate_workload(WorkloadSpec.paper_validation(scale=0.1), 4)
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), SCENARIOS[0].memory_fraction
+    )
+    measured = {}
+    for name in PAPER_ALGORITHMS:
+        env = JoinEnvironment(workload, memory)
+        measured[name] = make_algorithm(name).run(
+            env, collect_pairs=False
+        ).elapsed_ms
+    simulated_winner = min(measured, key=measured.get)
+    model_winner, _ = choose_plan(machine, SCENARIOS[0])
+    print(
+        format_table(
+            ["algorithm", "simulated_ms"],
+            [[k, v] for k, v in measured.items()],
+        )
+    )
+    agreement = "agrees" if simulated_winner == model_winner else "DISAGREES"
+    print(
+        f"\nModel chose {model_winner!r}; simulation fastest was "
+        f"{simulated_winner!r} — the optimizer {agreement} with the machine."
+    )
+
+    # Where do the plans flip?  The model can answer without simulating.
+    from repro.harness import find_crossovers
+
+    print("\n== Crossover points (paper-scale relations) ==")
+    paper = RelationParameters()
+    for first, second in (
+        ("nested-loops", "grace"),
+        ("nested-loops", "sort-merge"),
+    ):
+        for crossover in find_crossovers(first, second, machine, paper):
+            print(
+                f"  below MRproc/|R| = {crossover.fraction:.3f}: "
+                f"{crossover.cheaper_below}; above: {crossover.cheaper_above}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Study how pointer distribution shapes the five join algorithms.
+
+The paper assumes uniformly random join attributes (skew ~ 1.0) and notes
+that skew gates the synchronized algorithms.  This example joins the same
+relations under four pointer distributions — uniform, key/foreign-key
+permutation, Zipf popularity skew, and partition-hot placement skew — with
+all five algorithms (the paper's three plus the hash-loops and hybrid-hash
+extensions), verifying every run.
+
+Usage::
+
+    python examples/skew_study.py [scale]
+"""
+
+import sys
+
+from repro.harness.report import format_table
+from repro.joins import JoinEnvironment, expected_checksum, make_algorithm
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+DISTRIBUTIONS = (
+    ("uniform", {}),
+    ("permutation", {}),
+    ("zipf", {"theta": 1.0}),
+    ("partition_hot", {"hot_fraction": 0.6, "hot_span": 0.25}),
+)
+ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hash-loops", "hybrid-hash")
+FRACTION = 0.15
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    objects = max(64, int(102_400 * scale))
+
+    rows = []
+    for name, args in DISTRIBUTIONS:
+        workload = generate_workload(
+            WorkloadSpec(
+                r_objects=objects,
+                s_objects=objects,
+                distribution=name,
+                distribution_args=args,
+                seed=96,
+            ),
+            disks=4,
+        )
+        memory = MemoryParameters.from_fractions(
+            workload.relation_parameters(), FRACTION
+        )
+        oracle = expected_checksum(workload)
+        elapsed = {}
+        for algorithm in ALGORITHMS:
+            env = JoinEnvironment(workload, memory)
+            result = make_algorithm(algorithm).run(env, collect_pairs=False)
+            if result.checksum != oracle:
+                raise SystemExit(f"{algorithm} produced a wrong join on {name}!")
+            elapsed[algorithm] = result.elapsed_ms
+        rows.append(
+            [name, f"{workload.measured_skew():.2f}"]
+            + [elapsed[a] for a in ALGORITHMS]
+        )
+
+    print(f"|R| = |S| = {objects:,}, MRproc/|R| = {FRACTION}, all runs verified")
+    print(format_table(["distribution", "skew", *ALGORITHMS], rows))
+    print(
+        "\nPlacement skew (partition_hot) hurts everyone: the synchronized "
+        "algorithms\nwait for the overloaded partition every pass (the "
+        "paper's skew-adjusted\ngeometry, §6.3), and nested loops suffers "
+        "most of all because the hot S\npartition absorbs a flood of random "
+        "dereferences.  Popularity skew (zipf)\nis far milder — hot S pages "
+        "simply stay cached."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``   — regenerate the paper's evaluation figures;
+* ``join``      — run one join on the simulator (or the real mmap backend)
+  and verify its output;
+* ``model``     — print an analytical cost breakdown without simulating;
+* ``sweep``       — a model-vs-experiment memory sweep for one algorithm;
+* ``calibrate``   — measure and print the machine-dependent functions;
+* ``sensitivity`` — rank machine parameters by cost elasticity;
+* ``crossover``   — find where the cheaper of two algorithms flips;
+* ``report``      — run the full evaluation and emit a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import Optional, Sequence
+
+from repro.harness.calibrate import (
+    calibrated_machine_parameters,
+    measure_disk_curves,
+    measure_mapping_curves,
+)
+from repro.harness.experiment import MODEL_FUNCTIONS, run_memory_sweep
+from repro.harness.figures import all_figures, figure_1a, figure_1b, figure_5a, figure_5b, figure_5c
+from repro.harness.report import format_table, shape_summary
+from repro.joins import JoinEnvironment, make_algorithm, verify_pairs
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+FIGURE_BUILDERS = {
+    "1a": lambda args: figure_1a(),
+    "1b": lambda args: figure_1b(),
+    "5a": lambda args: figure_5a(scale=args.scale or 0.1),
+    "5b": lambda args: figure_5b(scale=args.scale or 0.1),
+    "5c": lambda args: figure_5c(scale=args.scale or 0.5),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel pointer-based join algorithms in memory-mapped "
+            "environments (ICDE 1996 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "--figure",
+        choices=sorted(FIGURE_BUILDERS),
+        help="one figure only (default: all)",
+    )
+    figures.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (1.0 = the paper's 102,400 objects)",
+    )
+
+    join = sub.add_parser("join", help="run one verified join")
+    _common_workload_args(join)
+    join.add_argument("algorithm", choices=sorted(MODEL_FUNCTIONS))
+    join.add_argument(
+        "--fraction", type=float, default=0.1,
+        help="memory grant as a fraction of |R| bytes",
+    )
+    join.add_argument(
+        "--real", action="store_true",
+        help="run on the real mmap backend instead of the simulator",
+    )
+
+    model = sub.add_parser("model", help="print an analytical prediction")
+    _common_workload_args(model)
+    model.add_argument("algorithm", choices=sorted(MODEL_FUNCTIONS))
+    model.add_argument("--fraction", type=float, default=0.1)
+
+    sweep = sub.add_parser("sweep", help="model-vs-experiment memory sweep")
+    _common_workload_args(sweep)
+    sweep.add_argument("algorithm", choices=sorted(MODEL_FUNCTIONS))
+    sweep.add_argument(
+        "--fractions", default="0.05,0.1,0.2",
+        help="comma-separated memory fractions",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate", help="measure the machine-dependent functions"
+    )
+    calibrate.add_argument(
+        "--accesses", type=int, default=600,
+        help="disk accesses per band during measurement",
+    )
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="rank machine parameters by cost elasticity"
+    )
+    _common_workload_args(sensitivity)
+    sensitivity.add_argument("algorithm", choices=sorted(MODEL_FUNCTIONS))
+    sensitivity.add_argument("--fraction", type=float, default=0.1)
+
+    crossover = sub.add_parser(
+        "crossover", help="find where the cheaper of two algorithms flips"
+    )
+    crossover.add_argument("first", choices=sorted(MODEL_FUNCTIONS))
+    crossover.add_argument("second", choices=sorted(MODEL_FUNCTIONS))
+
+    workload = sub.add_parser(
+        "workload", help="save or inspect a reproducible workload file"
+    )
+    _common_workload_args(workload)
+    workload.add_argument("action", choices=("save", "info"))
+    workload.add_argument("path", help="the .npz workload file")
+    workload.add_argument(
+        "--distribution", default="uniform",
+        help="pointer distribution (uniform/permutation/zipf/...)",
+    )
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation and emit a markdown report"
+    )
+    report.add_argument("--scale", type=float, default=None,
+                        help="force one scale for every panel")
+    report.add_argument("--out", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--no-comparison", action="store_true",
+                        help="skip the algorithm-comparison section")
+
+    return parser
+
+
+def _common_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--disks", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=96)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "figures": _cmd_figures,
+        "join": _cmd_join,
+        "model": _cmd_model,
+        "sweep": _cmd_sweep,
+        "calibrate": _cmd_calibrate,
+        "sensitivity": _cmd_sensitivity,
+        "crossover": _cmd_crossover,
+        "report": _cmd_report,
+        "workload": _cmd_workload,
+    }[args.command]
+    return handler(args)
+
+
+def _workload(args):
+    return generate_workload(
+        WorkloadSpec.paper_validation(scale=args.scale, seed=args.seed),
+        args.disks,
+    )
+
+
+def _cmd_figures(args) -> int:
+    if args.figure:
+        print(FIGURE_BUILDERS[args.figure](args).render())
+        return 0
+    for figure in all_figures(scale=args.scale):
+        print(figure.render())
+        print()
+    return 0
+
+
+def _cmd_join(args) -> int:
+    workload = _workload(args)
+    if args.real:
+        from repro.parallel import REAL_ALGORITHMS, run_real_join
+
+        if args.algorithm not in REAL_ALGORITHMS:
+            print(
+                "the real backend implements "
+                + ", ".join(sorted(REAL_ALGORITHMS)),
+                file=sys.stderr,
+            )
+            return 2
+        with tempfile.TemporaryDirectory() as root:
+            result = run_real_join(args.algorithm, workload, root)
+        pairs = verify_pairs(workload, result.pairs)
+        print(f"{args.algorithm}: {pairs:,} pairs verified, "
+              f"{result.wall_ms:,.0f} ms wall clock (real mmap backend)")
+        return 0
+
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), args.fraction
+    )
+    env = JoinEnvironment(workload, memory)
+    result = make_algorithm(args.algorithm).run(env)
+    pairs = verify_pairs(workload, result.pairs)
+    print(f"{args.algorithm}: {pairs:,} pairs verified, "
+          f"{result.elapsed_ms:,.0f} ms simulated")
+    print(result.stats.summary())
+    return 0
+
+
+def _cmd_model(args) -> int:
+    workload = _workload(args)
+    relations = workload.relation_parameters()
+    memory = MemoryParameters.from_fractions(relations, args.fraction)
+    machine = calibrated_machine_parameters()
+    report = MODEL_FUNCTIONS[args.algorithm](machine, relations, memory)
+    print(report.describe())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    fractions = tuple(float(f) for f in args.fractions.split(","))
+    sweep = run_memory_sweep(
+        args.algorithm, fractions, scale=args.scale, disks=args.disks,
+        seed=args.seed,
+    )
+    rows = [
+        [p.fraction, p.model_ms, p.sim_ms, f"{100 * p.relative_error:+.1f}%"]
+        for p in sweep.points
+    ]
+    print(format_table(
+        ["MRproc/|R|", "model_ms", "experiment_ms", "error"], rows
+    ))
+    print(shape_summary(sweep.model_series, sweep.sim_series))
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    disk_cal = measure_disk_curves(accesses_per_band=args.accesses)
+    print("dttr/dttw (ms per block) vs band size:")
+    rows = [
+        [band, read, write]
+        for (band, read), (_, write) in zip(
+            disk_cal.read_samples, disk_cal.write_samples
+        )
+    ]
+    print(format_table(["band_blocks", "dttr_ms", "dttw_ms"], rows))
+    map_cal = measure_mapping_curves()
+    print("\nmapping setup (ms) vs size:")
+    print(format_table(
+        ["blocks", "newMap_ms", "openMap_ms", "deleteMap_ms"],
+        [list(s) for s in map_cal.samples],
+    ))
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.model.sensitivity import (
+        parameter_sensitivity,
+        render_sensitivities,
+    )
+
+    workload = _workload(args)
+    relations = workload.relation_parameters()
+    memory = MemoryParameters.from_fractions(relations, args.fraction)
+    machine = calibrated_machine_parameters()
+    sensitivities = parameter_sensitivity(
+        MODEL_FUNCTIONS[args.algorithm], machine, relations, memory
+    )
+    print(render_sensitivities(args.algorithm, sensitivities))
+    return 0
+
+
+def _cmd_crossover(args) -> int:
+    from repro.harness.crossover import find_crossovers
+    from repro.model import RelationParameters
+
+    machine = calibrated_machine_parameters()
+    relations = RelationParameters()  # the paper-scale workload
+    crossovers = find_crossovers(args.first, args.second, machine, relations)
+    if not crossovers:
+        print(
+            f"no crossover between {args.first} and {args.second} on the "
+            "scanned memory range (0.02 - 0.70)"
+        )
+        return 0
+    for crossover in crossovers:
+        print(
+            f"below MRproc/|R| = {crossover.fraction:.3f}: "
+            f"{crossover.cheaper_below}; above: {crossover.cheaper_above}"
+        )
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.workload import WorkloadSpec, load_workload, save_workload
+
+    if args.action == "save":
+        spec = WorkloadSpec(
+            r_objects=max(64, int(102_400 * args.scale)),
+            s_objects=max(64, int(102_400 * args.scale)),
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+        workload = generate_workload(spec, args.disks)
+        save_workload(workload, args.path)
+        print(
+            f"saved {workload.r_objects_total:,} R-objects / "
+            f"{len(workload.s_objects):,} S-objects "
+            f"({args.distribution}, {args.disks} partitions) to {args.path}"
+        )
+        return 0
+
+    workload = load_workload(args.path)
+    relations = workload.relation_parameters()
+    print(
+        f"{args.path}: |R| = {relations.r_objects:,}, "
+        f"|S| = {relations.s_objects:,}, "
+        f"{workload.disks} partitions, "
+        f"distribution = {workload.spec.distribution}, "
+        f"seed = {workload.spec.seed}, "
+        f"measured skew = {relations.skew:.3f}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.reportgen import ReportOptions, generate_report
+
+    options = ReportOptions(
+        include_comparison=not args.no_comparison,
+    )
+    if args.scale is not None:
+        options = ReportOptions(
+            scale_5a=args.scale,
+            scale_5b=args.scale,
+            scale_5c=args.scale,
+            include_comparison=not args.no_comparison,
+        )
+    text = generate_report(options)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

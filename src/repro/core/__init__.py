@@ -1,0 +1,37 @@
+"""Core data structures: records, virtual pointers, partitioning, heaps."""
+
+from repro.core.partition import (
+    classify_by_target,
+    partition_skew,
+    split_evenly,
+    sub_partition_counts,
+    workload_skew,
+)
+from repro.core.pheap import (
+    CountingInstrumentation,
+    HeapError,
+    NullInstrumentation,
+    PointerHeap,
+    heapsort_pointers,
+)
+from repro.core.pointer import PointerError, PointerMap
+from repro.core.records import JoinedPair, RObject, SObject, join_pair
+
+__all__ = [
+    "CountingInstrumentation",
+    "HeapError",
+    "JoinedPair",
+    "NullInstrumentation",
+    "PointerError",
+    "PointerHeap",
+    "PointerMap",
+    "RObject",
+    "SObject",
+    "classify_by_target",
+    "heapsort_pointers",
+    "join_pair",
+    "partition_skew",
+    "split_evenly",
+    "sub_partition_counts",
+    "workload_skew",
+]

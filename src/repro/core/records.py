@@ -1,0 +1,45 @@
+"""Object records for the pointer-based join.
+
+R-objects carry the join attribute as a *virtual pointer* (``sptr``) — the
+global index of an S-object — which is the defining trait of the paper's
+algorithms: the pointer induces an implicit physical ordering of S, so S
+never needs sorting or hashing.
+
+Records are plain named tuples: the simulator accounts their size through
+the declared ``r_bytes``/``s_bytes``, so the Python-side representation can
+stay minimal while payload fields keep join verification meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class RObject(NamedTuple):
+    """One object of the outer relation R."""
+
+    rid: int       # unique identifier
+    sptr: int      # virtual pointer: global index into S
+    payload: int   # carried data, exercised by verification checksums
+
+
+class SObject(NamedTuple):
+    """One object of the inner relation S."""
+
+    sid: int       # unique identifier == its global index
+    value: int     # joined attribute value
+    payload: int
+
+
+class JoinedPair(NamedTuple):
+    """One output tuple of the join."""
+
+    rid: int
+    sid: int
+    r_payload: int
+    s_value: int
+
+
+def join_pair(r: RObject, s: SObject) -> JoinedPair:
+    """Form the output tuple for a matched R/S pair."""
+    return JoinedPair(rid=r.rid, sid=s.sid, r_payload=r.payload, s_value=s.value)

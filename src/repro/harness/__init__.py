@@ -1,0 +1,90 @@
+"""Experiment harness: calibration, sweeps, figure regeneration, reports."""
+
+from repro.harness.calibrate import (
+    DEFAULT_BAND_SIZES,
+    DEFAULT_MAP_SIZES,
+    DiskCalibration,
+    MappingCalibration,
+    calibrated_machine_parameters,
+    measure_disk_curves,
+    measure_mapping_curves,
+)
+from repro.harness.experiment import (
+    MODEL_FUNCTIONS,
+    ExperimentError,
+    SweepPoint,
+    SweepResult,
+    run_memory_sweep,
+)
+from repro.harness.figures import (
+    FIG5A_FRACTIONS,
+    FIG5B_FRACTIONS,
+    FIG5C_FRACTIONS,
+    FigureSeries,
+    all_figures,
+    figure_1a,
+    figure_1b,
+    figure_5a,
+    figure_5b,
+    figure_5c,
+)
+from repro.harness.crossover import (
+    Crossover,
+    cheapest_algorithm,
+    find_crossovers,
+    model_cost,
+)
+from repro.harness.report import ascii_chart, format_table, shape_summary
+from repro.harness.scaling import (
+    ScalingPoint,
+    ScalingResult,
+    run_scaleup,
+    run_speedup,
+)
+from repro.harness.reportgen import ReportOptions, generate_report
+from repro.harness.validation import (
+    PassComparison,
+    ValidationReport,
+    compare_passes,
+)
+
+__all__ = [
+    "DEFAULT_BAND_SIZES",
+    "DEFAULT_MAP_SIZES",
+    "Crossover",
+    "DiskCalibration",
+    "ExperimentError",
+    "FIG5A_FRACTIONS",
+    "FIG5B_FRACTIONS",
+    "FIG5C_FRACTIONS",
+    "FigureSeries",
+    "MODEL_FUNCTIONS",
+    "MappingCalibration",
+    "PassComparison",
+    "ReportOptions",
+    "ScalingPoint",
+    "ScalingResult",
+    "SweepPoint",
+    "SweepResult",
+    "ValidationReport",
+    "all_figures",
+    "run_scaleup",
+    "run_speedup",
+    "ascii_chart",
+    "calibrated_machine_parameters",
+    "cheapest_algorithm",
+    "compare_passes",
+    "figure_1a",
+    "figure_1b",
+    "figure_5a",
+    "figure_5b",
+    "figure_5c",
+    "find_crossovers",
+    "generate_report",
+    "format_table",
+    "model_cost",
+    "measure_disk_curves",
+    "measure_mapping_curves",
+    "run_memory_sweep",
+    "shape_summary",
+]

@@ -1,0 +1,184 @@
+"""Calibration: measure the machine-dependent functions off the simulator.
+
+The paper's methodology measures ``dttr``/``dttw`` (Figure 1a) and the
+mapping setup costs (Figure 1b) on the target machine, then feeds those
+measured functions into the analytical model.  This module performs the
+same measurements against the simulated machine:
+
+* :func:`measure_disk_curves` — for each band size, random single-block
+  accesses confined to a band of that size, averaged per block (band size 1
+  degenerates to a sequential scan);
+* :func:`measure_mapping_curves` — create/open/delete mappings of growing
+  sizes and fit the paper's linear cost functions;
+* :func:`calibrated_machine_parameters` — assemble a
+  :class:`~repro.model.parameters.MachineParameters` whose curves were
+  measured on (and therefore exactly describe) a given simulator
+  configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.model.curves import InterpolatedCurve, LinearCurve
+from repro.model.parameters import MachineParameters
+from repro.sim.disk import SimDisk
+from repro.sim.machine import SimConfig
+from repro.sim.mapper import SegmentMapper
+
+DEFAULT_BAND_SIZES = (1, 100, 400, 800, 1600, 3200, 6400, 9600, 12800)
+DEFAULT_MAP_SIZES = (100, 400, 1600, 3200, 6400, 9600, 12800)
+
+
+@dataclass(frozen=True)
+class DiskCalibration:
+    """Measured disk transfer curves plus the raw samples."""
+
+    dttr: InterpolatedCurve
+    dttw: InterpolatedCurve
+    read_samples: Tuple[Tuple[float, float], ...]
+    write_samples: Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class MappingCalibration:
+    """Fitted mapping-setup lines plus the raw samples."""
+
+    new_map: LinearCurve
+    open_map: LinearCurve
+    delete_map: LinearCurve
+    samples: Tuple[Tuple[float, float, float, float], ...]  # (size, new, open, delete)
+
+
+def measure_disk_curves(
+    config: SimConfig | None = None,
+    band_sizes: Sequence[int] = DEFAULT_BAND_SIZES,
+    accesses_per_band: int = 600,
+    seed: int = 7,
+) -> DiskCalibration:
+    """Measure dttr/dttw against band size, the paper's Figure 1a."""
+    config = config or SimConfig()
+    rng = random.Random(seed)
+    read_samples = []
+    write_samples = []
+    for band in band_sizes:
+        read_samples.append((float(band), _measure_reads(config, band, accesses_per_band, rng)))
+        write_samples.append((float(band), _measure_writes(config, band, accesses_per_band, rng)))
+    return DiskCalibration(
+        dttr=InterpolatedCurve.from_samples(read_samples),
+        dttw=InterpolatedCurve.from_samples(write_samples),
+        read_samples=tuple(read_samples),
+        write_samples=tuple(write_samples),
+    )
+
+
+def _fresh_disk(config: SimConfig, band: int) -> SimDisk:
+    geometry = config.disk_geometry
+    if geometry.size_blocks < band:
+        raise ValueError(
+            f"band {band} exceeds the simulated disk ({geometry.size_blocks} blocks)"
+        )
+    return SimDisk(disk_id=0, geometry=geometry)
+
+
+def _measure_reads(config: SimConfig, band: int, accesses: int, rng: random.Random) -> float:
+    disk = _fresh_disk(config, band)
+    total = 0.0
+    if band <= 1:
+        # Band of one block == sequential access.
+        for i in range(accesses):
+            total += disk.read_block(i % disk.geometry.size_blocks)
+    else:
+        for _ in range(accesses):
+            total += disk.read_block(rng.randrange(band))
+    return total / accesses
+
+
+def _measure_writes(config: SimConfig, band: int, accesses: int, rng: random.Random) -> float:
+    disk = _fresh_disk(config, band)
+    total = 0.0
+    if band <= 1:
+        for i in range(accesses):
+            total += disk.write_block(i % disk.geometry.size_blocks)
+    else:
+        for _ in range(accesses):
+            total += disk.write_block(rng.randrange(band))
+    total += disk.flush()
+    return total / accesses
+
+
+def measure_mapping_curves(
+    config: SimConfig | None = None,
+    map_sizes_blocks: Sequence[int] = DEFAULT_MAP_SIZES,
+) -> MappingCalibration:
+    """Measure newMap/openMap/deleteMap against size, Figure 1b."""
+    config = config or SimConfig()
+    samples = []
+    for size in map_sizes_blocks:
+        geometry = config.disk_geometry
+        if geometry.size_blocks < size:
+            geometry = replace(geometry, size_blocks=size)
+        disk = SimDisk(disk_id=0, geometry=geometry)
+        mapper = SegmentMapper(costs=config.mapping_costs, page_size=config.page_size)
+        objects = size * max(1, config.page_size // 128)
+
+        before = mapper.setup_ms
+        segment = mapper.new_map("probe", disk, objects, 128)
+        new_ms = mapper.setup_ms - before
+
+        before = mapper.setup_ms
+        mapper.open_map(segment)
+        open_ms = mapper.setup_ms - before
+
+        before = mapper.setup_ms
+        mapper.delete_map(segment)
+        delete_ms = mapper.setup_ms - before
+
+        samples.append((float(size), new_ms, open_ms, delete_ms))
+
+    return MappingCalibration(
+        new_map=LinearCurve.fit([(s, n) for s, n, _, _ in samples]),
+        open_map=LinearCurve.fit([(s, o) for s, _, o, _ in samples]),
+        delete_map=LinearCurve.fit([(s, d) for s, _, _, d in samples]),
+        samples=tuple(samples),
+    )
+
+
+def calibrated_machine_parameters(
+    config: SimConfig | None = None,
+    band_sizes: Sequence[int] = DEFAULT_BAND_SIZES,
+    accesses_per_band: int = 600,
+    seed: int = 7,
+) -> MachineParameters:
+    """MachineParameters whose measured curves describe this simulator.
+
+    This is the paper's measurement-then-model pipeline closed end to end:
+    the returned parameters contain dttr/dttw and the mapping lines as
+    *measured* on the simulated hardware, plus the CPU-side constants the
+    simulator charges directly.
+    """
+    config = config or SimConfig()
+    disk_cal = measure_disk_curves(config, band_sizes, accesses_per_band, seed)
+    map_cal = measure_mapping_curves(config)
+    return MachineParameters(
+        page_size=config.page_size,
+        disks=config.disks,
+        context_switch_ms=config.context_switch_ms,
+        mt_pp_ms_per_byte=config.mt_pp_ms_per_byte,
+        mt_ps_ms_per_byte=config.mt_ps_ms_per_byte,
+        mt_sp_ms_per_byte=config.mt_sp_ms_per_byte,
+        mt_ss_ms_per_byte=config.mt_ss_ms_per_byte,
+        map_ms=config.map_ms,
+        hash_ms=config.hash_ms,
+        compare_ms=config.compare_ms,
+        swap_ms=config.swap_ms,
+        transfer_ms=config.transfer_ms,
+        heap_pointer_bytes=config.heap_pointer_bytes,
+        dttr=disk_cal.dttr,
+        dttw=disk_cal.dttw,
+        new_map=map_cal.new_map,
+        open_map=map_cal.open_map,
+        delete_map=map_cal.delete_map,
+    )

@@ -1,0 +1,113 @@
+"""Crossover analysis: where one join algorithm starts beating another.
+
+A query optimizer using the paper's model ultimately asks one question:
+*at this memory grant, which algorithm is cheapest?*  This module answers
+the derivative question — at which memory grant does the answer change —
+by bisecting the model's cost difference over the memory axis.  Because
+the cost curves contain genuine discontinuities (sort-merge NPASS steps,
+the Grace thrashing knee), the search brackets sign changes over a grid
+first and refines each bracket by bisection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.experiment import MODEL_FUNCTIONS, ExperimentError
+from repro.model import MachineParameters, MemoryParameters, RelationParameters
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One point where the cheaper algorithm changes."""
+
+    fraction: float
+    cheaper_below: str
+    cheaper_above: str
+
+
+def model_cost(
+    algorithm: str,
+    machine: MachineParameters,
+    relations: RelationParameters,
+    fraction: float,
+    model_kwargs: Optional[Dict] = None,
+    g_bytes: int = 4096,
+) -> float:
+    """Model cost of one algorithm at one memory fraction."""
+    if algorithm not in MODEL_FUNCTIONS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; choices: {sorted(MODEL_FUNCTIONS)}"
+        )
+    memory = MemoryParameters.from_fractions(relations, fraction, g_bytes=g_bytes)
+    return MODEL_FUNCTIONS[algorithm](
+        machine, relations, memory, **(model_kwargs or {})
+    ).total_ms
+
+
+def find_crossovers(
+    first: str,
+    second: str,
+    machine: MachineParameters,
+    relations: RelationParameters,
+    fractions: Sequence[float] = tuple(i / 100 for i in range(2, 71, 2)),
+    tolerance: float = 1e-3,
+    first_kwargs: Optional[Dict] = None,
+    second_kwargs: Optional[Dict] = None,
+) -> List[Crossover]:
+    """All memory fractions where the cheaper of two algorithms flips.
+
+    The grid brackets each sign change of ``cost(first) - cost(second)``;
+    each bracket is refined by bisection to ``tolerance`` on the fraction.
+    Discontinuous flips (a step crossing zero without a root) resolve to
+    the step's location, which is exactly the answer an optimizer needs.
+    """
+    if len(fractions) < 2:
+        raise ExperimentError("need at least two grid points")
+
+    def difference(fraction: float) -> float:
+        return model_cost(
+            first, machine, relations, fraction, first_kwargs
+        ) - model_cost(second, machine, relations, fraction, second_kwargs)
+
+    grid = sorted(fractions)
+    values = [difference(f) for f in grid]
+    crossovers: List[Crossover] = []
+    for (f_lo, v_lo), (f_hi, v_hi) in zip(
+        zip(grid, values), zip(grid[1:], values[1:])
+    ):
+        if v_lo == 0.0 or (v_lo < 0) == (v_hi < 0):
+            continue
+        lo, hi, value_lo = f_lo, f_hi, v_lo
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            value_mid = difference(mid)
+            if value_mid == 0.0:
+                lo = hi = mid
+                break
+            if (value_mid < 0) == (value_lo < 0):
+                lo, value_lo = mid, value_mid
+            else:
+                hi = mid
+        point = (lo + hi) / 2
+        below, above = (first, second) if v_lo < 0 else (second, first)
+        crossovers.append(
+            Crossover(fraction=point, cheaper_below=below, cheaper_above=above)
+        )
+    return crossovers
+
+
+def cheapest_algorithm(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    fraction: float,
+    algorithms: Sequence[str] = ("nested-loops", "sort-merge", "grace"),
+    g_bytes: int = 4096,
+) -> tuple[str, Dict[str, float]]:
+    """The optimizer's answer at one point, plus every candidate's cost."""
+    costs = {
+        name: model_cost(name, machine, relations, fraction, g_bytes=g_bytes)
+        for name in algorithms
+    }
+    return min(costs, key=costs.get), costs

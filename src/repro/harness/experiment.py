@@ -1,0 +1,184 @@
+"""Model-validation experiments: run the model and the simulator side by side.
+
+This is the paper's section 8 in code: pick a workload, sweep the memory
+grant, and for every point evaluate the analytical prediction *and* execute
+the actual join on the simulated machine, verifying the join output by
+checksum along the way.  A sweep returns paired series ready for figure
+rendering and for quantitative agreement checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.calibrate import calibrated_machine_parameters
+from repro.joins import (
+    JoinEnvironment,
+    expected_checksum,
+    make_algorithm,
+)
+from repro.joins.reference import JoinVerificationError
+from repro.model import (
+    JoinCostReport,
+    MachineParameters,
+    MemoryParameters,
+    RelationParameters,
+    grace_cost,
+    hash_loops_cost,
+    hybrid_hash_cost,
+    nested_loops_cost,
+    sort_merge_cost,
+)
+from repro.sim.machine import SimConfig
+from repro.workload import Workload, WorkloadSpec, generate_workload
+
+ModelFn = Callable[..., JoinCostReport]
+
+MODEL_FUNCTIONS: Dict[str, ModelFn] = {
+    "nested-loops": nested_loops_cost,
+    "sort-merge": sort_merge_cost,
+    "grace": grace_cost,
+    "hash-loops": hash_loops_cost,  # extension, paper §2.3/§9
+    "hybrid-hash": hybrid_hash_cost,  # extension, paper §2.3
+}
+
+
+class ExperimentError(RuntimeError):
+    """Raised when an experiment is misconfigured."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One memory point: prediction vs. measured simulation."""
+
+    fraction: float
+    model_ms: float
+    sim_ms: float
+    model_report: JoinCostReport
+    sim_detail: Dict[str, float]
+    sim_summary: str
+
+    @property
+    def relative_error(self) -> float:
+        """(sim - model) / sim, the paper's prediction-quality measure."""
+        if self.sim_ms == 0:
+            return 0.0
+        return (self.sim_ms - self.model_ms) / self.sim_ms
+
+
+@dataclass
+class SweepResult:
+    """A full memory sweep for one algorithm."""
+
+    algorithm: str
+    scale: float
+    disks: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def fractions(self) -> List[float]:
+        return [p.fraction for p in self.points]
+
+    @property
+    def model_series(self) -> List[float]:
+        return [p.model_ms for p in self.points]
+
+    @property
+    def sim_series(self) -> List[float]:
+        return [p.sim_ms for p in self.points]
+
+    def max_relative_error(self) -> float:
+        return max(abs(p.relative_error) for p in self.points)
+
+
+def run_memory_sweep(
+    algorithm: str,
+    fractions: Sequence[float],
+    scale: float = 0.1,
+    disks: int = 4,
+    seed: int = 96,
+    sim_config: SimConfig | None = None,
+    machine: MachineParameters | None = None,
+    workload: Workload | None = None,
+    algo_kwargs: Optional[Dict] = None,
+    model_kwargs: Optional[Dict] = None,
+    fixed_buckets: Optional[int] = None,
+    verify: bool = True,
+    g_bytes: int = 4096,
+) -> SweepResult:
+    """Sweep MRproc (and MSproc with it) across fractions of ``|R|`` bytes.
+
+    ``fixed_buckets`` pins the Grace K across the sweep (it is a design
+    constant of an experiment series, which is what produces the Figure 5c
+    thrashing knee); when omitted, Grace receives the design-rule K chosen
+    at the *smallest* fraction of the sweep.
+    """
+    if algorithm not in MODEL_FUNCTIONS:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; choices: {sorted(MODEL_FUNCTIONS)}"
+        )
+    if not fractions:
+        raise ExperimentError("a sweep needs at least one fraction")
+
+    config = sim_config or SimConfig()
+    if config.disks != disks:
+        config = config.with_disks(disks)
+    machine = machine or calibrated_machine_parameters(config)
+    if workload is None:
+        workload = generate_workload(
+            WorkloadSpec.paper_validation(scale=scale, seed=seed), disks
+        )
+    relations = workload.relation_parameters()
+    oracle_checksum = expected_checksum(workload) if verify else None
+
+    algo_kwargs = dict(algo_kwargs or {})
+    model_kwargs = dict(model_kwargs or {})
+    if algorithm == "grace":
+        buckets = fixed_buckets
+        if buckets is None:
+            buckets = _design_point_buckets(
+                machine, relations, min(fractions), g_bytes
+            )
+        algo_kwargs.setdefault("buckets", buckets)
+        model_kwargs.setdefault("buckets", buckets)
+
+    result = SweepResult(algorithm=algorithm, scale=scale, disks=disks)
+    model_fn = MODEL_FUNCTIONS[algorithm]
+    for fraction in fractions:
+        memory = MemoryParameters.from_fractions(
+            relations, fraction, g_bytes=g_bytes
+        )
+        report = model_fn(machine, relations, memory, **model_kwargs)
+
+        env = JoinEnvironment(workload, memory, sim_config=config)
+        algo = make_algorithm(algorithm, **algo_kwargs)
+        run = algo.run(env, collect_pairs=False)
+        if oracle_checksum is not None and run.checksum != oracle_checksum:
+            raise JoinVerificationError(
+                f"{algorithm} at fraction {fraction}: checksum mismatch "
+                f"({run.checksum} != {oracle_checksum})"
+            )
+        result.points.append(
+            SweepPoint(
+                fraction=fraction,
+                model_ms=report.total_ms,
+                sim_ms=run.elapsed_ms,
+                model_report=report,
+                sim_detail=run.detail,
+                sim_summary=run.stats.summary(),
+            )
+        )
+    return result
+
+
+def _design_point_buckets(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    fraction: float,
+    g_bytes: int,
+) -> int:
+    from repro.model.grace import grace_plan
+
+    memory = MemoryParameters.from_fractions(relations, fraction, g_bytes=g_bytes)
+    return grace_plan(machine, relations, memory).buckets

@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results (tables and ASCII charts).
+
+The benchmarks print the same rows/series the paper's figures report; a
+small ASCII chart accompanies each table so the *shape* — the object of
+this reproduction — is visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """A minimal multi-series ASCII line chart (marker per series)."""
+    if not x_values or not series:
+        return "(no data)"
+    markers = "*o+x#@"
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(x_values), max(x_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, ys) in zip(markers, series.items()):
+        for x, y in zip(x_values, ys):
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    lines.append(f"{y_max:>12,.0f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " |" + "".join(row))
+    lines.append(f"{y_min:>12,.0f} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 14 + f"{x_min:<10g}" + " " * max(0, width - 20) + f"{x_max:>10g}"
+    )
+    legend = "   ".join(
+        f"{marker}={label}" for marker, label in zip(markers, series.keys())
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def shape_summary(model: Sequence[float], sim: Sequence[float]) -> str:
+    """One-line agreement summary between a model and a measured series."""
+    errors: List[float] = []
+    for m, s in zip(model, sim):
+        if s:
+            errors.append(abs(s - m) / s)
+    if not errors:
+        return "no comparable points"
+    return (
+        f"model-vs-experiment relative error: "
+        f"mean {100 * sum(errors) / len(errors):.1f} %, "
+        f"max {100 * max(errors):.1f} % over {len(errors)} points"
+    )

@@ -1,0 +1,172 @@
+"""Speedup and scaleup experiments (paper §9 future work).
+
+The paper closes by promising "speedup and scaleup experiments"; this
+module provides them as first-class experiments:
+
+* :func:`run_speedup` — fixed problem size, growing ``D``.  Perfect
+  speedup halves elapsed time per doubling; the serial mapping setup and
+  per-partition constants keep it sub-linear.
+* :func:`run_scaleup` — problem size grows proportionally with ``D`` while
+  the per-process memory grant stays fixed.  Perfect scaleup keeps elapsed
+  time constant; the D-fold serial setup makes it degrade.
+
+Both return structured results with the efficiency metrics the parallel
+database literature reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.harness.calibrate import calibrated_machine_parameters
+from repro.harness.experiment import ExperimentError, run_memory_sweep
+from repro.harness.report import format_table
+from repro.sim.machine import SimConfig
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One machine width in a scaling experiment."""
+
+    disks: int
+    elapsed_ms: float
+    r_objects: int
+
+    def speedup_vs(self, base: "ScalingPoint") -> float:
+        return base.elapsed_ms / self.elapsed_ms
+
+    def efficiency_vs(self, base: "ScalingPoint") -> float:
+        return self.speedup_vs(base) / (self.disks / base.disks)
+
+
+@dataclass
+class ScalingResult:
+    """A full speedup or scaleup series."""
+
+    kind: str          # "speedup" or "scaleup"
+    algorithm: str
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def base(self) -> ScalingPoint:
+        return self.points[0]
+
+    def speedups(self) -> List[float]:
+        return [p.speedup_vs(self.base) for p in self.points]
+
+    def efficiencies(self) -> List[float]:
+        return [p.efficiency_vs(self.base) for p in self.points]
+
+    def render(self) -> str:
+        if self.kind == "speedup":
+            headers = ["D", "elapsed_ms", "speedup", "efficiency"]
+            rows = [
+                [p.disks, p.elapsed_ms, s, e]
+                for p, s, e in zip(self.points, self.speedups(), self.efficiencies())
+            ]
+        else:
+            headers = ["D", "|R|", "elapsed_ms", "scaleup"]
+            rows = [
+                [p.disks, p.r_objects, p.elapsed_ms, self.base.elapsed_ms / p.elapsed_ms]
+                for p in self.points
+            ]
+        title = f"== {self.kind}: {self.algorithm} =="
+        return "\n".join([title, format_table(headers, rows)])
+
+
+def run_speedup(
+    algorithm: str = "sort-merge",
+    disk_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 0.1,
+    fraction: float = 0.1,
+    seed: int = 96,
+    accesses_per_band: int = 200,
+    **sweep_kwargs,
+) -> ScalingResult:
+    """Fixed problem size across growing machine widths.
+
+    Extra keyword arguments flow into :func:`run_memory_sweep` — use them
+    to pin algorithm parameters (e.g. ``fixed_buckets``) so only the
+    machine width varies across the series.
+    """
+    _check(disk_counts)
+    result = ScalingResult(kind="speedup", algorithm=algorithm)
+    for disks in disk_counts:
+        elapsed, objects = _one_width(
+            algorithm, disks, scale, fraction, seed, accesses_per_band,
+            **sweep_kwargs,
+        )
+        result.points.append(
+            ScalingPoint(disks=disks, elapsed_ms=elapsed, r_objects=objects)
+        )
+    return result
+
+
+def run_scaleup(
+    algorithm: str = "sort-merge",
+    disk_counts: Sequence[int] = (1, 2, 4, 8),
+    base_scale: float = 0.04,
+    fraction: float = 0.1,
+    seed: int = 96,
+    accesses_per_band: int = 200,
+    **sweep_kwargs,
+) -> ScalingResult:
+    """Problem size grows with D; per-process memory stays constant.
+
+    The memory fraction is interpreted against the *base* problem size, so
+    the absolute per-process grant is identical at every width.
+    """
+    _check(disk_counts)
+    result = ScalingResult(kind="scaleup", algorithm=algorithm)
+    for disks in disk_counts:
+        elapsed, objects = _one_width(
+            algorithm,
+            disks,
+            base_scale * disks,
+            fraction / disks,
+            seed,
+            accesses_per_band,
+            **sweep_kwargs,
+        )
+        result.points.append(
+            ScalingPoint(disks=disks, elapsed_ms=elapsed, r_objects=objects)
+        )
+    return result
+
+
+def _check(disk_counts: Sequence[int]) -> None:
+    if not disk_counts:
+        raise ExperimentError("a scaling experiment needs at least one width")
+    if any(d < 1 for d in disk_counts):
+        raise ExperimentError("disk counts must be positive")
+    if list(disk_counts) != sorted(disk_counts):
+        raise ExperimentError("disk counts must be increasing")
+
+
+def _one_width(
+    algorithm: str,
+    disks: int,
+    scale: float,
+    fraction: float,
+    seed: int,
+    accesses_per_band: int,
+    **sweep_kwargs,
+) -> tuple[float, int]:
+    config = SimConfig().with_disks(disks)
+    machine = calibrated_machine_parameters(
+        config, accesses_per_band=accesses_per_band
+    )
+    workload = generate_workload(
+        WorkloadSpec.paper_validation(scale=scale, seed=seed), disks
+    )
+    sweep = run_memory_sweep(
+        algorithm,
+        (fraction,),
+        machine=machine,
+        sim_config=config,
+        workload=workload,
+        **sweep_kwargs,
+    )
+    return sweep.points[0].sim_ms, workload.r_objects_total

@@ -1,0 +1,112 @@
+"""Pass-level model validation: attribute agreement (or error) per pass.
+
+The headline validation (Figure 5) compares *total* elapsed time; this
+module drills one level down, pairing each pass of a
+:class:`~repro.model.report.JoinCostReport` with the measured duration of
+the same pass from a :class:`~repro.joins.base.JoinRunResult` checkpoint
+stream.  A disagreement localized to one pass points straight at the
+model term that needs refinement — this is how the paper's authors found
+their Grace pass-0 thrashing term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.harness.report import format_table
+from repro.joins.base import JoinRunResult
+from repro.model.report import JoinCostReport
+
+
+@dataclass(frozen=True)
+class PassComparison:
+    """Model vs. measurement for one pass."""
+
+    name: str
+    model_ms: float
+    measured_ms: float
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.measured_ms == 0:
+            return None
+        return (self.measured_ms - self.model_ms) / self.measured_ms
+
+
+@dataclass
+class ValidationReport:
+    """Per-pass attribution for one (model, run) pair."""
+
+    algorithm: str
+    passes: List[PassComparison] = field(default_factory=list)
+    setup_model_ms: float = 0.0
+    setup_measured_ms: float = 0.0
+
+    @property
+    def model_total_ms(self) -> float:
+        return self.setup_model_ms + sum(p.model_ms for p in self.passes)
+
+    @property
+    def measured_total_ms(self) -> float:
+        return self.setup_measured_ms + sum(p.measured_ms for p in self.passes)
+
+    def worst_pass(self) -> PassComparison:
+        """The pass with the largest absolute time disagreement."""
+        if not self.passes:
+            raise ValueError("no passes to compare")
+        return max(self.passes, key=lambda p: abs(p.measured_ms - p.model_ms))
+
+    def render(self) -> str:
+        rows = [
+            ["setup", self.setup_model_ms, self.setup_measured_ms, ""]
+        ]
+        for p in self.passes:
+            error = (
+                f"{100 * p.relative_error:+.1f}%"
+                if p.relative_error is not None
+                else "n/a"
+            )
+            rows.append([p.name, p.model_ms, p.measured_ms, error])
+        rows.append(
+            ["TOTAL", self.model_total_ms, self.measured_total_ms, ""]
+        )
+        return "\n".join(
+            [
+                f"== pass-level validation: {self.algorithm} ==",
+                format_table(["pass", "model_ms", "measured_ms", "error"], rows),
+            ]
+        )
+
+
+def compare_passes(
+    report: JoinCostReport, run: JoinRunResult
+) -> ValidationReport:
+    """Pair a cost report's passes with a run's checkpoint durations.
+
+    Passes are matched by name; the model's ``setup`` pass pairs with the
+    run's serial mapping time.  Model passes without a measured checkpoint
+    (or vice versa) appear with a zero on the missing side, so nothing is
+    silently dropped.
+    """
+    validation = ValidationReport(algorithm=report.algorithm)
+    measured = dict(run.pass_ms)
+
+    for model_pass in report.passes:
+        if model_pass.name == "setup":
+            validation.setup_model_ms = model_pass.total_ms
+            continue
+        validation.passes.append(
+            PassComparison(
+                name=model_pass.name,
+                model_ms=model_pass.total_ms,
+                measured_ms=measured.pop(model_pass.name, 0.0),
+            )
+        )
+    # Any measured passes the model does not name.
+    for name, measured_ms in measured.items():
+        validation.passes.append(
+            PassComparison(name=name, model_ms=0.0, measured_ms=measured_ms)
+        )
+    validation.setup_measured_ms = run.setup_ms
+    return validation

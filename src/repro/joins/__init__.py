@@ -1,0 +1,70 @@
+"""The three parallel pointer-based join algorithms on the simulator."""
+
+from repro.joins.base import (
+    JoinAlgorithm,
+    JoinEnvironment,
+    JoinExecutionError,
+    JoinRunResult,
+    PairCollector,
+    phase_partner,
+)
+from repro.joins.grace import (
+    ParallelGraceJoin,
+    default_buckets,
+    order_preserving_bucket,
+    refining_chain,
+)
+from repro.joins.hash_loops import ParallelHashLoopsJoin
+from repro.joins.hybrid_hash import ParallelHybridHashJoin, default_resident_buckets
+from repro.joins.nested_loops import ParallelNestedLoopsJoin
+from repro.joins.reference import (
+    JoinVerificationError,
+    expected_checksum,
+    reference_join,
+    verify_pairs,
+)
+from repro.joins.sort_merge import ParallelSortMergeJoin
+
+ALGORITHMS = {
+    "nested-loops": ParallelNestedLoopsJoin,
+    "sort-merge": ParallelSortMergeJoin,
+    "grace": ParallelGraceJoin,
+    "hash-loops": ParallelHashLoopsJoin,  # extension, paper §2.3/§9
+    "hybrid-hash": ParallelHybridHashJoin,  # extension, paper §2.3
+}
+
+
+def make_algorithm(name: str, **kwargs) -> JoinAlgorithm:
+    """Instantiate a join algorithm by its paper name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise JoinExecutionError(
+            f"unknown algorithm {name!r}; choices: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "JoinAlgorithm",
+    "JoinEnvironment",
+    "JoinExecutionError",
+    "JoinRunResult",
+    "JoinVerificationError",
+    "PairCollector",
+    "ParallelGraceJoin",
+    "ParallelHashLoopsJoin",
+    "ParallelHybridHashJoin",
+    "ParallelNestedLoopsJoin",
+    "ParallelSortMergeJoin",
+    "default_buckets",
+    "default_resident_buckets",
+    "expected_checksum",
+    "make_algorithm",
+    "order_preserving_bucket",
+    "phase_partner",
+    "refining_chain",
+    "reference_join",
+    "verify_pairs",
+]

@@ -1,0 +1,232 @@
+"""Common machinery for the parallel pointer-based join algorithms.
+
+:class:`JoinEnvironment` stands a workload up on a simulated machine: base
+segments ``Ri``/``Si`` laid out on their disks, one Rproc and one Sproc per
+partition with the configured page-frame grants.  Algorithms receive the
+environment, do their passes, and return a :class:`JoinRunResult` carrying
+the virtual elapsed time, the produced pairs and the machine counters.
+
+The pass/phase structure mirrors the paper: work proceeds disk-parallel
+(one slice per process), phases of pass 1 are staggered with
+``offset(i, t) = (i + t) mod D`` so no two Rprocs touch the same S
+partition in the same phase, and the synchronized algorithms place a
+barrier after every phase while nested loops runs free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.partition import sub_partition_counts
+from repro.core.records import JoinedPair, RObject, SObject, join_pair
+from repro.model.parameters import MemoryParameters
+from repro.sim.machine import SimConfig, SimMachine
+from repro.sim.process import SimProcess
+from repro.sim.segment import SimSegment
+from repro.sim.sharedbuf import GBufferChannel
+from repro.sim.stats import MachineStats
+from repro.workload.generator import Workload
+
+
+class JoinExecutionError(RuntimeError):
+    """Raised when a join cannot run on the given environment."""
+
+
+def phase_partner(i: int, t: int, disks: int) -> int:
+    """The paper's ``offset(i, t)``: partition joined by Rproc i in phase t.
+
+    For ``t = 1 .. D-1`` every Rproc visits every remote partition exactly
+    once, and within one phase the mapping is a bijection, so (absent skew)
+    no two Rprocs contend for the same disk.
+    """
+    if not 1 <= t < disks:
+        raise JoinExecutionError(f"phase {t} outside [1, {disks})")
+    return (i + t) % disks
+
+
+class JoinEnvironment:
+    """A workload materialized on a simulated machine, ready to join."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        memory: MemoryParameters,
+        sim_config: SimConfig | None = None,
+    ) -> None:
+        config = sim_config or SimConfig()
+        if config.disks != workload.disks:
+            config = config.with_disks(workload.disks)
+        self.workload = workload
+        self.memory = memory
+        self.machine = SimMachine(config)
+        self.disks = workload.disks
+        self.pointer_map = workload.pointer_map
+        spec = workload.spec
+        self.r_bytes = spec.r_bytes
+        self.s_bytes = spec.s_bytes
+        self.sptr_bytes = spec.sptr_bytes
+
+        self.r_segments: List[SimSegment] = []
+        self.s_segments: List[SimSegment] = []
+        self.rprocs: List[SimProcess] = []
+        self.sprocs: List[SimProcess] = []
+        self._checkpoints: List[tuple[str, float]] = []
+        r_frames = memory.rproc_frames_for(config.page_size)
+        s_frames = memory.sproc_frames_for(config.page_size)
+        for i in range(self.disks):
+            self.r_segments.append(
+                self.machine.load_base_segment(
+                    f"R{i}", i, workload.r_partitions[i], spec.r_bytes
+                )
+            )
+            self.s_segments.append(
+                self.machine.load_base_segment(
+                    f"S{i}", i, workload.s_partition(i), spec.s_bytes
+                )
+            )
+            self.rprocs.append(self.machine.create_process(f"Rproc{i}", r_frames))
+            self.sprocs.append(self.machine.create_process(f"Sproc{i}", s_frames))
+
+    # ----------------------------------------------------------- utilities
+
+    def channel(self, rproc_index: int, sproc_index: int) -> GBufferChannel:
+        """A fresh G-buffer channel from one Rproc to one Sproc."""
+        return GBufferChannel(
+            rproc=self.rprocs[rproc_index],
+            sproc=self.sprocs[sproc_index],
+            s_segment=self.s_segments[sproc_index],
+            g_bytes=self.memory.g_bytes,
+            r_bytes=self.r_bytes,
+            sptr_bytes=self.sptr_bytes,
+            s_bytes=self.s_bytes,
+        )
+
+    def sub_counts(self, i: int) -> List[int]:
+        """Exact ``|Ri,j|`` counts (the optimizer's partition statistics).
+
+        Real systems size temporary areas from catalog statistics; the
+        simulator uses the exact counts so on-disk temporary areas span the
+        same number of blocks the paper's analysis assumes.
+        """
+        return sub_partition_counts(self.workload.r_partitions[i], self.pointer_map)
+
+    def barrier(self, processes: Sequence[SimProcess]) -> None:
+        """Synchronize: every process waits for the slowest."""
+        latest = max(p.clock_ms for p in processes)
+        for p in processes:
+            p.sync_to(latest)
+
+    def drain_disks(self) -> None:
+        """Flush write-behind queues, charging each disk's owner Rproc."""
+        for i, disk in enumerate(self.machine.disks):
+            self.rprocs[i].advance(disk.flush())
+
+    def checkpoint(self, label: str) -> None:
+        """Record a pass boundary for per-pass elapsed-time attribution.
+
+        The recorded instant is the slowest process's clock — the moment
+        the pass is globally complete — so consecutive checkpoints yield
+        the per-pass durations that the model's per-pass costs predict.
+        """
+        front = max(p.clock_ms for p in self.rprocs + self.sprocs)
+        self._checkpoints.append((label, front))
+
+    def pass_durations(self) -> Dict[str, float]:
+        """Per-pass elapsed times between recorded checkpoints."""
+        durations: Dict[str, float] = {}
+        previous = 0.0
+        for label, instant in self._checkpoints:
+            durations[label] = instant - previous
+            previous = instant
+        return durations
+
+
+@dataclass
+class JoinRunResult:
+    """Outcome of executing one join on the simulated machine."""
+
+    algorithm: str
+    elapsed_ms: float
+    setup_ms: float
+    per_process_ms: Dict[str, float]
+    pair_count: int
+    checksum: int
+    stats: MachineStats
+    pairs: Optional[List[JoinedPair]] = None
+    detail: Dict[str, float] = field(default_factory=dict)
+    pass_ms: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm}: elapsed {self.elapsed_ms:,.1f} ms "
+            f"({self.pair_count:,} pairs; {self.stats.summary()})"
+        )
+
+
+class PairCollector:
+    """Accumulates join output; order-independent checksum always on."""
+
+    def __init__(self, keep_pairs: bool = True) -> None:
+        self.keep_pairs = keep_pairs
+        self.pairs: List[JoinedPair] = []
+        self.count = 0
+        self.checksum = 0
+
+    def emit(self, r: RObject, s: SObject) -> None:
+        pair = join_pair(r, s)
+        self.count += 1
+        # Order-independent mixing so parallel schedules compare equal.
+        self.checksum = (
+            self.checksum
+            + (pair.rid * 1_000_003 + pair.sid * 7919 + pair.s_value)
+        ) % (1 << 61)
+        if self.keep_pairs:
+            self.pairs.append(pair)
+
+
+class JoinAlgorithm(ABC):
+    """Interface of the three parallel pointer-based joins."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, env: JoinEnvironment, collect_pairs: bool = True) -> JoinRunResult:
+        """Execute the join, returning timing, counters and output."""
+
+    def _finish(
+        self,
+        env: JoinEnvironment,
+        collector: PairCollector,
+        detail: Dict[str, float] | None = None,
+    ) -> JoinRunResult:
+        env.drain_disks()
+        setup_ms = env.machine.mapper.setup_ms
+        per_process = {
+            p.name: p.clock_ms for p in env.rprocs + env.sprocs
+        }
+        elapsed = max(p.clock_ms for p in env.rprocs + env.sprocs) + setup_ms
+        return JoinRunResult(
+            algorithm=self.name,
+            elapsed_ms=elapsed,
+            setup_ms=setup_ms,
+            per_process_ms=per_process,
+            pair_count=collector.count,
+            checksum=collector.checksum,
+            stats=env.machine.stats,
+            pairs=collector.pairs if collector.keep_pairs else None,
+            detail=dict(detail or {}),
+            pass_ms=env.pass_durations(),
+        )
+
+
+def chunked(sequence: Sequence, size: int) -> List[Sequence]:
+    """Split a sequence into consecutive chunks of at most ``size``."""
+    if size <= 0:
+        raise JoinExecutionError("chunk size must be positive")
+    return [sequence[i : i + size] for i in range(0, len(sequence), size)]
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,203 @@
+"""Parallel pointer-based Grace join (paper section 7).
+
+Passes 0 and 1 redistribute R like sort-merge, but instead of appending,
+each object is *hashed* into one of ``K`` buckets of ``RSi`` by an
+order-preserving hash of its join pointer: bucket ``k`` holds strictly
+smaller S-locations than bucket ``k+1``, so S can later be read
+sequentially without ever being hashed itself.
+
+Probe passes ``1+k`` (one per bucket): the bucket is read into an in-memory
+hash table of ``TSIZE`` chains (the second, refining hash, also monotone);
+chains are processed in order, so requests to the Sproc arrive in
+ascending S order and duplicate references land on just-touched pages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.joins.base import (
+    JoinAlgorithm,
+    JoinEnvironment,
+    JoinExecutionError,
+    JoinRunResult,
+    PairCollector,
+    phase_partner,
+)
+from repro.sim.segment import Region, carve_regions, region_capacity_with_alignment
+
+
+def order_preserving_bucket(offset: int, partition_size: int, buckets: int) -> int:
+    """First hash: range-partition the S offsets into ``K`` buckets."""
+    if partition_size <= 0:
+        raise JoinExecutionError("partition must hold at least one object")
+    return min(buckets - 1, offset * buckets // partition_size)
+
+
+def refining_chain(
+    offset: int, partition_size: int, buckets: int, tsize: int
+) -> int:
+    """Second hash: monotone within a bucket, range ``TSIZE``."""
+    fine = offset * buckets * tsize // partition_size
+    return fine % tsize
+
+
+def default_buckets(env: JoinEnvironment) -> int:
+    """The 7.2 design rule: one bucket, its table and its S-objects fit
+    MRproc with a 3x safety factor (see the model's ``grace_plan``)."""
+    rs_i = env.workload.r_objects_total / env.disks
+    per_object = (
+        env.r_bytes + env.machine.config.heap_pointer_bytes + env.s_bytes
+    )
+    objects_per_bucket = max(1.0, env.memory.m_rproc_bytes / (3.0 * per_object))
+    return max(1, math.ceil(rs_i / objects_per_bucket))
+
+
+class ParallelGraceJoin(JoinAlgorithm):
+    """The paper's parallel pointer-based Grace variant."""
+
+    name = "grace"
+
+    def __init__(
+        self,
+        buckets: int | None = None,
+        tsize: int | None = None,
+        synchronize_phases: bool = True,
+    ) -> None:
+        self.buckets = buckets
+        self.tsize = tsize
+        self.synchronize_phases = synchronize_phases
+
+    def run(self, env: JoinEnvironment, collect_pairs: bool = True) -> JoinRunResult:
+        d = env.disks
+        machine = env.machine
+        collector = PairCollector(keep_pairs=collect_pairs)
+        per_page = max(1, machine.config.page_size // env.r_bytes)
+
+        k = self.buckets if self.buckets is not None else default_buckets(env)
+        if k < 1:
+            raise JoinExecutionError("bucket count must be at least 1")
+        tsize = self.tsize if self.tsize is not None else max(16, 4 * k)
+
+        # Exact bucket cardinalities across all contributors (statistics).
+        bucket_counts = self._bucket_counts(env, k)
+
+        # Mapping setup: openMap Ri/Si, newMap the combined RSi+RPi area,
+        # openMap RSi again for the probe passes (paper 7.3 setup term).
+        bucket_regions: List[List[Region]] = []
+        rp_regions: List[Dict[int, Region]] = []
+        for i in range(d):
+            machine.open_segment(env.r_segments[i])
+            machine.open_segment(env.s_segments[i])
+            rs_capacity = region_capacity_with_alignment(bucket_counts[i], per_page)
+            rs_segment = machine.new_segment(
+                f"RS{i}", i, max(rs_capacity, 1), env.r_bytes
+            )
+            bucket_regions.append(
+                carve_regions(
+                    rs_segment,
+                    bucket_counts[i],
+                    labels=[f"BS{i},{b}" for b in range(k)],
+                )
+            )
+            counts = env.sub_counts(i)
+            remote = [j for j in range(d) if j != i]
+            rp_capacity = region_capacity_with_alignment(
+                [counts[j] for j in remote], per_page
+            )
+            rp_segment = machine.new_segment(
+                f"RP{i}", i, max(rp_capacity, 1), env.r_bytes
+            )
+            rp_regions.append(
+                dict(
+                    zip(
+                        remote,
+                        carve_regions(
+                            rp_segment,
+                            [counts[j] for j in remote],
+                            labels=[f"RP{i},{j}" for j in remote],
+                        ),
+                    )
+                )
+            )
+            machine.open_segment(rs_segment)
+
+        # ---- pass 0: scan Ri; local objects hashed into the K buckets.
+        for i in range(d):
+            rproc = env.rprocs[i]
+            r_segment = env.r_segments[i]
+            part_size = env.pointer_map.partition_size(i)
+            for index in range(len(env.workload.r_partitions[i])):
+                obj = rproc.read(r_segment, index)
+                rproc.charge_map()
+                target = env.pointer_map.partition_of(obj.sptr)
+                rproc.transfer_private(env.r_bytes)
+                if target == i:
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    bucket = order_preserving_bucket(offset, part_size, k)
+                    rproc.append(bucket_regions[i][bucket], obj)
+                else:
+                    rproc.append(rp_regions[i][target], obj)
+            rproc.flush()
+        env.checkpoint("pass0")
+        if self.synchronize_phases:
+            env.barrier(env.rprocs)
+
+        # ---- pass 1: staggered redistribution, hashing into remote RSj.
+        for t in range(1, d):
+            for i in range(d):
+                rproc = env.rprocs[i]
+                j = phase_partner(i, t, d)
+                region = rp_regions[i][j]
+                part_size = env.pointer_map.partition_size(j)
+                for index in region.indices():
+                    obj = rproc.read(region.segment, index)
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    bucket = order_preserving_bucket(offset, part_size, k)
+                    rproc.transfer_private(env.r_bytes)
+                    rproc.append(bucket_regions[j][bucket], obj)
+                rproc.flush()
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("pass1")
+
+        # ---- probe passes 1+k: bucket -> in-memory table -> ordered join.
+        for bucket in range(k):
+            for i in range(d):
+                rproc = env.rprocs[i]
+                region = bucket_regions[i][bucket]
+                part_size = env.pointer_map.partition_size(i)
+                table: List[List] = [[] for _ in range(tsize)]
+                for index in region.indices():
+                    obj = rproc.read(region.segment, index)
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    table[refining_chain(offset, part_size, k, tsize)].append(obj)
+                channel = env.channel(i, i)
+                for chain in table:
+                    for obj in chain:
+                        offset = env.pointer_map.offset_of(obj.sptr)
+                        channel.request(obj, offset, collector.emit)
+                channel.flush(collector.emit)
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("probe-join")
+
+        detail = {
+            "buckets": float(k),
+            "tsize": float(tsize),
+        }
+        return self._finish(env, collector, detail)
+
+    def _bucket_counts(self, env: JoinEnvironment, k: int) -> List[List[int]]:
+        """Exact per-destination, per-bucket counts over the whole of R."""
+        counts = [[0] * k for _ in range(env.disks)]
+        for partition in env.workload.r_partitions:
+            for obj in partition:
+                target, offset = env.pointer_map.locate(obj.sptr)
+                part_size = env.pointer_map.partition_size(target)
+                counts[target][order_preserving_bucket(offset, part_size, k)] += 1
+        return counts

@@ -1,0 +1,225 @@
+"""Parallel pointer-based hybrid-hash join (extension; paper §2.3).
+
+The paper's model descends from Shekita & Carey's unvalidated analysis of
+three pointer joins — nested loops, sort-merge, *hybrid hash* — but models
+the Grace variant instead, deferring "more modern hash-based join
+algorithms" to future work (§7).  This module supplies the hybrid variant
+for the memory-mapped environment.
+
+Hybrid hash refines Grace: the first ``R0`` buckets are *resident* — their
+R-objects are joined immediately through the G buffer instead of being
+spilled to ``RSi`` and re-read later.  Because the first hash is
+order-preserving, a resident bucket's references land in a contiguous
+``1/K`` slice of ``Si``; as long as the resident slices fit the Sproc
+buffer, those S pages stay hot and each immediate join is a buffer hit.
+The saving over Grace is two transfers of ``R0/K`` of the redistributed
+relation (the spill write and the probe read).
+
+``R0 = 0`` degenerates to exactly the Grace algorithm; the matching cost
+model lives in :mod:`repro.model.hybrid_hash`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.joins.base import (
+    JoinAlgorithm,
+    JoinEnvironment,
+    JoinExecutionError,
+    JoinRunResult,
+    PairCollector,
+    phase_partner,
+)
+from repro.joins.grace import default_buckets, order_preserving_bucket, refining_chain
+from repro.sim.segment import carve_regions, region_capacity_with_alignment
+
+
+def default_resident_buckets(
+    env: JoinEnvironment, buckets: int
+) -> int:
+    """How many buckets can be joined on the fly (paper-style sizing).
+
+    Each resident bucket pins a ``1/K`` slice of the S partition in the
+    Sproc buffer; half the buffer is budgeted for the slices, leaving the
+    rest for the in-flight stream.
+    """
+    s_per_page = max(1, env.machine.config.page_size // env.s_bytes)
+    s_pages = -(-max(
+        env.pointer_map.partition_size(i) for i in range(env.disks)
+    ) // s_per_page)
+    frames = env.memory.sproc_frames_for(env.machine.config.page_size)
+    pages_per_bucket = max(1.0, s_pages / buckets)
+    resident = int((frames / 2) / pages_per_bucket)
+    return max(0, min(buckets - 1, resident))
+
+
+class ParallelHybridHashJoin(JoinAlgorithm):
+    """Grace with resident buckets joined on the fly."""
+
+    name = "hybrid-hash"
+
+    def __init__(
+        self,
+        buckets: int | None = None,
+        resident_buckets: int | None = None,
+        tsize: int | None = None,
+        synchronize_phases: bool = True,
+    ) -> None:
+        self.buckets = buckets
+        self.resident_buckets = resident_buckets
+        self.tsize = tsize
+        self.synchronize_phases = synchronize_phases
+
+    def run(self, env: JoinEnvironment, collect_pairs: bool = True) -> JoinRunResult:
+        d = env.disks
+        machine = env.machine
+        collector = PairCollector(keep_pairs=collect_pairs)
+        per_page = max(1, machine.config.page_size // env.r_bytes)
+
+        k = self.buckets if self.buckets is not None else default_buckets(env)
+        if k < 1:
+            raise JoinExecutionError("bucket count must be at least 1")
+        r0 = (
+            self.resident_buckets
+            if self.resident_buckets is not None
+            else default_resident_buckets(env, k)
+        )
+        if not 0 <= r0 < k:
+            raise JoinExecutionError(
+                f"resident bucket count {r0} must be within [0, {k})"
+            )
+        tsize = self.tsize if self.tsize is not None else max(16, 4 * k)
+
+        # Spilled-bucket cardinalities only (resident buckets never land).
+        bucket_counts = self._spilled_bucket_counts(env, k, r0)
+
+        bucket_regions: List[Dict[int, object]] = []
+        rp_regions: List[Dict[int, object]] = []
+        for i in range(d):
+            machine.open_segment(env.r_segments[i])
+            machine.open_segment(env.s_segments[i])
+            spilled = [bucket_counts[i][b] for b in range(r0, k)]
+            rs_capacity = region_capacity_with_alignment(spilled, per_page)
+            rs_segment = machine.new_segment(
+                f"RS{i}", i, max(rs_capacity, 1), env.r_bytes
+            )
+            regions = carve_regions(
+                rs_segment, spilled, labels=[f"BS{i},{b}" for b in range(r0, k)]
+            )
+            bucket_regions.append(dict(zip(range(r0, k), regions)))
+            counts = env.sub_counts(i)
+            remote = [j for j in range(d) if j != i]
+            rp_capacity = region_capacity_with_alignment(
+                [counts[j] for j in remote], per_page
+            )
+            rp_segment = machine.new_segment(
+                f"RP{i}", i, max(rp_capacity, 1), env.r_bytes
+            )
+            rp_regions.append(
+                dict(
+                    zip(
+                        remote,
+                        carve_regions(
+                            rp_segment,
+                            [counts[j] for j in remote],
+                            labels=[f"RP{i},{j}" for j in remote],
+                        ),
+                    )
+                )
+            )
+            machine.open_segment(rs_segment)
+
+        # ---- pass 0: resident buckets join on the fly, the rest spill.
+        for i in range(d):
+            rproc = env.rprocs[i]
+            r_segment = env.r_segments[i]
+            part_size = env.pointer_map.partition_size(i)
+            channel = env.channel(i, i)
+            for index in range(len(env.workload.r_partitions[i])):
+                obj = rproc.read(r_segment, index)
+                rproc.charge_map()
+                target = env.pointer_map.partition_of(obj.sptr)
+                if target == i:
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    bucket = order_preserving_bucket(offset, part_size, k)
+                    if bucket < r0:
+                        channel.request(obj, offset, collector.emit)
+                    else:
+                        rproc.transfer_private(env.r_bytes)
+                        rproc.append(bucket_regions[i][bucket], obj)
+                else:
+                    rproc.transfer_private(env.r_bytes)
+                    rproc.append(rp_regions[i][target], obj)
+            channel.flush(collector.emit)
+            rproc.flush()
+        env.checkpoint("pass0")
+        if self.synchronize_phases:
+            env.barrier(env.rprocs)
+
+        # ---- pass 1: staggered; resident buckets join against remote Sj.
+        for t in range(1, d):
+            for i in range(d):
+                rproc = env.rprocs[i]
+                j = phase_partner(i, t, d)
+                region = rp_regions[i][j]
+                part_size = env.pointer_map.partition_size(j)
+                channel = env.channel(i, j)
+                for index in region.indices():
+                    obj = rproc.read(region.segment, index)
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    bucket = order_preserving_bucket(offset, part_size, k)
+                    if bucket < r0:
+                        channel.request(obj, offset, collector.emit)
+                    else:
+                        rproc.transfer_private(env.r_bytes)
+                        rproc.append(bucket_regions[j][bucket], obj)
+                channel.flush(collector.emit)
+                rproc.flush()
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("pass1")
+
+        # ---- probe passes over the spilled buckets only.
+        for bucket in range(r0, k):
+            for i in range(d):
+                rproc = env.rprocs[i]
+                region = bucket_regions[i][bucket]
+                part_size = env.pointer_map.partition_size(i)
+                table: List[List] = [[] for _ in range(tsize)]
+                for index in region.indices():
+                    obj = rproc.read(region.segment, index)
+                    rproc.charge_hash()
+                    offset = env.pointer_map.offset_of(obj.sptr)
+                    table[refining_chain(offset, part_size, k, tsize)].append(obj)
+                channel = env.channel(i, i)
+                for chain in table:
+                    for obj in chain:
+                        offset = env.pointer_map.offset_of(obj.sptr)
+                        channel.request(obj, offset, collector.emit)
+                channel.flush(collector.emit)
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("probe-join")
+
+        detail = {
+            "buckets": float(k),
+            "resident_buckets": float(r0),
+            "tsize": float(tsize),
+        }
+        return self._finish(env, collector, detail)
+
+    def _spilled_bucket_counts(
+        self, env: JoinEnvironment, k: int, r0: int
+    ) -> List[List[int]]:
+        counts = [[0] * k for _ in range(env.disks)]
+        for partition in env.workload.r_partitions:
+            for obj in partition:
+                target, offset = env.pointer_map.locate(obj.sptr)
+                part_size = env.pointer_map.partition_size(target)
+                bucket = order_preserving_bucket(offset, part_size, k)
+                if bucket >= r0:
+                    counts[target][bucket] += 1
+        return counts

@@ -1,0 +1,65 @@
+"""Reference (oracle) join and output verification.
+
+Pointer-based join semantics make correctness sharply checkable: every
+R-object joins exactly the S-object its pointer names, once.  The oracle
+therefore follows directly from the workload, and verification catches the
+real failure modes of the parallel algorithms — lost objects in the
+redistribution passes, duplicated emissions, or pairs routed to the wrong
+partition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List
+
+from repro.core.records import JoinedPair, join_pair
+from repro.workload.generator import Workload
+
+
+class JoinVerificationError(AssertionError):
+    """Raised when a join produced wrong output."""
+
+
+def reference_join(workload: Workload) -> List[JoinedPair]:
+    """The correct join output, computed directly (no simulation)."""
+    s_objects = workload.s_objects
+    return [
+        join_pair(r, s_objects[r.sptr])
+        for partition in workload.r_partitions
+        for r in partition
+    ]
+
+
+def verify_pairs(workload: Workload, pairs: Iterable[JoinedPair]) -> int:
+    """Check a join's output against the oracle; returns the pair count.
+
+    Output order is immaterial (the paper: "nor do we assume that the join
+    results are generated in any particular order"), so comparison is by
+    multiset.
+    """
+    expected = Counter(reference_join(workload))
+    produced = Counter(pairs)
+    if expected == produced:
+        return sum(produced.values())
+
+    missing = expected - produced
+    extra = produced - expected
+    problems = []
+    if missing:
+        sample = next(iter(missing))
+        problems.append(f"{sum(missing.values())} missing (e.g. {sample})")
+    if extra:
+        sample = next(iter(extra))
+        problems.append(f"{sum(extra.values())} unexpected (e.g. {sample})")
+    raise JoinVerificationError("join output incorrect: " + "; ".join(problems))
+
+
+def expected_checksum(workload: Workload) -> int:
+    """The PairCollector checksum the correct output must produce."""
+    checksum = 0
+    for pair in reference_join(workload):
+        checksum = (
+            checksum + (pair.rid * 1_000_003 + pair.sid * 7919 + pair.s_value)
+        ) % (1 << 61)
+    return checksum

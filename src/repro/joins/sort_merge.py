@@ -1,0 +1,280 @@
+"""Parallel pointer-based sort-merge join (paper section 6).
+
+Passes 0 and 1 redistribute R so that ``RSi`` — every R-object pointing
+into ``Si`` — sits on disk ``i``.  Pass 2 heap-sorts ``RSi`` in place in
+runs of ``IRUN`` objects (pointer heap, Floyd construction, bounce
+deletion).  Intermediate passes merge ``NRUNABL`` runs at a time between
+``RSi`` and ``Mergei`` (delete-insert cursor heap); the final pass merges
+the remaining runs and joins against a *sequential* scan of ``Si`` — the
+payoff of having sorted R by the virtual pointer, since S itself never
+needs sorting.
+
+Phases are synchronized (barrier after each), which is why the analysis
+charges the worst-case (skew-adjusted) partition sizes to every pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.pheap import PointerHeap
+from repro.joins.base import (
+    JoinAlgorithm,
+    JoinEnvironment,
+    JoinExecutionError,
+    JoinRunResult,
+    PairCollector,
+    chunked,
+    phase_partner,
+)
+from repro.sim.process import SimProcess
+from repro.sim.segment import (
+    Region,
+    SimSegment,
+    carve_regions,
+    region_capacity_with_alignment,
+)
+
+# A sorted run: the segment holding it plus the object indices in order.
+Run = Tuple[SimSegment, Sequence[int]]
+
+
+class ParallelSortMergeJoin(JoinAlgorithm):
+    """The paper's parallel pointer-based sort-merge."""
+
+    name = "sort-merge"
+
+    def __init__(self, synchronize_phases: bool = True) -> None:
+        self.synchronize_phases = synchronize_phases
+
+    def run(self, env: JoinEnvironment, collect_pairs: bool = True) -> JoinRunResult:
+        d = env.disks
+        machine = env.machine
+        page_size = machine.config.page_size
+        collector = PairCollector(keep_pairs=collect_pairs)
+        per_page = max(1, page_size // env.r_bytes)
+
+        irun = env.memory.m_rproc_bytes // (
+            env.r_bytes + machine.config.heap_pointer_bytes
+        )
+        if irun < 1:
+            raise JoinExecutionError("MRproc cannot hold one object plus pointer")
+        nrun_abl = max(2, env.memory.m_rproc_bytes // (3 * page_size))
+        nrun_last = max(2, env.memory.m_rproc_bytes // (2 * page_size))
+
+        # Exact inbound counts per destination: RSj region for contributor i
+        # holds |Ri,j| objects.
+        inbound = [[env.sub_counts(i)[j] for i in range(d)] for j in range(d)]
+
+        # Mapping setup, serial over D: openMap Ri/Si, newMap RSi/RPi/Mergei.
+        rs_regions: List[List[Region]] = []
+        rp_regions: List[Dict[int, Region]] = []
+        merge_segments: List[SimSegment] = []
+        rs_segments: List[SimSegment] = []
+        for i in range(d):
+            machine.open_segment(env.r_segments[i])
+            machine.open_segment(env.s_segments[i])
+            rs_capacity = region_capacity_with_alignment(inbound[i], per_page)
+            rs_segment = machine.new_segment(
+                f"RS{i}", i, max(rs_capacity, 1), env.r_bytes
+            )
+            rs_segments.append(rs_segment)
+            rs_regions.append(
+                carve_regions(
+                    rs_segment,
+                    inbound[i],
+                    labels=[f"RS{i}<-{src}" for src in range(d)],
+                )
+            )
+            counts = env.sub_counts(i)
+            remote = [j for j in range(d) if j != i]
+            rp_capacity = region_capacity_with_alignment(
+                [counts[j] for j in remote], per_page
+            )
+            rp_segment = machine.new_segment(
+                f"RP{i}", i, max(rp_capacity, 1), env.r_bytes
+            )
+            rp_regions.append(
+                dict(
+                    zip(
+                        remote,
+                        carve_regions(
+                            rp_segment,
+                            [counts[j] for j in remote],
+                            labels=[f"RP{i},{j}" for j in remote],
+                        ),
+                    )
+                )
+            )
+            merge_segments.append(
+                machine.new_segment(
+                    f"Merge{i}", i, max(sum(inbound[i]), 1), env.r_bytes
+                )
+            )
+
+        # ---- pass 0: scan Ri; local objects straight into RSi.
+        for i in range(d):
+            rproc = env.rprocs[i]
+            r_segment = env.r_segments[i]
+            for index in range(len(env.workload.r_partitions[i])):
+                obj = rproc.read(r_segment, index)
+                rproc.charge_map()
+                target = env.pointer_map.partition_of(obj.sptr)
+                rproc.transfer_private(env.r_bytes)
+                if target == i:
+                    rproc.append(rs_regions[i][i], obj)
+                else:
+                    rproc.append(rp_regions[i][target], obj)
+            rproc.flush()
+        env.checkpoint("pass0")
+        if self.synchronize_phases:
+            env.barrier(env.rprocs)
+
+        # ---- pass 1: staggered redistribution of the RPi,j into the RSj.
+        for t in range(1, d):
+            for i in range(d):
+                rproc = env.rprocs[i]
+                j = phase_partner(i, t, d)
+                region = rp_regions[i][j]
+                for index in region.indices():
+                    obj = rproc.read(region.segment, index)
+                    rproc.transfer_private(env.r_bytes)
+                    rproc.append(rs_regions[j][i], obj)
+                rproc.flush()
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("pass1")
+
+        # ---- pass 2: heap-sort RSi in place, runs of IRUN objects.
+        runs_per_proc: List[List[Run]] = []
+        for i in range(d):
+            rproc = env.rprocs[i]
+            rs_segment = rs_segments[i]
+            indices = [
+                idx for region in rs_regions[i] for idx in region.indices()
+            ]
+            runs: List[Run] = []
+            for run_indices in chunked(indices, irun):
+                self._sort_run_in_place(rproc, rs_segment, run_indices, env.r_bytes)
+                runs.append((rs_segment, run_indices))
+            rproc.flush()
+            runs_per_proc.append(runs)
+        env.checkpoint("pass2-sort")
+        if self.synchronize_phases:
+            env.barrier(env.rprocs)
+
+        # ---- intermediate merge passes: NRUNABL-way, RSi <-> Mergei.
+        npass_counter = 1
+        while max(len(runs) for runs in runs_per_proc) > nrun_last:
+            npass_counter += 1
+            for i in range(d):
+                rproc = env.rprocs[i]
+                source_runs = runs_per_proc[i]
+                dest_segment = (
+                    merge_segments[i]
+                    if source_runs and source_runs[0][0] is rs_segments[i]
+                    else rs_segments[i]
+                )
+                source_segment = source_runs[0][0] if source_runs else rs_segments[i]
+                merged: List[Run] = []
+                cursor = 0
+                for group in chunked(source_runs, nrun_abl):
+                    out_indices = range(
+                        cursor, cursor + sum(len(r[1]) for r in group)
+                    )
+                    self._merge_runs(
+                        rproc, group, dest_segment, cursor, env.r_bytes
+                    )
+                    merged.append((dest_segment, list(out_indices)))
+                    cursor += len(out_indices)
+                rproc.flush()
+                # The consumed source area is deleted and re-created for the
+                # next pass (the paper's per-pass deleteMap + newMap charge).
+                machine.recycle_segment(source_segment)
+                runs_per_proc[i] = merged
+            if self.synchronize_phases:
+                env.barrier(env.rprocs)
+        env.checkpoint("merge-passes")
+
+        # ---- final pass: merge the remaining runs, join against Si.
+        for i in range(d):
+            rproc = env.rprocs[i]
+            channel = env.channel(i, i)
+            for obj in self._merge_stream(rproc, runs_per_proc[i]):
+                offset = env.pointer_map.offset_of(obj.sptr)
+                channel.request(obj, offset, collector.emit)
+            channel.flush(collector.emit)
+        if self.synchronize_phases:
+            env.barrier(env.rprocs)
+        env.checkpoint("final-merge-join")
+
+        detail = {
+            "irun": float(irun),
+            "nrun_abl": float(nrun_abl),
+            "nrun_last": float(nrun_last),
+            "npass": float(npass_counter),
+            "lrun": float(max(len(r) for r in runs_per_proc)),
+        }
+        return self._finish(env, collector, detail)
+
+    # ------------------------------------------------------------- helpers
+
+    def _sort_run_in_place(
+        self,
+        rproc: SimProcess,
+        segment: SimSegment,
+        run_indices: Sequence[int],
+        r_bytes: int,
+    ) -> None:
+        """Read a run, heapsort a pointer array, move objects in place."""
+        objects = [rproc.read(segment, idx) for idx in run_indices]
+        heap: PointerHeap[int] = PointerHeap(
+            range(len(objects)),
+            key=lambda pos: objects[pos].sptr,
+            instrumentation=rproc,
+        )
+        order = heap.drain()
+        for slot, source_pos in zip(run_indices, order):
+            rproc.transfer_private(r_bytes)
+            rproc.write(segment, slot, objects[source_pos])
+
+    def _merge_runs(
+        self,
+        rproc: SimProcess,
+        group: Sequence[Run],
+        dest_segment: SimSegment,
+        dest_cursor: int,
+        r_bytes: int,
+    ) -> None:
+        """Merge a group of sorted runs into consecutive dest indices."""
+        for obj in self._merge_stream(rproc, group):
+            rproc.transfer_private(r_bytes)
+            rproc.write(dest_segment, dest_cursor, obj)
+            dest_cursor += 1
+
+    def _merge_stream(self, rproc: SimProcess, group: Sequence[Run]):
+        """Yield objects of sorted runs in global sptr order.
+
+        Uses the delete-insert cursor heap of the paper: the heap holds one
+        cursor per run; each step pops the minimum and reinserts the run's
+        next object.
+        """
+        cursors = []
+        for run_id, (segment, indices) in enumerate(group):
+            if len(indices) == 0:
+                continue
+            first = rproc.read(segment, indices[0])
+            cursors.append((first.sptr, run_id, 0, first))
+        heap: PointerHeap[tuple] = PointerHeap(
+            cursors, key=lambda entry: (entry[0], entry[1]), instrumentation=rproc
+        )
+        while not heap.is_empty:
+            _, run_id, pos, obj = heap.peek_min()
+            yield obj
+            segment, indices = group[run_id]
+            next_pos = pos + 1
+            if next_pos < len(indices):
+                nxt = rproc.read(segment, indices[next_pos])
+                heap.replace_min((nxt.sptr, run_id, next_pos, nxt))
+            else:
+                heap.pop_min()

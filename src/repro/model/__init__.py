@@ -1,0 +1,131 @@
+"""The paper's quantitative analytical model (sections 3, 5.3, 6.3, 7.3).
+
+Public surface:
+
+* parameter sets — :class:`MachineParameters`, :class:`RelationParameters`,
+  :class:`MemoryParameters`;
+* measured-curve types — :class:`InterpolatedCurve`, :class:`LinearCurve`;
+* the three join cost models — :func:`nested_loops_cost`,
+  :func:`sort_merge_cost`, :func:`grace_cost` — each returning a
+  :class:`JoinCostReport`;
+* the component sub-models — :func:`ylru` (Mackert–Lohman) and
+  :func:`grace_thrashing_estimate` (Johnson–Kotz urn model).
+"""
+
+from repro.model.buffer import BufferModelError, LruEstimate, ylru, ylru_detailed
+from repro.model.curves import (
+    CurveError,
+    InterpolatedCurve,
+    LinearCurve,
+    paper_delete_map_curve,
+    paper_dttr_curve,
+    paper_dttw_curve,
+    paper_new_map_curve,
+    paper_open_map_curve,
+)
+from repro.model.geometry import (
+    PartitionGeometry,
+    batched_context_switch_cost,
+    nested_loops_geometry,
+    synchronized_geometry,
+)
+from repro.model.grace import GracePlan, grace_cost, grace_plan
+from repro.model.heaps import (
+    HeapCostParameters,
+    HeapModelError,
+    delete_insert_unit_cost,
+    floyd_build_cost,
+    heapsort_cost,
+    merge_pass_cost,
+)
+from repro.model.hash_loops import (
+    chunk_capacity,
+    expected_distinct_pages,
+    hash_loops_cost,
+)
+from repro.model.hybrid_hash import hybrid_hash_cost
+from repro.model.nested_loops import nested_loops_cost
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    objects_per_page,
+    pages_for,
+)
+from repro.model.report import JoinCostReport, PassCost
+from repro.model.sensitivity import (
+    CURVE_PARAMETERS,
+    SCALAR_PARAMETERS,
+    Sensitivity,
+    parameter_sensitivity,
+    render_sensitivities,
+    scale_interpolated,
+    scale_linear,
+)
+from repro.model.sort_merge import MergePlan, merge_plan, sort_merge_cost
+from repro.model.urn import (
+    ThrashingEstimate,
+    UrnModelError,
+    empty_urn_pmf_johnson_kotz,
+    grace_thrashing_estimate,
+    occupied_urn_distribution,
+    prob_empty_at_most,
+)
+
+__all__ = [
+    "BufferModelError",
+    "CurveError",
+    "GracePlan",
+    "HeapCostParameters",
+    "HeapModelError",
+    "InterpolatedCurve",
+    "JoinCostReport",
+    "LinearCurve",
+    "LruEstimate",
+    "MachineParameters",
+    "MemoryParameters",
+    "MergePlan",
+    "ParameterError",
+    "PartitionGeometry",
+    "PassCost",
+    "SCALAR_PARAMETERS",
+    "CURVE_PARAMETERS",
+    "Sensitivity",
+    "RelationParameters",
+    "ThrashingEstimate",
+    "UrnModelError",
+    "batched_context_switch_cost",
+    "delete_insert_unit_cost",
+    "empty_urn_pmf_johnson_kotz",
+    "floyd_build_cost",
+    "grace_cost",
+    "grace_plan",
+    "grace_thrashing_estimate",
+    "hash_loops_cost",
+    "hybrid_hash_cost",
+    "chunk_capacity",
+    "expected_distinct_pages",
+    "heapsort_cost",
+    "merge_pass_cost",
+    "merge_plan",
+    "nested_loops_cost",
+    "nested_loops_geometry",
+    "objects_per_page",
+    "occupied_urn_distribution",
+    "pages_for",
+    "parameter_sensitivity",
+    "render_sensitivities",
+    "scale_interpolated",
+    "scale_linear",
+    "paper_delete_map_curve",
+    "paper_dttr_curve",
+    "paper_dttw_curve",
+    "paper_new_map_curve",
+    "paper_open_map_curve",
+    "prob_empty_at_most",
+    "sort_merge_cost",
+    "synchronized_geometry",
+    "ylru",
+    "ylru_detailed",
+]

@@ -1,0 +1,181 @@
+"""Measured machine-dependent cost curves.
+
+The paper's analytical model is parameterized by *measured* machine
+functions rather than first-principles hardware constants:
+
+* ``dttr(band)`` / ``dttw(band)`` — average time to transfer one block to or
+  from disk when random accesses span a band of the given size, in blocks
+  (paper Figure 1a).  The paper measures these on its Fujitsu drives and
+  interpolates; we do the same, either from the built-in paper-shaped
+  defaults or from points measured on the simulated disk by
+  :mod:`repro.harness.calibrate`.
+* ``newMap`` / ``openMap`` / ``deleteMap`` — cost of creating, opening and
+  destroying a memory mapping of a given size in blocks (paper Figure 1b).
+  These are linear in the mapping size.
+
+Both curve families are represented here as small, explicit value objects so
+that model code reads like the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+class CurveError(ValueError):
+    """Raised when a curve is constructed from unusable points."""
+
+
+@dataclass(frozen=True)
+class InterpolatedCurve:
+    """Piecewise-linear interpolation through measured ``(x, y)`` points.
+
+    Outside the measured range the curve is clamped to the first/last
+    measured value, matching how the paper treats its measured disk
+    functions (band sizes beyond the measured area are "large enough to
+    obtain an average access time").
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise CurveError("an interpolated curve needs at least two points")
+        xs = [x for x, _ in self.points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise CurveError("curve x-coordinates must be strictly increasing")
+        if any(y < 0 for _, y in self.points):
+            raise CurveError("curve values must be non-negative")
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        return tuple(y for _, y in self.points)
+
+    def __call__(self, x: float) -> float:
+        xs = self.xs
+        ys = self.ys
+        if x <= xs[0]:
+            return ys[0]
+        if x >= xs[-1]:
+            return ys[-1]
+        hi = bisect.bisect_right(xs, x)
+        lo = hi - 1
+        span = xs[hi] - xs[lo]
+        frac = (x - xs[lo]) / span
+        return ys[lo] + frac * (ys[hi] - ys[lo])
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[Tuple[float, float]]) -> "InterpolatedCurve":
+        """Build a curve from unsorted measured samples.
+
+        Duplicate x-coordinates are averaged, as repeated calibration runs of
+        the same band size produce several samples.
+        """
+        grouped: dict[float, list[float]] = {}
+        for x, y in samples:
+            grouped.setdefault(float(x), []).append(float(y))
+        points = tuple(
+            (x, sum(vals) / len(vals)) for x, vals in sorted(grouped.items())
+        )
+        return cls(points)
+
+
+@dataclass(frozen=True)
+class LinearCurve:
+    """An affine cost function ``y = base + slope * x``.
+
+    The paper's Figure 1b shows all three mapping-setup costs growing
+    linearly with mapping size ("constructing the page table and acquiring
+    disk space increases linearly with the size of the file mapped").
+    """
+
+    base: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.slope < 0:
+            raise CurveError("linear curve coefficients must be non-negative")
+
+    def __call__(self, x: float) -> float:
+        if x < 0:
+            raise CurveError(f"curve argument must be non-negative, got {x}")
+        return self.base + self.slope * x
+
+    @classmethod
+    def fit(cls, samples: Sequence[Tuple[float, float]]) -> "LinearCurve":
+        """Least-squares fit of a line through measured samples.
+
+        Used by the calibration harness to turn measured mapping-setup
+        samples into the model's ``newMap``/``openMap``/``deleteMap``
+        functions, mirroring the paper's measurement-then-model pipeline.
+        """
+        if len(samples) < 2:
+            raise CurveError("fitting a line needs at least two samples")
+        n = len(samples)
+        sx = sum(x for x, _ in samples)
+        sy = sum(y for _, y in samples)
+        sxx = sum(x * x for x, _ in samples)
+        sxy = sum(x * y for x, y in samples)
+        denom = n * sxx - sx * sx
+        if denom == 0:
+            raise CurveError("cannot fit a line through samples with equal x")
+        slope = (n * sxy - sx * sy) / denom
+        base = (sy - slope * sx) / n
+        # Measured setup costs are physically non-negative; tiny negative
+        # intercepts from fit noise are clamped.
+        return cls(base=max(base, 0.0), slope=max(slope, 0.0))
+
+
+def paper_dttr_curve() -> InterpolatedCurve:
+    """Paper-shaped read transfer curve (Figure 1a), ms per 4K block."""
+    return InterpolatedCurve(
+        points=(
+            (1.0, 6.0),
+            (800.0, 8.0),
+            (1600.0, 9.5),
+            (3200.0, 12.0),
+            (6400.0, 16.0),
+            (9600.0, 19.0),
+            (12800.0, 22.0),
+        )
+    )
+
+
+def paper_dttw_curve() -> InterpolatedCurve:
+    """Paper-shaped write transfer curve (Figure 1a), ms per 4K block.
+
+    Writes are cheaper than reads because dirty pages are written back
+    lazily, which permits shortest-seek scheduling of the queued blocks.
+    """
+    return InterpolatedCurve(
+        points=(
+            (1.0, 6.0),
+            (800.0, 7.2),
+            (1600.0, 8.0),
+            (3200.0, 10.0),
+            (6400.0, 13.0),
+            (9600.0, 15.0),
+            (12800.0, 17.0),
+        )
+    )
+
+
+def paper_new_map_curve() -> LinearCurve:
+    """Paper-shaped ``newMap`` cost (Figure 1b), ms per mapping of n blocks."""
+    return LinearCurve(base=5.0, slope=0.9375)
+
+
+def paper_open_map_curve() -> LinearCurve:
+    """Paper-shaped ``openMap`` cost (Figure 1b)."""
+    return LinearCurve(base=4.0, slope=0.625)
+
+
+def paper_delete_map_curve() -> LinearCurve:
+    """Paper-shaped ``deleteMap`` cost (Figure 1b)."""
+    return LinearCurve(base=2.0, slope=0.234)

@@ -1,0 +1,129 @@
+"""Partition geometry shared by the three cost models (paper section 4).
+
+The relations are partitioned across ``D`` disks: ``Ri`` and ``Si`` live on
+disk ``i``, together with the temporary areas (``RPi``, ``RSi``, ``Mergei``)
+that an algorithm creates there.  The models reason about *expected*
+cardinalities, so everything here is real-valued.
+
+The skew adjustment differs per algorithm and is the subtlest point of the
+paper's analysis:
+
+* **Nested loops** runs its phases *unsynchronized*, so the skew in the
+  ``RPi,j`` sub-partitions is absorbed by the extra parallelism; only
+  ``|Ri,i|`` is inflated by skew and ``|RPi| = |Ri| - |Ri,i|``.
+* **Sort-merge and Grace** synchronize between phases, so each pass must
+  account for the worst-case partition: ``|Ri,i| = (|Ri|/D) * skew`` and
+  ``|RPi| = |Ri| * skew - |Ri,i|``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.parameters import (
+    MachineParameters,
+    ParameterError,
+    RelationParameters,
+    objects_per_page,
+)
+
+
+@dataclass(frozen=True)
+class PartitionGeometry:
+    """Expected per-partition cardinalities and page counts (floats)."""
+
+    r_i: float          # |Ri|   objects of R on this Rproc
+    r_ii: float         # |Ri,i| objects of Ri whose pointer stays local
+    rp_i: float         # |RPi|  objects spilled to the temporary area
+    rs_i: float         # |RSi|  objects of R pointing into Si (sort-merge/Grace)
+    s_i: float          # |Si|   objects of S on this disk
+    pages_r_i: float    # P_Ri
+    pages_rp_i: float   # P_RPi
+    pages_rs_i: float   # P_RSi
+    pages_s_i: float    # P_Si
+
+    def __post_init__(self) -> None:
+        for name in ("r_i", "r_ii", "rp_i", "rs_i", "s_i"):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} cannot be negative")
+
+
+def _pages(objects: float, object_bytes: int, machine: MachineParameters) -> float:
+    per_page = objects_per_page(object_bytes, machine.page_size)
+    return objects / per_page
+
+
+def nested_loops_geometry(
+    machine: MachineParameters, relations: RelationParameters
+) -> PartitionGeometry:
+    """Geometry for the unsynchronized nested-loops analysis (5.3).
+
+    ``|Ri,i| = (|R| / D^2) * skew`` for the largest local sub-partition and
+    ``|RPi| = |Ri| - |Ri,i|``; ``Ri`` itself is *not* skew-adjusted because
+    the missing synchronization lets fast processes run ahead.
+    """
+    d = machine.disks
+    r_i = relations.r_objects / d
+    r_ii = relations.r_objects / (d * d) * relations.skew
+    r_ii = min(r_ii, r_i)
+    rp_i = r_i - r_ii
+    rs_i = relations.r_objects / d  # only used by the Ylru arguments
+    s_i = relations.s_objects / d
+    return PartitionGeometry(
+        r_i=r_i,
+        r_ii=r_ii,
+        rp_i=rp_i,
+        rs_i=rs_i,
+        s_i=s_i,
+        pages_r_i=_pages(r_i, relations.r_bytes, machine),
+        pages_rp_i=_pages(rp_i, relations.r_bytes, machine),
+        pages_rs_i=_pages(rs_i, relations.r_bytes, machine),
+        pages_s_i=_pages(s_i, relations.s_bytes, machine),
+    )
+
+
+def synchronized_geometry(
+    machine: MachineParameters, relations: RelationParameters
+) -> PartitionGeometry:
+    """Geometry for the synchronized sort-merge/Grace analyses (6.3, 7.3).
+
+    With a barrier between phases, the slowest (most skewed) partition
+    gates every pass: ``|Ri,i| = (|Ri| / D) * skew`` and
+    ``|RPi| = |Ri| * skew - |Ri,i| = (|R| * skew / D) * (1 - 1/D)``.
+    """
+    d = machine.disks
+    r_i = relations.r_objects / d
+    r_ii = min(r_i / d * relations.skew, r_i)
+    rp_i = max(r_i * relations.skew - r_ii, 0.0)
+    rs_i = relations.r_objects / d
+    s_i = relations.s_objects / d
+    return PartitionGeometry(
+        r_i=r_i,
+        r_ii=r_ii,
+        rp_i=rp_i,
+        rs_i=rs_i,
+        s_i=s_i,
+        pages_r_i=_pages(r_i, relations.r_bytes, machine),
+        pages_rp_i=_pages(rp_i, relations.r_bytes, machine),
+        pages_rs_i=_pages(rs_i, relations.r_bytes, machine),
+        pages_s_i=_pages(s_i, relations.s_bytes, machine),
+    )
+
+
+def batched_context_switch_cost(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    requested_objects: float,
+    g_bytes: int,
+) -> float:
+    """``g(h) = 2 * CS * ceil(h / (G / (r + sptr + s)))`` (paper 5.3).
+
+    Requests for S-objects are batched through the shared G-sized buffer;
+    each batch costs two context switches (Rproc -> Sproc -> Rproc).
+    """
+    if requested_objects <= 0:
+        return 0.0
+    batch_capacity = max(1, g_bytes // relations.join_tuple_bytes)
+    batches = math.ceil(requested_objects / batch_capacity)
+    return 2.0 * machine.context_switch_ms * batches

@@ -1,0 +1,223 @@
+"""Analytical cost model for the parallel pointer-based Grace join (7.3).
+
+Passes 0 and 1 mirror sort-merge except that R-objects are *hashed* into one
+of ``K`` order-preserving buckets of ``RSi`` instead of being appended.  The
+first hash function clusters by join-attribute value so that bucket ``j``
+holds strictly smaller S-locations than bucket ``j+1``; the in-memory second
+hash (range ``TSIZE``) then refines each bucket, and because common
+references share a chain, every referenced S-object is read exactly once —
+and sequentially, thanks to the monotone bucketing.
+
+The distinguishing model term is the urn-model *thrashing correction*
+(:func:`repro.model.urn.grace_thrashing_estimate`): at low memory, LRU
+prematurely evicts partially-filled bucket pages during pass 0, and each
+premature eviction costs one extra write plus one extra read.  This term
+produces the characteristic upturn of Figure 5(c) at small memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.geometry import (
+    batched_context_switch_cost,
+    synchronized_geometry,
+)
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    objects_per_page,
+)
+from repro.model.report import JoinCostReport, PassCost
+from repro.model.urn import grace_thrashing_estimate
+
+
+@dataclass(frozen=True)
+class GracePlan:
+    """Chosen Grace parameters (paper 7.2)."""
+
+    buckets: int   # K
+    tsize: int     # range of the in-memory refining hash
+
+
+def grace_plan(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+    buckets: int | None = None,
+    tsize: int | None = None,
+) -> GracePlan:
+    """Choose ``K`` and ``TSIZE`` if the caller did not.
+
+    ``K`` is chosen so one bucket of ``RSi``, its hash-table overhead *and*
+    the S-objects the bucket references all fit in MRproc simultaneously
+    (paper 7.2: "each BSi,j along with its associated hash table overhead
+    fits entirely in memory", plus the 7.1 assumption that the referenced
+    S-objects of a chain fit in the remaining memory).  Each bucket object
+    therefore claims ``r + hp + s`` bytes, and a 3x safety factor absorbs
+    table underutilization — matching the knee position of Figure 5(c).
+
+    Note that ``K`` is a *design constant* of an experiment series: the
+    Figure 5(c) sweep holds the K chosen for its design point fixed while
+    memory shrinks underneath it, which is precisely what produces the
+    thrashing upturn at low memory.
+    """
+    if buckets is None:
+        rs_i = relations.r_objects / machine.disks
+        per_object = (
+            relations.r_bytes + machine.heap_pointer_bytes + relations.s_bytes
+        )
+        objects_per_bucket = max(1.0, memory.m_rproc_bytes / (3.0 * per_object))
+        buckets = max(1, math.ceil(rs_i / objects_per_bucket))
+    if buckets < 1:
+        raise ParameterError("bucket count must be at least 1")
+    if tsize is None:
+        tsize = max(16, buckets * 4)
+    if tsize < 1:
+        raise ParameterError("TSIZE must be at least 1")
+    return GracePlan(buckets=buckets, tsize=tsize)
+
+
+def grace_cost(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+    buckets: int | None = None,
+    tsize: int | None = None,
+    include_pass1_thrashing: bool = False,
+    fine_epochs: bool = False,
+) -> JoinCostReport:
+    """Predicted elapsed time per Rproc for the Grace join.
+
+    The default is the *paper-faithful* model, which charges the urn-model
+    thrashing correction in pass 0 only and uses a first epoch of width K.
+    The paper itself reports that this underpredicts at low memory
+    (Figure 5c); two documented refinements close most of that gap:
+
+    * ``include_pass1_thrashing`` — pass 1 hashes the ``RPi,j`` into K
+      bucket streams under the same memory pressure as pass 0, so the same
+      urn argument applies per phase (with a single sequential read stream
+      filling pages instead of ``D - 1`` spill streams);
+    * ``fine_epochs`` — evaluate the eviction probability with unit-width
+      epochs from the start instead of the paper's coarse width-K first
+      epoch.
+    """
+    geo = synchronized_geometry(machine, relations)
+    d = machine.disks
+    plan = grace_plan(machine, relations, memory, buckets=buckets, tsize=tsize)
+    k = plan.buckets
+    join_bytes = relations.join_tuple_bytes
+    frames = memory.rproc_frames(machine)
+    r_per_block = objects_per_page(relations.r_bytes, machine.page_size)
+
+    # ---- pass 0: Ri scan; spill to RPi, hash local objects into K buckets.
+    band0 = geo.pages_r_i + geo.pages_s_i + geo.pages_rs_i + geo.pages_rp_i
+    pages_r_ii = geo.r_ii / r_per_block
+    # Writing |Ri,i| objects into K buckets dirties up to K extra partial
+    # pages beyond the dense page count.
+    write_rs0 = (pages_r_ii + k) * machine.dttw(band0)
+    first_width = 1 if fine_epochs else None
+    thrash = grace_thrashing_estimate(
+        hashed_objects=round(geo.r_ii),
+        buckets=k,
+        frames=frames,
+        disks=d,
+        objects_per_block=r_per_block,
+        first_epoch_width=first_width,
+    )
+    thrash_ms = thrash.extra_read_blocks * machine.dttr(
+        band0
+    ) + thrash.extra_write_blocks * machine.dttw(band0)
+    pass0 = PassCost(
+        name="pass0",
+        disk_ms=(
+            geo.pages_r_i * machine.dttr(band0)
+            + geo.pages_rp_i * machine.dttw(band0)
+            + write_rs0
+            + thrash_ms
+        ),
+        transfer_ms=geo.r_i * relations.r_bytes * machine.mt_pp_ms_per_byte,
+        cpu_ms=geo.r_i * machine.map_ms + geo.r_ii * machine.hash_ms,
+    )
+
+    # ---- pass 1: RPi,j read in staggered phases, hashed into the RSj.
+    band1 = geo.pages_rs_i + geo.pages_rp_i
+    thrash1_ms = 0.0
+    thrash1_replacements = 0.0
+    if include_pass1_thrashing and d > 1:
+        # One phase hashes |RPi,j| = rp_i / (D-1) objects into the K bucket
+        # streams; the only other fill stream is the sequential RPi read,
+        # so the fill rate corresponds to disks=2 in the urn argument.
+        per_phase = round(geo.rp_i / (d - 1))
+        phase_thrash = grace_thrashing_estimate(
+            hashed_objects=per_phase,
+            buckets=k,
+            frames=frames,
+            disks=2,
+            objects_per_block=r_per_block,
+            first_epoch_width=first_width,
+        )
+        thrash1_replacements = phase_thrash.premature_replacements * (d - 1)
+        thrash1_ms = (d - 1) * (
+            phase_thrash.extra_read_blocks * machine.dttr(band1)
+            + phase_thrash.extra_write_blocks * machine.dttw(band1)
+        )
+    pass1 = PassCost(
+        name="pass1",
+        disk_ms=(
+            geo.pages_rp_i * machine.dttr(band1)
+            + (geo.pages_rp_i + k) * machine.dttw(band1)
+            + thrash1_ms
+        ),
+        transfer_ms=geo.rp_i * relations.r_bytes * machine.mt_pp_ms_per_byte,
+        cpu_ms=geo.rp_i * machine.hash_ms,
+    )
+
+    # ---- probe passes 1+j: each bucket into the in-memory table, then a
+    # sequential, once-only read of the referenced S-objects.
+    band_probe = max(1.0, geo.pages_rs_i / (2.0 * k))
+    probe_disk = (geo.pages_rs_i + geo.pages_s_i) * machine.dttr(band_probe)
+    probe_cpu = geo.rs_i * machine.hash_ms
+    probe_xfer = geo.rs_i * join_bytes * machine.mt_ps_ms_per_byte
+    probe_cs = batched_context_switch_cost(
+        machine, relations, geo.rs_i, memory.g_bytes
+    )
+    probe = PassCost(
+        name="probe-join",
+        disk_ms=probe_disk,
+        transfer_ms=probe_xfer,
+        cpu_ms=probe_cpu,
+        context_switch_ms=probe_cs,
+    )
+
+    # ---- mapping setup (serial across the D partitions).
+    setup_ms = d * (
+        machine.open_map(geo.pages_r_i)
+        + machine.open_map(geo.pages_s_i)
+        + machine.new_map(geo.pages_rs_i + geo.pages_rp_i)
+        + machine.open_map(geo.pages_rs_i)
+    )
+    setup = PassCost(name="setup", setup_ms=setup_ms)
+
+    derived = {
+        "r_i": geo.r_i,
+        "r_ii": geo.r_ii,
+        "rp_i": geo.rp_i,
+        "rs_i": geo.rs_i,
+        "buckets": float(k),
+        "tsize": float(plan.tsize),
+        "rproc_frames": float(frames),
+        "band_pass0_blocks": band0,
+        "band_pass1_blocks": band1,
+        "band_probe_blocks": band_probe,
+        "premature_replacements": thrash.premature_replacements,
+        "thrashing_extra_ms": thrash_ms,
+        "pass1_premature_replacements": thrash1_replacements,
+        "pass1_thrashing_extra_ms": thrash1_ms,
+    }
+    return JoinCostReport(
+        algorithm="grace", passes=(setup, pass0, pass1, probe), derived=derived
+    )

@@ -1,0 +1,193 @@
+"""Cost model for the pointer-based hybrid-hash join (extension; §2.3).
+
+Hybrid hash is Grace with the first ``R0`` buckets *resident*: their
+R-objects join on the fly through the G buffer instead of being spilled to
+``RSi`` and probed later.  Relative to the Grace model (§7.3) this:
+
+* removes the spill write and probe read for the resident fraction
+  ``R0/K`` of the redistributed relation;
+* adds immediate S dereferences during passes 0 and 1, charged through the
+  Mackert–Lohman buffer model over the resident slice of ``Si`` (the
+  order-preserving hash confines them to a contiguous ``R0/K`` of the
+  partition, so they hit the Sproc buffer once the slice is cached);
+* shrinks the urn-model thrashing base to the spilled buckets ``K - R0``.
+
+``R0 = 0`` reproduces the Grace model term for term.
+"""
+
+from __future__ import annotations
+
+from repro.model.buffer import ylru
+from repro.model.geometry import (
+    batched_context_switch_cost,
+    synchronized_geometry,
+)
+from repro.model.grace import grace_plan
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    objects_per_page,
+)
+from repro.model.report import JoinCostReport, PassCost
+from repro.model.urn import grace_thrashing_estimate
+
+
+def default_resident_buckets(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+    buckets: int,
+) -> int:
+    """Resident buckets whose S slices fit half the Sproc buffer."""
+    if buckets < 1:
+        raise ParameterError("bucket count must be at least 1")
+    s_i = relations.s_objects / machine.disks
+    s_pages = s_i / objects_per_page(relations.s_bytes, machine.page_size)
+    frames = memory.sproc_frames(machine)
+    pages_per_bucket = max(1.0, s_pages / buckets)
+    resident = int((frames / 2) / pages_per_bucket)
+    return max(0, min(buckets - 1, resident))
+
+
+def hybrid_hash_cost(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+    buckets: int | None = None,
+    resident_buckets: int | None = None,
+    tsize: int | None = None,
+) -> JoinCostReport:
+    """Predicted elapsed time per Rproc for the hybrid-hash join."""
+    geo = synchronized_geometry(machine, relations)
+    d = machine.disks
+    plan = grace_plan(machine, relations, memory, buckets=buckets, tsize=tsize)
+    k = plan.buckets
+    r0 = (
+        resident_buckets
+        if resident_buckets is not None
+        else default_resident_buckets(machine, relations, memory, k)
+    )
+    if not 0 <= r0 < k:
+        raise ParameterError(f"resident buckets {r0} must be within [0, {k})")
+    spilled_frac = (k - r0) / k
+    resident_frac = r0 / k
+    join_bytes = relations.join_tuple_bytes
+    frames = memory.rproc_frames(machine)
+    s_frames = memory.sproc_frames(machine)
+    r_per_block = objects_per_page(relations.r_bytes, machine.page_size)
+
+    pages_rs_spilled = geo.pages_rs_i * spilled_frac
+    resident_s_pages = max(1.0, geo.pages_s_i * resident_frac)
+
+    def resident_join_faults(lookups: float) -> float:
+        """Ylru over the resident slice of Si."""
+        if lookups <= 0 or resident_frac == 0:
+            return 0.0
+        slice_objects = max(1, round(geo.s_i * resident_frac))
+        return ylru(
+            n_tuples=slice_objects,
+            t_pages=max(1, round(resident_s_pages)),
+            i_keys=slice_objects,
+            b_frames=s_frames,
+            x_lookups=lookups,
+        )
+
+    # ---- pass 0.
+    band0 = geo.pages_r_i + geo.pages_s_i + pages_rs_spilled + geo.pages_rp_i
+    spilled_r_ii_pages = geo.r_ii * spilled_frac / r_per_block
+    thrash = grace_thrashing_estimate(
+        hashed_objects=round(geo.r_ii * spilled_frac),
+        buckets=max(1, k - r0),
+        frames=frames,
+        disks=d,
+        objects_per_block=r_per_block,
+    )
+    thrash_ms = thrash.extra_read_blocks * machine.dttr(
+        band0
+    ) + thrash.extra_write_blocks * machine.dttw(band0)
+    resident0 = geo.r_ii * resident_frac
+    pass0 = PassCost(
+        name="pass0",
+        disk_ms=(
+            geo.pages_r_i * machine.dttr(band0)
+            + geo.pages_rp_i * machine.dttw(band0)
+            + (spilled_r_ii_pages + (k - r0)) * machine.dttw(band0)
+            + resident_join_faults(resident0) * machine.dttr(band0)
+            + thrash_ms
+        ),
+        transfer_ms=(
+            geo.r_i * relations.r_bytes * machine.mt_pp_ms_per_byte
+            + resident0 * join_bytes * machine.mt_ps_ms_per_byte
+        ),
+        cpu_ms=geo.r_i * machine.map_ms + geo.r_ii * machine.hash_ms,
+        context_switch_ms=batched_context_switch_cost(
+            machine, relations, resident0, memory.g_bytes
+        ),
+    )
+
+    # ---- pass 1.
+    band1 = pages_rs_spilled + geo.pages_rp_i
+    resident1 = geo.rp_i * resident_frac
+    pass1 = PassCost(
+        name="pass1",
+        disk_ms=(
+            geo.pages_rp_i * machine.dttr(band1)
+            + (geo.pages_rp_i * spilled_frac + (k - r0)) * machine.dttw(band1)
+            + resident_join_faults(resident1) * machine.dttr(band1)
+        ),
+        transfer_ms=(
+            geo.rp_i * spilled_frac * relations.r_bytes * machine.mt_pp_ms_per_byte
+            + resident1 * join_bytes * machine.mt_ps_ms_per_byte
+        ),
+        cpu_ms=geo.rp_i * machine.hash_ms,
+        context_switch_ms=batched_context_switch_cost(
+            machine, relations, resident1, memory.g_bytes
+        ),
+    )
+
+    # ---- probe passes over the spilled buckets only.
+    spilled_rs = geo.rs_i * spilled_frac
+    band_probe = max(1.0, pages_rs_spilled / (2.0 * max(1, k - r0)))
+    probe = PassCost(
+        name="probe-join",
+        disk_ms=(
+            (pages_rs_spilled + geo.pages_s_i * spilled_frac)
+            * machine.dttr(band_probe)
+        ),
+        transfer_ms=spilled_rs * join_bytes * machine.mt_ps_ms_per_byte,
+        cpu_ms=spilled_rs * machine.hash_ms,
+        context_switch_ms=batched_context_switch_cost(
+            machine, relations, spilled_rs, memory.g_bytes
+        ),
+    )
+
+    setup = PassCost(
+        name="setup",
+        setup_ms=d * (
+            machine.open_map(geo.pages_r_i)
+            + machine.open_map(geo.pages_s_i)
+            + machine.new_map(pages_rs_spilled + geo.pages_rp_i)
+            + machine.open_map(pages_rs_spilled)
+        ),
+    )
+
+    derived = {
+        "r_i": geo.r_i,
+        "r_ii": geo.r_ii,
+        "rp_i": geo.rp_i,
+        "rs_i": geo.rs_i,
+        "buckets": float(k),
+        "resident_buckets": float(r0),
+        "tsize": float(plan.tsize),
+        "rproc_frames": float(frames),
+        "band_pass0_blocks": band0,
+        "band_pass1_blocks": band1,
+        "premature_replacements": thrash.premature_replacements,
+        "thrashing_extra_ms": thrash_ms,
+    }
+    return JoinCostReport(
+        algorithm="hybrid-hash", passes=(setup, pass0, pass1, probe),
+        derived=derived,
+    )

@@ -1,0 +1,228 @@
+"""Parameter sets for the analytical model (paper section 3).
+
+The model describes a shared-memory multiprocessor in which each process
+owns a segment with private memory, communicates through shared memory, and
+``D`` disk controllers allow parallel I/O.  All times are in **milliseconds**
+and all sizes in **bytes** unless a name says otherwise; disk curves are in
+milliseconds per ``page_size`` block.
+
+Three parameter groups mirror the paper:
+
+* :class:`MachineParameters` — the measured/architectural machine constants
+  (``B``, ``D``, ``CS``, the four memory-transfer rates, the measured disk
+  and mapping curves, and the per-operation CPU costs ``map``, ``hash``,
+  ``compare``, ``swap``, ``transfer``).
+* :class:`RelationParameters` — ``|R|``, ``|S|``, object sizes ``r``/``s``,
+  the S-pointer size, and the partition skew.
+* :class:`MemoryParameters` — the per-process memory grants ``MRproc`` and
+  ``MSproc`` plus the shared join buffer size ``G``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.model.curves import (
+    InterpolatedCurve,
+    LinearCurve,
+    paper_delete_map_curve,
+    paper_dttr_curve,
+    paper_dttw_curve,
+    paper_new_map_curve,
+    paper_open_map_curve,
+)
+
+
+class ParameterError(ValueError):
+    """Raised when a parameter set is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Machine constants of the model (paper section 3 diagram).
+
+    The defaults are calibrated to the paper's testbed flavour (Sequent
+    Symmetry, 4K virtual-memory blocks, Fujitsu drives whose measured
+    curves appear in Figure 1).
+    """
+
+    page_size: int = 4096
+    disks: int = 4
+    context_switch_ms: float = 0.2
+    # Combined read+write memory transfer times, ms per byte.
+    mt_pp_ms_per_byte: float = 1.0e-4
+    mt_ps_ms_per_byte: float = 1.5e-4
+    mt_sp_ms_per_byte: float = 1.5e-4
+    mt_ss_ms_per_byte: float = 2.0e-4
+    # Per-operation CPU costs, ms.
+    map_ms: float = 0.002
+    hash_ms: float = 0.004
+    compare_ms: float = 0.004
+    swap_ms: float = 0.006
+    transfer_ms: float = 0.003
+    heap_pointer_bytes: int = 8
+    # Measured machine functions.
+    dttr: InterpolatedCurve = field(default_factory=paper_dttr_curve)
+    dttw: InterpolatedCurve = field(default_factory=paper_dttw_curve)
+    new_map: LinearCurve = field(default_factory=paper_new_map_curve)
+    open_map: LinearCurve = field(default_factory=paper_open_map_curve)
+    delete_map: LinearCurve = field(default_factory=paper_delete_map_curve)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ParameterError("page_size must be positive")
+        if self.disks <= 0:
+            raise ParameterError("disks must be positive")
+        if self.context_switch_ms < 0:
+            raise ParameterError("context_switch_ms must be non-negative")
+        for name in (
+            "mt_pp_ms_per_byte",
+            "mt_ps_ms_per_byte",
+            "mt_sp_ms_per_byte",
+            "mt_ss_ms_per_byte",
+            "map_ms",
+            "hash_ms",
+            "compare_ms",
+            "swap_ms",
+            "transfer_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be non-negative")
+        if self.heap_pointer_bytes <= 0:
+            raise ParameterError("heap_pointer_bytes must be positive")
+
+    def with_disks(self, disks: int) -> "MachineParameters":
+        """A copy of this machine with a different disk/partition count."""
+        return replace(self, disks=disks)
+
+
+@dataclass(frozen=True)
+class RelationParameters:
+    """Sizes of the joining relations (paper section 4).
+
+    ``skew`` follows the paper's definition
+    ``skew = max_j |Ri,j| / (|Ri| / D)`` — how much the largest
+    sub-partition exceeds a perfectly even split.  A uniformly random
+    pointer distribution gives skew very close to 1.0.
+    """
+
+    r_objects: int = 102_400
+    s_objects: int = 102_400
+    r_bytes: int = 128
+    s_bytes: int = 128
+    sptr_bytes: int = 8
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.r_objects <= 0 or self.s_objects <= 0:
+            raise ParameterError("relation cardinalities must be positive")
+        if self.r_bytes <= 0 or self.s_bytes <= 0:
+            raise ParameterError("object sizes must be positive")
+        if self.sptr_bytes <= 0:
+            raise ParameterError("sptr_bytes must be positive")
+        if self.skew < 1.0:
+            raise ParameterError(
+                "skew is max sub-partition over the even share and cannot "
+                f"be below 1.0 (got {self.skew})"
+            )
+
+    def pages_r(self, machine: MachineParameters) -> int:
+        """P_R: pages occupied by the whole of R."""
+        return pages_for(self.r_objects, self.r_bytes, machine.page_size)
+
+    def pages_s(self, machine: MachineParameters) -> int:
+        """P_S: pages occupied by the whole of S."""
+        return pages_for(self.s_objects, self.s_bytes, machine.page_size)
+
+    @property
+    def join_tuple_bytes(self) -> int:
+        """Bytes moved through shared memory per joined pair: r + sptr + s."""
+        return self.r_bytes + self.sptr_bytes + self.s_bytes
+
+
+@dataclass(frozen=True)
+class MemoryParameters:
+    """Per-process memory grants and the shared join buffer.
+
+    ``m_rproc_bytes`` is the paper's x-axis control variable MRproci; the
+    validation sweeps express it as a fraction of ``|R| * r``.
+    """
+
+    m_rproc_bytes: int
+    m_sproc_bytes: int
+    g_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.m_rproc_bytes <= 0:
+            raise ParameterError("m_rproc_bytes must be positive")
+        if self.m_sproc_bytes <= 0:
+            raise ParameterError("m_sproc_bytes must be positive")
+        if self.g_bytes <= 0:
+            raise ParameterError("g_bytes must be positive")
+
+    def rproc_frames(self, machine: MachineParameters) -> int:
+        """Page frames available to each Rproc."""
+        return self.rproc_frames_for(machine.page_size)
+
+    def sproc_frames(self, machine: MachineParameters) -> int:
+        """Page frames available to each Sproc."""
+        return self.sproc_frames_for(machine.page_size)
+
+    def rproc_frames_for(self, page_size: int) -> int:
+        """Rproc page frames for an explicit page size (simulator side)."""
+        return max(1, self.m_rproc_bytes // page_size)
+
+    def sproc_frames_for(self, page_size: int) -> int:
+        """Sproc page frames for an explicit page size (simulator side)."""
+        return max(1, self.m_sproc_bytes // page_size)
+
+    @classmethod
+    def from_fractions(
+        cls,
+        relations: RelationParameters,
+        r_fraction: float,
+        s_fraction: float | None = None,
+        g_bytes: int = 4096,
+    ) -> "MemoryParameters":
+        """Build memory grants from fractions of the R relation size.
+
+        This matches the paper's Figure 5 x-axis, where memory per Rproc is
+        reported as ``MRproci / |R|`` with ``|R|`` measured in bytes.
+        When ``s_fraction`` is omitted the Sproc receives the same grant.
+        """
+        if r_fraction <= 0:
+            raise ParameterError("r_fraction must be positive")
+        total_r_bytes = relations.r_objects * relations.r_bytes
+        m_r = max(1, int(total_r_bytes * r_fraction))
+        if s_fraction is None:
+            m_s = m_r
+        else:
+            if s_fraction <= 0:
+                raise ParameterError("s_fraction must be positive")
+            m_s = max(1, int(total_r_bytes * s_fraction))
+        return cls(m_rproc_bytes=m_r, m_sproc_bytes=m_s, g_bytes=g_bytes)
+
+
+def pages_for(objects: int, object_bytes: int, page_size: int) -> int:
+    """Number of whole pages needed to hold ``objects`` fixed-size objects.
+
+    Objects never straddle page boundaries in the paper's exact-positioning
+    stores, so a page holds ``floor(page_size / object_bytes)`` objects.
+    """
+    if objects < 0:
+        raise ParameterError("object count cannot be negative")
+    if object_bytes <= 0 or page_size <= 0:
+        raise ParameterError("sizes must be positive")
+    if object_bytes > page_size:
+        # Large objects span ceil(object_bytes / page_size) pages each.
+        return objects * math.ceil(object_bytes / page_size)
+    per_page = page_size // object_bytes
+    return math.ceil(objects / per_page) if objects else 0
+
+
+def objects_per_page(object_bytes: int, page_size: int) -> int:
+    """Objects stored per page under the no-straddling layout."""
+    if object_bytes <= 0 or page_size <= 0:
+        raise ParameterError("sizes must be positive")
+    return max(1, page_size // object_bytes)

@@ -1,0 +1,111 @@
+"""Structured cost reports produced by the analytical models.
+
+Every model evaluation returns a :class:`JoinCostReport` that decomposes the
+predicted elapsed time of one Rproc (which, by the paper's argument of
+contention-free D-fold parallelism, is also the predicted elapsed time of
+the whole join) into per-pass components:
+
+* ``disk_ms``          — page transfers charged through dttr/dttw;
+* ``transfer_ms``      — memory-to-memory object movement (MTpp/MTps/...);
+* ``cpu_ms``           — map/hash/heap computation;
+* ``context_switch_ms``— Rproc/Sproc hand-offs through the G buffer;
+* ``setup_ms``         — newMap/openMap/deleteMap costs.
+
+``derived`` carries the intermediate quantities of the analysis (partition
+cardinalities, band sizes, IRUN/NPASS, Ylru fault counts, ...) so tests and
+the validation harness can inspect the model's internals, and so the report
+doubles as the "high-level filter" the paper intends for designers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class PassCost:
+    """Predicted cost of one pass of a join algorithm, milliseconds."""
+
+    name: str
+    disk_ms: float = 0.0
+    transfer_ms: float = 0.0
+    cpu_ms: float = 0.0
+    context_switch_ms: float = 0.0
+    setup_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.disk_ms
+            + self.transfer_ms
+            + self.cpu_ms
+            + self.context_switch_ms
+            + self.setup_ms
+        )
+
+
+@dataclass(frozen=True)
+class JoinCostReport:
+    """Full model prediction for one parallel pointer-based join."""
+
+    algorithm: str
+    passes: Tuple[PassCost, ...]
+    derived: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        """Predicted elapsed time per Rproc (= total join time)."""
+        return sum(p.total_ms for p in self.passes)
+
+    @property
+    def disk_ms(self) -> float:
+        return sum(p.disk_ms for p in self.passes)
+
+    @property
+    def transfer_ms(self) -> float:
+        return sum(p.transfer_ms for p in self.passes)
+
+    @property
+    def cpu_ms(self) -> float:
+        return sum(p.cpu_ms for p in self.passes)
+
+    @property
+    def context_switch_ms(self) -> float:
+        return sum(p.context_switch_ms for p in self.passes)
+
+    @property
+    def setup_ms(self) -> float:
+        return sum(p.setup_ms for p in self.passes)
+
+    def pass_named(self, name: str) -> PassCost:
+        for p in self.passes:
+            if p.name == name:
+                return p
+        raise KeyError(f"no pass named {name!r} in {self.algorithm} report")
+
+    def component_table(self) -> Dict[str, Dict[str, float]]:
+        """Nested dict view (pass -> component -> ms) for display code."""
+        table: Dict[str, Dict[str, float]] = {}
+        for p in self.passes:
+            table[p.name] = {
+                "disk": p.disk_ms,
+                "transfer": p.transfer_ms,
+                "cpu": p.cpu_ms,
+                "context_switch": p.context_switch_ms,
+                "setup": p.setup_ms,
+                "total": p.total_ms,
+            }
+        return table
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary, used by examples and benches."""
+        lines = [f"{self.algorithm}: predicted {self.total_ms:,.1f} ms/Rproc"]
+        for p in self.passes:
+            lines.append(
+                f"  {p.name:<14} total={p.total_ms:>12,.1f} ms  "
+                f"(disk={p.disk_ms:,.1f}, xfer={p.transfer_ms:,.1f}, "
+                f"cpu={p.cpu_ms:,.1f}, cs={p.context_switch_ms:,.1f}, "
+                f"setup={p.setup_ms:,.1f})"
+            )
+        return "\n".join(lines)

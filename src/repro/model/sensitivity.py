@@ -1,0 +1,149 @@
+"""Parameter sensitivity of the join cost models.
+
+The paper offers its model as "a high-level filter for data structure and
+algorithm designers to predict general performance behaviour without having
+to construct and test specific approaches".  A designer's first question of
+such a filter is *which machine parameter matters*: would a faster disk, a
+cheaper context switch, or a larger page help this join most?
+
+:func:`parameter_sensitivity` answers it numerically: each machine constant
+(and each measured curve, scaled as a whole) is perturbed by a relative
+step and the model re-evaluated; the reported **elasticity** is the
+percentage change in predicted cost per percent change in the parameter.
+An elasticity of 1.0 means the cost is proportional to that parameter;
+0 means it does not matter at this operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from repro.model.curves import InterpolatedCurve, LinearCurve
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+)
+from repro.model.report import JoinCostReport
+
+ModelFn = Callable[..., JoinCostReport]
+
+SCALAR_PARAMETERS = (
+    "context_switch_ms",
+    "mt_pp_ms_per_byte",
+    "mt_ps_ms_per_byte",
+    "mt_sp_ms_per_byte",
+    "mt_ss_ms_per_byte",
+    "map_ms",
+    "hash_ms",
+    "compare_ms",
+    "swap_ms",
+    "transfer_ms",
+)
+
+CURVE_PARAMETERS = ("dttr", "dttw", "new_map", "open_map", "delete_map")
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of the predicted cost with respect to one parameter."""
+
+    parameter: str
+    base_value: float          # the scalar, or 1.0 for whole-curve scaling
+    elasticity: float
+
+    @property
+    def matters(self) -> bool:
+        return abs(self.elasticity) > 0.01
+
+
+def scale_interpolated(curve: InterpolatedCurve, factor: float) -> InterpolatedCurve:
+    """A copy of a measured curve with every value scaled."""
+    if factor <= 0:
+        raise ParameterError("curve scale factor must be positive")
+    return InterpolatedCurve(
+        points=tuple((x, y * factor) for x, y in curve.points)
+    )
+
+
+def scale_linear(curve: LinearCurve, factor: float) -> LinearCurve:
+    """A copy of a fitted line with both coefficients scaled."""
+    if factor <= 0:
+        raise ParameterError("curve scale factor must be positive")
+    return LinearCurve(base=curve.base * factor, slope=curve.slope * factor)
+
+
+def _perturbed(machine: MachineParameters, parameter: str, factor: float) -> MachineParameters:
+    if parameter in SCALAR_PARAMETERS:
+        return replace(machine, **{parameter: getattr(machine, parameter) * factor})
+    if parameter in CURVE_PARAMETERS:
+        curve = getattr(machine, parameter)
+        if isinstance(curve, InterpolatedCurve):
+            return replace(machine, **{parameter: scale_interpolated(curve, factor)})
+        return replace(machine, **{parameter: scale_linear(curve, factor)})
+    raise ParameterError(f"unknown machine parameter {parameter!r}")
+
+
+def parameter_sensitivity(
+    model_fn: ModelFn,
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+    parameters: Sequence[str] = SCALAR_PARAMETERS + CURVE_PARAMETERS,
+    step: float = 0.1,
+    **model_kwargs,
+) -> List[Sensitivity]:
+    """Central-difference elasticities, sorted by magnitude (largest first)."""
+    if not 0 < step < 1:
+        raise ParameterError("step must be within (0, 1)")
+    base_cost = model_fn(machine, relations, memory, **model_kwargs).total_ms
+    if base_cost <= 0:
+        raise ParameterError("base model cost must be positive")
+
+    results: List[Sensitivity] = []
+    for parameter in parameters:
+        up = model_fn(
+            _perturbed(machine, parameter, 1 + step), relations, memory,
+            **model_kwargs,
+        ).total_ms
+        down = model_fn(
+            _perturbed(machine, parameter, 1 - step), relations, memory,
+            **model_kwargs,
+        ).total_ms
+        elasticity = (up - down) / (2 * step * base_cost)
+        base_value = (
+            getattr(machine, parameter)
+            if parameter in SCALAR_PARAMETERS
+            else 1.0
+        )
+        results.append(
+            Sensitivity(
+                parameter=parameter,
+                base_value=float(base_value),
+                elasticity=elasticity,
+            )
+        )
+    results.sort(key=lambda s: abs(s.elasticity), reverse=True)
+    return results
+
+
+def render_sensitivities(
+    algorithm: str, sensitivities: Sequence[Sensitivity]
+) -> str:
+    """A tornado-style text table of elasticities."""
+    from repro.harness.report import format_table
+
+    rows = [
+        [s.parameter, s.base_value, f"{s.elasticity:+.3f}",
+         "#" * min(40, int(abs(s.elasticity) * 40 + 0.5))]
+        for s in sensitivities
+    ]
+    return "\n".join(
+        [
+            f"== parameter sensitivity: {algorithm} "
+            "(elasticity = %cost per %parameter) ==",
+            format_table(["parameter", "base", "elasticity", ""], rows),
+        ]
+    )

@@ -1,0 +1,231 @@
+"""Analytical cost model for parallel pointer-based sort-merge (paper 6.3).
+
+Passes 0 and 1 mirror nested loops except that objects are *written out* to
+``RSi`` (the set of all R-objects pointing into ``Si``) instead of being
+joined.  Pass 2 heap-sorts ``RSi`` in runs of ``IRUN`` objects; subsequent
+passes merge ``NRUNABL`` runs at a time between ``RSi`` and ``Mergei``; the
+final pass merges the last ``LRUN`` runs and joins against a *sequential*
+scan of ``Si`` (the payoff of sorting by the S-pointer).
+
+Parameter choices (paper 6.2):
+
+* ``IRUN = floor(MRproc / (r + hp))`` — the longest run, plus its pointer
+  heap, that fits in memory;
+* ``NRUNABL = MRproc / (3B)`` for all but the last pass and
+  ``NRUNLAST = MRproc / (2B)`` for the last — memory is deliberately
+  *underutilized* to stop LRU from evicting still-active output pages;
+* ``NPASS``/``LRUN`` follow from the run-count collapse (see
+  :func:`merge_plan`; reconstruction documented in DESIGN.md).
+
+Disk layout on disk ``i`` is ``[ Ri | Si | RSi | RPi | Mergei ]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.geometry import (
+    batched_context_switch_cost,
+    synchronized_geometry,
+)
+from repro.model.heaps import (
+    HeapCostParameters,
+    floyd_build_cost,
+    heapsort_cost,
+    merge_pass_cost,
+)
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+)
+from repro.model.report import JoinCostReport, PassCost
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """Derived sort-merge plan: run length, fan-ins and pass count."""
+
+    irun: int
+    nrun_abl: int
+    nrun_last: int
+    initial_runs: int
+    npass: int
+    lrun: int
+
+
+def merge_plan(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+) -> MergePlan:
+    """Choose IRUN/NRUN and derive NPASS and LRUN (paper 6.2/6.3).
+
+    ``NPASS`` is the smallest number of merging passes after which the runs
+    collapse into at most ``NRUNLAST``; each non-final pass divides the run
+    count by ``NRUNABL``.  ``LRUN`` is the number of runs remaining on the
+    final pass.
+    """
+    irun = memory.m_rproc_bytes // (relations.r_bytes + machine.heap_pointer_bytes)
+    if irun < 1:
+        raise ParameterError(
+            "MRproc too small to hold a single R-object and its heap pointer"
+        )
+    nrun_abl = max(2, memory.m_rproc_bytes // (3 * machine.page_size))
+    nrun_last = max(2, memory.m_rproc_bytes // (2 * machine.page_size))
+
+    r_i = math.ceil(relations.r_objects / machine.disks)
+    initial_runs = max(1, math.ceil(r_i / irun))
+
+    npass = 1
+    remaining = initial_runs
+    while remaining > nrun_last:
+        remaining = math.ceil(remaining / nrun_abl)
+        npass += 1
+    lrun = max(
+        1, math.ceil(initial_runs / nrun_abl ** (npass - 1))
+    )
+    return MergePlan(
+        irun=irun,
+        nrun_abl=nrun_abl,
+        nrun_last=nrun_last,
+        initial_runs=initial_runs,
+        npass=npass,
+        lrun=lrun,
+    )
+
+
+def sort_merge_cost(
+    machine: MachineParameters,
+    relations: RelationParameters,
+    memory: MemoryParameters,
+) -> JoinCostReport:
+    """Predicted elapsed time per Rproc for the sort-merge join."""
+    geo = synchronized_geometry(machine, relations)
+    d = machine.disks
+    plan = merge_plan(machine, relations, memory)
+    heap_costs = HeapCostParameters(
+        compare_ms=machine.compare_ms,
+        swap_ms=machine.swap_ms,
+        transfer_ms=machine.transfer_ms,
+    )
+    pages_merge = geo.pages_rs_i  # Mergei is sized like RSi
+    join_bytes = relations.join_tuple_bytes
+    rs_count = geo.rs_i
+
+    # ---- pass 0: Ri scan; spill Ri,j to RPi, write Ri,i to RSi.
+    band0 = geo.pages_r_i + geo.pages_s_i + geo.pages_rs_i + geo.pages_rp_i
+    pass0 = PassCost(
+        name="pass0",
+        disk_ms=(
+            geo.pages_r_i * machine.dttr(band0)
+            + geo.pages_rs_i * machine.dttw(band0)
+            + geo.pages_rp_i * machine.dttw(band0)
+        ),
+        transfer_ms=geo.r_i * relations.r_bytes * machine.mt_pp_ms_per_byte,
+        cpu_ms=geo.r_i * machine.map_ms,
+    )
+
+    # ---- pass 1: RPi read sequentially, contributions written to the RSj.
+    band1 = geo.pages_rs_i + geo.pages_rp_i
+    pass1 = PassCost(
+        name="pass1",
+        disk_ms=(
+            geo.pages_rs_i * machine.dttw(band1)
+            + geo.pages_rp_i * machine.dttr(band1)
+        ),
+        transfer_ms=geo.rp_i * relations.r_bytes * machine.mt_pp_ms_per_byte,
+    )
+
+    # ---- pass 2: heap-sort runs of IRUN objects in place.
+    band_sort = max(1.0, 2.0 * relations.r_bytes * plan.irun / machine.page_size)
+    sort_disk = geo.pages_rs_i * (
+        machine.dttr(band_sort) + machine.dttw(band_sort)
+    )
+    n_sorted = round(rs_count)
+    sort_cpu = floyd_build_cost(n_sorted, heap_costs) + heapsort_cost(
+        n_sorted, plan.irun, heap_costs
+    )
+    pass2 = PassCost(
+        name="pass2-sort",
+        disk_ms=sort_disk,
+        transfer_ms=rs_count * relations.r_bytes * machine.mt_pp_ms_per_byte,
+        cpu_ms=sort_cpu,
+    )
+
+    # ---- merging passes (all but last): NRUNABL-way merges RSi <-> Mergei.
+    extra_merges = plan.npass - 1
+    band_abl = geo.pages_rs_i + geo.pages_rp_i + pages_merge
+    merge_disk = extra_merges * geo.pages_rs_i * (
+        machine.dttr(band_abl) + machine.dttw(band_abl)
+    )
+    merge_cpu = extra_merges * merge_pass_cost(n_sorted, plan.nrun_abl, heap_costs)
+    merge_xfer = (
+        extra_merges * rs_count * relations.r_bytes * machine.mt_pp_ms_per_byte
+    )
+    # Swapping the source/destination areas re-creates the mapping each pass.
+    merge_setup = extra_merges * (
+        machine.delete_map(pages_merge) + machine.new_map(pages_merge)
+    )
+    merge_passes = PassCost(
+        name="merge-passes",
+        disk_ms=merge_disk,
+        transfer_ms=merge_xfer,
+        cpu_ms=merge_cpu,
+        setup_ms=merge_setup,
+    )
+
+    # ---- final pass: LRUN-way merge joined against a sequential Si scan.
+    band_last = (
+        geo.pages_s_i
+        + geo.pages_rs_i
+        + (geo.pages_rp_i + pages_merge) * ((plan.npass - 1) % 2)
+    )
+    last_disk = geo.pages_rs_i * machine.dttr(band_last) + geo.pages_s_i * machine.dttr(
+        band_last
+    )
+    last_cpu = merge_pass_cost(n_sorted, plan.lrun, heap_costs)
+    last_xfer = rs_count * join_bytes * machine.mt_ps_ms_per_byte
+    last_cs = batched_context_switch_cost(machine, relations, rs_count, memory.g_bytes)
+    last_pass = PassCost(
+        name="final-merge-join",
+        disk_ms=last_disk,
+        transfer_ms=last_xfer,
+        cpu_ms=last_cpu,
+        context_switch_ms=last_cs,
+    )
+
+    # ---- mapping setup (serial across the D partitions).
+    setup_ms = d * (
+        machine.open_map(geo.pages_r_i)
+        + machine.open_map(geo.pages_s_i)
+        + machine.new_map(geo.pages_rs_i)
+        + machine.new_map(geo.pages_rp_i)
+        + machine.new_map(pages_merge)
+    )
+    setup = PassCost(name="setup", setup_ms=setup_ms)
+
+    derived = {
+        "r_i": geo.r_i,
+        "r_ii": geo.r_ii,
+        "rp_i": geo.rp_i,
+        "rs_i": geo.rs_i,
+        "irun": float(plan.irun),
+        "nrun_abl": float(plan.nrun_abl),
+        "nrun_last": float(plan.nrun_last),
+        "initial_runs": float(plan.initial_runs),
+        "npass": float(plan.npass),
+        "lrun": float(plan.lrun),
+        "band_pass0_blocks": band0,
+        "band_pass1_blocks": band1,
+        "band_sort_blocks": band_sort,
+        "band_abl_blocks": band_abl,
+        "band_last_blocks": band_last,
+    }
+    return JoinCostReport(
+        algorithm="sort-merge",
+        passes=(setup, pass0, pass1, pass2, merge_passes, last_pass),
+        derived=derived,
+    )

@@ -1,0 +1,15 @@
+"""Real-mmap parallel join backend (multiprocessing over mapped files)."""
+
+from repro.parallel.runner import (
+    REAL_ALGORITHMS,
+    RealJoinError,
+    RealJoinResult,
+    run_real_join,
+)
+
+__all__ = [
+    "REAL_ALGORITHMS",
+    "RealJoinError",
+    "RealJoinResult",
+    "run_real_join",
+]

@@ -1,0 +1,230 @@
+"""Per-partition worker functions for the real-mmap parallel joins.
+
+Each function handles one partition's share of one pass, operating purely
+on memory-mapped segment files, and is a module-level callable so it can be
+dispatched to a :mod:`multiprocessing` pool (CPython's GIL rules out thread
+parallelism for this workload, so — like the paper's Rproc/Sproc design —
+parallelism is process-level, one worker per partition).
+
+Workers communicate only through the store's files and their pickled return
+values; there is no shared mutable state, and every (target, contributor)
+temporary file is written by exactly one worker, so passes are race-free by
+construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.pointer import PointerMap
+from repro.core.records import JoinedPair, RObject, join_pair
+from repro.joins.grace import order_preserving_bucket, refining_chain
+from repro.storage.relation import RRelationFile
+from repro.storage.store import Store
+
+PairList = List[JoinedPair]
+
+
+def _store(root: str, disks: int) -> Store:
+    return Store(root, disks)
+
+
+def _pmap(s_objects: int, disks: int) -> PointerMap:
+    return PointerMap(s_objects=s_objects, partitions=disks)
+
+
+def _phase_partner(i: int, t: int, disks: int) -> int:
+    return (i + t) % disks
+
+
+# ------------------------------------------------------------ nested loops
+
+def nested_loops_pass0(
+    args: Tuple[str, int, int, int, int]
+) -> PairList:
+    """Scan R_i: join local references, spill the rest to the RP_i_j."""
+    root, disks, i, s_objects, record_bytes = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    pairs: PairList = []
+    with store.open_r(i) as r_rel, store.open_s(i) as s_rel:
+        spill = {
+            j: RRelationFile.create(
+                store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)), record_bytes
+            )
+            for j in range(disks)
+            if j != i
+        }
+        try:
+            for obj in r_rel:
+                target, offset = pmap.locate(obj.sptr)
+                if target == i:
+                    pairs.append(join_pair(obj, s_rel.dereference(offset)))
+                else:
+                    spill[target].append(obj)
+        finally:
+            for rel in spill.values():
+                rel.close()
+    return pairs
+
+
+def nested_loops_pass1(
+    args: Tuple[str, int, int, int]
+) -> PairList:
+    """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
+    root, disks, i, s_objects = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    pairs: PairList = []
+    for t in range(1, disks):
+        j = _phase_partner(i, t, disks)
+        with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
+                store.open_s(j) as s_rel:
+            for obj in spill:
+                pairs.append(join_pair(obj, s_rel.dereference(pmap.offset_of(obj.sptr))))
+    return pairs
+
+
+# --------------------------------------------------------------- sort-merge
+
+def sort_merge_partition(
+    args: Tuple[str, int, int, int, int]
+) -> int:
+    """Passes 0 and 1 for one contributor: write the RS_j_from_i files."""
+    root, disks, i, s_objects, record_bytes = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    with store.open_r(i) as r_rel:
+        outputs = {
+            j: RRelationFile.create(
+                store.path(j, f"RS{j}_from{i}"), max(1, len(r_rel)), record_bytes
+            )
+            for j in range(disks)
+        }
+        moved = 0
+        try:
+            for obj in r_rel:
+                outputs[pmap.partition_of(obj.sptr)].append(obj)
+                moved += 1
+        finally:
+            for rel in outputs.values():
+                rel.close()
+    return moved
+
+
+def sort_merge_join(
+    args: Tuple[str, int, int, int, int, int]
+) -> PairList:
+    """Sort RS_i into runs, merge the runs, join against sequential S_i."""
+    root, disks, i, s_objects, record_bytes, irun = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    irun = max(1, irun)
+
+    # Gather this partition's inbound objects and cut them into sorted runs
+    # stored back on disk (the external-sort structure of the paper).
+    run_paths: List[Path] = []
+    buffer: List[RObject] = []
+    run_id = 0
+
+    def flush_run() -> None:
+        nonlocal run_id
+        if not buffer:
+            return
+        buffer.sort(key=lambda obj: obj.sptr)
+        path = store.path(i, f"RUN{i}_{run_id}")
+        rel = RRelationFile.create(path, len(buffer), record_bytes)
+        try:
+            for obj in buffer:
+                rel.append(obj)
+        finally:
+            rel.close()
+        run_paths.append(path)
+        run_id += 1
+        buffer.clear()
+
+    for contributor in range(disks):
+        with RRelationFile.open(store.path(i, f"RS{i}_from{contributor}")) as rel:
+            for obj in rel:
+                buffer.append(obj)
+                if len(buffer) >= irun:
+                    flush_run()
+    flush_run()
+
+    # Merge the run streams lazily and join against a sequential S_i scan.
+    pairs: PairList = []
+    streams = [_run_stream(path) for path in run_paths]
+    with store.open_s(i) as s_rel:
+        for obj in heapq.merge(*streams, key=lambda o: o.sptr):
+            pairs.append(join_pair(obj, s_rel.dereference(pmap.offset_of(obj.sptr))))
+    return pairs
+
+
+def _run_stream(path: Path):
+    rel = RRelationFile.open(path)
+    try:
+        yield from rel
+    finally:
+        rel.close()
+
+
+# -------------------------------------------------------------------- grace
+
+def grace_partition(
+    args: Tuple[str, int, int, int, int, int]
+) -> int:
+    """Passes 0 and 1 for one contributor: hash into BS_j_k_from_i files."""
+    root, disks, i, s_objects, record_bytes, buckets = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    with store.open_r(i) as r_rel:
+        outputs: Dict[Tuple[int, int], RRelationFile] = {}
+        moved = 0
+        try:
+            for obj in r_rel:
+                target, offset = pmap.locate(obj.sptr)
+                part_size = pmap.partition_size(target)
+                bucket = order_preserving_bucket(offset, part_size, buckets)
+                key = (target, bucket)
+                if key not in outputs:
+                    outputs[key] = RRelationFile.create(
+                        store.path(target, f"BS{target}_{bucket}_from{i}"),
+                        max(1, len(r_rel)),
+                        record_bytes,
+                    )
+                outputs[key].append(obj)
+                moved += 1
+        finally:
+            for rel in outputs.values():
+                rel.close()
+    return moved
+
+
+def grace_probe(
+    args: Tuple[str, int, int, int, int, int]
+) -> PairList:
+    """Probe passes for one partition: bucket table, ordered S access."""
+    root, disks, i, s_objects, buckets, tsize = args
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    part_size = pmap.partition_size(i)
+    pairs: PairList = []
+    with store.open_s(i) as s_rel:
+        for bucket in range(buckets):
+            table: List[List[RObject]] = [[] for _ in range(tsize)]
+            for contributor in range(disks):
+                path = store.path(i, f"BS{i}_{bucket}_from{contributor}")
+                if not path.exists():
+                    continue
+                with RRelationFile.open(path) as rel:
+                    for obj in rel:
+                        offset = pmap.offset_of(obj.sptr)
+                        chain = refining_chain(offset, part_size, buckets, tsize)
+                        table[chain].append(obj)
+            for chain in table:
+                for obj in chain:
+                    offset = pmap.offset_of(obj.sptr)
+                    pairs.append(join_pair(obj, s_rel.dereference(offset)))
+    return pairs

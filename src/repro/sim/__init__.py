@@ -1,0 +1,73 @@
+"""Discrete simulation of the paper's memory-mapped multiprocessor testbed.
+
+This package stands in for the hardware the paper measured (a Sequent
+Symmetry with Fujitsu drives): per-process virtual clocks, mechanical disks
+whose access cost depends on arm movement, demand-paged memory with
+pluggable replacement, µDatabase-style segments, and the shared G-buffer
+protocol between R and S processes.  See DESIGN.md for the substitution
+argument.
+"""
+
+from repro.sim.disk import DiskGeometry, SimDisk
+from repro.sim.errors import (
+    DiskError,
+    MemoryError_,
+    SegmentError,
+    SimulationError,
+)
+from repro.sim.machine import SimConfig, SimMachine
+from repro.sim.mapper import MappingCosts, SegmentMapper
+from repro.sim.memory import PagedMemory
+from repro.sim.process import SimProcess
+from repro.sim.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.sim.segment import Region, SimSegment, carve_regions, region_capacity_with_alignment
+from repro.sim.sharedbuf import GBufferChannel
+from repro.sim.stats import DiskStats, MachineStats, MemoryStats
+from repro.sim.trace import (
+    AccessEvent,
+    TraceRecorder,
+    attach_recorder,
+    detach_recorder,
+    fault_profile,
+    render_fault_strip,
+)
+
+__all__ = [
+    "AccessEvent",
+    "ClockPolicy",
+    "DiskError",
+    "DiskGeometry",
+    "DiskStats",
+    "FifoPolicy",
+    "GBufferChannel",
+    "LruPolicy",
+    "MachineStats",
+    "MappingCosts",
+    "MemoryError_",
+    "MemoryStats",
+    "PagedMemory",
+    "Region",
+    "ReplacementPolicy",
+    "SegmentError",
+    "SegmentMapper",
+    "SimConfig",
+    "SimDisk",
+    "SimMachine",
+    "SimProcess",
+    "SimSegment",
+    "SimulationError",
+    "TraceRecorder",
+    "attach_recorder",
+    "carve_regions",
+    "detach_recorder",
+    "fault_profile",
+    "make_policy",
+    "region_capacity_with_alignment",
+    "render_fault_strip",
+]

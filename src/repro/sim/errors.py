@@ -1,0 +1,17 @@
+"""Exception types for the simulated memory-mapped environment."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class SegmentError(SimulationError):
+    """Segment addressing or capacity violation."""
+
+
+class DiskError(SimulationError):
+    """Disk addressing violation."""
+
+
+class MemoryError_(SimulationError):
+    """Paged-memory misconfiguration (name avoids the builtin)."""

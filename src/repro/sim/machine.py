@@ -1,0 +1,179 @@
+"""The assembled simulated machine: disks, mapper, processes and constants.
+
+:class:`SimConfig` mirrors the constant part of the analytical model's
+:class:`~repro.model.parameters.MachineParameters` — context-switch time,
+memory transfer rates and per-operation CPU costs — plus the mechanical
+descriptions (disk geometry, mapping costs) from which the model's measured
+curves *emerge*.  :func:`calibrated_machine_parameters` in the harness
+closes the loop: it measures dttr/dttw and the mapping curves on a machine
+built from a config and returns the matching ``MachineParameters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.sim.disk import DiskGeometry, SimDisk
+from repro.sim.errors import SimulationError
+from repro.sim.mapper import MappingCosts, SegmentMapper
+from repro.sim.process import SimProcess
+from repro.sim.segment import SimSegment
+from repro.sim.stats import MachineStats
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All constants of the simulated machine.
+
+    The CPU-side defaults are identical to the analytical model's defaults
+    so that model and experiment describe the same machine by construction.
+    """
+
+    page_size: int = 4096
+    disks: int = 4
+    context_switch_ms: float = 0.2
+    mt_pp_ms_per_byte: float = 1.0e-4
+    mt_ps_ms_per_byte: float = 1.5e-4
+    mt_sp_ms_per_byte: float = 1.5e-4
+    mt_ss_ms_per_byte: float = 2.0e-4
+    map_ms: float = 0.002
+    hash_ms: float = 0.004
+    compare_ms: float = 0.004
+    swap_ms: float = 0.006
+    transfer_ms: float = 0.003
+    heap_pointer_bytes: int = 8
+    replacement_policy: str = "lru"
+    disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    mapping_costs: MappingCosts = field(default_factory=MappingCosts)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise SimulationError("page_size must be positive")
+        if self.disks <= 0:
+            raise SimulationError("disks must be positive")
+
+    def with_disks(self, disks: int) -> "SimConfig":
+        return replace(self, disks=disks)
+
+    def with_policy(self, policy: str) -> "SimConfig":
+        return replace(self, replacement_policy=policy)
+
+
+class SimMachine:
+    """A shared-memory multiprocessor with D disk controllers."""
+
+    def __init__(self, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+        self.stats = MachineStats()
+        self.disks: List[SimDisk] = [
+            SimDisk(
+                disk_id=i,
+                geometry=self.config.disk_geometry,
+                stats=self.stats.disk_stats(i),
+            )
+            for i in range(self.config.disks)
+        ]
+        self.mapper = SegmentMapper(
+            costs=self.config.mapping_costs, page_size=self.config.page_size
+        )
+        self._processes: dict[str, SimProcess] = {}
+
+    # ------------------------------------------------------------ processes
+
+    def create_process(
+        self, name: str, frames: int, policy: str | None = None
+    ) -> SimProcess:
+        """Create a simulated process with its own page-frame pool."""
+        if name in self._processes:
+            raise SimulationError(f"process {name!r} already exists")
+        process = SimProcess(
+            name=name,
+            machine=self,
+            frames=frames,
+            policy=policy or self.config.replacement_policy,
+        )
+        self._processes[name] = process
+        return process
+
+    def process(self, name: str) -> SimProcess:
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise SimulationError(f"no process named {name!r}") from None
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        return list(self._processes.values())
+
+    # ------------------------------------------------------------- segments
+
+    def new_segment(
+        self, name: str, disk_id: int, capacity_objects: int, object_bytes: int
+    ) -> SimSegment:
+        """newMap: a fresh segment over newly acquired disk space."""
+        self.stats.map_operations += 1
+        return self.mapper.new_map(
+            name, self.disks[disk_id], capacity_objects, object_bytes
+        )
+
+    def open_segment(self, segment: SimSegment) -> SimSegment:
+        """openMap: charge the cost of re-mapping an existing segment."""
+        self.stats.map_operations += 1
+        return self.mapper.open_map(segment)
+
+    def delete_segment(self, segment: SimSegment) -> None:
+        """deleteMap: destroy a segment and its data."""
+        self.stats.map_operations += 1
+        for process in self._processes.values():
+            process.memory.drop_segment(segment, discard=True)
+        self.mapper.delete_map(segment)
+
+    def recycle_segment(self, segment: SimSegment) -> None:
+        """deleteMap + newMap over the same area (sort-merge area swap).
+
+        The sort-merge algorithm swaps its source and destination areas
+        between merge passes by destroying the consumed mapping and creating
+        a fresh one in place; the data becomes demand-zero again and the
+        mapper charges both operations.
+        """
+        self.stats.map_operations += 2
+        for process in self._processes.values():
+            process.memory.drop_segment(segment, discard=True)
+        segment.initialized_pages.clear()
+        self.mapper.setup_ms += self.mapper.costs.delete_map_ms(segment.n_pages)
+        self.mapper.setup_ms += self.mapper.costs.new_map_ms(segment.n_pages)
+
+    def load_base_segment(
+        self,
+        name: str,
+        disk_id: int,
+        objects: list,
+        object_bytes: int,
+    ) -> SimSegment:
+        """Materialize a base relation that already exists on disk.
+
+        The loading itself is free — the relation predates the join — but
+        the segment's pages are marked initialized so the first access of
+        each page faults and pays real read I/O.  The newMap charge incurred
+        while building is cancelled; joins charge openMap when they start.
+        """
+        before = self.mapper.setup_ms
+        segment = self.mapper.new_map(name, self.disks[disk_id], len(objects), object_bytes)
+        self.mapper.setup_ms = before
+        for index, obj in enumerate(objects):
+            segment.poke(index, obj)
+        segment.mark_all_initialized()
+        return segment
+
+    # -------------------------------------------------------------- elapsed
+
+    def flush_all_disks(self) -> float:
+        """Drain every write-behind queue; returns the total time."""
+        return sum(disk.flush() for disk in self.disks)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed time so far: slowest process plus serial setup."""
+        clocks = [p.clock_ms for p in self._processes.values()]
+        return (max(clocks) if clocks else 0.0) + self.mapper.setup_ms

@@ -1,0 +1,119 @@
+"""Simulated processes: virtual clocks plus charged object access.
+
+A :class:`SimProcess` owns a private paged memory and a virtual clock.
+Every object access charges the clock with whatever the memory/disk stack
+reports; CPU work (mapping a pointer to its partition, hashing, heap
+operations) and memory-to-memory transfers are charged explicitly with the
+machine's measured constants, mirroring the cost terms of the paper's
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.errors import SimulationError
+from repro.sim.memory import PagedMemory
+from repro.sim.segment import Region, SimSegment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import SimMachine
+
+
+class SimProcess:
+    """One process (Rproc or Sproc) with private memory and a clock."""
+
+    def __init__(
+        self, name: str, machine: "SimMachine", frames: int, policy: str = "lru"
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        self.clock_ms = 0.0
+        self.memory = PagedMemory(
+            frames=frames,
+            policy=policy,
+            stats=machine.stats.memory_stats(name),
+        )
+
+    # --------------------------------------------------------------- clock
+
+    def advance(self, ms: float) -> None:
+        if ms < 0:
+            raise SimulationError(f"cannot advance clock by {ms} ms")
+        self.clock_ms += ms
+
+    def sync_to(self, ms: float) -> None:
+        """Barrier: wait until the given moment (used between phases)."""
+        if ms > self.clock_ms:
+            self.clock_ms = ms
+
+    # -------------------------------------------------------------- access
+
+    def read(self, segment: SimSegment, index: int) -> Any:
+        """Read one object, charging any page-fault I/O to this clock."""
+        self.advance(self.memory.access(segment, segment.page_of(index), write=False))
+        return segment.peek(index)
+
+    def write(self, segment: SimSegment, index: int, value: Any) -> None:
+        """Write one object in place, dirtying its page."""
+        self.advance(self.memory.access(segment, segment.page_of(index), write=True))
+        segment.poke(index, value)
+
+    def append(self, region: Region, value: Any) -> int:
+        """Append one object to a region; returns its segment index."""
+        index = region.next_index()
+        self.write(region.segment, index, value)
+        region.commit_append()
+        return index
+
+    def flush(self, segment: SimSegment | None = None) -> None:
+        """Write back this process's dirty pages (pass-boundary cleanup)."""
+        self.advance(self.memory.flush(segment))
+
+    # ----------------------------------------------------------------- CPU
+
+    def charge_map(self, count: int = 1) -> None:
+        """Pointer-to-partition computation (the paper's ``map``)."""
+        self.machine.stats.cpu_map_calls += count
+        self.advance(count * self.machine.config.map_ms)
+
+    def charge_hash(self, count: int = 1) -> None:
+        """One application of a hash function (the paper's ``hash``)."""
+        self.machine.stats.cpu_hash_calls += count
+        self.advance(count * self.machine.config.hash_ms)
+
+    def charge_compare(self, count: int = 1) -> None:
+        self.machine.stats.heap_compares += count
+        self.advance(count * self.machine.config.compare_ms)
+
+    def charge_swap(self, count: int = 1) -> None:
+        self.machine.stats.heap_swaps += count
+        self.advance(count * self.machine.config.swap_ms)
+
+    def charge_heap_transfer(self, count: int = 1) -> None:
+        self.machine.stats.heap_transfers += count
+        self.advance(count * self.machine.config.transfer_ms)
+
+    # ------------------------------------------------------------ transfers
+
+    def transfer_private(self, n_bytes: int) -> None:
+        """Private-to-private move inside this process's segment (MTpp)."""
+        self.machine.stats.bytes_moved_private += n_bytes
+        self.advance(n_bytes * self.machine.config.mt_pp_ms_per_byte)
+
+    def transfer_to_shared(self, n_bytes: int) -> None:
+        """Private-to-shared move for cross-process hand-off (MTps)."""
+        self.machine.stats.bytes_moved_shared += n_bytes
+        self.advance(n_bytes * self.machine.config.mt_ps_ms_per_byte)
+
+    def transfer_from_shared(self, n_bytes: int) -> None:
+        """Shared-to-private move (MTsp)."""
+        self.machine.stats.bytes_moved_shared += n_bytes
+        self.advance(n_bytes * self.machine.config.mt_sp_ms_per_byte)
+
+    def context_switch(self, count: int = 1) -> None:
+        self.machine.stats.context_switches += count
+        self.advance(count * self.machine.config.context_switch_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimProcess({self.name!r}, clock={self.clock_ms:.1f} ms)"

@@ -1,0 +1,185 @@
+"""Page replacement policies for the simulated paged memory.
+
+The paper's testbed (Dynix) uses "a simple page replacement algorithm", and
+a recurring observation of the paper is that the *wrong* replacement
+decisions of LRU-style aging cause thrashing in the sort-merge and Grace
+algorithms.  Three classic policies are provided so the replacement-policy
+ablation bench can quantify that observation:
+
+* :class:`LruPolicy`   — exact least-recently-used (the model's assumption);
+* :class:`ClockPolicy` — second-chance approximation of LRU (closest to the
+  Dynix behaviour the paper describes);
+* :class:`FifoPolicy`  — oldest-loaded-first, ignoring recency entirely.
+
+A policy tracks page *keys* only; the owning :class:`~repro.sim.memory.PagedMemory`
+keeps the page contents and dirty bits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Hashable, Iterator
+
+from repro.sim.errors import MemoryError_
+
+PageKey = Hashable
+
+
+class ReplacementPolicy(ABC):
+    """Interface shared by the replacement policies."""
+
+    @abstractmethod
+    def insert(self, key: PageKey) -> None:
+        """Register a newly-loaded page."""
+
+    @abstractmethod
+    def touch(self, key: PageKey) -> None:
+        """Record a reference to a resident page."""
+
+    @abstractmethod
+    def evict(self) -> PageKey:
+        """Choose and remove the victim page, returning its key."""
+
+    @abstractmethod
+    def remove(self, key: PageKey) -> None:
+        """Forget a page (e.g. its segment was unmapped)."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, key: PageKey) -> bool: ...
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[PageKey]: ...
+
+
+class LruPolicy(ReplacementPolicy):
+    """Exact LRU on an ordered dict: least recently used is evicted first."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageKey, None] = OrderedDict()
+
+    def insert(self, key: PageKey) -> None:
+        if key in self._order:
+            raise MemoryError_(f"page {key!r} inserted twice")
+        self._order[key] = None
+
+    def touch(self, key: PageKey) -> None:
+        if key not in self._order:
+            raise MemoryError_(f"touched non-resident page {key!r}")
+        self._order.move_to_end(key)
+
+    def evict(self) -> PageKey:
+        if not self._order:
+            raise MemoryError_("evict from empty memory")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: PageKey) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._order
+
+    def __iter__(self) -> Iterator[PageKey]:
+        return iter(self._order)
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance (CLOCK): referenced pages get one reprieve per sweep."""
+
+    def __init__(self) -> None:
+        self._ring: OrderedDict[PageKey, bool] = OrderedDict()
+
+    def insert(self, key: PageKey) -> None:
+        if key in self._ring:
+            raise MemoryError_(f"page {key!r} inserted twice")
+        self._ring[key] = True
+
+    def touch(self, key: PageKey) -> None:
+        if key not in self._ring:
+            raise MemoryError_(f"touched non-resident page {key!r}")
+        self._ring[key] = True
+
+    def evict(self) -> PageKey:
+        if not self._ring:
+            raise MemoryError_("evict from empty memory")
+        while True:
+            key, referenced = next(iter(self._ring.items()))
+            if referenced:
+                # Clear the reference bit and move the hand past the page.
+                self._ring[key] = False
+                self._ring.move_to_end(key)
+            else:
+                del self._ring[key]
+                return key
+
+    def remove(self, key: PageKey) -> None:
+        self._ring.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._ring
+
+    def __iter__(self) -> Iterator[PageKey]:
+        return iter(self._ring)
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in first-out: references never change the eviction order."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[PageKey, None] = OrderedDict()
+
+    def insert(self, key: PageKey) -> None:
+        if key in self._order:
+            raise MemoryError_(f"page {key!r} inserted twice")
+        self._order[key] = None
+
+    def touch(self, key: PageKey) -> None:
+        if key not in self._order:
+            raise MemoryError_(f"touched non-resident page {key!r}")
+
+    def evict(self) -> PageKey:
+        if not self._order:
+            raise MemoryError_("evict from empty memory")
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def remove(self, key: PageKey) -> None:
+        self._order.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._order
+
+    def __iter__(self) -> Iterator[PageKey]:
+        return iter(self._order)
+
+
+POLICY_FACTORIES = {
+    "lru": LruPolicy,
+    "clock": ClockPolicy,
+    "fifo": FifoPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``clock``/``fifo``)."""
+    try:
+        factory = POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        raise MemoryError_(
+            f"unknown replacement policy {name!r}; "
+            f"choices: {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory()

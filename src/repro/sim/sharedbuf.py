@@ -1,0 +1,91 @@
+"""The shared G-buffer protocol between an Rproc and an Sproc.
+
+When an Rproc needs S-objects it does not dereference them itself — the
+owning Sproc reads them (faulting its own memory) and copies them into a
+shared buffer of size G.  Requests are batched: the Rproc fills the buffer
+with R-objects and their extracted S-pointers until only room for the
+matching S-objects remains, then hands the buffer over (one context switch)
+and receives it back filled (a second context switch).
+
+This is the paper's section 5.1 optimization, and the batching is what the
+``g(h) = 2 * CS * ceil(h / (G/(r+sptr+s)))`` term of the analysis charges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from repro.sim.errors import SimulationError
+from repro.sim.process import SimProcess
+from repro.sim.segment import SimSegment
+
+
+class GBufferChannel:
+    """Batched S-object lookups from one Rproc through one Sproc."""
+
+    def __init__(
+        self,
+        rproc: SimProcess,
+        sproc: SimProcess,
+        s_segment: SimSegment,
+        g_bytes: int,
+        r_bytes: int,
+        sptr_bytes: int,
+        s_bytes: int,
+    ) -> None:
+        if g_bytes <= 0:
+            raise SimulationError("G buffer must have positive size")
+        self.rproc = rproc
+        self.sproc = sproc
+        self.s_segment = s_segment
+        self.join_tuple_bytes = r_bytes + sptr_bytes + s_bytes
+        self.r_bytes = r_bytes
+        self.sptr_bytes = sptr_bytes
+        self.s_bytes = s_bytes
+        self.batch_capacity = max(1, g_bytes // self.join_tuple_bytes)
+        self._pending: List[Tuple[Any, int]] = []
+        self.batches_flushed = 0
+
+    def request(
+        self,
+        r_object: Any,
+        s_offset: int,
+        deliver: Callable[[Any, Any], None],
+    ) -> None:
+        """Queue a lookup; ``deliver(r_object, s_object)`` runs at flush.
+
+        The R-object and its copied S-pointer are placed into the shared
+        buffer now (an MTps transfer by the Rproc); the S-object arrives
+        when the batch flushes.
+        """
+        self.rproc.transfer_to_shared(self.r_bytes + self.sptr_bytes)
+        self._pending.append((r_object, s_offset))
+        if len(self._pending) >= self.batch_capacity:
+            self._flush(deliver)
+
+    def flush(self, deliver: Callable[[Any, Any], None]) -> None:
+        """Flush a partial batch (end of a phase or pass)."""
+        if self._pending:
+            self._flush(deliver)
+
+    def _flush(self, deliver: Callable[[Any, Any], None]) -> None:
+        # Hand the buffer to the Sproc and back: two context switches,
+        # charged to the waiting Rproc (stats count them once).
+        self.rproc.context_switch(2)
+
+        # The Sproc dereferences each pointer (faulting Si as needed) and
+        # copies the object into the buffer.  The exchange is synchronous:
+        # the Sproc cannot start before the request arrives, and the Rproc
+        # blocks until the reply, so the two clocks rendezvous around the
+        # service interval.
+        self.sproc.sync_to(self.rproc.clock_ms)
+        for _, s_offset in self._pending:
+            self.sproc.read(self.s_segment, s_offset)
+            self.sproc.transfer_to_shared(self.s_bytes)
+        self.rproc.sync_to(self.sproc.clock_ms)
+
+        for r_object, s_offset in self._pending:
+            s_object = self.s_segment.peek(s_offset)
+            deliver(r_object, s_object)
+        self._pending.clear()
+        self.batches_flushed += 1

@@ -1,0 +1,86 @@
+"""Counters collected while a join executes on the simulated machine.
+
+The paper validates its model against measured elapsed time, but it also
+reasons about page faults, I/O volume and context switches; these counters
+expose the same quantities so tests can check mechanism-level agreement
+(e.g. measured S-partition faults vs. the Mackert–Lohman prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DiskStats:
+    """Per-disk I/O counters."""
+
+    blocks_read: int = 0
+    blocks_written: int = 0
+    read_ms: float = 0.0
+    write_ms: float = 0.0
+    flushes: int = 0
+
+    @property
+    def blocks_total(self) -> int:
+        return self.blocks_read + self.blocks_written
+
+
+@dataclass
+class MemoryStats:
+    """Per-process paged-memory counters."""
+
+    accesses: int = 0
+    faults: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.faults / self.accesses
+
+
+@dataclass
+class MachineStats:
+    """Aggregated machine-wide counters for one simulated run."""
+
+    context_switches: int = 0
+    bytes_moved_private: int = 0
+    bytes_moved_shared: int = 0
+    map_operations: int = 0
+    cpu_map_calls: int = 0
+    cpu_hash_calls: int = 0
+    heap_compares: int = 0
+    heap_swaps: int = 0
+    heap_transfers: int = 0
+    disk: Dict[int, DiskStats] = field(default_factory=dict)
+    memory: Dict[str, MemoryStats] = field(default_factory=dict)
+
+    def disk_stats(self, disk_id: int) -> DiskStats:
+        return self.disk.setdefault(disk_id, DiskStats())
+
+    def memory_stats(self, process_name: str) -> MemoryStats:
+        return self.memory.setdefault(process_name, MemoryStats())
+
+    @property
+    def total_blocks_read(self) -> int:
+        return sum(d.blocks_read for d in self.disk.values())
+
+    @property
+    def total_blocks_written(self) -> int:
+        return sum(d.blocks_written for d in self.disk.values())
+
+    @property
+    def total_faults(self) -> int:
+        return sum(m.faults for m in self.memory.values())
+
+    def summary(self) -> str:
+        return (
+            f"blocks read={self.total_blocks_read:,} "
+            f"written={self.total_blocks_written:,} "
+            f"faults={self.total_faults:,} "
+            f"context switches={self.context_switches:,}"
+        )

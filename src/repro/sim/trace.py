@@ -1,0 +1,165 @@
+"""Access tracing: observe the paging behaviour the paper reasons about.
+
+The paper's hardest modelling problems — LRU evicting still-useful pages in
+the sort-merge merge passes (§6.2), premature bucket-page replacement in
+Grace pass 0 (§7.3) — are statements about *access patterns*.  This module
+records them: a :class:`TraceRecorder` attached to a
+:class:`~repro.sim.memory.PagedMemory` captures one event per page access,
+and :func:`fault_profile` / :func:`render_fault_strip` summarize the stream
+into the kind of evidence the paper argues from.
+
+Tracing is strictly opt-in (attach/detach) and adds nothing to untraced
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.sim.memory import PagedMemory
+from repro.sim.segment import SimSegment
+
+
+class AccessEvent(NamedTuple):
+    """One page access, in program order."""
+
+    sequence: int
+    segment_name: str
+    page: int
+    write: bool
+    fault: bool
+    evicted_segment: Optional[str]  # victim's segment, if an eviction happened
+    evicted_dirty: bool
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`AccessEvent` streams from one paged memory."""
+
+    events: List[AccessEvent] = field(default_factory=list)
+    _sequence: int = 0
+
+    def record(
+        self,
+        segment: SimSegment,
+        page: int,
+        write: bool,
+        fault: bool,
+        evicted_segment: Optional[str],
+        evicted_dirty: bool,
+    ) -> None:
+        self.events.append(
+            AccessEvent(
+                sequence=self._sequence,
+                segment_name=segment.name,
+                page=page,
+                write=write,
+                fault=fault,
+                evicted_segment=evicted_segment,
+                evicted_dirty=evicted_dirty,
+            )
+        )
+        self._sequence += 1
+
+    # ------------------------------------------------------------ summaries
+
+    @property
+    def access_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def fault_count(self) -> int:
+        return sum(1 for e in self.events if e.fault)
+
+    def faults_by_segment(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.fault:
+                out[event.segment_name] = out.get(event.segment_name, 0) + 1
+        return out
+
+    def premature_refaults(self, segment_name: str) -> int:
+        """Pages of one segment faulted again after having been resident.
+
+        This is exactly the paper's "premature replacement" count: a page
+        that was in memory, got evicted, and was needed again.
+        """
+        seen: set[int] = set()
+        refaults = 0
+        for event in self.events:
+            if event.segment_name != segment_name or not event.fault:
+                continue
+            if event.page in seen:
+                refaults += 1
+            seen.add(event.page)
+        return refaults
+
+
+def attach_recorder(memory: PagedMemory) -> TraceRecorder:
+    """Wrap a paged memory's ``access`` so every call is recorded.
+
+    Returns the recorder; call :func:`detach_recorder` to restore the
+    original method.
+    """
+    recorder = TraceRecorder()
+    original = memory.access
+
+    def traced_access(segment: SimSegment, page: int, write: bool = False) -> float:
+        faults_before = memory.stats.faults
+        evictions_before = memory.stats.evictions
+        dirty_before = memory.stats.dirty_evictions
+        cost = original(segment, page, write)
+        recorder.record(
+            segment=segment,
+            page=page,
+            write=write,
+            fault=memory.stats.faults > faults_before,
+            evicted_segment="?" if memory.stats.evictions > evictions_before else None,
+            evicted_dirty=memory.stats.dirty_evictions > dirty_before,
+        )
+        return cost
+
+    memory.access = traced_access  # type: ignore[method-assign]
+    memory._trace_original_access = original  # type: ignore[attr-defined]
+    return recorder
+
+
+def detach_recorder(memory: PagedMemory) -> None:
+    """Restore an un-traced ``access`` method."""
+    original = getattr(memory, "_trace_original_access", None)
+    if original is not None:
+        memory.access = original  # type: ignore[method-assign]
+        del memory._trace_original_access
+
+
+def fault_profile(
+    recorder: TraceRecorder, buckets: int = 60
+) -> List[float]:
+    """Fault rate over time: the fraction of faulting accesses per slice."""
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    events = recorder.events
+    if not events:
+        return [0.0] * buckets
+    per_bucket = max(1, len(events) // buckets)
+    profile = []
+    for start in range(0, len(events), per_bucket):
+        window = events[start : start + per_bucket]
+        profile.append(sum(1 for e in window if e.fault) / len(window))
+    return profile[:buckets]
+
+
+def render_fault_strip(recorder: TraceRecorder, width: int = 60) -> str:
+    """A one-line heat strip of the fault rate over program time.
+
+    ``' '`` means no faults in the slice, ``'#'`` means every access
+    faulted — a quick visual of thrashing phases.
+    """
+    shades = " .:-=+*#"
+    profile = fault_profile(recorder, buckets=width)
+    chars = []
+    for rate in profile:
+        index = min(len(shades) - 1, int(rate * (len(shades) - 1) + 0.5))
+        chars.append(shades[index])
+    return "".join(chars)

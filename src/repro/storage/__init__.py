@@ -1,0 +1,36 @@
+"""Real mmap-backed single-level store (the µDatabase substrate)."""
+
+from repro.storage.btree import MAX_KEYS, BTreeError, PersistentBTree
+from repro.storage.layout import LayoutError, RecordLayout
+from repro.storage.relation import (
+    RRelationFile,
+    SRelationFile,
+    write_r_partition,
+    write_s_partition,
+)
+from repro.storage.segment import (
+    MappedSegment,
+    StorageError,
+    timed_delete_map,
+    timed_new_map,
+    timed_open_map,
+)
+from repro.storage.store import Store
+
+__all__ = [
+    "BTreeError",
+    "LayoutError",
+    "MAX_KEYS",
+    "MappedSegment",
+    "PersistentBTree",
+    "RRelationFile",
+    "RecordLayout",
+    "SRelationFile",
+    "StorageError",
+    "Store",
+    "timed_delete_map",
+    "timed_new_map",
+    "timed_open_map",
+    "write_r_partition",
+    "write_s_partition",
+]

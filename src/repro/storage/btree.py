@@ -1,0 +1,396 @@
+"""A persistent B-tree in one memory-mapped segment (paper §2.1).
+
+The paper's opening argument rests on µDatabase's claim that "data
+structures such as B-Trees, R-Trees and graph data structures can be
+implemented as efficiently and effectively in this environment as in a
+traditional environment using explicit I/O".  This module demonstrates the
+claim concretely: a B-tree whose nodes are fixed-size records in a
+:class:`~repro.storage.segment.MappedSegment`, whose child pointers are
+plain record indices — valid the instant the segment is mapped, with no
+swizzling or translation — and whose every access is an ordinary mapped
+read or write (the OS pager does all I/O).
+
+Keys and values are unsigned 64-bit integers; inserting an existing key
+updates its value in place.  One node occupies one 4K record, the natural
+unit of the paging environment.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.segment import MappedSegment, StorageError
+
+NODE_BYTES = 4096
+# Node header: is_leaf (u8), pad (u8), count (u16), pad (u32).
+_HEADER = struct.Struct("<BBHI")
+# Metadata record (record 0): magic, root index, size, node count.
+_META = struct.Struct("<8sQQQ")
+_META_MAGIC = b"UDBBTREE"
+_ENTRY = struct.Struct("<QQ")  # key, value-or-child
+
+# Capacity: entries per node.  Internal nodes hold `count` keys and
+# `count + 1` children, so they need one extra slot.
+_SLOT_BYTES = _ENTRY.size
+MAX_KEYS = (NODE_BYTES - _HEADER.size - _SLOT_BYTES) // (2 * _SLOT_BYTES)
+_MIN_KEYS = MAX_KEYS // 2
+
+
+class BTreeError(StorageError):
+    """Raised for B-tree misuse or corruption."""
+
+
+@dataclass
+class _Node:
+    """Decoded node, written back explicitly after mutation."""
+
+    index: int
+    is_leaf: bool
+    keys: List[int]
+    # Leaves: values[i] pairs with keys[i].  Internal: children has
+    # len(keys) + 1 entries.
+    values: List[int]
+    children: List[int]
+
+
+class PersistentBTree:
+    """A B-tree of u64 keys/values stored in a mapped segment."""
+
+    def __init__(self, segment: MappedSegment) -> None:
+        self._segment = segment
+        self._root_index, self._size, self._node_count = self._read_meta()
+
+    # ----------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, capacity_nodes: int = 4096) -> "PersistentBTree":
+        """Create a new tree (newMap + an empty root leaf)."""
+        if capacity_nodes < 2:
+            raise BTreeError("need room for the metadata record and a root")
+        segment = MappedSegment.create(path, capacity_nodes, NODE_BYTES)
+        tree = object.__new__(cls)
+        tree._segment = segment
+        tree._root_index = 1
+        tree._size = 0
+        tree._node_count = 2  # metadata record + root leaf
+        segment.write_record(0, _META.pack(_META_MAGIC, 1, 0, 2) + b"\x00" * (NODE_BYTES - _META.size))
+        tree._write_node(_Node(index=1, is_leaf=True, keys=[], values=[], children=[]))
+        tree._write_meta()
+        return tree
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "PersistentBTree":
+        """Re-map an existing tree; pointers need no fixing up."""
+        segment = MappedSegment.open(path)
+        if segment.layout.record_bytes != NODE_BYTES:
+            segment.close()
+            raise BTreeError(f"{path} does not hold {NODE_BYTES}-byte nodes")
+        return cls(segment)
+
+    def close(self) -> None:
+        self._write_meta()
+        self._segment.close()
+
+    def __enter__(self) -> "PersistentBTree":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return self._size
+
+    def search(self, key: int) -> Optional[int]:
+        """The value stored under ``key``, or None."""
+        node = self._read_node(self._root_index)
+        while True:
+            position = _lower_bound(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                if node.is_leaf:
+                    return node.values[position]
+                # Internal separators duplicate a leaf key: descend right.
+                node = self._read_node(node.children[position + 1])
+                continue
+            if node.is_leaf:
+                return None
+            node = self._read_node(node.children[position])
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All (key, value) pairs in ascending key order."""
+        yield from self._walk(self._root_index)
+
+    def range(self, low: int, high: int) -> Iterator[Tuple[int, int]]:
+        """Pairs with ``low <= key <= high``, ascending."""
+        if low > high:
+            return
+        for key, value in self.items():
+            if key > high:
+                return
+            if key >= low:
+                yield (key, value)
+
+    def _walk(self, index: int) -> Iterator[Tuple[int, int]]:
+        node = self._read_node(index)
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for position, child in enumerate(node.children):
+            yield from self._walk(child)
+            if position < len(node.keys):
+                # Separator keys are copies of leaf keys; skip them here,
+                # the leaf emits the authoritative pair.
+                continue
+
+    # ------------------------------------------------------------- updates
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert or update one pair."""
+        if not 0 <= key < 2**64 or not 0 <= value < 2**64:
+            raise BTreeError("keys and values must fit in u64")
+        root = self._read_node(self._root_index)
+        if len(root.keys) >= MAX_KEYS:
+            # Split the root: the tree grows upward.
+            new_root = _Node(
+                index=self._allocate_node(),
+                is_leaf=False,
+                keys=[],
+                values=[],
+                children=[root.index],
+            )
+            self._split_child(new_root, 0)
+            self._root_index = new_root.index
+            self._write_meta()
+            root = new_root
+        inserted = self._insert_nonfull(root, key, value)
+        if inserted:
+            self._size += 1
+            self._write_meta()
+
+    def _insert_nonfull(self, node: _Node, key: int, value: int) -> bool:
+        while True:
+            position = _lower_bound(node.keys, key)
+            if node.is_leaf:
+                if position < len(node.keys) and node.keys[position] == key:
+                    node.values[position] = value
+                    self._write_node(node)
+                    return False
+                node.keys.insert(position, key)
+                node.values.insert(position, value)
+                self._write_node(node)
+                return True
+            if position < len(node.keys) and node.keys[position] == key:
+                position += 1
+            child = self._read_node(node.children[position])
+            if len(child.keys) >= MAX_KEYS:
+                self._split_child(node, position)
+                # Re-aim after the split introduced a new separator.  The
+                # separator is the first key of the right sibling (B+-style
+                # leaf split), so equality also goes right.
+                if key >= node.keys[position]:
+                    position += 1
+                child = self._read_node(node.children[position])
+            node = child
+
+    def _split_child(self, parent: _Node, position: int) -> None:
+        """Split the full child at ``position``; parent must have room."""
+        full = self._read_node(parent.children[position])
+        middle = len(full.keys) // 2
+        sibling = _Node(
+            index=self._allocate_node(),
+            is_leaf=full.is_leaf,
+            keys=full.keys[middle + (0 if full.is_leaf else 1):],
+            values=full.values[middle:] if full.is_leaf else [],
+            children=[] if full.is_leaf else full.children[middle + 1:],
+        )
+        separator = full.keys[middle]
+        if full.is_leaf:
+            # B+-style leaf split: the separator stays in the right leaf.
+            sibling.keys = full.keys[middle:]
+            sibling.values = full.values[middle:]
+            full.keys = full.keys[:middle]
+            full.values = full.values[:middle]
+        else:
+            full.keys = full.keys[:middle]
+            full.children = full.children[: middle + 1]
+        parent.keys.insert(position, separator)
+        parent.children.insert(position + 1, sibling.index)
+        self._write_node(full)
+        self._write_node(sibling)
+        self._write_node(parent)
+
+    def delete(self, key: int) -> bool:
+        """Remove one key; returns whether it was present.
+
+        Classic rebalancing: an underflowing node borrows from a sibling
+        when one can spare a key, otherwise merges with it.  Merged nodes'
+        records become unreferenced (space within the segment is not
+        reclaimed — the paper's temporary areas behave the same way).
+        """
+        root = self._read_node(self._root_index)
+        removed = self._delete_from(root, key)
+        if removed:
+            root = self._read_node(self._root_index)
+            if not root.is_leaf and not root.keys:
+                # The root emptied out: the tree shrinks downward.
+                self._root_index = root.children[0]
+            self._size -= 1
+            self._write_meta()
+        return removed
+
+    def _delete_from(self, node: _Node, key: int) -> bool:
+        if node.is_leaf:
+            position = _lower_bound(node.keys, key)
+            if position >= len(node.keys) or node.keys[position] != key:
+                return False
+            del node.keys[position]
+            del node.values[position]
+            self._write_node(node)
+            return True
+
+        position = _lower_bound(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            position += 1
+        child = self._read_node(node.children[position])
+        removed = self._delete_from(child, key)
+        if removed:
+            child = self._read_node(node.children[position])
+            if len(child.keys) < _MIN_KEYS:
+                self._rebalance(node, position)
+        return removed
+
+    def _rebalance(self, parent: _Node, position: int) -> None:
+        """Restore minimum occupancy of ``parent.children[position]``."""
+        child = self._read_node(parent.children[position])
+        left = (
+            self._read_node(parent.children[position - 1])
+            if position > 0
+            else None
+        )
+        right = (
+            self._read_node(parent.children[position + 1])
+            if position + 1 < len(parent.children)
+            else None
+        )
+
+        if left is not None and len(left.keys) > _MIN_KEYS:
+            if child.is_leaf:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[position - 1] = child.keys[0]
+            else:
+                child.keys.insert(0, parent.keys[position - 1])
+                child.children.insert(0, left.children.pop())
+                parent.keys[position - 1] = left.keys.pop()
+            self._write_node(left)
+            self._write_node(child)
+            self._write_node(parent)
+            return
+
+        if right is not None and len(right.keys) > _MIN_KEYS:
+            if child.is_leaf:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[position] = right.keys[0]
+            else:
+                child.keys.append(parent.keys[position])
+                child.children.append(right.children.pop(0))
+                parent.keys[position] = right.keys.pop(0)
+            self._write_node(right)
+            self._write_node(child)
+            self._write_node(parent)
+            return
+
+        # No sibling can spare a key: merge with one.
+        if left is not None:
+            receiver, giver, separator_at = left, child, position - 1
+        else:
+            receiver, giver, separator_at = child, right, position
+        if receiver.is_leaf:
+            receiver.keys.extend(giver.keys)
+            receiver.values.extend(giver.values)
+        else:
+            receiver.keys.append(parent.keys[separator_at])
+            receiver.keys.extend(giver.keys)
+            receiver.children.extend(giver.children)
+        del parent.keys[separator_at]
+        del parent.children[separator_at + 1]
+        self._write_node(receiver)
+        self._write_node(parent)
+
+    # ------------------------------------------------------- node storage
+
+    def _allocate_node(self) -> int:
+        index = self._node_count
+        if index >= self._segment.capacity:
+            raise BTreeError(
+                f"tree full: {self._segment.capacity} node capacity reached"
+            )
+        self._node_count += 1
+        return index
+
+    def _read_node(self, index: int) -> _Node:
+        data = self._segment.read_record(index)
+        is_leaf, _, count, _ = _HEADER.unpack_from(data)
+        keys: List[int] = []
+        payload: List[int] = []
+        offset = _HEADER.size
+        for _ in range(count):
+            key, extra = _ENTRY.unpack_from(data, offset)
+            keys.append(key)
+            payload.append(extra)
+            offset += _ENTRY.size
+        if is_leaf:
+            return _Node(index=index, is_leaf=True, keys=keys, values=payload, children=[])
+        (last_child,) = struct.unpack_from("<Q", data, offset)
+        return _Node(
+            index=index,
+            is_leaf=False,
+            keys=keys,
+            values=[],
+            children=payload + [last_child],
+        )
+
+    def _write_node(self, node: _Node) -> None:
+        count = len(node.keys)
+        if count > MAX_KEYS + 1:
+            raise BTreeError(f"node {node.index} overflow ({count} keys)")
+        parts = [_HEADER.pack(1 if node.is_leaf else 0, 0, count, 0)]
+        payload = node.values if node.is_leaf else node.children[:count]
+        for key, extra in zip(node.keys, payload):
+            parts.append(_ENTRY.pack(key, extra))
+        if not node.is_leaf:
+            parts.append(struct.pack("<Q", node.children[count]))
+        blob = b"".join(parts)
+        self._segment.write_record(node.index, blob + b"\x00" * (NODE_BYTES - len(blob)))
+
+    def _read_meta(self) -> Tuple[int, int, int]:
+        try:
+            data = self._segment.read_record(0)
+        except StorageError as exc:
+            raise BTreeError("segment has no metadata record") from exc
+        magic, root, size, nodes = _META.unpack_from(data)
+        if magic != _META_MAGIC:
+            raise BTreeError("segment does not contain a B-tree")
+        return root, size, nodes
+
+    def _write_meta(self) -> None:
+        self._segment.write_record(
+            0,
+            _META.pack(_META_MAGIC, self._root_index, self._size, self._node_count)
+            + b"\x00" * (NODE_BYTES - _META.size),
+        )
+
+
+def _lower_bound(keys: List[int], key: int) -> int:
+    """First position whose key is >= the probe."""
+    import bisect
+
+    return bisect.bisect_left(keys, key)

@@ -1,0 +1,65 @@
+"""Fixed-size record layout for the mmap-backed single-level store.
+
+The paper's µDatabase stores data "exactly positioned": objects are written
+at fixed offsets and pointers are plain offsets that need no swizzling when
+the segment is mapped back in.  Records here are fixed-size (128 bytes in
+the paper's experiments): three little-endian u64 header fields followed by
+zero padding, so a record never straddles the 4K page boundary used by the
+OS pager.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.records import RObject, SObject
+
+_HEADER = struct.Struct("<QQQ")
+
+
+class LayoutError(ValueError):
+    """Raised for invalid record layouts."""
+
+
+@dataclass(frozen=True)
+class RecordLayout:
+    """Fixed-size record encoding for R and S objects."""
+
+    record_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.record_bytes < _HEADER.size:
+            raise LayoutError(
+                f"record_bytes must be at least {_HEADER.size} "
+                f"(got {self.record_bytes})"
+            )
+
+    @property
+    def padding(self) -> bytes:
+        return b"\x00" * (self.record_bytes - _HEADER.size)
+
+    # ----------------------------------------------------------- R records
+
+    def pack_r(self, obj: RObject) -> bytes:
+        """Encode an R-object; the sptr field is the virtual pointer."""
+        return _HEADER.pack(obj.rid, obj.sptr, obj.payload) + self.padding
+
+    def unpack_r(self, data: bytes | memoryview) -> RObject:
+        rid, sptr, payload = _HEADER.unpack_from(data)
+        return RObject(rid=rid, sptr=sptr, payload=payload)
+
+    # ----------------------------------------------------------- S records
+
+    def pack_s(self, obj: SObject) -> bytes:
+        return _HEADER.pack(obj.sid, obj.value, obj.payload) + self.padding
+
+    def unpack_s(self, data: bytes | memoryview) -> SObject:
+        sid, value, payload = _HEADER.unpack_from(data)
+        return SObject(sid=sid, value=value, payload=payload)
+
+    def offset_of(self, index: int) -> int:
+        """Byte offset of record ``index`` within the data area."""
+        if index < 0:
+            raise LayoutError(f"record index cannot be negative: {index}")
+        return index * self.record_bytes

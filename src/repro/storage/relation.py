@@ -1,0 +1,120 @@
+"""Typed relations over mapped segments."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator, List
+
+from repro.core.records import RObject, SObject
+from repro.storage.segment import MappedSegment
+
+
+class RRelationFile:
+    """An R partition stored in one mapped segment."""
+
+    def __init__(self, segment: MappedSegment) -> None:
+        self.segment = segment
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+    ) -> "RRelationFile":
+        return cls(MappedSegment.create(path, capacity, record_bytes))
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "RRelationFile":
+        return cls(MappedSegment.open(path))
+
+    def append(self, obj: RObject) -> int:
+        return self.segment.append_record(self.segment.layout.pack_r(obj))
+
+    def get(self, index: int) -> RObject:
+        return self.segment.layout.unpack_r(self.segment.read_record(index))
+
+    def __len__(self) -> int:
+        return len(self.segment)
+
+    def __iter__(self) -> Iterator[RObject]:
+        unpack = self.segment.layout.unpack_r
+        for record in self.segment.iter_records():
+            yield unpack(record)
+
+    def close(self) -> None:
+        self.segment.close()
+
+    def __enter__(self) -> "RRelationFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SRelationFile:
+    """An S partition stored in one mapped segment.
+
+    S-objects sit at the offset their local index names — the "exact
+    positioning" that lets a virtual pointer dereference without any
+    swizzling or translation table.
+    """
+
+    def __init__(self, segment: MappedSegment) -> None:
+        self.segment = segment
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+    ) -> "SRelationFile":
+        return cls(MappedSegment.create(path, capacity, record_bytes))
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "SRelationFile":
+        return cls(MappedSegment.open(path))
+
+    def append(self, obj: SObject) -> int:
+        return self.segment.append_record(self.segment.layout.pack_s(obj))
+
+    def dereference(self, offset: int) -> SObject:
+        """Follow a virtual pointer's local offset: one mapped read."""
+        return self.segment.layout.unpack_s(self.segment.read_record(offset))
+
+    def __len__(self) -> int:
+        return len(self.segment)
+
+    def __iter__(self) -> Iterator[SObject]:
+        unpack = self.segment.layout.unpack_s
+        for record in self.segment.iter_records():
+            yield unpack(record)
+
+    def close(self) -> None:
+        self.segment.close()
+
+    def __enter__(self) -> "SRelationFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_r_partition(
+    path: str | os.PathLike, objects: List[RObject], record_bytes: int = 128
+) -> None:
+    """Materialize an R partition file."""
+    relation = RRelationFile.create(path, max(1, len(objects)), record_bytes)
+    try:
+        for obj in objects:
+            relation.append(obj)
+    finally:
+        relation.close()
+
+
+def write_s_partition(
+    path: str | os.PathLike, objects: List[SObject], record_bytes: int = 128
+) -> None:
+    """Materialize an S partition file (objects at their offsets)."""
+    relation = SRelationFile.create(path, max(1, len(objects)), record_bytes)
+    try:
+        for obj in objects:
+            relation.append(obj)
+    finally:
+        relation.close()

@@ -1,0 +1,211 @@
+"""File-backed memory-mapped segments (the real-``mmap`` single-level store).
+
+This is the µDatabase idea on Python's :mod:`mmap`: a segment is one file,
+mapped into the address space, holding a header page plus a fixed-size
+record area.  Reads and writes are plain slice operations on the mapping —
+no explicit ``read``/``write`` calls — so the OS pager performs all I/O,
+exactly the environment the paper studies.
+
+The three mapping operations mirror the paper's cost model:
+
+* :meth:`MappedSegment.create` — ``newMap``: acquire disk space (ftruncate)
+  and build the mapping;
+* :meth:`MappedSegment.open`   — ``openMap``: map existing data;
+* :meth:`MappedSegment.delete` — ``deleteMap``: unmap and destroy the data.
+
+All three are also exposed as timed helpers so the real backend can measure
+its own Figure 1(b).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import time
+from pathlib import Path
+from typing import Iterator, Tuple
+
+from repro.storage.layout import RecordLayout
+
+MAGIC = b"UDBSEG1\x00"
+HEADER = struct.Struct("<8sQQQ")  # magic, record_bytes, capacity, count
+PAGE_SIZE = mmap.PAGESIZE
+
+
+class StorageError(RuntimeError):
+    """Raised for storage layer failures."""
+
+
+class MappedSegment:
+    """One memory-mapped segment file of fixed-size records."""
+
+    def __init__(
+        self, path: Path, file_obj, mapping: mmap.mmap, layout: RecordLayout,
+        capacity: int, count: int,
+    ) -> None:
+        self.path = path
+        self._file = file_obj
+        self._map = mapping
+        self.layout = layout
+        self.capacity = capacity
+        self._count = count
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+    ) -> "MappedSegment":
+        """newMap: create the file, size it, and map it in."""
+        if capacity < 0:
+            raise StorageError("capacity cannot be negative")
+        layout = RecordLayout(record_bytes)
+        path = Path(path)
+        if path.exists():
+            raise StorageError(f"segment file already exists: {path}")
+        data_bytes = max(1, capacity) * record_bytes
+        total = PAGE_SIZE + _round_up(data_bytes, PAGE_SIZE)
+        file_obj = open(path, "w+b")
+        try:
+            file_obj.truncate(total)
+            mapping = mmap.mmap(file_obj.fileno(), total)
+        except Exception:
+            file_obj.close()
+            path.unlink(missing_ok=True)
+            raise
+        mapping[: HEADER.size] = HEADER.pack(MAGIC, record_bytes, capacity, 0)
+        return cls(path, file_obj, mapping, layout, capacity, 0)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "MappedSegment":
+        """openMap: map an existing segment file."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"no segment file at {path}")
+        file_obj = open(path, "r+b")
+        try:
+            mapping = mmap.mmap(file_obj.fileno(), 0)
+        except Exception:
+            file_obj.close()
+            raise
+        magic, record_bytes, capacity, count = HEADER.unpack_from(mapping)
+        if magic != MAGIC:
+            mapping.close()
+            file_obj.close()
+            raise StorageError(f"{path} is not a segment file")
+        return cls(path, file_obj, mapping, RecordLayout(record_bytes), capacity, count)
+
+    @staticmethod
+    def delete(path: str | os.PathLike) -> None:
+        """deleteMap: destroy a segment and its data."""
+        path = Path(path)
+        if not path.exists():
+            raise StorageError(f"no segment file at {path}")
+        path.unlink()
+
+    def flush(self) -> None:
+        self._check_open()
+        self._write_count()
+        self._map.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write_count()
+        self._map.flush()
+        self._map.close()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "MappedSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return self._count
+
+    def read_record(self, index: int) -> bytes:
+        """Slice one record out of the mapping (an implicit page fault)."""
+        self._check_open()
+        if not 0 <= index < self._count:
+            raise StorageError(
+                f"record {index} outside [0, {self._count}) in {self.path.name}"
+            )
+        start = PAGE_SIZE + self.layout.offset_of(index)
+        return bytes(self._map[start : start + self.layout.record_bytes])
+
+    def write_record(self, index: int, data: bytes) -> None:
+        """Write one record in place."""
+        self._check_open()
+        if not 0 <= index < self.capacity:
+            raise StorageError(
+                f"record {index} outside capacity {self.capacity} in {self.path.name}"
+            )
+        if len(data) != self.layout.record_bytes:
+            raise StorageError(
+                f"record must be exactly {self.layout.record_bytes} bytes "
+                f"(got {len(data)})"
+            )
+        start = PAGE_SIZE + self.layout.offset_of(index)
+        self._map[start : start + self.layout.record_bytes] = data
+        if index >= self._count:
+            self._count = index + 1
+
+    def append_record(self, data: bytes) -> int:
+        """Append one record; returns its index."""
+        if self._count >= self.capacity:
+            raise StorageError(f"segment {self.path.name} is full")
+        index = self._count
+        self.write_record(index, data)
+        return index
+
+    def iter_records(self) -> Iterator[bytes]:
+        for index in range(self._count):
+            yield self.read_record(index)
+
+    # ------------------------------------------------------------ internal
+
+    def _write_count(self) -> None:
+        if not self._map.closed:
+            self._map[: HEADER.size] = HEADER.pack(
+                MAGIC, self.layout.record_bytes, self.capacity, self._count
+            )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"segment {self.path.name} is closed")
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+# ------------------------------------------------------- timed map helpers
+
+def timed_new_map(
+    path: str | os.PathLike, capacity: int, record_bytes: int = 128
+) -> Tuple[MappedSegment, float]:
+    """newMap plus its wall-clock cost in milliseconds (real Figure 1b)."""
+    start = time.perf_counter()
+    segment = MappedSegment.create(path, capacity, record_bytes)
+    return segment, (time.perf_counter() - start) * 1000.0
+
+
+def timed_open_map(path: str | os.PathLike) -> Tuple[MappedSegment, float]:
+    """openMap plus its wall-clock cost in milliseconds."""
+    start = time.perf_counter()
+    segment = MappedSegment.open(path)
+    return segment, (time.perf_counter() - start) * 1000.0
+
+
+def timed_delete_map(path: str | os.PathLike) -> float:
+    """deleteMap plus its wall-clock cost in milliseconds."""
+    start = time.perf_counter()
+    MappedSegment.delete(path)
+    return (time.perf_counter() - start) * 1000.0

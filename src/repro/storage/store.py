@@ -1,0 +1,91 @@
+"""A directory of mapped segments: the workload's on-disk home.
+
+:class:`Store` lays a workload out the way the paper's testbed does — one R
+partition and one S partition per (simulated) disk directory — and manages
+the temporary areas the join algorithms create.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import List
+
+from repro.storage.relation import (
+    RRelationFile,
+    SRelationFile,
+    write_r_partition,
+    write_s_partition,
+)
+from repro.storage.segment import MappedSegment, StorageError
+from repro.workload.generator import Workload
+
+
+class Store:
+    """A root directory holding one subdirectory per disk."""
+
+    def __init__(self, root: str | Path, disks: int) -> None:
+        if disks <= 0:
+            raise StorageError("a store needs at least one disk directory")
+        self.root = Path(root)
+        self.disks = disks
+        for i in range(disks):
+            self.disk_dir(i).mkdir(parents=True, exist_ok=True)
+
+    def disk_dir(self, disk: int) -> Path:
+        if not 0 <= disk < self.disks:
+            raise StorageError(f"disk {disk} outside [0, {self.disks})")
+        return self.root / f"disk{disk}"
+
+    def path(self, disk: int, name: str) -> Path:
+        return self.disk_dir(disk) / f"{name}.seg"
+
+    # ------------------------------------------------------------ workload
+
+    def materialize(self, workload: Workload) -> None:
+        """Write a workload's R and S partitions into the store."""
+        if workload.disks != self.disks:
+            raise StorageError(
+                f"workload has {workload.disks} partitions, store has "
+                f"{self.disks} disks"
+            )
+        for i in range(self.disks):
+            write_r_partition(
+                self.path(i, "R"), workload.r_partitions[i], workload.spec.r_bytes
+            )
+            write_s_partition(
+                self.path(i, "S"), workload.s_partition(i), workload.spec.s_bytes
+            )
+
+    def open_r(self, disk: int) -> RRelationFile:
+        return RRelationFile.open(self.path(disk, "R"))
+
+    def open_s(self, disk: int) -> SRelationFile:
+        return SRelationFile.open(self.path(disk, "S"))
+
+    # ---------------------------------------------------------- temporaries
+
+    def create_temp(self, disk: int, name: str, capacity: int, record_bytes: int) -> Path:
+        path = self.path(disk, name)
+        segment = MappedSegment.create(path, capacity, record_bytes)
+        segment.close()
+        return path
+
+    def delete_temp(self, disk: int, name: str) -> None:
+        MappedSegment.delete(self.path(disk, name))
+
+    def temp_paths(self, disk: int) -> List[Path]:
+        reserved = {"R.seg", "S.seg"}
+        return [
+            p for p in sorted(self.disk_dir(disk).glob("*.seg"))
+            if p.name not in reserved
+        ]
+
+    def cleanup_temps(self) -> None:
+        for disk in range(self.disks):
+            for path in self.temp_paths(disk):
+                path.unlink()
+
+    def destroy(self) -> None:
+        """Remove the whole store from disk."""
+        shutil.rmtree(self.root, ignore_errors=True)

@@ -1,0 +1,31 @@
+"""Workload generation for the join experiments."""
+
+from repro.workload.distributions import (
+    DISTRIBUTIONS,
+    DistributionError,
+    clustered_pointers,
+    partition_hot_pointers,
+    permutation_pointers,
+    sampler,
+    uniform_pointers,
+    zipf_pointers,
+)
+from repro.workload.generator import Workload, WorkloadSpec, generate_workload
+from repro.workload.io import WorkloadIOError, load_workload, save_workload
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DistributionError",
+    "Workload",
+    "WorkloadIOError",
+    "WorkloadSpec",
+    "clustered_pointers",
+    "generate_workload",
+    "load_workload",
+    "save_workload",
+    "partition_hot_pointers",
+    "permutation_pointers",
+    "sampler",
+    "uniform_pointers",
+    "zipf_pointers",
+]

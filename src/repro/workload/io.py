@@ -1,0 +1,134 @@
+"""Workload persistence: save and reload exact experiment inputs.
+
+A saved workload pins the *materialized* relations — not just the spec and
+seed — so an experiment can be re-run bit-identically on another machine,
+another backend (simulator vs. real mmap), or a future version whose RNG
+stream might differ.  Files are numpy ``.npz`` archives: three parallel
+arrays per relation plus the partition layout and the original spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pointer import PointerMap
+from repro.core.records import RObject, SObject
+from repro.workload.generator import Workload, WorkloadSpec
+
+FORMAT_VERSION = 1
+
+
+class WorkloadIOError(RuntimeError):
+    """Raised for unreadable or inconsistent workload files."""
+
+
+def save_workload(workload: Workload, path: str | os.PathLike) -> None:
+    """Write a workload to an ``.npz`` archive."""
+    r_objects = [obj for partition in workload.r_partitions for obj in partition]
+    partition_sizes = np.array(
+        [len(p) for p in workload.r_partitions], dtype=np.int64
+    )
+    header = {
+        "format_version": FORMAT_VERSION,
+        "disks": workload.disks,
+        "spec": {
+            "r_objects": workload.spec.r_objects,
+            "s_objects": workload.spec.s_objects,
+            "r_bytes": workload.spec.r_bytes,
+            "s_bytes": workload.spec.s_bytes,
+            "sptr_bytes": workload.spec.sptr_bytes,
+            "distribution": workload.spec.distribution,
+            "distribution_args": dict(workload.spec.distribution_args),
+            "seed": workload.spec.seed,
+        },
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        partition_sizes=partition_sizes,
+        r_rid=np.array([o.rid for o in r_objects], dtype=np.int64),
+        r_sptr=np.array([o.sptr for o in r_objects], dtype=np.int64),
+        r_payload=np.array([o.payload for o in r_objects], dtype=np.int64),
+        s_sid=np.array([o.sid for o in workload.s_objects], dtype=np.int64),
+        s_value=np.array([o.value for o in workload.s_objects], dtype=np.int64),
+        s_payload=np.array(
+            [o.payload for o in workload.s_objects], dtype=np.int64
+        ),
+    )
+
+
+def load_workload(path: str | os.PathLike) -> Workload:
+    """Reload a workload written by :func:`save_workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadIOError(f"no workload file at {path}")
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise WorkloadIOError(f"cannot read workload file {path}: {exc}") from exc
+
+    try:
+        header = json.loads(bytes(archive["header"]).decode())
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise WorkloadIOError(f"{path} is not a workload archive") from exc
+    if header.get("format_version") != FORMAT_VERSION:
+        raise WorkloadIOError(
+            f"unsupported workload format {header.get('format_version')!r}"
+        )
+
+    spec = WorkloadSpec(**header["spec"])
+    disks = int(header["disks"])
+
+    s_objects = [
+        SObject(sid=int(sid), value=int(value), payload=int(payload))
+        for sid, value, payload in zip(
+            archive["s_sid"], archive["s_value"], archive["s_payload"]
+        )
+    ]
+    r_flat = [
+        RObject(rid=int(rid), sptr=int(sptr), payload=int(payload))
+        for rid, sptr, payload in zip(
+            archive["r_rid"], archive["r_sptr"], archive["r_payload"]
+        )
+    ]
+
+    partition_sizes = [int(n) for n in archive["partition_sizes"]]
+    if len(partition_sizes) != disks:
+        raise WorkloadIOError(
+            f"{path}: partition count {len(partition_sizes)} does not match "
+            f"disks {disks}"
+        )
+    if sum(partition_sizes) != len(r_flat):
+        raise WorkloadIOError(f"{path}: partition sizes do not cover R")
+
+    partitions = []
+    cursor = 0
+    for size in partition_sizes:
+        partitions.append(r_flat[cursor : cursor + size])
+        cursor += size
+
+    workload = Workload(
+        spec=spec,
+        disks=disks,
+        s_objects=s_objects,
+        r_partitions=partitions,
+        pointer_map=PointerMap(s_objects=len(s_objects), partitions=disks),
+    )
+    _validate(workload, path)
+    return workload
+
+
+def _validate(workload: Workload, path: Path) -> None:
+    """Sanity-check pointer ranges so corrupt files fail loudly."""
+    n_s = len(workload.s_objects)
+    for partition in workload.r_partitions:
+        for obj in partition:
+            if not 0 <= obj.sptr < n_s:
+                raise WorkloadIOError(
+                    f"{path}: R object {obj.rid} has out-of-range pointer "
+                    f"{obj.sptr} (|S| = {n_s})"
+                )

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic workloads and calibrated machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.calibrate import calibrated_machine_parameters
+from repro.model import MachineParameters, MemoryParameters
+from repro.sim import SimConfig
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="session")
+def sim_config() -> SimConfig:
+    return SimConfig()
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineParameters:
+    """Model parameters with the paper-shaped default curves."""
+    return MachineParameters()
+
+
+@pytest.fixture(scope="session")
+def calibrated_machine(sim_config) -> MachineParameters:
+    """Model parameters whose curves were measured on the simulator."""
+    return calibrated_machine_parameters(sim_config, accesses_per_band=200)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """~2k objects over 4 disks — fast but large enough for real paging."""
+    return generate_workload(WorkloadSpec.paper_validation(scale=0.02), disks=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """~512 objects over 2 disks — the quickest correctness substrate."""
+    return generate_workload(
+        WorkloadSpec(r_objects=512, s_objects=512, seed=11), disks=2
+    )
+
+
+def memory_for(workload, fraction: float, g_bytes: int = 4096) -> MemoryParameters:
+    return MemoryParameters.from_fractions(
+        workload.relation_parameters(), fraction, g_bytes=g_bytes
+    )
+
+
+@pytest.fixture
+def memory_factory():
+    return memory_for

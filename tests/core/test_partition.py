@@ -1,0 +1,90 @@
+"""Tests for sub-partitioning and skew measurement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import (
+    classify_by_target,
+    partition_skew,
+    split_evenly,
+    sub_partition_counts,
+    workload_skew,
+)
+from repro.core.pointer import PointerMap
+from repro.core.records import RObject
+
+
+def robj(rid, sptr):
+    return RObject(rid=rid, sptr=sptr, payload=0)
+
+
+class TestClassification:
+    def test_classify_routes_by_pointer(self):
+        pmap = PointerMap(s_objects=40, partitions=4)
+        objs = [robj(0, 0), robj(1, 10), robj(2, 25), robj(3, 39)]
+        groups = classify_by_target(objs, pmap)
+        assert [len(g) for g in groups] == [1, 1, 1, 1]
+        assert groups[2][0].rid == 2
+
+    def test_counts_match_classification(self):
+        pmap = PointerMap(s_objects=100, partitions=4)
+        objs = [robj(i, (i * 7) % 100) for i in range(50)]
+        counts = sub_partition_counts(objs, pmap)
+        groups = classify_by_target(objs, pmap)
+        assert counts == [len(g) for g in groups]
+
+    def test_empty_input(self):
+        pmap = PointerMap(s_objects=10, partitions=2)
+        assert sub_partition_counts([], pmap) == [0, 0]
+
+
+class TestSkew:
+    def test_perfectly_even_is_one(self):
+        assert partition_skew([10, 10, 10, 10]) == pytest.approx(1.0)
+
+    def test_all_in_one_partition(self):
+        assert partition_skew([40, 0, 0, 0]) == pytest.approx(4.0)
+
+    def test_empty_counts_is_one(self):
+        assert partition_skew([0, 0]) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=8))
+    def test_skew_at_least_one(self, counts):
+        assert partition_skew(counts) >= 1.0 - 1e-12
+
+    def test_workload_skew_takes_worst_partition(self):
+        pmap = PointerMap(s_objects=20, partitions=2)
+        balanced = [robj(0, 0), robj(1, 10)]
+        lopsided = [robj(2, 0), robj(3, 1), robj(4, 2), robj(5, 3)]
+        assert workload_skew([balanced, lopsided], pmap) == pytest.approx(2.0)
+
+
+class TestSplitEvenly:
+    def test_divisible(self):
+        parts = split_evenly([robj(i, 0) for i in range(12)], 4)
+        assert [len(p) for p in parts] == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        parts = split_evenly([robj(i, 0) for i in range(10)], 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_nothing_lost(self):
+        objs = [robj(i, 0) for i in range(17)]
+        parts = split_evenly(objs, 5)
+        flattened = [o for p in parts for o in p]
+        assert flattened == objs
+
+    def test_rejects_nonpositive_partitions(self):
+        with pytest.raises(ValueError):
+            split_evenly([], 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        d=st.integers(min_value=1, max_value=9),
+    )
+    def test_sizes_within_one(self, n, d):
+        parts = split_evenly([robj(i, 0) for i in range(n)], d)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,142 @@
+"""Tests for the instrumented pointer heap."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pheap import (
+    CountingInstrumentation,
+    HeapError,
+    PointerHeap,
+    heapsort_pointers,
+)
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = PointerHeap()
+        assert len(heap) == 0
+        assert heap.is_empty
+
+    def test_peek_min(self):
+        heap = PointerHeap([5, 3, 8])
+        assert heap.peek_min() == 3
+
+    def test_peek_empty_rejected(self):
+        with pytest.raises(HeapError):
+            PointerHeap().peek_min()
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(HeapError):
+            PointerHeap().pop_min()
+
+    def test_replace_on_empty_rejected(self):
+        with pytest.raises(HeapError):
+            PointerHeap().replace_min(1)
+
+    def test_push_then_pop(self):
+        heap = PointerHeap()
+        for v in (4, 1, 3):
+            heap.push(v)
+        assert heap.pop_min() == 1
+        assert heap.pop_min() == 3
+        assert heap.pop_min() == 4
+
+    def test_key_function(self):
+        heap = PointerHeap(["bbb", "a", "cc"], key=len)
+        assert heap.pop_min() == "a"
+
+
+class TestSorting:
+    def test_drain_sorts(self):
+        data = [9, 2, 7, 2, 5, 0]
+        assert PointerHeap(data).drain() == sorted(data)
+
+    def test_heapsort_pointers_matches_sorted(self):
+        rng = random.Random(5)
+        data = [rng.randrange(10_000) for _ in range(500)]
+        assert heapsort_pointers(data) == sorted(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(), max_size=300))
+    def test_heapsort_property(self, data):
+        assert heapsort_pointers(data) == sorted(data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(), min_size=1, max_size=200))
+    def test_push_pop_interleaved_property(self, data):
+        heap = PointerHeap()
+        out = []
+        for i, value in enumerate(data):
+            heap.push(value)
+            if i % 3 == 2:
+                out.append(heap.pop_min())
+        out.extend(heap.drain())
+        assert sorted(out) == sorted(data)
+
+
+class TestReplaceMin:
+    def test_replace_returns_old_minimum(self):
+        heap = PointerHeap([4, 7, 9])
+        assert heap.replace_min(6) == 4
+        assert heap.pop_min() == 6
+
+    def test_k_way_merge_via_replace(self):
+        runs = [sorted(random.Random(i).sample(range(1000), 50)) for i in range(4)]
+        cursors = [(run[0], i, 0) for i, run in enumerate(runs)]
+        heap = PointerHeap(cursors)
+        merged = []
+        while not heap.is_empty:
+            value, run_id, pos = heap.peek_min()
+            merged.append(value)
+            if pos + 1 < len(runs[run_id]):
+                heap.replace_min((runs[run_id][pos + 1], run_id, pos + 1))
+            else:
+                heap.pop_min()
+        assert merged == sorted(v for run in runs for v in run)
+
+
+class TestInstrumentation:
+    def test_build_charges_transfers_per_element(self):
+        counter = CountingInstrumentation()
+        PointerHeap(range(100), instrumentation=counter)
+        assert counter.transfers == 100
+
+    def test_floyd_build_linear_compares(self):
+        counter = CountingInstrumentation()
+        PointerHeap(range(1000), instrumentation=counter)
+        # Floyd construction is O(n): far fewer than n log n comparisons.
+        assert counter.compares < 2.5 * 1000
+
+    def test_heapsort_total_within_n_log_n(self):
+        n = 1024
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(n)]
+        counter = CountingInstrumentation()
+        heapsort_pointers(data, instrumentation=counter)
+        bound = 2.5 * n * math.log2(n)
+        assert counter.compares <= bound
+
+    def test_bounce_deletion_one_compare_per_level(self):
+        """pop_min's descent does ~log2(n) child comparisons on average."""
+        n = 2048
+        rng = random.Random(2)
+        heap = PointerHeap(
+            [rng.random() for _ in range(n)],
+            instrumentation=CountingInstrumentation(),
+        )
+        counter = CountingInstrumentation()
+        heap._instr = counter
+        for _ in range(100):
+            heap.pop_min()
+        per_pop = counter.compares / 100
+        assert per_pop <= 1.6 * math.log2(n)
+
+    def test_replace_min_charges_two_transfers(self):
+        counter = CountingInstrumentation()
+        heap = PointerHeap([1, 2, 3], instrumentation=counter)
+        before = counter.transfers
+        heap.replace_min(5)
+        assert counter.transfers == before + 2

@@ -1,0 +1,18 @@
+"""Tests for record types."""
+
+from repro.core.records import JoinedPair, RObject, SObject, join_pair
+
+
+class TestRecords:
+    def test_r_object_fields(self):
+        r = RObject(rid=1, sptr=42, payload=7)
+        assert r.rid == 1 and r.sptr == 42 and r.payload == 7
+
+    def test_records_are_hashable_tuples(self):
+        assert {RObject(1, 2, 3), RObject(1, 2, 3)} == {RObject(1, 2, 3)}
+
+    def test_join_pair_combines_fields(self):
+        r = RObject(rid=9, sptr=4, payload=100)
+        s = SObject(sid=4, value=55, payload=200)
+        pair = join_pair(r, s)
+        assert pair == JoinedPair(rid=9, sid=4, r_payload=100, s_value=55)

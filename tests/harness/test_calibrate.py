@@ -1,0 +1,85 @@
+"""Tests for the calibration harness (measured machine functions)."""
+
+import pytest
+
+from repro.harness.calibrate import (
+    calibrated_machine_parameters,
+    measure_disk_curves,
+    measure_mapping_curves,
+)
+from repro.sim import SimConfig
+
+BANDS = (1, 400, 1600, 6400, 12800)
+
+
+@pytest.fixture(scope="module")
+def disk_cal():
+    return measure_disk_curves(SimConfig(), band_sizes=BANDS, accesses_per_band=300)
+
+
+@pytest.fixture(scope="module")
+def map_cal():
+    return measure_mapping_curves(SimConfig())
+
+
+class TestDiskCalibration:
+    def test_read_curve_monotone_in_band(self, disk_cal):
+        ys = [y for _, y in disk_cal.read_samples]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_write_curve_monotone_in_band(self, disk_cal):
+        ys = [y for _, y in disk_cal.write_samples]
+        assert all(b >= a - 0.3 for a, b in zip(ys, ys[1:]))
+
+    def test_writes_cheaper_than_reads_at_large_bands(self, disk_cal):
+        """The paper's dttw < dttr (deferred writes + elevator)."""
+        assert disk_cal.dttw(12800) < disk_cal.dttr(12800)
+        assert disk_cal.dttw(3200) < disk_cal.dttr(3200)
+
+    def test_sequential_access_fast(self, disk_cal):
+        assert disk_cal.dttr(1) < 0.5 * disk_cal.dttr(12800)
+
+    def test_figure_1a_magnitudes(self, disk_cal):
+        # Paper: ~6 ms sequential, ~22 ms over a 12,800-block band.
+        assert disk_cal.dttr(1) == pytest.approx(6.0, rel=0.25)
+        assert 14.0 <= disk_cal.dttr(12800) <= 30.0
+
+    def test_band_exceeding_disk_rejected(self):
+        with pytest.raises(ValueError):
+            measure_disk_curves(
+                SimConfig(), band_sizes=(1, 10**9), accesses_per_band=10
+            )
+
+
+class TestMappingCalibration:
+    def test_cost_ordering(self, map_cal):
+        for size in (400, 6400, 12800):
+            assert (
+                map_cal.new_map(size)
+                > map_cal.open_map(size)
+                > map_cal.delete_map(size)
+            )
+
+    def test_linear_growth(self, map_cal):
+        small = map_cal.new_map(100)
+        large = map_cal.new_map(10_000)
+        assert large > 50 * small / 100 * 10  # clearly linear, not flat
+
+    def test_fit_matches_samples(self, map_cal):
+        for size, new_ms, open_ms, delete_ms in map_cal.samples:
+            assert map_cal.new_map(size) == pytest.approx(new_ms, rel=0.05)
+            assert map_cal.open_map(size) == pytest.approx(open_ms, rel=0.05)
+            assert map_cal.delete_map(size) == pytest.approx(delete_ms, rel=0.05)
+
+
+class TestCalibratedMachineParameters:
+    def test_copies_cpu_constants(self):
+        config = SimConfig()
+        machine = calibrated_machine_parameters(config, accesses_per_band=100)
+        assert machine.context_switch_ms == config.context_switch_ms
+        assert machine.compare_ms == config.compare_ms
+        assert machine.disks == config.disks
+
+    def test_curves_come_from_measurement(self):
+        machine = calibrated_machine_parameters(accesses_per_band=100)
+        assert machine.dttr(1) < machine.dttr(12800)

@@ -1,0 +1,86 @@
+"""Tests for sweeps and figure regeneration (small scales)."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentError, run_memory_sweep
+from repro.harness.figures import FigureSeries, figure_1a, figure_1b
+from repro.sim import SimConfig
+
+
+@pytest.fixture(scope="module")
+def nl_sweep(calibrated_machine):
+    return run_memory_sweep(
+        "nested-loops",
+        fractions=(0.1, 0.4),
+        scale=0.02,
+        machine=calibrated_machine,
+    )
+
+
+class TestRunMemorySweep:
+    def test_points_per_fraction(self, nl_sweep):
+        assert nl_sweep.fractions == [0.1, 0.4]
+        assert len(nl_sweep.points) == 2
+
+    def test_join_output_verified_by_checksum(self, nl_sweep):
+        # run_memory_sweep raises on a checksum mismatch; reaching here with
+        # populated points means every simulated join was verified.
+        assert all(p.sim_ms > 0 for p in nl_sweep.points)
+
+    def test_model_and_sim_within_broad_agreement(self, nl_sweep):
+        for point in nl_sweep.points:
+            assert 0.25 <= point.model_ms / point.sim_ms <= 4.0
+
+    def test_relative_error_definition(self, nl_sweep):
+        point = nl_sweep.points[0]
+        assert point.relative_error == pytest.approx(
+            (point.sim_ms - point.model_ms) / point.sim_ms
+        )
+
+    def test_more_memory_not_slower_sim(self, nl_sweep):
+        assert nl_sweep.points[1].sim_ms <= nl_sweep.points[0].sim_ms
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_memory_sweep("bitmap-join", fractions=(0.1,), scale=0.01)
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_memory_sweep("grace", fractions=(), scale=0.01)
+
+    def test_grace_buckets_pinned_across_sweep(self, calibrated_machine):
+        sweep = run_memory_sweep(
+            "grace",
+            fractions=(0.1, 0.3),
+            scale=0.02,
+            machine=calibrated_machine,
+            fixed_buckets=6,
+        )
+        for point in sweep.points:
+            assert point.model_report.derived["buckets"] == 6.0
+            assert point.sim_detail["buckets"] == 6.0
+
+
+class TestFigures:
+    def test_figure_1a_structure(self):
+        fig = figure_1a(band_sizes=(1, 800, 6400), accesses_per_band=100)
+        assert isinstance(fig, FigureSeries)
+        assert fig.x_values == [1, 800, 6400]
+        assert set(fig.series) == {"dttr_ms", "dttw_ms"}
+
+    def test_figure_1a_render_contains_table_and_chart(self):
+        fig = figure_1a(band_sizes=(1, 800, 6400), accesses_per_band=100)
+        text = fig.render()
+        assert "Figure 1a" in text
+        assert "dttr_ms" in text
+        assert "+" in text  # chart frame
+
+    def test_figure_1b_structure(self):
+        fig = figure_1b(map_sizes_blocks=(100, 1600, 6400))
+        assert set(fig.series) == {"newMap_ms", "openMap_ms", "deleteMap_ms"}
+        news = fig.series["newMap_ms"]
+        assert news[0] < news[-1]
+
+    def test_render_without_chart(self):
+        fig = figure_1b(map_sizes_blocks=(100, 1600))
+        assert "+" not in fig.render(chart=False).splitlines()[2]

@@ -1,0 +1,39 @@
+"""Tests for the FigureSeries container and its rendering."""
+
+from repro.harness.figures import FigureSeries
+
+
+def make_series(notes=()):
+    return FigureSeries(
+        figure_id="Figure 9x",
+        title="demo series",
+        x_label="x",
+        x_values=[1.0, 2.0, 3.0],
+        series={"a": [10.0, 20.0, 30.0], "b": [5.0, 5.0, 5.0]},
+        notes=list(notes),
+    )
+
+
+class TestRender:
+    def test_table_contains_all_points(self):
+        text = make_series().render(chart=False)
+        for value in ("10.0", "20.0", "30.0", "5.0"):
+            assert value in text
+
+    def test_title_and_id(self):
+        text = make_series().render(chart=False)
+        assert "Figure 9x" in text and "demo series" in text
+
+    def test_chart_toggle(self):
+        with_chart = make_series().render(chart=True)
+        without = make_series().render(chart=False)
+        assert len(with_chart) > len(without)
+
+    def test_notes_appended(self):
+        text = make_series(notes=["watch the knee"]).render(chart=False)
+        assert "watch the knee" in text
+
+    def test_series_lengths_consistent(self):
+        figure = make_series()
+        for values in figure.series.values():
+            assert len(values) == len(figure.x_values)

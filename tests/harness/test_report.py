@@ -1,0 +1,43 @@
+"""Tests for table/chart rendering."""
+
+from repro.harness.report import ascii_chart, format_table, shape_summary
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["x", "value"], [[1, 10.0], [2, 20.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "value" in lines[0]
+        assert "20.5" in lines[-1]
+
+    def test_large_numbers_get_separators(self):
+        text = format_table(["v"], [[1234567.0]])
+        assert "1,234,567" in text
+
+    def test_small_floats_keep_precision(self):
+        text = format_table(["v"], [[0.025]])
+        assert "0.025" in text
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart([1, 2, 3], {"model": [5, 3, 1], "exp": [6, 4, 2]})
+        assert "*" in chart and "o" in chart
+        assert "model" in chart and "exp" in chart
+
+    def test_empty_series_safe(self):
+        assert ascii_chart([], {}) == "(no data)"
+
+    def test_flat_series_safe(self):
+        chart = ascii_chart([1, 2], {"flat": [5, 5]})
+        assert "flat" in chart
+
+
+class TestShapeSummary:
+    def test_reports_errors(self):
+        text = shape_summary([100.0], [110.0])
+        assert "9.1" in text
+
+    def test_no_points(self):
+        assert "no comparable" in shape_summary([], [])

@@ -1,0 +1,50 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.harness.reportgen import ReportOptions, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Tiny scales keep the full evaluation fast; the structure is what we
+    # are testing here.
+    options = ReportOptions(
+        scale_5a=0.02,
+        scale_5b=0.02,
+        scale_5c=0.02,
+        comparison_fractions=(0.1, 0.3),
+    )
+    return generate_report(options)
+
+
+class TestReportStructure:
+    def test_all_figures_present(self, report_text):
+        for figure_id in ("Figure 1a", "Figure 1b", "Figure 5a", "Figure 5b",
+                          "Figure 5c"):
+            assert figure_id in report_text
+
+    def test_markdown_tables_wellformed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_comparison_section(self, report_text):
+        assert "Algorithm comparison" in report_text
+        assert "winner" in report_text
+
+    def test_series_columns_named(self, report_text):
+        assert "model_ms" in report_text
+        assert "experiment_ms" in report_text
+        assert "dttr_ms" in report_text
+
+    def test_verification_statement(self, report_text):
+        assert "verified against the oracle" in report_text
+
+    def test_comparison_can_be_skipped(self):
+        options = ReportOptions(
+            scale_5a=0.02, scale_5b=0.02, scale_5c=0.02,
+            include_comparison=False,
+        )
+        text = generate_report(options)
+        assert "Algorithm comparison" not in text

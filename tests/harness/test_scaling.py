@@ -1,0 +1,90 @@
+"""Tests for the speedup/scaleup experiment API."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentError
+from repro.harness.scaling import ScalingPoint, run_scaleup, run_speedup
+
+
+@pytest.fixture(scope="module")
+def speedup_result():
+    # K pinned across widths so only the machine width varies; the Grace
+    # design rule would otherwise shift the algorithm's regime per width.
+    return run_speedup(
+        "grace", disk_counts=(1, 2, 4), scale=0.02, fraction=0.2,
+        accesses_per_band=100, fixed_buckets=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def scaleup_result():
+    return run_scaleup(
+        "grace", disk_counts=(1, 2, 4), base_scale=0.03, fraction=0.3,
+        accesses_per_band=100, fixed_buckets=4,
+    )
+
+
+class TestSpeedup:
+    def test_one_point_per_width(self, speedup_result):
+        assert [p.disks for p in speedup_result.points] == [1, 2, 4]
+
+    def test_problem_size_fixed(self, speedup_result):
+        sizes = {p.r_objects for p in speedup_result.points}
+        assert len(sizes) == 1
+
+    def test_monotone_improvement(self, speedup_result):
+        elapsed = [p.elapsed_ms for p in speedup_result.points]
+        assert all(b < a for a, b in zip(elapsed, elapsed[1:]))
+
+    def test_speedup_metrics(self, speedup_result):
+        speedups = speedup_result.speedups()
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 1.5
+
+    def test_efficiency_at_most_one_ish(self, speedup_result):
+        for efficiency in speedup_result.efficiencies():
+            assert efficiency <= 1.15  # allow small super-linear noise
+
+    def test_render(self, speedup_result):
+        text = speedup_result.render()
+        assert "speedup" in text and "grace" in text
+
+
+class TestScaleup:
+    def test_problem_grows_with_width(self, scaleup_result):
+        sizes = [p.r_objects for p in scaleup_result.points]
+        assert sizes[1] == pytest.approx(2 * sizes[0], rel=0.05)
+        assert sizes[2] == pytest.approx(4 * sizes[0], rel=0.05)
+
+    def test_elapsed_stays_within_scaleup_band(self, scaleup_result):
+        # Degradation is expected (the serial setup grows with D) but
+        # bounded: far from the 4x a serial machine would need.
+        base = scaleup_result.base.elapsed_ms
+        for point in scaleup_result.points:
+            assert point.elapsed_ms < 2.0 * base
+
+    def test_render(self, scaleup_result):
+        text = scaleup_result.render()
+        assert "scaleup" in text and "|R|" in text
+
+
+class TestValidation:
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_speedup(disk_counts=())
+
+    def test_unsorted_widths_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_speedup(disk_counts=(4, 2))
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_speedup(disk_counts=(0, 2))
+
+
+class TestScalingPoint:
+    def test_metrics(self):
+        base = ScalingPoint(disks=1, elapsed_ms=100.0, r_objects=10)
+        fast = ScalingPoint(disks=4, elapsed_ms=30.0, r_objects=10)
+        assert fast.speedup_vs(base) == pytest.approx(100 / 30)
+        assert fast.efficiency_vs(base) == pytest.approx(100 / 30 / 4)

@@ -1,0 +1,132 @@
+"""Tests for pass-level validation and crossover analysis."""
+
+import pytest
+
+from repro.harness.crossover import (
+    Crossover,
+    cheapest_algorithm,
+    find_crossovers,
+    model_cost,
+)
+from repro.harness.experiment import ExperimentError, MODEL_FUNCTIONS
+from repro.harness.validation import PassComparison, compare_passes
+from repro.joins import JoinEnvironment, make_algorithm
+from repro.model import MemoryParameters, RelationParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+PAPER = RelationParameters()
+
+
+class TestComparePasses:
+    @pytest.fixture(scope="class")
+    def pair(self, calibrated_machine):
+        workload = generate_workload(
+            WorkloadSpec.paper_validation(scale=0.02), 4
+        )
+        relations = workload.relation_parameters()
+        memory = MemoryParameters.from_fractions(relations, 0.1)
+        report = MODEL_FUNCTIONS["grace"](calibrated_machine, relations, memory)
+        env = JoinEnvironment(workload, memory)
+        run = make_algorithm("grace").run(env, collect_pairs=False)
+        return report, run
+
+    def test_every_model_pass_appears(self, pair):
+        report, run = pair
+        validation = compare_passes(report, run)
+        names = {p.name for p in validation.passes}
+        assert names == {"pass0", "pass1", "probe-join"}
+
+    def test_measured_total_matches_run(self, pair):
+        report, run = pair
+        validation = compare_passes(report, run)
+        assert validation.measured_total_ms == pytest.approx(
+            run.elapsed_ms, rel=0.02
+        )
+
+    def test_model_total_matches_report(self, pair):
+        report, run = pair
+        validation = compare_passes(report, run)
+        assert validation.model_total_ms == pytest.approx(report.total_ms)
+
+    def test_setup_paired_separately(self, pair):
+        report, run = pair
+        validation = compare_passes(report, run)
+        assert validation.setup_measured_ms == pytest.approx(run.setup_ms)
+        assert validation.setup_model_ms == pytest.approx(report.setup_ms)
+
+    def test_worst_pass_and_render(self, pair):
+        report, run = pair
+        validation = compare_passes(report, run)
+        worst = validation.worst_pass()
+        assert worst.name in {"pass0", "pass1", "probe-join"}
+        text = validation.render()
+        assert "pass0" in text and "TOTAL" in text
+
+    def test_unmatched_measured_pass_not_dropped(self, pair):
+        report, run = pair
+        run.pass_ms["mystery"] = 123.0
+        validation = compare_passes(report, run)
+        mystery = [p for p in validation.passes if p.name == "mystery"]
+        assert mystery and mystery[0].model_ms == 0.0
+        del run.pass_ms["mystery"]
+
+
+class TestPassComparison:
+    def test_relative_error(self):
+        comparison = PassComparison(name="x", model_ms=80.0, measured_ms=100.0)
+        assert comparison.relative_error == pytest.approx(0.2)
+
+    def test_zero_measurement_has_no_error(self):
+        comparison = PassComparison(name="x", model_ms=80.0, measured_ms=0.0)
+        assert comparison.relative_error is None
+
+
+class TestCrossovers:
+    def test_nested_loops_overtakes_grace_at_high_memory(self, calibrated_machine):
+        crossovers = find_crossovers(
+            "nested-loops", "grace", calibrated_machine, PAPER
+        )
+        assert len(crossovers) >= 1
+        flip = crossovers[-1]
+        assert flip.cheaper_below == "grace"
+        assert flip.cheaper_above == "nested-loops"
+        assert 0.1 < flip.fraction < 0.5
+
+    def test_crossover_point_really_flips_the_costs(self, calibrated_machine):
+        crossovers = find_crossovers(
+            "nested-loops", "grace", calibrated_machine, PAPER
+        )
+        flip = crossovers[-1]
+        below = flip.fraction * 0.9
+        above = min(0.99, flip.fraction * 1.1)
+        nl_below = model_cost("nested-loops", calibrated_machine, PAPER, below)
+        gr_below = model_cost("grace", calibrated_machine, PAPER, below)
+        nl_above = model_cost("nested-loops", calibrated_machine, PAPER, above)
+        gr_above = model_cost("grace", calibrated_machine, PAPER, above)
+        assert gr_below < nl_below
+        assert nl_above < gr_above
+
+    def test_identical_algorithms_have_no_crossover(self, calibrated_machine):
+        assert find_crossovers("grace", "grace", calibrated_machine, PAPER) == []
+
+    def test_needs_two_grid_points(self, calibrated_machine):
+        with pytest.raises(ExperimentError):
+            find_crossovers(
+                "grace", "sort-merge", calibrated_machine, PAPER,
+                fractions=(0.1,),
+            )
+
+    def test_unknown_algorithm_rejected(self, calibrated_machine):
+        with pytest.raises(ExperimentError):
+            model_cost("bitmap-join", calibrated_machine, PAPER, 0.1)
+
+
+class TestCheapestAlgorithm:
+    def test_grace_cheapest_in_its_envelope(self, calibrated_machine):
+        winner, costs = cheapest_algorithm(calibrated_machine, PAPER, 0.08)
+        assert winner == "grace"
+        assert set(costs) == {"nested-loops", "sort-merge", "grace"}
+
+    def test_nested_loops_cheapest_when_s_cacheable(self, calibrated_machine):
+        winner, _ = cheapest_algorithm(calibrated_machine, PAPER, 0.6)
+        assert winner == "nested-loops"

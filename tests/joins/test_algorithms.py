@@ -1,0 +1,198 @@
+"""Correctness and behaviour tests for the three parallel joins."""
+
+import pytest
+
+from repro.joins import (
+    JoinEnvironment,
+    ParallelGraceJoin,
+    ParallelNestedLoopsJoin,
+    ParallelSortMergeJoin,
+    expected_checksum,
+    make_algorithm,
+    verify_pairs,
+)
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def run(workload, algo, fraction=0.2, g_bytes=4096, collect=True):
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), fraction, g_bytes=g_bytes
+    )
+    env = JoinEnvironment(workload, memory)
+    return algo.run(env, collect_pairs=collect)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        d: generate_workload(
+            WorkloadSpec(r_objects=600, s_objects=600, seed=17), disks=d
+        )
+        for d in (1, 2, 4)
+    }
+
+
+class TestNestedLoops:
+    @pytest.mark.parametrize("disks", [1, 2, 4])
+    def test_correct_at_all_widths(self, workloads, disks):
+        result = run(workloads[disks], ParallelNestedLoopsJoin())
+        assert verify_pairs(workloads[disks], result.pairs) == 600
+
+    def test_synchronized_variant_also_correct(self, workloads):
+        result = run(workloads[4], ParallelNestedLoopsJoin(synchronize_phases=True))
+        assert verify_pairs(workloads[4], result.pairs) == 600
+
+    def test_sync_flag_recorded(self, workloads):
+        result = run(workloads[4], ParallelNestedLoopsJoin(synchronize_phases=True))
+        assert result.detail["synchronized"] == 1.0
+
+    def test_spilled_objects_are_the_remote_pointers(self, workloads):
+        wl = workloads[4]
+        result = run(wl, ParallelNestedLoopsJoin())
+        remote = sum(
+            1
+            for partition_index, partition in enumerate(wl.r_partitions)
+            for obj in partition
+            if wl.pointer_map.partition_of(obj.sptr) != partition_index
+        )
+        assert result.detail["rp_objects"] == float(remote)
+
+    def test_low_memory_slower_than_high(self, workloads):
+        slow = run(workloads[4], ParallelNestedLoopsJoin(), fraction=0.03)
+        fast = run(workloads[4], ParallelNestedLoopsJoin(), fraction=0.8)
+        assert slow.elapsed_ms > fast.elapsed_ms
+
+    def test_tiny_g_buffer_still_correct(self, workloads):
+        result = run(workloads[4], ParallelNestedLoopsJoin(), g_bytes=300)
+        assert verify_pairs(workloads[4], result.pairs) == 600
+
+    def test_elapsed_positive_and_setup_included(self, workloads):
+        result = run(workloads[4], ParallelNestedLoopsJoin())
+        assert result.elapsed_ms > result.setup_ms > 0
+
+
+class TestSortMerge:
+    @pytest.mark.parametrize("disks", [1, 2, 4])
+    def test_correct_at_all_widths(self, workloads, disks):
+        result = run(workloads[disks], ParallelSortMergeJoin())
+        assert verify_pairs(workloads[disks], result.pairs) == 600
+
+    def test_multiple_merge_passes_forced_by_tiny_memory(self, workloads):
+        wl = workloads[4]
+        # ~5 pages per Rproc: IRUN ~ 150, runs ~ 1 per proc... shrink more.
+        memory = MemoryParameters(m_rproc_bytes=3 * 4096, m_sproc_bytes=8 * 4096)
+        env = JoinEnvironment(wl, memory)
+        result = ParallelSortMergeJoin().run(env)
+        assert verify_pairs(wl, result.pairs) == 600
+
+    def test_npass_reported(self, workloads):
+        result = run(workloads[4], ParallelSortMergeJoin())
+        assert result.detail["npass"] >= 1.0
+        assert result.detail["irun"] >= 1.0
+
+    def test_unsynchronized_variant_correct(self, workloads):
+        result = run(workloads[4], ParallelSortMergeJoin(synchronize_phases=False))
+        assert verify_pairs(workloads[4], result.pairs) == 600
+
+    def test_s_partition_read_sequentially(self, workloads):
+        """After sorting, each S page should fault at most once per proc."""
+        wl = workloads[4]
+        result = run(wl, ParallelSortMergeJoin(), fraction=0.5, collect=False)
+        s_pages = sum(seg_pages(wl, i) for i in range(4))
+        sproc_faults = sum(
+            stats.faults
+            for name, stats in result.stats.memory.items()
+            if name.startswith("Sproc")
+        )
+        assert sproc_faults <= s_pages
+
+
+def seg_pages(workload, i):
+    objects = workload.pointer_map.partition_size(i)
+    per_page = 4096 // workload.spec.s_bytes
+    return -(-objects // per_page)
+
+
+class TestGrace:
+    @pytest.mark.parametrize("disks", [1, 2, 4])
+    def test_correct_at_all_widths(self, workloads, disks):
+        result = run(workloads[disks], ParallelGraceJoin())
+        assert verify_pairs(workloads[disks], result.pairs) == 600
+
+    @pytest.mark.parametrize("buckets", [1, 3, 16])
+    def test_correct_for_any_bucket_count(self, workloads, buckets):
+        result = run(workloads[4], ParallelGraceJoin(buckets=buckets))
+        assert verify_pairs(workloads[4], result.pairs) == 600
+
+    def test_tsize_one_degenerates_to_single_chain(self, workloads):
+        result = run(workloads[4], ParallelGraceJoin(buckets=4, tsize=1))
+        assert verify_pairs(workloads[4], result.pairs) == 600
+
+    def test_bucket_count_recorded(self, workloads):
+        result = run(workloads[4], ParallelGraceJoin(buckets=7))
+        assert result.detail["buckets"] == 7.0
+
+    def test_s_read_once_with_ample_memory(self, workloads):
+        """Order-preserving bucketing: S pages fault at most once each."""
+        wl = workloads[4]
+        result = run(wl, ParallelGraceJoin(buckets=4), fraction=0.5, collect=False)
+        s_pages = sum(seg_pages(wl, i) for i in range(4))
+        sproc_faults = sum(
+            stats.faults
+            for name, stats in result.stats.memory.items()
+            if name.startswith("Sproc")
+        )
+        assert sproc_faults <= s_pages
+
+    def test_thrashing_measurable_when_buckets_exceed_frames(self, workloads):
+        wl = workloads[4]
+        calm = run(wl, ParallelGraceJoin(buckets=2), fraction=0.5)
+        thrash = run(wl, ParallelGraceJoin(buckets=40), fraction=0.03)
+        assert thrash.stats.total_blocks_written > calm.stats.total_blocks_written
+
+
+class TestCrossAlgorithm:
+    @pytest.mark.parametrize("name", ["nested-loops", "sort-merge", "grace"])
+    def test_checksum_matches_oracle_without_pair_retention(self, workloads, name):
+        wl = workloads[4]
+        result = run(wl, make_algorithm(name), collect=False)
+        assert result.pairs is None
+        assert result.checksum == expected_checksum(wl)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_algorithms_agree_across_seeds(self, seed):
+        wl = generate_workload(
+            WorkloadSpec(r_objects=400, s_objects=400, seed=seed), disks=4
+        )
+        checksums = set()
+        for name in ("nested-loops", "sort-merge", "grace"):
+            checksums.add(run(wl, make_algorithm(name), collect=False).checksum)
+        assert len(checksums) == 1
+        assert checksums.pop() == expected_checksum(wl)
+
+    @pytest.mark.parametrize(
+        "distribution,args",
+        [
+            ("permutation", {}),
+            ("zipf", {"theta": 1.0}),
+            ("partition_hot", {"hot_fraction": 0.7, "hot_span": 0.2}),
+            ("clustered", {"run_length": 16}),
+        ],
+    )
+    def test_all_algorithms_correct_under_skewed_distributions(
+        self, distribution, args
+    ):
+        wl = generate_workload(
+            WorkloadSpec(
+                r_objects=500,
+                s_objects=500,
+                distribution=distribution,
+                distribution_args=args,
+                seed=8,
+            ),
+            disks=4,
+        )
+        for name in ("nested-loops", "sort-merge", "grace"):
+            result = run(wl, make_algorithm(name), collect=False)
+            assert result.checksum == expected_checksum(wl), name

@@ -1,0 +1,126 @@
+"""Tests for join infrastructure: phases, collector, environment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.joins.base import (
+    JoinEnvironment,
+    JoinExecutionError,
+    PairCollector,
+    ceil_div,
+    chunked,
+    phase_partner,
+)
+from repro.core.records import RObject, SObject
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+
+class TestPhasePartner:
+    @settings(max_examples=30, deadline=None)
+    @given(d=st.integers(min_value=2, max_value=12))
+    def test_each_process_visits_every_remote_partition_once(self, d):
+        for i in range(d):
+            visited = [phase_partner(i, t, d) for t in range(1, d)]
+            assert sorted(visited) == sorted(j for j in range(d) if j != i)
+
+    @settings(max_examples=30, deadline=None)
+    @given(d=st.integers(min_value=2, max_value=12))
+    def test_each_phase_is_a_bijection(self, d):
+        for t in range(1, d):
+            targets = [phase_partner(i, t, d) for i in range(d)]
+            assert sorted(targets) == list(range(d))
+
+    def test_phase_out_of_range_rejected(self):
+        with pytest.raises(JoinExecutionError):
+            phase_partner(0, 0, 4)
+        with pytest.raises(JoinExecutionError):
+            phase_partner(0, 4, 4)
+
+
+class TestPairCollector:
+    def test_counts_and_keeps_pairs(self):
+        collector = PairCollector()
+        collector.emit(RObject(1, 2, 3), SObject(2, 4, 5))
+        assert collector.count == 1
+        assert collector.pairs[0].rid == 1
+
+    def test_discards_pairs_when_asked(self):
+        collector = PairCollector(keep_pairs=False)
+        collector.emit(RObject(1, 2, 3), SObject(2, 4, 5))
+        assert collector.count == 1
+        assert collector.pairs == []
+
+    def test_checksum_order_independent(self):
+        items = [(RObject(i, i, i), SObject(i, i * 3, 0)) for i in range(50)]
+        a, b = PairCollector(False), PairCollector(False)
+        for r, s in items:
+            a.emit(r, s)
+        for r, s in reversed(items):
+            b.emit(r, s)
+        assert a.checksum == b.checksum
+
+    def test_checksum_detects_missing_pair(self):
+        items = [(RObject(i, i, i), SObject(i, i * 3, 0)) for i in range(50)]
+        a, b = PairCollector(False), PairCollector(False)
+        for r, s in items:
+            a.emit(r, s)
+        for r, s in items[:-1]:
+            b.emit(r, s)
+        assert a.checksum != b.checksum
+
+
+class TestHelpers:
+    def test_chunked(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_chunked_rejects_nonpositive(self):
+        with pytest.raises(JoinExecutionError):
+            chunked([1], 0)
+
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+
+
+class TestJoinEnvironment:
+    @pytest.fixture(scope="class")
+    def env(self):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=256, s_objects=256, seed=3), disks=4
+        )
+        memory = MemoryParameters(m_rproc_bytes=16_384, m_sproc_bytes=32_768)
+        return JoinEnvironment(workload, memory)
+
+    def test_one_process_pair_per_disk(self, env):
+        assert len(env.rprocs) == len(env.sprocs) == 4
+
+    def test_frames_match_memory_grant(self, env):
+        assert env.rprocs[0].memory.frames == 4
+        assert env.sprocs[0].memory.frames == 8
+
+    def test_segments_on_their_disks(self, env):
+        for i in range(4):
+            assert env.r_segments[i].disk.disk_id == i
+            assert env.s_segments[i].disk.disk_id == i
+
+    def test_base_segments_hold_workload(self, env):
+        assert env.r_segments[0].peek(0) == env.workload.r_partitions[0][0]
+        assert env.s_segments[1].peek(0) == env.workload.s_partition(1)[0]
+
+    def test_sub_counts_sum_to_partition(self, env):
+        counts = env.sub_counts(0)
+        assert sum(counts) == len(env.workload.r_partitions[0])
+
+    def test_barrier_aligns_clocks(self, env):
+        env.rprocs[0].advance(100.0)
+        env.barrier(env.rprocs)
+        assert all(p.clock_ms >= 100.0 for p in env.rprocs)
+
+    def test_disk_count_adapts_to_workload(self):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=64, s_objects=64, seed=3), disks=2
+        )
+        memory = MemoryParameters(m_rproc_bytes=8192, m_sproc_bytes=8192)
+        env = JoinEnvironment(workload, memory)
+        assert len(env.machine.disks) == 2

@@ -1,0 +1,122 @@
+"""Tests for the hash-loops extension (algorithm + model)."""
+
+import pytest
+
+from repro.joins import (
+    JoinEnvironment,
+    ParallelHashLoopsJoin,
+    ParallelNestedLoopsJoin,
+    expected_checksum,
+    verify_pairs,
+)
+from repro.model import (
+    MachineParameters,
+    MemoryParameters,
+    RelationParameters,
+    chunk_capacity,
+    expected_distinct_pages,
+    hash_loops_cost,
+    nested_loops_cost,
+)
+from repro.workload import WorkloadSpec, generate_workload
+
+MACHINE = MachineParameters()
+PAPER = RelationParameters()
+
+
+def mem(fraction):
+    return MemoryParameters.from_fractions(PAPER, fraction)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadSpec(r_objects=600, s_objects=600, seed=17), disks=4
+    )
+
+
+def run(workload, fraction=0.2, **kwargs):
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), fraction
+    )
+    env = JoinEnvironment(workload, memory)
+    return ParallelHashLoopsJoin(**kwargs).run(env)
+
+
+class TestAlgorithm:
+    @pytest.mark.parametrize("disks", [1, 2, 4])
+    def test_correct_at_all_widths(self, disks):
+        wl = generate_workload(
+            WorkloadSpec(r_objects=400, s_objects=400, seed=9), disks=disks
+        )
+        result = run(wl)
+        assert verify_pairs(wl, result.pairs) == 400
+
+    def test_correct_with_tiny_chunks(self, workload):
+        # MRproc barely holds a couple of entries: many chunk flushes.
+        memory = MemoryParameters(m_rproc_bytes=300, m_sproc_bytes=16_384)
+        env = JoinEnvironment(workload, memory)
+        result = ParallelHashLoopsJoin().run(env)
+        assert verify_pairs(workload, result.pairs) == 600
+
+    def test_synchronized_variant_correct(self, workload):
+        result = run(workload, synchronize_phases=True)
+        assert verify_pairs(workload, result.pairs) == 600
+
+    def test_checksum_matches_oracle(self, workload):
+        memory = MemoryParameters.from_fractions(
+            workload.relation_parameters(), 0.2
+        )
+        env = JoinEnvironment(workload, memory)
+        result = ParallelHashLoopsJoin().run(env, collect_pairs=False)
+        assert result.checksum == expected_checksum(workload)
+
+    def test_beats_nested_loops_at_low_memory(self):
+        wl = generate_workload(WorkloadSpec.paper_validation(scale=0.05), 4)
+        memory = MemoryParameters.from_fractions(
+            wl.relation_parameters(), 0.05
+        )
+        hl = ParallelHashLoopsJoin().run(
+            JoinEnvironment(wl, memory), collect_pairs=False
+        )
+        nl = ParallelNestedLoopsJoin().run(
+            JoinEnvironment(wl, memory), collect_pairs=False
+        )
+        assert hl.elapsed_ms < nl.elapsed_ms
+
+    def test_chunk_capacity_reported(self, workload):
+        result = run(workload)
+        assert result.detail["chunk_capacity"] >= 1.0
+
+
+class TestModel:
+    def test_chunk_capacity_formula(self):
+        memory = mem(0.1)
+        per = PAPER.r_bytes + MACHINE.heap_pointer_bytes
+        assert chunk_capacity(MACHINE, PAPER, memory) == memory.m_rproc_bytes // per
+
+    def test_expected_distinct_pages_bounds(self):
+        assert expected_distinct_pages(100, 0) == 0.0
+        assert expected_distinct_pages(100, 10_000) <= 100.0
+        assert expected_distinct_pages(100, 50) == pytest.approx(
+            100 * (1 - 0.99**50)
+        )
+
+    def test_cheaper_than_nested_loops_everywhere(self):
+        for fraction in (0.02, 0.05, 0.1, 0.3):
+            memory = mem(fraction)
+            hl = hash_loops_cost(MACHINE, PAPER, memory).total_ms
+            nl = nested_loops_cost(MACHINE, PAPER, memory).total_ms
+            assert hl <= nl * 1.02, fraction
+
+    def test_monotone_nonincreasing_in_memory(self):
+        totals = [
+            hash_loops_cost(MACHINE, PAPER, mem(f)).total_ms
+            for f in (0.02, 0.05, 0.1, 0.3)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(totals, totals[1:]))
+
+    def test_pass_structure(self):
+        report = hash_loops_cost(MACHINE, PAPER, mem(0.1))
+        assert [p.name for p in report.passes] == ["setup", "pass0", "pass1"]
+        assert report.derived["s_pages_read_pass0"] > 0

@@ -1,0 +1,139 @@
+"""Tests for the hybrid-hash extension (algorithm + model)."""
+
+import pytest
+
+from repro.joins import (
+    JoinEnvironment,
+    ParallelGraceJoin,
+    ParallelHybridHashJoin,
+    expected_checksum,
+    verify_pairs,
+)
+from repro.model import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    grace_cost,
+    hybrid_hash_cost,
+)
+from repro.model.hybrid_hash import default_resident_buckets
+from repro.workload import WorkloadSpec, generate_workload
+
+MACHINE = MachineParameters()
+PAPER = RelationParameters()
+
+
+def mem(fraction):
+    return MemoryParameters.from_fractions(PAPER, fraction)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadSpec(r_objects=600, s_objects=600, seed=17), disks=4
+    )
+
+
+def run(workload, fraction=0.2, **kwargs):
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), fraction
+    )
+    env = JoinEnvironment(workload, memory)
+    return ParallelHybridHashJoin(**kwargs).run(env)
+
+
+class TestAlgorithm:
+    @pytest.mark.parametrize("disks", [1, 2, 4])
+    def test_correct_at_all_widths(self, disks):
+        wl = generate_workload(
+            WorkloadSpec(r_objects=400, s_objects=400, seed=9), disks=disks
+        )
+        result = run(wl)
+        assert verify_pairs(wl, result.pairs) == 400
+
+    @pytest.mark.parametrize("r0", [0, 1, 3])
+    def test_correct_for_any_resident_count(self, workload, r0):
+        result = run(workload, buckets=4, resident_buckets=r0)
+        assert verify_pairs(workload, result.pairs) == 600
+        assert result.detail["resident_buckets"] == float(r0)
+
+    def test_zero_resident_degenerates_to_grace_output(self, workload):
+        hh = run(workload, buckets=4, resident_buckets=0)
+        assert verify_pairs(workload, hh.pairs) == 600
+
+    def test_all_but_one_resident(self, workload):
+        result = run(workload, buckets=5, resident_buckets=4)
+        assert verify_pairs(workload, result.pairs) == 600
+
+    def test_invalid_resident_count_rejected(self, workload):
+        from repro.joins.base import JoinExecutionError
+
+        with pytest.raises(JoinExecutionError):
+            run(workload, buckets=4, resident_buckets=4)
+
+    def test_checksum_matches_oracle(self, workload):
+        memory = MemoryParameters.from_fractions(
+            workload.relation_parameters(), 0.2
+        )
+        env = JoinEnvironment(workload, memory)
+        result = ParallelHybridHashJoin().run(env, collect_pairs=False)
+        assert result.checksum == expected_checksum(workload)
+
+    def test_resident_buckets_beat_grace(self):
+        """The hybrid saving: skip spill+probe for the resident fraction."""
+        wl = generate_workload(WorkloadSpec.paper_validation(scale=0.1), 4)
+        memory = MemoryParameters.from_fractions(wl.relation_parameters(), 0.3)
+        hh = ParallelHybridHashJoin(buckets=8, resident_buckets=4).run(
+            JoinEnvironment(wl, memory), collect_pairs=False
+        )
+        gr = ParallelGraceJoin(buckets=8).run(
+            JoinEnvironment(wl, memory), collect_pairs=False
+        )
+        assert hh.elapsed_ms < gr.elapsed_ms
+
+
+class TestModel:
+    def test_default_resident_buckets_bounds(self):
+        for fraction in (0.02, 0.1, 0.5):
+            r0 = default_resident_buckets(MACHINE, PAPER, mem(fraction), 16)
+            assert 0 <= r0 < 16
+
+    def test_more_memory_more_resident_buckets(self):
+        small = default_resident_buckets(MACHINE, PAPER, mem(0.05), 16)
+        large = default_resident_buckets(MACHINE, PAPER, mem(0.5), 16)
+        assert large >= small
+
+    def test_zero_resident_matches_grace_model(self):
+        memory = mem(0.05)
+        hh = hybrid_hash_cost(
+            MACHINE, PAPER, memory, buckets=16, resident_buckets=0
+        )
+        gr = grace_cost(MACHINE, PAPER, memory, buckets=16)
+        assert hh.total_ms == pytest.approx(gr.total_ms, rel=1e-6)
+
+    def test_resident_buckets_reduce_predicted_cost(self):
+        memory = mem(0.2)
+        base = hybrid_hash_cost(
+            MACHINE, PAPER, memory, buckets=16, resident_buckets=0
+        )
+        hybrid = hybrid_hash_cost(
+            MACHINE, PAPER, memory, buckets=16, resident_buckets=8
+        )
+        assert hybrid.total_ms < base.total_ms
+
+    def test_invalid_resident_rejected(self):
+        with pytest.raises(ParameterError):
+            hybrid_hash_cost(
+                MACHINE, PAPER, mem(0.1), buckets=4, resident_buckets=7
+            )
+
+    def test_derived_fields(self):
+        report = hybrid_hash_cost(
+            MACHINE, PAPER, mem(0.1), buckets=12, resident_buckets=3
+        )
+        assert report.derived["buckets"] == 12.0
+        assert report.derived["resident_buckets"] == 3.0
+        assert [p.name for p in report.passes] == [
+            "setup", "pass0", "pass1", "probe-join",
+        ]

@@ -1,0 +1,115 @@
+"""Cross-cutting accounting invariants of the simulated joins.
+
+These tests pin down the bookkeeping relationships between layers: machine
+counters, per-process clocks, per-pass durations and the result object must
+all tell one consistent story, for every algorithm.
+"""
+
+import pytest
+
+from repro.joins import ALGORITHMS, JoinEnvironment, make_algorithm
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    workload = generate_workload(
+        WorkloadSpec(r_objects=800, s_objects=800, seed=23), disks=4
+    )
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), 0.1
+    )
+    out = {}
+    for name in ALGORITHMS:
+        env = JoinEnvironment(workload, memory)
+        out[name] = (env, make_algorithm(name).run(env, collect_pairs=False))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestAccountingInvariants:
+    def test_elapsed_equals_slowest_process_plus_setup(self, runs, name):
+        env, result = runs[name]
+        slowest = max(result.per_process_ms.values())
+        assert result.elapsed_ms == pytest.approx(slowest + result.setup_ms)
+
+    def test_every_process_reported(self, runs, name):
+        _, result = runs[name]
+        assert len(result.per_process_ms) == 8  # 4 Rprocs + 4 Sprocs
+
+    def test_faults_never_exceed_accesses(self, runs, name):
+        _, result = runs[name]
+        for stats in result.stats.memory.values():
+            assert stats.faults <= stats.accesses
+            assert stats.dirty_evictions <= stats.evictions
+
+    def test_disk_reads_match_initialized_faults(self, runs, name):
+        """Every block read comes from some fault on an initialized page,
+        so total reads can never exceed total faults."""
+        _, result = runs[name]
+        assert result.stats.total_blocks_read <= result.stats.total_faults
+
+    def test_no_pending_writes_after_finish(self, runs, name):
+        env, _ = runs[name]
+        for disk in env.machine.disks:
+            assert disk.pending_write_count == 0
+
+    def test_r_objects_fully_scanned(self, runs, name):
+        """Every R object is read at least once: total page accesses on
+        the R segments cover the partition sizes."""
+        env, result = runs[name]
+        per_page = env.r_segments[0].objects_per_page
+        r_pages = sum(seg.n_pages for seg in env.r_segments)
+        r_faults = sum(
+            stats.faults
+            for proc_name, stats in result.stats.memory.items()
+            if proc_name.startswith("Rproc")
+        )
+        # Rprocs fault at least the pages of R itself (they also fault
+        # temporaries, hence >=).
+        assert r_faults >= r_pages or per_page >= 32
+
+    def test_context_switches_even(self, runs, name):
+        """G-buffer exchanges always come in pairs (over and back)."""
+        _, result = runs[name]
+        assert result.stats.context_switches % 2 == 0
+
+    def test_checksum_stable_across_reruns(self, runs, name):
+        env, result = runs[name]
+        env2 = JoinEnvironment(env.workload, env.memory)
+        rerun = make_algorithm(name).run(env2, collect_pairs=False)
+        assert rerun.checksum == result.checksum
+        assert rerun.elapsed_ms == pytest.approx(result.elapsed_ms)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestMemoryDoesNotChangeAnswers:
+    def test_output_independent_of_memory(self, name):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=300, s_objects=300, seed=7), disks=2
+        )
+        checksums = set()
+        for fraction in (0.03, 0.2, 0.9):
+            memory = MemoryParameters.from_fractions(
+                workload.relation_parameters(), fraction
+            )
+            env = JoinEnvironment(workload, memory)
+            checksums.add(
+                make_algorithm(name).run(env, collect_pairs=False).checksum
+            )
+        assert len(checksums) == 1
+
+    def test_more_memory_never_more_faults(self, name):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=600, s_objects=600, seed=7), disks=2
+        )
+        faults = []
+        for fraction in (0.05, 0.5):
+            memory = MemoryParameters.from_fractions(
+                workload.relation_parameters(), fraction
+            )
+            env = JoinEnvironment(workload, memory)
+            result = make_algorithm(name).run(env, collect_pairs=False)
+            faults.append(result.stats.total_faults)
+        assert faults[1] <= faults[0]

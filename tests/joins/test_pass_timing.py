@@ -1,0 +1,75 @@
+"""Tests for per-pass checkpoint timing on the join algorithms."""
+
+import pytest
+
+from repro.joins import ALGORITHMS, JoinEnvironment, make_algorithm
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+EXPECTED_PASSES = {
+    "nested-loops": ["pass0", "pass1"],
+    "sort-merge": [
+        "pass0", "pass1", "pass2-sort", "merge-passes", "final-merge-join",
+    ],
+    "grace": ["pass0", "pass1", "probe-join"],
+    "hash-loops": ["pass0", "pass1"],
+    "hybrid-hash": ["pass0", "pass1", "probe-join"],
+}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    workload = generate_workload(
+        WorkloadSpec(r_objects=600, s_objects=600, seed=17), disks=4
+    )
+    memory = MemoryParameters.from_fractions(
+        workload.relation_parameters(), 0.15
+    )
+    out = {}
+    for name in ALGORITHMS:
+        env = JoinEnvironment(workload, memory)
+        out[name] = make_algorithm(name).run(env, collect_pairs=False)
+    return out
+
+
+class TestCheckpointStructure:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PASSES))
+    def test_expected_pass_labels_in_order(self, runs, name):
+        assert list(runs[name].pass_ms) == EXPECTED_PASSES[name]
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PASSES))
+    def test_durations_nonnegative(self, runs, name):
+        for label, duration in runs[name].pass_ms.items():
+            assert duration >= 0.0, label
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PASSES))
+    def test_durations_sum_close_to_elapsed(self, runs, name):
+        run = runs[name]
+        total = sum(run.pass_ms.values()) + run.setup_ms
+        # The final disk drain happens after the last checkpoint, so the
+        # checkpointed total may be slightly below elapsed — never above.
+        assert total <= run.elapsed_ms + 1e-6
+        assert total > 0.9 * run.elapsed_ms
+
+    def test_pass0_dominated_by_scan(self, runs):
+        """For nested loops at this memory, pass 1 (random remote S) costs
+        at least a comparable amount to pass 0 — both are nontrivial."""
+        run = runs["nested-loops"]
+        assert run.pass_ms["pass0"] > 0
+        assert run.pass_ms["pass1"] > 0
+
+
+class TestEnvironmentCheckpoints:
+    def test_manual_checkpoints(self):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=64, s_objects=64, seed=1), disks=2
+        )
+        memory = MemoryParameters(m_rproc_bytes=8192, m_sproc_bytes=8192)
+        env = JoinEnvironment(workload, memory)
+        env.rprocs[0].advance(100.0)
+        env.checkpoint("a")
+        env.rprocs[1].advance(250.0)
+        env.checkpoint("b")
+        durations = env.pass_durations()
+        assert durations["a"] == pytest.approx(100.0)
+        assert durations["b"] == pytest.approx(150.0)

@@ -1,0 +1,119 @@
+"""Property-based tests: all five algorithms agree on random workloads.
+
+Each generated case is a small random workload (random sizes, disk counts,
+pointer distributions, memory grants); the property is the library's core
+invariant — every algorithm produces exactly the oracle join output.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.joins import (
+    ALGORITHMS,
+    JoinEnvironment,
+    expected_checksum,
+    make_algorithm,
+)
+from repro.model import MemoryParameters
+from repro.workload import WorkloadSpec, generate_workload
+
+workload_params = st.fixed_dictionaries(
+    {
+        "r_objects": st.integers(min_value=16, max_value=400),
+        "s_objects": st.integers(min_value=8, max_value=400),
+        "disks": st.sampled_from([1, 2, 3, 4]),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "distribution": st.sampled_from(
+            ["uniform", "permutation", "zipf", "partition_hot", "clustered"]
+        ),
+    }
+)
+
+memory_params = st.fixed_dictionaries(
+    {
+        # Down to near-starvation (a handful of frames) and up to ample.
+        "m_rproc_bytes": st.integers(min_value=2_048, max_value=262_144),
+        "m_sproc_bytes": st.integers(min_value=4_096, max_value=262_144),
+        "g_bytes": st.sampled_from([300, 1_024, 4_096]),
+    }
+)
+
+
+def build_workload(params):
+    return generate_workload(
+        WorkloadSpec(
+            r_objects=params["r_objects"],
+            s_objects=params["s_objects"],
+            distribution=params["distribution"],
+            seed=params["seed"],
+        ),
+        disks=params["disks"],
+    )
+
+
+class TestAllAlgorithmsMatchOracle:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(wl=workload_params, mem=memory_params)
+    def test_every_algorithm_produces_the_oracle_join(self, wl, mem):
+        workload = build_workload(wl)
+        memory = MemoryParameters(**mem)
+        oracle = expected_checksum(workload)
+        for name in ALGORITHMS:
+            env = JoinEnvironment(workload, memory)
+            result = make_algorithm(name).run(env, collect_pairs=False)
+            assert result.checksum == oracle, (name, wl, mem)
+            assert result.pair_count == workload.r_objects_total
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(wl=workload_params)
+    def test_elapsed_time_positive_and_setup_bounded(self, wl):
+        workload = build_workload(wl)
+        memory = MemoryParameters(m_rproc_bytes=32_768, m_sproc_bytes=32_768)
+        for name in ALGORITHMS:
+            env = JoinEnvironment(workload, memory)
+            result = make_algorithm(name).run(env, collect_pairs=False)
+            assert result.elapsed_ms > 0
+            assert 0 < result.setup_ms < result.elapsed_ms
+
+
+class TestAlgorithmSpecificKnobs:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        buckets=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_grace_any_bucket_count(self, buckets, seed):
+        workload = generate_workload(
+            WorkloadSpec(r_objects=200, s_objects=200, seed=seed), disks=2
+        )
+        memory = MemoryParameters(m_rproc_bytes=16_384, m_sproc_bytes=16_384)
+        env = JoinEnvironment(workload, memory)
+        result = make_algorithm("grace", buckets=buckets).run(
+            env, collect_pairs=False
+        )
+        assert result.checksum == expected_checksum(workload)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        buckets=st.integers(min_value=2, max_value=12),
+        data=st.data(),
+    )
+    def test_hybrid_any_resident_split(self, buckets, data):
+        resident = data.draw(st.integers(min_value=0, max_value=buckets - 1))
+        workload = generate_workload(
+            WorkloadSpec(r_objects=200, s_objects=200, seed=5), disks=2
+        )
+        memory = MemoryParameters(m_rproc_bytes=16_384, m_sproc_bytes=16_384)
+        env = JoinEnvironment(workload, memory)
+        result = make_algorithm(
+            "hybrid-hash", buckets=buckets, resident_buckets=resident
+        ).run(env, collect_pairs=False)
+        assert result.checksum == expected_checksum(workload)

@@ -1,0 +1,66 @@
+"""Tests for the oracle join and verification."""
+
+import pytest
+
+from repro.core.records import JoinedPair
+from repro.joins.reference import (
+    JoinVerificationError,
+    expected_checksum,
+    reference_join,
+    verify_pairs,
+)
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(WorkloadSpec(r_objects=100, s_objects=100, seed=2), 2)
+
+
+class TestReferenceJoin:
+    def test_one_pair_per_r_object(self, workload):
+        assert len(reference_join(workload)) == 100
+
+    def test_pairs_follow_pointers(self, workload):
+        for pair in reference_join(workload):
+            assert workload.s_objects[pair.sid].value == pair.s_value
+
+
+class TestVerifyPairs:
+    def test_accepts_correct_output(self, workload):
+        pairs = reference_join(workload)
+        assert verify_pairs(workload, pairs) == 100
+
+    def test_accepts_any_order(self, workload):
+        pairs = list(reversed(reference_join(workload)))
+        assert verify_pairs(workload, pairs) == 100
+
+    def test_rejects_missing_pair(self, workload):
+        pairs = reference_join(workload)[:-1]
+        with pytest.raises(JoinVerificationError, match="missing"):
+            verify_pairs(workload, pairs)
+
+    def test_rejects_duplicated_pair(self, workload):
+        pairs = reference_join(workload)
+        with pytest.raises(JoinVerificationError, match="unexpected"):
+            verify_pairs(workload, pairs + [pairs[0]])
+
+    def test_rejects_corrupted_pair(self, workload):
+        pairs = reference_join(workload)
+        bad = JoinedPair(
+            rid=pairs[0].rid, sid=pairs[0].sid,
+            r_payload=pairs[0].r_payload + 1, s_value=pairs[0].s_value,
+        )
+        with pytest.raises(JoinVerificationError):
+            verify_pairs(workload, [bad] + pairs[1:])
+
+
+class TestExpectedChecksum:
+    def test_stable(self, workload):
+        assert expected_checksum(workload) == expected_checksum(workload)
+
+    def test_differs_across_workloads(self, workload):
+        other = generate_workload(
+            WorkloadSpec(r_objects=100, s_objects=100, seed=3), 2
+        )
+        assert expected_checksum(workload) != expected_checksum(other)

@@ -1,0 +1,85 @@
+"""Tests for the Mackert–Lohman Ylru buffer model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.buffer import BufferModelError, ylru, ylru_detailed
+
+
+class TestYlruBasics:
+    def test_zero_lookups_no_faults(self):
+        assert ylru(1000, 100, 1000, 50, 0) == 0.0
+
+    def test_single_lookup_first_access_faults(self):
+        est = ylru(1000, 100, 1000, 50, 1)
+        assert 0.0 < est <= 1.0
+
+    def test_rejects_nonpositive_relation(self):
+        with pytest.raises(BufferModelError):
+            ylru(0, 100, 100, 10, 5)
+
+    def test_rejects_negative_lookups(self):
+        with pytest.raises(BufferModelError):
+            ylru(100, 100, 100, 10, -1)
+
+    def test_unsaturated_branch_is_occupancy(self):
+        # With a huge buffer the estimate is classical occupancy:
+        # t * (1 - q^x), and never exceeds the page count.
+        est = ylru_detailed(1000, 100, 1000, 10_000, 500)
+        assert not est.saturated
+        assert est.faults <= 100
+
+    def test_saturated_branch_engaged_at_small_buffer(self):
+        est = ylru_detailed(25_600, 800, 25_600, 100, 20_000)
+        assert est.saturated
+        assert est.faults > 800 * (100 / 800)
+
+    def test_steady_state_rate_near_miss_ratio(self):
+        # Unique keys, b/t = 0.5: each extra lookup should fault ~0.5 times.
+        t, b = 800, 400
+        est1 = ylru(25_600, t, 25_600, b, 10_000)
+        est2 = ylru(25_600, t, 25_600, b, 10_001)
+        assert est2 - est1 == pytest.approx(1 - b / t, rel=0.05)
+
+    def test_buffer_larger_than_relation_caps_at_pages(self):
+        assert ylru(1000, 50, 1000, 100, 100_000) <= 50 + 0.001
+
+
+class TestYlruProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        t=st.integers(min_value=1, max_value=500),
+        b=st.integers(min_value=1, max_value=600),
+        x=st.integers(min_value=0, max_value=2000),
+    )
+    def test_faults_bounded(self, t, b, x):
+        n = t * 16
+        faults = ylru(n, t, n, b, x)
+        assert 0.0 <= faults <= min(t, b) + x + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        t=st.integers(min_value=2, max_value=300),
+        b=st.integers(min_value=1, max_value=200),
+    )
+    def test_monotone_in_lookups(self, t, b):
+        n = t * 8
+        series = [ylru(n, t, n, b, x) for x in (0, 10, 100, 1000)]
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(series, series[1:]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(t=st.integers(min_value=2, max_value=300))
+    def test_bigger_buffer_never_more_faults(self, t):
+        n = t * 8
+        x = t * 4
+        small = ylru(n, t, n, max(1, t // 8), x)
+        large = ylru(n, t, n, t, x)
+        assert large <= small + 1e-9
+
+    def test_continuity_at_saturation_point(self):
+        # The two branches agree at x = n.
+        est = ylru_detailed(10_000, 500, 10_000, 100, 1)
+        n = est.saturation_lookups
+        below = ylru(10_000, 500, 10_000, 100, n)
+        above = ylru(10_000, 500, 10_000, 100, n + 1)
+        assert above - below < 1.5  # at most ~one extra fault

@@ -1,0 +1,170 @@
+"""Behavioural tests of the three join cost models (paper 5.3, 6.3, 7.3)."""
+
+import pytest
+
+from repro.model import (
+    MachineParameters,
+    MemoryParameters,
+    RelationParameters,
+    grace_cost,
+    grace_plan,
+    merge_plan,
+    nested_loops_cost,
+    sort_merge_cost,
+)
+
+MACHINE = MachineParameters()
+PAPER = RelationParameters()
+
+
+def mem(fraction: float) -> MemoryParameters:
+    return MemoryParameters.from_fractions(PAPER, fraction)
+
+
+class TestNestedLoopsModel:
+    def test_positive_total(self):
+        assert nested_loops_cost(MACHINE, PAPER, mem(0.1)).total_ms > 0
+
+    def test_monotone_nonincreasing_in_memory(self):
+        totals = [
+            nested_loops_cost(MACHINE, PAPER, mem(f)).total_ms
+            for f in (0.05, 0.1, 0.2, 0.4, 0.7)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(totals, totals[1:]))
+
+    def test_has_expected_passes(self):
+        report = nested_loops_cost(MACHINE, PAPER, mem(0.1))
+        assert [p.name for p in report.passes] == ["setup", "pass0", "pass1"]
+
+    def test_setup_counts_all_partitions(self):
+        report = nested_loops_cost(MACHINE, PAPER, mem(0.1))
+        single = (
+            MACHINE.open_map(800) + MACHINE.open_map(800)
+            + MACHINE.new_map(report.derived["rp_i"] / 32)
+        )
+        assert report.setup_ms == pytest.approx(4 * single)
+
+    def test_fault_estimates_shrink_with_memory(self):
+        low = nested_loops_cost(MACHINE, PAPER, mem(0.05)).derived
+        high = nested_loops_cost(MACHINE, PAPER, mem(0.2)).derived
+        assert high["si_faults_pass1"] < low["si_faults_pass1"]
+
+    def test_components_sum_to_total(self):
+        report = nested_loops_cost(MACHINE, PAPER, mem(0.1))
+        component_sum = (
+            report.disk_ms + report.transfer_ms + report.cpu_ms
+            + report.context_switch_ms + report.setup_ms
+        )
+        assert report.total_ms == pytest.approx(component_sum)
+
+    def test_more_disks_less_time_per_proc(self):
+        four = nested_loops_cost(MACHINE, PAPER, mem(0.1)).total_ms
+        eight = nested_loops_cost(MACHINE.with_disks(8), PAPER, mem(0.1)).total_ms
+        assert eight < four
+
+
+class TestSortMergeModel:
+    def test_positive_total(self):
+        assert sort_merge_cost(MACHINE, PAPER, mem(0.02)).total_ms > 0
+
+    def test_npass_decreases_with_memory(self):
+        plans = [merge_plan(MACHINE, PAPER, mem(f)) for f in (0.005, 0.02, 0.1)]
+        npasses = [p.npass for p in plans]
+        assert all(b <= a for a, b in zip(npasses, npasses[1:]))
+        assert npasses[0] > npasses[-1]
+
+    def test_lrun_consistent_with_npass(self):
+        plan = merge_plan(MACHINE, PAPER, mem(0.01))
+        # After npass - 1 fan-ins the runs collapse to lrun <= nrun_last.
+        assert plan.lrun <= plan.nrun_last
+        assert plan.lrun >= 1
+
+    def test_irun_fills_memory(self):
+        memory = mem(0.02)
+        plan = merge_plan(MACHINE, PAPER, memory)
+        per = PAPER.r_bytes + MACHINE.heap_pointer_bytes
+        assert plan.irun == memory.m_rproc_bytes // per
+
+    def test_extra_pass_has_visible_cost_step(self):
+        # Crossing an NPASS boundary produces a discontinuity (Figure 5b).
+        report_by_frac = {
+            f: sort_merge_cost(MACHINE, PAPER, mem(f)) for f in (0.008, 0.02)
+        }
+        assert (
+            report_by_frac[0.008].derived["npass"]
+            > report_by_frac[0.02].derived["npass"]
+        )
+        assert (
+            report_by_frac[0.008].pass_named("merge-passes").total_ms
+            > report_by_frac[0.02].pass_named("merge-passes").total_ms
+        )
+
+    def test_has_expected_passes(self):
+        report = sort_merge_cost(MACHINE, PAPER, mem(0.02))
+        names = [p.name for p in report.passes]
+        assert names == [
+            "setup", "pass0", "pass1", "pass2-sort", "merge-passes",
+            "final-merge-join",
+        ]
+
+    def test_single_merge_pass_has_no_recycle_setup(self):
+        report = sort_merge_cost(MACHINE, PAPER, mem(0.1))
+        if report.derived["npass"] == 1:
+            assert report.pass_named("merge-passes").total_ms == 0.0
+
+
+class TestGraceModel:
+    def test_positive_total(self):
+        assert grace_cost(MACHINE, PAPER, mem(0.05)).total_ms > 0
+
+    def test_default_plan_buckets_shrink_with_memory(self):
+        small = grace_plan(MACHINE, PAPER, mem(0.02))
+        large = grace_plan(MACHINE, PAPER, mem(0.08))
+        assert small.buckets > large.buckets
+
+    def test_fixed_k_produces_thrashing_knee(self):
+        k = grace_plan(MACHINE, PAPER, mem(0.02)).buckets
+        low = grace_cost(MACHINE, PAPER, mem(0.015), buckets=k)
+        high = grace_cost(MACHINE, PAPER, mem(0.08), buckets=k)
+        assert low.derived["thrashing_extra_ms"] > 0
+        assert high.derived["thrashing_extra_ms"] == pytest.approx(0.0, abs=1e-6)
+        assert low.total_ms > high.total_ms
+
+    def test_refinements_increase_low_memory_prediction(self):
+        k = grace_plan(MACHINE, PAPER, mem(0.02)).buckets
+        faithful = grace_cost(MACHINE, PAPER, mem(0.02), buckets=k)
+        refined = grace_cost(
+            MACHINE, PAPER, mem(0.02), buckets=k,
+            include_pass1_thrashing=True, fine_epochs=True,
+        )
+        assert refined.total_ms > faithful.total_ms
+
+    def test_refinements_negligible_at_high_memory(self):
+        k = grace_plan(MACHINE, PAPER, mem(0.02)).buckets
+        faithful = grace_cost(MACHINE, PAPER, mem(0.08), buckets=k)
+        refined = grace_cost(
+            MACHINE, PAPER, mem(0.08), buckets=k,
+            include_pass1_thrashing=True, fine_epochs=True,
+        )
+        assert refined.total_ms == pytest.approx(faithful.total_ms, rel=0.05)
+
+    def test_has_expected_passes(self):
+        report = grace_cost(MACHINE, PAPER, mem(0.05))
+        assert [p.name for p in report.passes] == [
+            "setup", "pass0", "pass1", "probe-join",
+        ]
+
+    def test_explicit_buckets_respected(self):
+        report = grace_cost(MACHINE, PAPER, mem(0.05), buckets=13, tsize=99)
+        assert report.derived["buckets"] == 13.0
+        assert report.derived["tsize"] == 99.0
+
+
+class TestAlgorithmOrdering:
+    def test_grace_beats_sort_merge_beats_nested_loops(self):
+        """The paper's headline ordering at comparable (ample) memory."""
+        memory = mem(0.05)
+        nl = nested_loops_cost(MACHINE, PAPER, memory).total_ms
+        sm = sort_merge_cost(MACHINE, PAPER, memory).total_ms
+        gr = grace_cost(MACHINE, PAPER, memory).total_ms
+        assert gr < sm < nl

@@ -1,0 +1,132 @@
+"""Tests for the measured-curve value objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.curves import (
+    CurveError,
+    InterpolatedCurve,
+    LinearCurve,
+    paper_delete_map_curve,
+    paper_dttr_curve,
+    paper_dttw_curve,
+    paper_new_map_curve,
+    paper_open_map_curve,
+)
+
+
+class TestInterpolatedCurve:
+    def test_exact_points_returned(self):
+        curve = InterpolatedCurve(points=((1.0, 6.0), (100.0, 10.0)))
+        assert curve(1.0) == 6.0
+        assert curve(100.0) == 10.0
+
+    def test_midpoint_interpolates_linearly(self):
+        curve = InterpolatedCurve(points=((0.0, 0.0), (10.0, 10.0)))
+        assert curve(5.0) == pytest.approx(5.0)
+        assert curve(2.5) == pytest.approx(2.5)
+
+    def test_clamps_below_first_point(self):
+        curve = InterpolatedCurve(points=((10.0, 4.0), (20.0, 8.0)))
+        assert curve(0.0) == 4.0
+
+    def test_clamps_above_last_point(self):
+        curve = InterpolatedCurve(points=((10.0, 4.0), (20.0, 8.0)))
+        assert curve(1e9) == 8.0
+
+    def test_multi_segment_interpolation(self):
+        curve = InterpolatedCurve(points=((0.0, 0.0), (10.0, 10.0), (20.0, 0.0)))
+        assert curve(15.0) == pytest.approx(5.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(CurveError):
+            InterpolatedCurve(points=((1.0, 1.0),))
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(CurveError):
+            InterpolatedCurve(points=((1.0, 1.0), (1.0, 2.0)))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(CurveError):
+            InterpolatedCurve(points=((1.0, -1.0), (2.0, 2.0)))
+
+    def test_from_samples_sorts(self):
+        curve = InterpolatedCurve.from_samples([(10.0, 5.0), (1.0, 1.0)])
+        assert curve.xs == (1.0, 10.0)
+
+    def test_from_samples_averages_duplicates(self):
+        curve = InterpolatedCurve.from_samples(
+            [(1.0, 2.0), (1.0, 4.0), (5.0, 10.0)]
+        )
+        assert curve(1.0) == pytest.approx(3.0)
+
+    @given(st.floats(min_value=0.0, max_value=200.0))
+    def test_interpolation_within_value_bounds(self, x):
+        curve = InterpolatedCurve(points=((0.0, 2.0), (50.0, 9.0), (100.0, 5.0)))
+        assert 2.0 <= curve(x) <= 9.0
+
+    def test_monotone_curve_stays_monotone(self):
+        curve = paper_dttr_curve()
+        samples = [curve(x) for x in range(1, 13000, 97)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+
+class TestLinearCurve:
+    def test_evaluation(self):
+        curve = LinearCurve(base=2.0, slope=0.5)
+        assert curve(10.0) == pytest.approx(7.0)
+
+    def test_zero_argument_gives_base(self):
+        assert LinearCurve(base=3.0, slope=1.0)(0.0) == 3.0
+
+    def test_rejects_negative_argument(self):
+        with pytest.raises(CurveError):
+            LinearCurve(base=1.0, slope=1.0)(-1.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(CurveError):
+            LinearCurve(base=-1.0, slope=1.0)
+
+    def test_fit_recovers_exact_line(self):
+        samples = [(x, 5.0 + 2.0 * x) for x in (1.0, 10.0, 100.0)]
+        fit = LinearCurve.fit(samples)
+        assert fit.base == pytest.approx(5.0)
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_fit_clamps_negative_intercept(self):
+        samples = [(1.0, 0.0), (2.0, 10.0), (3.0, 20.0)]
+        fit = LinearCurve.fit(samples)
+        assert fit.base >= 0.0
+
+    def test_fit_needs_two_samples(self):
+        with pytest.raises(CurveError):
+            LinearCurve.fit([(1.0, 1.0)])
+
+    def test_fit_rejects_degenerate_x(self):
+        with pytest.raises(CurveError):
+            LinearCurve.fit([(1.0, 1.0), (1.0, 2.0)])
+
+
+class TestPaperCurves:
+    def test_dttr_shape(self):
+        curve = paper_dttr_curve()
+        assert curve(1) == pytest.approx(6.0)
+        assert curve(12800) == pytest.approx(22.0)
+
+    def test_writes_cheaper_than_reads_at_every_band(self):
+        dttr, dttw = paper_dttr_curve(), paper_dttw_curve()
+        for band in (1, 100, 1000, 5000, 12800):
+            assert dttw(band) <= dttr(band)
+
+    def test_mapping_cost_ordering(self):
+        new, opn, dele = (
+            paper_new_map_curve(),
+            paper_open_map_curve(),
+            paper_delete_map_curve(),
+        )
+        for size in (100, 1000, 12800):
+            assert new(size) > opn(size) > dele(size)
+
+    def test_new_map_magnitude_matches_figure_1b(self):
+        # ~12 seconds for a 12,800-block mapping in the paper's figure.
+        assert paper_new_map_curve()(12800) == pytest.approx(12005, rel=0.05)

@@ -1,0 +1,87 @@
+"""Tests for partition geometry and the batched context-switch cost."""
+
+import pytest
+
+from repro.model.geometry import (
+    batched_context_switch_cost,
+    nested_loops_geometry,
+    synchronized_geometry,
+)
+from repro.model.parameters import (
+    MachineParameters,
+    ParameterError,
+    RelationParameters,
+)
+
+MACHINE = MachineParameters()
+PAPER = RelationParameters()  # 102,400 objects, D = 4
+
+
+class TestNestedLoopsGeometry:
+    def test_even_split(self):
+        geo = nested_loops_geometry(MACHINE, PAPER)
+        assert geo.r_i == pytest.approx(25_600)
+        assert geo.s_i == pytest.approx(25_600)
+
+    def test_local_share_is_one_over_d_squared(self):
+        geo = nested_loops_geometry(MACHINE, PAPER)
+        assert geo.r_ii == pytest.approx(102_400 / 16)
+
+    def test_rp_is_remainder(self):
+        geo = nested_loops_geometry(MACHINE, PAPER)
+        assert geo.rp_i == pytest.approx(geo.r_i - geo.r_ii)
+
+    def test_skew_inflates_local_share_only(self):
+        skewed = RelationParameters(skew=1.5)
+        geo = nested_loops_geometry(MACHINE, skewed)
+        base = nested_loops_geometry(MACHINE, PAPER)
+        assert geo.r_ii == pytest.approx(base.r_ii * 1.5)
+        assert geo.r_i == pytest.approx(base.r_i)  # Ri not skew-adjusted
+
+    def test_page_counts(self):
+        geo = nested_loops_geometry(MACHINE, PAPER)
+        assert geo.pages_r_i == pytest.approx(800)
+        assert geo.pages_s_i == pytest.approx(800)
+
+
+class TestSynchronizedGeometry:
+    def test_paper_rp_formula(self):
+        # |RPi| = (|R| * skew / D) * (1 - 1/D)
+        geo = synchronized_geometry(MACHINE, PAPER)
+        assert geo.rp_i == pytest.approx(102_400 / 4 * (1 - 1 / 4))
+
+    def test_skew_inflates_whole_pass(self):
+        skewed = RelationParameters(skew=1.2)
+        geo = synchronized_geometry(MACHINE, skewed)
+        base = synchronized_geometry(MACHINE, PAPER)
+        assert geo.rp_i > base.rp_i
+        assert geo.r_ii == pytest.approx(base.r_ii * 1.2)
+
+    def test_local_share_capped_at_partition(self):
+        extreme = RelationParameters(skew=100.0)
+        geo = synchronized_geometry(MACHINE, extreme)
+        assert geo.r_ii <= geo.r_i
+
+    def test_single_disk_degenerates(self):
+        machine = MACHINE.with_disks(1)
+        geo = synchronized_geometry(machine, PAPER)
+        assert geo.rp_i == pytest.approx(0.0)
+        assert geo.r_ii == pytest.approx(geo.r_i)
+
+
+class TestBatchedContextSwitch:
+    def test_zero_requests_free(self):
+        assert batched_context_switch_cost(MACHINE, PAPER, 0, 4096) == 0.0
+
+    def test_one_batch_costs_two_switches(self):
+        cost = batched_context_switch_cost(MACHINE, PAPER, 1, 4096)
+        assert cost == pytest.approx(2 * MACHINE.context_switch_ms)
+
+    def test_batch_capacity_from_g(self):
+        # G=4096, tuple=264 bytes -> 15 per batch; 16 requests = 2 batches.
+        cost = batched_context_switch_cost(MACHINE, PAPER, 16, 4096)
+        assert cost == pytest.approx(4 * MACHINE.context_switch_ms)
+
+    def test_tiny_buffer_one_request_per_batch(self):
+        cost = batched_context_switch_cost(MACHINE, PAPER, 10, 1)
+        assert cost == pytest.approx(20 * MACHINE.context_switch_ms)

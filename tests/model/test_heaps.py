@@ -1,0 +1,97 @@
+"""Tests for the heap cost formulas of the sort-merge model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.heaps import (
+    HeapCostParameters,
+    HeapModelError,
+    delete_insert_unit_cost,
+    floyd_build_cost,
+    heapsort_cost,
+    merge_pass_cost,
+)
+
+COSTS = HeapCostParameters(compare_ms=1.0, swap_ms=2.0, transfer_ms=0.5)
+
+
+class TestHeapCostParameters:
+    def test_rejects_negative(self):
+        with pytest.raises(HeapModelError):
+            HeapCostParameters(compare_ms=-1.0, swap_ms=0.0, transfer_ms=0.0)
+
+
+class TestFloydBuild:
+    def test_zero_elements_free(self):
+        assert floyd_build_cost(0, COSTS) == 0.0
+
+    def test_matches_paper_formula(self):
+        n = 1000
+        expected = 1.77 * n * (1.0 + 2.0 / 2.0) + n * 0.5
+        assert floyd_build_cost(n, COSTS) == pytest.approx(expected)
+
+    def test_linear_in_n(self):
+        assert floyd_build_cost(2000, COSTS) == pytest.approx(
+            2 * floyd_build_cost(1000, COSTS)
+        )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(HeapModelError):
+            floyd_build_cost(-1, COSTS)
+
+
+class TestHeapsortCost:
+    def test_zero_elements_free(self):
+        assert heapsort_cost(0, 100, COSTS) == 0.0
+
+    def test_grows_with_run_length(self):
+        assert heapsort_cost(1000, 1024, COSTS) > heapsort_cost(1000, 64, COSTS)
+
+    def test_n_log_irun_form(self):
+        got = heapsort_cost(100, 256, COSTS)
+        assert got == pytest.approx(100 * 8 * (1.0 + 0.5))
+
+    def test_rejects_nonpositive_run(self):
+        with pytest.raises(HeapModelError):
+            heapsort_cost(10, 0, COSTS)
+
+
+class TestDeleteInsert:
+    def test_single_run_needs_no_heap(self):
+        assert delete_insert_unit_cost(1, COSTS) == 0.0
+
+    def test_never_negative(self):
+        for h in range(1, 200):
+            assert delete_insert_unit_cost(h, COSTS) >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(h=st.integers(min_value=2, max_value=5000))
+    def test_bounded_by_log(self, h):
+        import math
+
+        unit = delete_insert_unit_cost(h, COSTS)
+        per_level = 2.0 * COSTS.compare_ms + COSTS.swap_ms
+        assert unit <= (math.log2(h) + 1) * per_level
+
+    def test_monotone_nondecreasing_overall(self):
+        values = [delete_insert_unit_cost(h, COSTS) for h in (2, 4, 8, 32, 128, 1024)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_rejects_nonpositive_heap(self):
+        with pytest.raises(HeapModelError):
+            delete_insert_unit_cost(0, COSTS)
+
+
+class TestMergePassCost:
+    def test_includes_two_transfers_per_element(self):
+        got = merge_pass_cost(100, 1, COSTS)
+        assert got == pytest.approx(100 * 2 * COSTS.transfer_ms)
+
+    def test_scales_linearly_with_elements(self):
+        assert merge_pass_cost(200, 8, COSTS) == pytest.approx(
+            2 * merge_pass_cost(100, 8, COSTS)
+        )
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(HeapModelError):
+            merge_pass_cost(-1, 8, COSTS)

@@ -1,0 +1,93 @@
+"""Property-based hardening of all five cost models.
+
+Random-but-valid machine/relation/memory combinations must always produce
+finite, non-negative, internally-consistent predictions — the model is an
+optimizer component, and an optimizer must never crash or return garbage
+on an unusual-but-legal input.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.experiment import MODEL_FUNCTIONS
+from repro.model import (
+    MachineParameters,
+    MemoryParameters,
+    RelationParameters,
+)
+
+machines = st.builds(
+    MachineParameters,
+    disks=st.integers(min_value=1, max_value=16),
+    context_switch_ms=st.floats(min_value=0.0, max_value=5.0),
+    map_ms=st.floats(min_value=0.0, max_value=0.1),
+    hash_ms=st.floats(min_value=0.0, max_value=0.1),
+    compare_ms=st.floats(min_value=0.0, max_value=0.1),
+    swap_ms=st.floats(min_value=0.0, max_value=0.1),
+    transfer_ms=st.floats(min_value=0.0, max_value=0.1),
+)
+
+relations = st.builds(
+    RelationParameters,
+    r_objects=st.integers(min_value=64, max_value=500_000),
+    s_objects=st.integers(min_value=64, max_value=500_000),
+    r_bytes=st.sampled_from([64, 128, 256, 512]),
+    s_bytes=st.sampled_from([64, 128, 256, 512]),
+    skew=st.floats(min_value=1.0, max_value=3.0),
+)
+
+memories = st.builds(
+    MemoryParameters,
+    m_rproc_bytes=st.integers(min_value=8_192, max_value=64 << 20),
+    m_sproc_bytes=st.integers(min_value=8_192, max_value=64 << 20),
+    g_bytes=st.sampled_from([512, 4_096, 65_536]),
+)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FUNCTIONS))
+class TestModelRobustness:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(machine=machines, relation=relations, memory=memories)
+    def test_cost_finite_nonnegative_consistent(
+        self, name, machine, relation, memory
+    ):
+        report = MODEL_FUNCTIONS[name](machine, relation, memory)
+        assert math.isfinite(report.total_ms)
+        assert report.total_ms >= 0.0
+        component_sum = (
+            report.disk_ms
+            + report.transfer_ms
+            + report.cpu_ms
+            + report.context_switch_ms
+            + report.setup_ms
+        )
+        assert report.total_ms == pytest.approx(component_sum)
+        for p in report.passes:
+            assert p.total_ms >= 0.0, p.name
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(relation=relations)
+    def test_more_memory_never_hurts_much(self, name, relation):
+        """8x the memory never raises the prediction by more than a third.
+
+        The bound is deliberately loose: some models legitimately creep up
+        with memory (sort-merge's sort band is ``2*r*IRUN/B``, so bigger
+        runs pay a slightly worse per-block rate; plan parameters step).
+        The property guards against catastrophic inversions, not wiggles.
+        """
+        machine = MachineParameters()
+        small = MemoryParameters.from_fractions(relation, 0.05)
+        large = MemoryParameters.from_fractions(relation, 0.4)
+        cost_small = MODEL_FUNCTIONS[name](machine, relation, small).total_ms
+        cost_large = MODEL_FUNCTIONS[name](machine, relation, large).total_ms
+        assert cost_large <= cost_small * 1.34

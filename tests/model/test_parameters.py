@@ -1,0 +1,132 @@
+"""Tests for the model parameter sets and page arithmetic."""
+
+import pytest
+
+from repro.model.parameters import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    objects_per_page,
+    pages_for,
+)
+
+
+class TestPagesFor:
+    def test_exact_fit(self):
+        # 32 objects of 128 bytes fill one 4K page.
+        assert pages_for(32, 128, 4096) == 1
+
+    def test_one_extra_object_needs_new_page(self):
+        assert pages_for(33, 128, 4096) == 2
+
+    def test_zero_objects(self):
+        assert pages_for(0, 128, 4096) == 0
+
+    def test_paper_relation_page_count(self):
+        # 102,400 x 128 B over 4K pages = 3,200 pages.
+        assert pages_for(102_400, 128, 4096) == 3_200
+
+    def test_object_larger_than_page(self):
+        assert pages_for(3, 10_000, 4096) == 3 * 3  # ceil(10000/4096) = 3
+
+    def test_object_not_dividing_page_wastes_tail(self):
+        # 4096 // 100 = 40 objects per page.
+        assert pages_for(41, 100, 4096) == 2
+
+    def test_negative_objects_rejected(self):
+        with pytest.raises(ParameterError):
+            pages_for(-1, 128, 4096)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            pages_for(1, 0, 4096)
+
+
+class TestObjectsPerPage:
+    def test_paper_layout(self):
+        assert objects_per_page(128, 4096) == 32
+
+    def test_at_least_one(self):
+        assert objects_per_page(10_000, 4096) == 1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ParameterError):
+            objects_per_page(0, 4096)
+
+
+class TestMachineParameters:
+    def test_defaults_are_paper_flavoured(self, machine):
+        assert machine.page_size == 4096
+        assert machine.disks == 4
+
+    def test_with_disks(self, machine):
+        assert machine.with_disks(8).disks == 8
+        assert machine.disks == 4  # original untouched
+
+    def test_rejects_nonpositive_page_size(self):
+        with pytest.raises(ParameterError):
+            MachineParameters(page_size=0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ParameterError):
+            MachineParameters(map_ms=-1.0)
+
+    def test_rejects_nonpositive_disks(self):
+        with pytest.raises(ParameterError):
+            MachineParameters(disks=0)
+
+
+class TestRelationParameters:
+    def test_paper_defaults(self):
+        rel = RelationParameters()
+        assert rel.r_objects == rel.s_objects == 102_400
+        assert rel.r_bytes == rel.s_bytes == 128
+
+    def test_pages(self, machine):
+        rel = RelationParameters()
+        assert rel.pages_r(machine) == 3_200
+        assert rel.pages_s(machine) == 3_200
+
+    def test_join_tuple_bytes(self):
+        rel = RelationParameters()
+        assert rel.join_tuple_bytes == 128 + 8 + 128
+
+    def test_rejects_skew_below_one(self):
+        with pytest.raises(ParameterError):
+            RelationParameters(skew=0.9)
+
+    def test_rejects_empty_relations(self):
+        with pytest.raises(ParameterError):
+            RelationParameters(r_objects=0)
+
+
+class TestMemoryParameters:
+    def test_frames(self, machine):
+        mem = MemoryParameters(m_rproc_bytes=40_960, m_sproc_bytes=8_192)
+        assert mem.rproc_frames(machine) == 10
+        assert mem.sproc_frames(machine) == 2
+
+    def test_frames_never_zero(self, machine):
+        mem = MemoryParameters(m_rproc_bytes=1, m_sproc_bytes=1)
+        assert mem.rproc_frames(machine) == 1
+
+    def test_from_fractions_uses_r_bytes_total(self):
+        rel = RelationParameters(r_objects=1000, r_bytes=128)
+        mem = MemoryParameters.from_fractions(rel, 0.5)
+        assert mem.m_rproc_bytes == 64_000
+        assert mem.m_sproc_bytes == 64_000  # defaults to the same grant
+
+    def test_from_fractions_separate_s_fraction(self):
+        rel = RelationParameters(r_objects=1000, r_bytes=128)
+        mem = MemoryParameters.from_fractions(rel, 0.5, s_fraction=0.25)
+        assert mem.m_sproc_bytes == 32_000
+
+    def test_from_fractions_rejects_nonpositive(self):
+        rel = RelationParameters()
+        with pytest.raises(ParameterError):
+            MemoryParameters.from_fractions(rel, 0.0)
+
+    def test_rejects_nonpositive_buffer(self):
+        with pytest.raises(ParameterError):
+            MemoryParameters(m_rproc_bytes=1, m_sproc_bytes=1, g_bytes=0)

@@ -1,0 +1,58 @@
+"""Tests for the cost report types."""
+
+import pytest
+
+from repro.model.report import JoinCostReport, PassCost
+
+
+def make_report() -> JoinCostReport:
+    return JoinCostReport(
+        algorithm="demo",
+        passes=(
+            PassCost(name="setup", setup_ms=10.0),
+            PassCost(name="pass0", disk_ms=100.0, transfer_ms=5.0, cpu_ms=2.0),
+            PassCost(name="pass1", disk_ms=50.0, context_switch_ms=3.0),
+        ),
+        derived={"k": 1.0},
+    )
+
+
+class TestPassCost:
+    def test_total_sums_components(self):
+        p = PassCost(
+            name="x", disk_ms=1.0, transfer_ms=2.0, cpu_ms=3.0,
+            context_switch_ms=4.0, setup_ms=5.0,
+        )
+        assert p.total_ms == pytest.approx(15.0)
+
+    def test_defaults_zero(self):
+        assert PassCost(name="empty").total_ms == 0.0
+
+
+class TestJoinCostReport:
+    def test_total_sums_passes(self):
+        assert make_report().total_ms == pytest.approx(170.0)
+
+    def test_component_aggregates(self):
+        r = make_report()
+        assert r.disk_ms == pytest.approx(150.0)
+        assert r.setup_ms == pytest.approx(10.0)
+        assert r.context_switch_ms == pytest.approx(3.0)
+
+    def test_pass_named(self):
+        assert make_report().pass_named("pass0").disk_ms == 100.0
+
+    def test_pass_named_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_report().pass_named("nope")
+
+    def test_component_table_layout(self):
+        table = make_report().component_table()
+        assert set(table) == {"setup", "pass0", "pass1"}
+        assert table["pass0"]["disk"] == 100.0
+        assert table["pass0"]["total"] == pytest.approx(107.0)
+
+    def test_describe_mentions_algorithm_and_passes(self):
+        text = make_report().describe()
+        assert "demo" in text
+        assert "pass0" in text and "pass1" in text

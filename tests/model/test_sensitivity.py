@@ -1,0 +1,101 @@
+"""Tests for the parameter sensitivity analysis."""
+
+import pytest
+
+from repro.model import (
+    MachineParameters,
+    MemoryParameters,
+    ParameterError,
+    RelationParameters,
+    grace_cost,
+    nested_loops_cost,
+    sort_merge_cost,
+)
+from repro.model.curves import InterpolatedCurve, LinearCurve
+from repro.model.sensitivity import (
+    CURVE_PARAMETERS,
+    SCALAR_PARAMETERS,
+    parameter_sensitivity,
+    render_sensitivities,
+    scale_interpolated,
+    scale_linear,
+)
+
+MACHINE = MachineParameters()
+PAPER = RelationParameters()
+MEMORY = MemoryParameters.from_fractions(PAPER, 0.05)
+
+
+class TestCurveScaling:
+    def test_interpolated_values_scale(self):
+        curve = InterpolatedCurve(points=((1.0, 2.0), (10.0, 4.0)))
+        scaled = scale_interpolated(curve, 2.0)
+        assert scaled(1.0) == 4.0
+        assert scaled(10.0) == 8.0
+        assert curve(1.0) == 2.0  # original untouched
+
+    def test_linear_coefficients_scale(self):
+        scaled = scale_linear(LinearCurve(base=2.0, slope=1.0), 0.5)
+        assert scaled(10.0) == pytest.approx(6.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ParameterError):
+            scale_interpolated(InterpolatedCurve(points=((0.0, 1.0), (1.0, 2.0))), 0)
+
+
+class TestParameterSensitivity:
+    @pytest.fixture(scope="class")
+    def grace_sensitivities(self):
+        return parameter_sensitivity(grace_cost, MACHINE, PAPER, MEMORY)
+
+    def test_all_parameters_reported(self, grace_sensitivities):
+        names = {s.parameter for s in grace_sensitivities}
+        assert names == set(SCALAR_PARAMETERS) | set(CURVE_PARAMETERS)
+
+    def test_sorted_by_magnitude(self, grace_sensitivities):
+        magnitudes = [abs(s.elasticity) for s in grace_sensitivities]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_disk_read_rate_dominates_grace(self, grace_sensitivities):
+        assert grace_sensitivities[0].parameter == "dttr"
+        assert grace_sensitivities[0].elasticity > 0.3
+
+    def test_elasticities_sum_to_one(self, grace_sensitivities):
+        """Cost is a sum of parameter-proportional terms, so the elasticity
+        over the full parameter set partitions the unit."""
+        total = sum(s.elasticity for s in grace_sensitivities)
+        assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_compare_cost_matters_for_sort_merge_only(self):
+        sm = {
+            s.parameter: s.elasticity
+            for s in parameter_sensitivity(sort_merge_cost, MACHINE, PAPER, MEMORY)
+        }
+        nl = {
+            s.parameter: s.elasticity
+            for s in parameter_sensitivity(nested_loops_cost, MACHINE, PAPER, MEMORY)
+        }
+        assert sm["compare_ms"] > nl["compare_ms"]
+        assert nl["compare_ms"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_subset_of_parameters(self):
+        results = parameter_sensitivity(
+            grace_cost, MACHINE, PAPER, MEMORY, parameters=("dttr",)
+        )
+        assert len(results) == 1
+        assert results[0].parameter == "dttr"
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            parameter_sensitivity(
+                grace_cost, MACHINE, PAPER, MEMORY, parameters=("warp_factor",)
+            )
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ParameterError):
+            parameter_sensitivity(grace_cost, MACHINE, PAPER, MEMORY, step=0.0)
+
+    def test_render(self, grace_sensitivities):
+        text = render_sensitivities("grace", grace_sensitivities)
+        assert "dttr" in text
+        assert "elasticity" in text

@@ -1,0 +1,156 @@
+"""Tests for the Johnson–Kotz urn model and the Grace thrashing estimate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.urn import (
+    ThrashingEstimate,
+    UrnModelError,
+    empty_urn_pmf_johnson_kotz,
+    grace_thrashing_estimate,
+    occupied_urn_distribution,
+    prob_empty_at_most,
+)
+
+
+class TestJohnsonKotzPmf:
+    def test_no_balls_all_empty(self):
+        assert empty_urn_pmf_johnson_kotz(0, 5, 5) == 1.0
+        assert empty_urn_pmf_johnson_kotz(0, 5, 4) == 0.0
+
+    def test_one_ball_one_occupied(self):
+        assert empty_urn_pmf_johnson_kotz(1, 5, 4) == pytest.approx(1.0)
+
+    def test_two_balls_two_urns(self):
+        # P[one empty] = P[both balls in same urn] = 1/2.
+        assert empty_urn_pmf_johnson_kotz(2, 2, 1) == pytest.approx(0.5)
+        assert empty_urn_pmf_johnson_kotz(2, 2, 0) == pytest.approx(0.5)
+
+    def test_all_empty_impossible_with_balls(self):
+        assert empty_urn_pmf_johnson_kotz(3, 4, 4) == 0.0
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(UrnModelError):
+            empty_urn_pmf_johnson_kotz(1, 0, 0)
+        with pytest.raises(UrnModelError):
+            empty_urn_pmf_johnson_kotz(1, 3, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        balls=st.integers(min_value=0, max_value=40),
+        urns=st.integers(min_value=1, max_value=12),
+    )
+    def test_matches_stable_dp(self, balls, urns):
+        """Closed form and occupancy DP agree (the DP is the reference)."""
+        pmf = occupied_urn_distribution(balls, urns)
+        for empty in range(urns + 1):
+            closed = empty_urn_pmf_johnson_kotz(balls, urns, empty)
+            dp = pmf[urns - empty]
+            assert closed == pytest.approx(dp, abs=1e-9)
+
+
+class TestOccupancyDp:
+    def test_pmf_sums_to_one(self):
+        pmf = occupied_urn_distribution(50, 10)
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_expected_occupied_matches_closed_form(self):
+        balls, urns = 100, 30
+        pmf = occupied_urn_distribution(balls, urns)
+        expected = sum(u * p for u, p in enumerate(pmf))
+        closed = urns * (1 - (1 - 1 / urns) ** balls)
+        assert expected == pytest.approx(closed, rel=1e-9)
+
+    def test_occupied_never_exceeds_balls(self):
+        pmf = occupied_urn_distribution(3, 10)
+        assert all(p == 0.0 for p in pmf[4:])
+
+    def test_rejects_negative_balls(self):
+        with pytest.raises(UrnModelError):
+            occupied_urn_distribution(-1, 5)
+
+
+class TestProbEmptyAtMost:
+    def test_threshold_extremes(self):
+        assert prob_empty_at_most(10, 5, -1) == 0.0
+        assert prob_empty_at_most(10, 5, 5) == 1.0
+
+    def test_monotone_in_threshold(self):
+        values = [prob_empty_at_most(20, 10, k) for k in range(11)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestGraceThrashing:
+    def test_no_thrashing_with_ample_memory(self):
+        est = grace_thrashing_estimate(
+            hashed_objects=1000, buckets=8, frames=500, disks=4,
+            objects_per_block=32,
+        )
+        assert est.premature_replacements == 0.0
+        assert est.extra_blocks == 0.0
+
+    def test_thrashing_when_buckets_exceed_frames(self):
+        est = grace_thrashing_estimate(
+            hashed_objects=2000, buckets=64, frames=16, disks=4,
+            objects_per_block=32,
+        )
+        assert est.premature_replacements > 0.0
+        assert est.extra_read_blocks == est.extra_write_blocks
+
+    def test_replacements_bounded_by_hashed_objects(self):
+        est = grace_thrashing_estimate(
+            hashed_objects=500, buckets=256, frames=4, disks=4,
+            objects_per_block=32,
+        )
+        assert est.premature_replacements <= 500.0
+
+    def test_more_memory_never_more_thrashing(self):
+        frames_series = [8, 16, 32, 64, 128]
+        values = [
+            grace_thrashing_estimate(
+                hashed_objects=2000, buckets=48, frames=f, disks=4,
+                objects_per_block=32,
+            ).premature_replacements
+            for f in frames_series
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_fine_epochs_at_least_coarse_at_low_memory(self):
+        kwargs = dict(
+            hashed_objects=2000, buckets=64, frames=12, disks=4,
+            objects_per_block=32,
+        )
+        coarse = grace_thrashing_estimate(**kwargs)
+        fine = grace_thrashing_estimate(first_epoch_width=1, **kwargs)
+        assert fine.premature_replacements >= coarse.premature_replacements
+
+    def test_zero_hashed_objects(self):
+        est = grace_thrashing_estimate(
+            hashed_objects=0, buckets=8, frames=4, disks=4, objects_per_block=32
+        )
+        assert est.premature_replacements == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(UrnModelError):
+            grace_thrashing_estimate(10, 0, 4, 4, 32)
+        with pytest.raises(UrnModelError):
+            grace_thrashing_estimate(10, 4, 0, 4, 32)
+        with pytest.raises(UrnModelError):
+            grace_thrashing_estimate(-1, 4, 4, 4, 32)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hashed=st.integers(min_value=0, max_value=3000),
+        buckets=st.integers(min_value=1, max_value=96),
+        frames=st.integers(min_value=1, max_value=256),
+    )
+    def test_estimate_always_finite_and_nonnegative(self, hashed, buckets, frames):
+        est = grace_thrashing_estimate(
+            hashed_objects=hashed, buckets=buckets, frames=frames, disks=4,
+            objects_per_block=32,
+        )
+        assert est.premature_replacements >= 0.0
+        assert math.isfinite(est.premature_replacements)
+        assert est.premature_replacements <= hashed + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for the real-mmap parallel join backend."""
+
+import pytest
+
+from repro.joins import verify_pairs
+from repro.parallel import RealJoinError, run_real_join
+from repro.workload import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadSpec(r_objects=800, s_objects=800, seed=21), disks=4
+    )
+
+
+class TestInlineExecution:
+    @pytest.mark.parametrize("algorithm", ["nested-loops", "sort-merge", "grace"])
+    def test_correct_output(self, workload, algorithm, tmp_path):
+        result = run_real_join(
+            algorithm, workload, str(tmp_path / "db"), use_processes=False
+        )
+        assert verify_pairs(workload, result.pairs) == 800
+        assert result.wall_ms > 0
+        assert not result.used_processes or True
+
+    def test_store_cleaned_up_by_default(self, workload, tmp_path):
+        root = tmp_path / "db"
+        run_real_join("grace", workload, str(root), use_processes=False)
+        assert not root.exists()
+
+    def test_keep_store_retains_files(self, workload, tmp_path):
+        root = tmp_path / "db"
+        run_real_join(
+            "nested-loops", workload, str(root), use_processes=False,
+            keep_store=True,
+        )
+        assert (root / "disk0" / "R.seg").exists()
+
+    def test_pass_timings_reported(self, workload, tmp_path):
+        result = run_real_join(
+            "sort-merge", workload, str(tmp_path / "db"), use_processes=False
+        )
+        assert set(result.pass_wall_ms) == {"partition", "sort-merge-join"}
+
+    def test_small_irun_forces_many_runs_still_correct(self, workload, tmp_path):
+        result = run_real_join(
+            "sort-merge", workload, str(tmp_path / "db"),
+            use_processes=False, irun=17,
+        )
+        assert verify_pairs(workload, result.pairs) == 800
+
+    @pytest.mark.parametrize("buckets", [1, 5])
+    def test_grace_bucket_counts(self, workload, buckets, tmp_path):
+        result = run_real_join(
+            "grace", workload, str(tmp_path / "db"),
+            use_processes=False, buckets=buckets, tsize=8,
+        )
+        assert verify_pairs(workload, result.pairs) == 800
+
+    def test_unknown_algorithm_rejected(self, workload, tmp_path):
+        with pytest.raises(RealJoinError):
+            run_real_join("hash-loops", workload, str(tmp_path / "db"))
+
+    def test_two_disk_workload(self, tmp_path):
+        wl = generate_workload(
+            WorkloadSpec(r_objects=300, s_objects=300, seed=5), disks=2
+        )
+        result = run_real_join(
+            "nested-loops", wl, str(tmp_path / "db"), use_processes=False
+        )
+        assert verify_pairs(wl, result.pairs) == 300
+
+
+class TestProcessExecution:
+    def test_multiprocess_matches_inline(self, workload, tmp_path):
+        inline = run_real_join(
+            "grace", workload, str(tmp_path / "a"), use_processes=False
+        )
+        multi = run_real_join(
+            "grace", workload, str(tmp_path / "b"), use_processes=True
+        )
+        assert sorted(inline.pairs) == sorted(multi.pairs)
+        assert multi.used_processes

@@ -1,0 +1,143 @@
+"""Tests for the simulated mechanical disk."""
+
+import random
+
+import pytest
+
+from repro.sim.disk import DiskGeometry, SimDisk
+from repro.sim.errors import DiskError
+
+
+class TestDiskGeometry:
+    def test_sequential_access_cheapest(self):
+        geo = DiskGeometry()
+        assert geo.access_ms(1) < geo.access_ms(1000)
+
+    def test_same_position_pays_transfer_only(self):
+        geo = DiskGeometry()
+        assert geo.access_ms(0) == geo.transfer_ms
+
+    def test_within_track_no_seek(self):
+        geo = DiskGeometry(track_blocks=32)
+        assert geo.access_ms(32) == geo.transfer_ms + geo.settle_ms
+
+    def test_seek_grows_with_distance(self):
+        geo = DiskGeometry()
+        assert geo.access_ms(10_000) > geo.access_ms(100)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DiskError):
+            DiskGeometry(size_blocks=0)
+        with pytest.raises(DiskError):
+            DiskGeometry(transfer_ms=-1.0)
+        with pytest.raises(DiskError):
+            DiskGeometry(write_queue_depth=0)
+
+
+class TestReads:
+    def test_read_moves_arm(self):
+        disk = SimDisk(0)
+        disk.read_block(500)
+        assert disk.arm_position == 500
+
+    def test_read_counts_stats(self):
+        disk = SimDisk(0)
+        disk.read_block(1)
+        disk.read_block(2)
+        assert disk.stats.blocks_read == 2
+        assert disk.stats.read_ms > 0
+
+    def test_sequential_scan_cheaper_than_random(self):
+        rng = random.Random(3)
+        seq_disk, rnd_disk = SimDisk(0), SimDisk(1)
+        n = 200
+        seq = sum(seq_disk.read_block(i) for i in range(n))
+        rnd = sum(rnd_disk.read_block(rng.randrange(20_000)) for _ in range(n))
+        assert rnd > 1.5 * seq
+
+    def test_out_of_range_rejected(self):
+        disk = SimDisk(0)
+        with pytest.raises(DiskError):
+            disk.read_block(disk.geometry.size_blocks)
+        with pytest.raises(DiskError):
+            disk.read_block(-1)
+
+
+class TestWriteBehind:
+    def test_writes_deferred_until_queue_full(self):
+        disk = SimDisk(0)
+        depth = disk.geometry.write_queue_depth
+        for i in range(depth - 1):
+            disk.write_block(i * 100)
+        assert disk.stats.blocks_written == 0
+        assert disk.pending_write_count == depth - 1
+
+    def test_queue_full_triggers_flush(self):
+        disk = SimDisk(0)
+        depth = disk.geometry.write_queue_depth
+        for i in range(depth):
+            disk.write_block(i * 100)
+        assert disk.stats.blocks_written == depth
+        assert disk.pending_write_count == 0
+
+    def test_explicit_flush_drains_queue(self):
+        disk = SimDisk(0)
+        disk.write_block(10)
+        cost = disk.flush()
+        assert cost > 0
+        assert disk.pending_write_count == 0
+        assert disk.stats.flushes >= 1
+
+    def test_flush_empty_queue_free(self):
+        assert SimDisk(0).flush() == 0.0
+
+    def test_elevator_writes_cheaper_than_random_reads(self):
+        """The mechanism behind dttw < dttr: sorted batches seek less."""
+        rng = random.Random(7)
+        blocks = [rng.randrange(12_800) for _ in range(256)]
+        reader, writer = SimDisk(0), SimDisk(1)
+        read_cost = sum(reader.read_block(b) for b in blocks)
+        write_cost = sum(writer.write_block(b) for b in blocks) + writer.flush()
+        assert write_cost < read_cost
+
+    def test_flush_sweeps_toward_nearer_end(self):
+        disk = SimDisk(0)
+        disk.read_block(10_000)  # park the arm high
+        for b in (100, 5_000, 9_900):
+            disk.write_block(b)
+        disk.flush()
+        # Sweep must end at the far end from the start position.
+        assert disk.arm_position == 100
+
+
+class TestAllocation:
+    def test_contiguous_bump_allocation(self):
+        disk = SimDisk(0)
+        a = disk.allocate(100)
+        b = disk.allocate(50)
+        assert a == 0
+        assert b == 100
+        assert disk.allocated_blocks == 150
+
+    def test_free_last_allocation_reclaims(self):
+        disk = SimDisk(0)
+        disk.allocate(100)
+        b = disk.allocate(50)
+        disk.free(b, 50)
+        assert disk.allocated_blocks == 100
+
+    def test_free_middle_is_noop(self):
+        disk = SimDisk(0)
+        a = disk.allocate(100)
+        disk.allocate(50)
+        disk.free(a, 100)
+        assert disk.allocated_blocks == 150
+
+    def test_exhaustion_rejected(self):
+        disk = SimDisk(0, geometry=DiskGeometry(size_blocks=10))
+        with pytest.raises(DiskError):
+            disk.allocate(11)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(DiskError):
+            SimDisk(0).allocate(0)

@@ -1,0 +1,95 @@
+"""Property-based tests of the simulated disk's mechanical invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.disk import DiskGeometry, SimDisk
+
+block = st.integers(min_value=0, max_value=65_535)
+
+
+class TestAccessCostProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(block, min_size=1, max_size=60))
+    def test_every_read_costs_at_least_transfer_time(self, blocks):
+        disk = SimDisk(0)
+        for b in blocks:
+            assert disk.read_block(b) >= disk.geometry.transfer_ms
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(block, min_size=1, max_size=60))
+    def test_stats_match_operations(self, blocks):
+        disk = SimDisk(0)
+        total = sum(disk.read_block(b) for b in blocks)
+        assert disk.stats.blocks_read == len(blocks)
+        assert disk.stats.read_ms == pytest.approx(total)
+
+    @settings(max_examples=50, deadline=None)
+    @given(distance=st.integers(min_value=0, max_value=60_000))
+    def test_cost_monotone_in_distance(self, distance):
+        geo = DiskGeometry()
+        assert geo.access_ms(distance) <= geo.access_ms(distance + 1000) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(block, min_size=2, max_size=40))
+    def test_sorted_visit_never_dearer_than_reverse_worst_case(self, blocks):
+        """Visiting blocks in sorted order costs no more than the total of
+        visiting them in an order that maximizes backtracking."""
+        ordered, scrambled = SimDisk(0), SimDisk(1)
+        asc = sorted(blocks)
+        cost_sorted = sum(ordered.read_block(b) for b in asc)
+        # Worst-ish case: alternate extremes.
+        zigzag = []
+        lo, hi = 0, len(asc) - 1
+        while lo <= hi:
+            zigzag.append(asc[lo])
+            if lo != hi:
+                zigzag.append(asc[hi])
+            lo += 1
+            hi -= 1
+        cost_zigzag = sum(scrambled.read_block(b) for b in zigzag)
+        assert cost_sorted <= cost_zigzag + 1e-9
+
+
+class TestWriteBehindProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(block, min_size=1, max_size=80))
+    def test_all_writes_eventually_hit_disk(self, blocks):
+        disk = SimDisk(0)
+        for b in blocks:
+            disk.write_block(b)
+        disk.flush()
+        assert disk.stats.blocks_written == len(blocks)
+        assert disk.pending_write_count == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(block, min_size=1, max_size=80))
+    def test_double_flush_is_idempotent(self, blocks):
+        disk = SimDisk(0)
+        for b in blocks:
+            disk.write_block(b)
+        disk.flush()
+        assert disk.flush() == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(block, min_size=8, max_size=64))
+    def test_total_time_accounted(self, blocks):
+        disk = SimDisk(0)
+        charged = sum(disk.write_block(b) for b in blocks) + disk.flush()
+        enqueue = len(blocks) * disk.geometry.write_enqueue_ms
+        assert charged == pytest.approx(disk.stats.write_ms + enqueue)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=512), max_size=20))
+    def test_allocations_disjoint_and_ordered(self, sizes):
+        disk = SimDisk(0)
+        cursor = 0
+        for size in sizes:
+            if cursor + size > disk.geometry.size_blocks:
+                break
+            start = disk.allocate(size)
+            assert start == cursor
+            cursor += size
+        assert disk.allocated_blocks == cursor

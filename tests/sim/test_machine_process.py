@@ -1,0 +1,156 @@
+"""Tests for the assembled machine and simulated processes."""
+
+import pytest
+
+from repro.core.records import SObject
+from repro.sim.errors import SimulationError
+from repro.sim.machine import SimConfig, SimMachine
+from repro.sim.segment import Region
+
+
+def make_machine(disks=2):
+    return SimMachine(SimConfig().with_disks(disks))
+
+
+class TestSimConfig:
+    def test_with_disks_and_policy(self):
+        cfg = SimConfig().with_disks(8).with_policy("clock")
+        assert cfg.disks == 8
+        assert cfg.replacement_policy == "clock"
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(SimulationError):
+            SimConfig(disks=0)
+
+
+class TestSimMachine:
+    def test_builds_one_disk_per_controller(self):
+        machine = make_machine(disks=3)
+        assert len(machine.disks) == 3
+        assert [d.disk_id for d in machine.disks] == [0, 1, 2]
+
+    def test_duplicate_process_name_rejected(self):
+        machine = make_machine()
+        machine.create_process("p", frames=2)
+        with pytest.raises(SimulationError):
+            machine.create_process("p", frames=2)
+
+    def test_process_lookup(self):
+        machine = make_machine()
+        p = machine.create_process("p", frames=2)
+        assert machine.process("p") is p
+        with pytest.raises(SimulationError):
+            machine.process("ghost")
+
+    def test_load_base_segment_free_and_initialized(self):
+        machine = make_machine()
+        objects = [SObject(i, i, i) for i in range(64)]
+        seg = machine.load_base_segment("S0", 0, objects, 128)
+        assert machine.mapper.setup_ms == 0.0
+        assert seg.initialized_pages == {0, 1}
+        assert seg.peek(5) == objects[5]
+
+    def test_new_segment_charges_setup(self):
+        machine = make_machine()
+        machine.new_segment("tmp", 0, 64, 128)
+        assert machine.mapper.setup_ms > 0
+        assert machine.stats.map_operations == 1
+
+    def test_recycle_segment_clears_data_and_charges(self):
+        machine = make_machine()
+        seg = machine.new_segment("tmp", 0, 64, 128)
+        seg.mark_all_initialized()
+        before = machine.mapper.setup_ms
+        machine.recycle_segment(seg)
+        assert machine.mapper.setup_ms > before
+        assert not seg.initialized_pages
+        assert machine.stats.map_operations == 3
+
+    def test_delete_segment_drops_resident_pages(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=4)
+        seg = machine.new_segment("tmp", 0, 64, 128)
+        proc.write(seg, 0, "x")
+        machine.delete_segment(seg)
+        assert proc.memory.resident_count == 0
+
+    def test_elapsed_includes_serial_setup(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        proc.advance(100.0)
+        machine.new_segment("tmp", 0, 64, 128)
+        assert machine.elapsed_ms > 100.0
+
+
+class TestSimProcess:
+    def test_read_charges_fault_then_hits(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=4)
+        objects = [SObject(i, i, i) for i in range(64)]
+        seg = machine.load_base_segment("S0", 0, objects, 128)
+        assert proc.clock_ms == 0.0
+        obj = proc.read(seg, 0)
+        assert obj == objects[0]
+        first = proc.clock_ms
+        assert first > 0
+        proc.read(seg, 1)  # same page
+        assert proc.clock_ms == first
+
+    def test_write_stores_value(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=4)
+        seg = machine.new_segment("tmp", 0, 64, 128)
+        proc.write(seg, 3, "payload")
+        assert seg.peek(3) == "payload"
+
+    def test_append_via_region(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=4)
+        seg = machine.new_segment("tmp", 0, 64, 128)
+        region = Region(seg, start=0, capacity=10)
+        idx = proc.append(region, "a")
+        assert idx == 0
+        assert region.count == 1
+
+    def test_cpu_charges(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        proc.charge_map(10)
+        proc.charge_hash(5)
+        cfg = machine.config
+        assert proc.clock_ms == pytest.approx(10 * cfg.map_ms + 5 * cfg.hash_ms)
+        assert machine.stats.cpu_map_calls == 10
+        assert machine.stats.cpu_hash_calls == 5
+
+    def test_heap_charges_update_stats(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        proc.charge_compare(3)
+        proc.charge_swap(2)
+        proc.charge_heap_transfer(1)
+        assert machine.stats.heap_compares == 3
+        assert machine.stats.heap_swaps == 2
+        assert machine.stats.heap_transfers == 1
+
+    def test_transfers_count_bytes(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        proc.transfer_private(1000)
+        proc.transfer_to_shared(500)
+        assert machine.stats.bytes_moved_private == 1000
+        assert machine.stats.bytes_moved_shared == 500
+
+    def test_sync_to_never_rewinds(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        proc.advance(50.0)
+        proc.sync_to(20.0)
+        assert proc.clock_ms == 50.0
+        proc.sync_to(80.0)
+        assert proc.clock_ms == 80.0
+
+    def test_negative_advance_rejected(self):
+        machine = make_machine()
+        proc = machine.create_process("p", frames=2)
+        with pytest.raises(SimulationError):
+            proc.advance(-1.0)

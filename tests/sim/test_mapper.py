@@ -1,0 +1,84 @@
+"""Tests for mapping setup costs (newMap/openMap/deleteMap)."""
+
+import pytest
+
+from repro.sim.disk import DiskGeometry, SimDisk
+from repro.sim.errors import SegmentError
+from repro.sim.mapper import MappingCosts, SegmentMapper
+
+
+def make_mapper():
+    return SegmentMapper(costs=MappingCosts(), page_size=4096)
+
+
+class TestMappingCosts:
+    def test_cost_ordering(self):
+        costs = MappingCosts()
+        for pages in (10, 1000, 12800):
+            assert (
+                costs.new_map_ms(pages)
+                > costs.open_map_ms(pages)
+                > costs.delete_map_ms(pages)
+            )
+
+    def test_linear_growth(self):
+        costs = MappingCosts(base_ms=0.0)
+        assert costs.new_map_ms(200) == pytest.approx(2 * costs.new_map_ms(100))
+
+
+class TestSegmentMapper:
+    def test_new_map_charges_setup(self):
+        mapper = make_mapper()
+        disk = SimDisk(0)
+        mapper.new_map("a", disk, 320, 128)
+        assert mapper.setup_ms == pytest.approx(mapper.costs.new_map_ms(10))
+
+    def test_new_map_allocates_disk_space(self):
+        mapper = make_mapper()
+        disk = SimDisk(0)
+        seg = mapper.new_map("a", disk, 320, 128)
+        assert seg.n_pages == 10
+        assert disk.allocated_blocks == 10
+
+    def test_open_map_charges_less_than_new(self):
+        mapper = make_mapper()
+        seg = mapper.new_map("a", SimDisk(0), 320, 128)
+        new_cost = mapper.take_setup_ms()
+        mapper.open_map(seg)
+        assert mapper.setup_ms < new_cost
+
+    def test_delete_map_frees_space_and_data(self):
+        mapper = make_mapper()
+        disk = SimDisk(0)
+        seg = mapper.new_map("a", disk, 320, 128)
+        seg.mark_all_initialized()
+        mapper.delete_map(seg)
+        assert disk.allocated_blocks == 0
+        assert not seg.initialized_pages
+
+    def test_double_delete_rejected(self):
+        mapper = make_mapper()
+        seg = mapper.new_map("a", SimDisk(0), 32, 128)
+        mapper.delete_map(seg)
+        with pytest.raises(SegmentError):
+            mapper.delete_map(seg)
+
+    def test_open_deleted_rejected(self):
+        mapper = make_mapper()
+        seg = mapper.new_map("a", SimDisk(0), 32, 128)
+        mapper.delete_map(seg)
+        with pytest.raises(SegmentError):
+            mapper.open_map(seg)
+
+    def test_take_setup_resets(self):
+        mapper = make_mapper()
+        mapper.new_map("a", SimDisk(0), 32, 128)
+        assert mapper.take_setup_ms() > 0
+        assert mapper.setup_ms == 0.0
+
+    def test_ids_unique(self):
+        mapper = make_mapper()
+        disk = SimDisk(0)
+        a = mapper.new_map("a", disk, 32, 128)
+        b = mapper.new_map("b", disk, 32, 128)
+        assert a.segment_id != b.segment_id

@@ -1,0 +1,156 @@
+"""Tests for demand-paged memory."""
+
+import pytest
+
+from repro.sim.disk import SimDisk
+from repro.sim.errors import MemoryError_
+from repro.sim.memory import PagedMemory
+from repro.sim.segment import SimSegment
+
+
+def make_segment(n_objects=320, initialized=True, disk=None, start=0, seg_id=1):
+    segment = SimSegment(
+        segment_id=seg_id,
+        name=f"seg{seg_id}",
+        disk=disk or SimDisk(0),
+        start_block=start,
+        capacity_objects=n_objects,
+        object_bytes=128,
+        page_size=4096,
+    )
+    if initialized:
+        segment.mark_all_initialized()
+    return segment
+
+
+class TestAccessAccounting:
+    def test_first_access_faults(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        cost = mem.access(seg, 0)
+        assert cost > 0
+        assert mem.stats.faults == 1
+
+    def test_second_access_hits(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        mem.access(seg, 0)
+        assert mem.access(seg, 0) == 0.0
+        assert mem.stats.faults == 1
+        assert mem.stats.accesses == 2
+
+    def test_demand_zero_page_free_to_load(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment(initialized=False)
+        assert mem.access(seg, 0, write=True) == 0.0
+        assert mem.stats.faults == 1
+        assert seg.disk.stats.blocks_read == 0
+
+    def test_hit_rate(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        for _ in range(9):
+            mem.access(seg, 0)
+        assert mem.stats.hit_rate == pytest.approx(8 / 9)
+
+
+class TestEviction:
+    def test_clean_eviction_costs_nothing_extra(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment()
+        mem.access(seg, 0)
+        before_writes = seg.disk.stats.blocks_written
+        mem.access(seg, 1)  # second page evicts the first (clean)
+        assert seg.disk.stats.blocks_written == before_writes
+        assert mem.stats.evictions == 1
+        assert mem.stats.dirty_evictions == 0
+
+    def test_dirty_eviction_writes_back(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment()
+        mem.access(seg, 0, write=True)
+        mem.access(seg, 1)
+        assert mem.stats.dirty_evictions == 1
+        # Write-behind queues the block; pending or written either way.
+        assert seg.disk.pending_write_count + seg.disk.stats.blocks_written >= 1
+
+    def test_evicted_demand_zero_page_becomes_initialized(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment(initialized=False)
+        mem.access(seg, 0, write=True)
+        mem.access(seg, 1, write=True)
+        assert 0 in seg.initialized_pages
+
+    def test_reload_after_eviction_faults_again(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment()
+        mem.access(seg, 0)
+        mem.access(seg, 1)
+        cost = mem.access(seg, 0)
+        assert cost > 0
+        assert mem.stats.faults == 3
+
+    def test_resident_count_bounded_by_frames(self):
+        mem = PagedMemory(frames=3)
+        seg = make_segment()
+        for page in range(8):
+            mem.access(seg, page)
+        assert mem.resident_count == 3
+
+
+class TestFlushAndDrop:
+    def test_flush_writes_dirty_pages_once(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        mem.access(seg, 0, write=True)
+        mem.access(seg, 1, write=True)
+        cost = mem.flush()
+        assert cost > 0
+        assert mem.flush() == 0.0  # now clean
+
+    def test_flush_single_segment_only(self):
+        mem = PagedMemory(frames=4)
+        disk = SimDisk(0)
+        a = make_segment(disk=disk, seg_id=1, start=disk.allocate(10))
+        b = make_segment(disk=disk, seg_id=2, start=disk.allocate(10))
+        mem.access(a, 0, write=True)
+        mem.access(b, 0, write=True)
+        mem.flush(a)
+        assert mem.flush(b) > 0.0  # b was untouched by the first flush
+
+    def test_drop_segment_discard_loses_dirty_data(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment(initialized=False)
+        mem.access(seg, 0, write=True)
+        cost = mem.drop_segment(seg, discard=True)
+        assert cost == 0.0
+        assert mem.resident_count == 0
+        assert 0 not in seg.initialized_pages
+
+    def test_drop_segment_writes_back_by_default(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        mem.access(seg, 0, write=True)
+        assert mem.drop_segment(seg) > 0.0
+
+    def test_is_resident(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        mem.access(seg, 0)
+        assert mem.is_resident(seg, 0)
+        assert not mem.is_resident(seg, 1)
+
+
+class TestConfiguration:
+    def test_rejects_zero_frames(self):
+        with pytest.raises(MemoryError_):
+            PagedMemory(frames=0)
+
+    def test_policy_by_name(self):
+        mem = PagedMemory(frames=2, policy="fifo")
+        seg = make_segment()
+        mem.access(seg, 0)
+        mem.access(seg, 0)  # touch should not matter under FIFO
+        mem.access(seg, 1)
+        mem.access(seg, 2)
+        assert not mem.is_resident(seg, 0)

@@ -1,0 +1,155 @@
+"""Tests for segments and regions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.disk import SimDisk
+from repro.sim.errors import SegmentError
+from repro.sim.segment import (
+    Region,
+    SimSegment,
+    carve_regions,
+    region_capacity_with_alignment,
+)
+
+
+def make_segment(capacity=320, object_bytes=128):
+    return SimSegment(
+        segment_id=1,
+        name="seg",
+        disk=SimDisk(0),
+        start_block=16,
+        capacity_objects=capacity,
+        object_bytes=object_bytes,
+        page_size=4096,
+    )
+
+
+class TestSimSegment:
+    def test_objects_per_page(self):
+        assert make_segment().objects_per_page == 32
+
+    def test_page_count(self):
+        assert make_segment(capacity=320).n_pages == 10
+        assert make_segment(capacity=321).n_pages == 11
+
+    def test_empty_segment_still_has_a_page(self):
+        assert make_segment(capacity=0).n_pages == 1
+
+    def test_page_of(self):
+        seg = make_segment()
+        assert seg.page_of(0) == 0
+        assert seg.page_of(31) == 0
+        assert seg.page_of(32) == 1
+
+    def test_block_of_page_offsets_by_start(self):
+        seg = make_segment()
+        assert seg.block_of_page(0) == 16
+        assert seg.block_of_page(3) == 19
+
+    def test_out_of_range_index_rejected(self):
+        seg = make_segment(capacity=10)
+        with pytest.raises(SegmentError):
+            seg.page_of(10)
+        with pytest.raises(SegmentError):
+            seg.block_of_page(99)
+
+    def test_poke_peek_roundtrip(self):
+        seg = make_segment()
+        seg.poke(5, "hello")
+        assert seg.peek(5) == "hello"
+
+    def test_oversized_object_rejected(self):
+        with pytest.raises(SegmentError):
+            make_segment(object_bytes=8192)
+
+    def test_mark_all_initialized(self):
+        seg = make_segment(capacity=64)
+        seg.mark_all_initialized()
+        assert seg.initialized_pages == {0, 1}
+
+    @given(index=st.integers(min_value=0, max_value=319))
+    def test_page_of_consistent_with_layout(self, index):
+        seg = make_segment()
+        assert seg.page_of(index) == index // 32
+
+
+class TestRegion:
+    def test_append_protocol(self):
+        seg = make_segment()
+        region = Region(seg, start=32, capacity=10)
+        idx = region.next_index()
+        assert idx == 32
+        region.commit_append()
+        assert region.count == 1
+        assert list(region.indices()) == [32]
+
+    def test_overflow_rejected(self):
+        seg = make_segment()
+        region = Region(seg, start=0, capacity=1)
+        region.commit_append()
+        with pytest.raises(SegmentError):
+            region.next_index()
+
+    def test_region_outside_segment_rejected(self):
+        seg = make_segment(capacity=10)
+        with pytest.raises(SegmentError):
+            Region(seg, start=5, capacity=6)
+
+    def test_is_empty(self):
+        seg = make_segment()
+        region = Region(seg, start=0, capacity=5)
+        assert region.is_empty
+        region.commit_append()
+        assert not region.is_empty
+
+
+class TestCarveRegions:
+    def test_regions_page_aligned(self):
+        seg = make_segment(capacity=320)
+        regions = carve_regions(seg, [10, 10, 10])
+        starts = [r.start for r in regions]
+        assert starts == [0, 32, 64]  # each rounded up to a page boundary
+
+    def test_exact_page_multiple_packs_tightly(self):
+        seg = make_segment(capacity=320)
+        regions = carve_regions(seg, [32, 32])
+        assert [r.start for r in regions] == [0, 32]
+
+    def test_capacity_check(self):
+        seg = make_segment(capacity=64)
+        with pytest.raises(SegmentError):
+            carve_regions(seg, [33, 33])
+
+    def test_labels_mismatch_rejected(self):
+        seg = make_segment()
+        with pytest.raises(SegmentError):
+            carve_regions(seg, [1, 2], labels=["only-one"])
+
+    def test_alignment_capacity_helper_matches(self):
+        capacities = [10, 33, 7]
+        total = region_capacity_with_alignment(capacities, 32)
+        seg = make_segment(capacity=total)
+        regions = carve_regions(seg, capacities)
+        last = regions[-1]
+        assert last.start + last.capacity <= total
+
+    @given(
+        capacities=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=6
+        )
+    )
+    def test_helper_always_sufficient(self, capacities):
+        total = region_capacity_with_alignment(capacities, 32)
+        seg = make_segment(capacity=max(total, 1))
+        regions = carve_regions(seg, capacities)
+        # No two regions share a page.
+        pages = set()
+        for region in regions:
+            if region.capacity == 0:
+                continue
+            first = region.start // 32
+            last = (region.start + region.capacity - 1) // 32
+            span = set(range(first, last + 1))
+            assert not pages & span
+            pages |= span

@@ -1,0 +1,116 @@
+"""Tests for the shared G-buffer channel."""
+
+import pytest
+
+from repro.core.records import RObject, SObject
+from repro.sim.errors import SimulationError
+from repro.sim.machine import SimConfig, SimMachine
+from repro.sim.sharedbuf import GBufferChannel
+
+
+def make_channel(g_bytes=4096, frames=8):
+    machine = SimMachine(SimConfig().with_disks(1))
+    s_objects = [SObject(i, i * 10, i) for i in range(256)]
+    s_segment = machine.load_base_segment("S0", 0, s_objects, 128)
+    rproc = machine.create_process("R", frames=frames)
+    sproc = machine.create_process("S", frames=frames)
+    channel = GBufferChannel(
+        rproc=rproc,
+        sproc=sproc,
+        s_segment=s_segment,
+        g_bytes=g_bytes,
+        r_bytes=128,
+        sptr_bytes=8,
+        s_bytes=128,
+    )
+    return machine, channel, rproc, sproc
+
+
+class TestBatching:
+    def test_batch_capacity_from_g(self):
+        _, channel, _, _ = make_channel(g_bytes=4096)
+        assert channel.batch_capacity == 4096 // (128 + 8 + 128)
+
+    def test_requests_buffered_until_capacity(self):
+        _, channel, _, _ = make_channel()
+        delivered = []
+        for i in range(channel.batch_capacity - 1):
+            channel.request(RObject(i, i, 0), i, lambda r, s: delivered.append((r, s)))
+        assert delivered == []
+        assert channel.batches_flushed == 0
+
+    def test_full_batch_auto_flushes(self):
+        _, channel, _, _ = make_channel()
+        delivered = []
+        for i in range(channel.batch_capacity):
+            channel.request(RObject(i, i, 0), i, lambda r, s: delivered.append((r, s)))
+        assert len(delivered) == channel.batch_capacity
+        assert channel.batches_flushed == 1
+
+    def test_flush_partial_batch(self):
+        _, channel, _, _ = make_channel()
+        delivered = []
+        channel.request(RObject(0, 5, 0), 5, lambda r, s: delivered.append((r, s)))
+        channel.flush(lambda r, s: delivered.append((r, s)))
+        assert len(delivered) == 1
+        r, s = delivered[0]
+        assert s.sid == 5
+
+    def test_flush_empty_is_noop(self):
+        _, channel, _, _ = make_channel()
+        channel.flush(lambda r, s: pytest.fail("nothing should be delivered"))
+        assert channel.batches_flushed == 0
+
+
+class TestAccounting:
+    def test_two_context_switches_per_batch(self):
+        machine, channel, _, _ = make_channel()
+        channel.request(RObject(0, 0, 0), 0, lambda r, s: None)
+        channel.flush(lambda r, s: None)
+        assert machine.stats.context_switches == 2
+
+    def test_rproc_waits_for_service(self):
+        _, channel, rproc, sproc = make_channel()
+        channel.request(RObject(0, 0, 0), 0, lambda r, s: None)
+        channel.flush(lambda r, s: None)
+        # Synchronous exchange: the requester's clock is at least the
+        # server's after the batch completes.
+        assert rproc.clock_ms >= sproc.clock_ms
+
+    def test_sproc_faults_charged_on_its_memory(self):
+        machine, channel, _, sproc = make_channel()
+        channel.request(RObject(0, 200, 0), 200, lambda r, s: None)
+        channel.flush(lambda r, s: None)
+        assert machine.stats.memory_stats("S").faults >= 1
+        assert machine.stats.memory_stats("R").faults == 0
+
+    def test_duplicate_offsets_hit_sproc_cache(self):
+        machine, channel, _, _ = make_channel()
+        for _ in range(4):
+            channel.request(RObject(0, 7, 0), 7, lambda r, s: None)
+        channel.flush(lambda r, s: None)
+        assert machine.stats.memory_stats("S").faults == 1
+
+    def test_shared_transfer_bytes_counted(self):
+        machine, channel, _, _ = make_channel()
+        channel.request(RObject(0, 0, 0), 0, lambda r, s: None)
+        channel.flush(lambda r, s: None)
+        # R side moves r + sptr, S side moves s.
+        assert machine.stats.bytes_moved_shared == 128 + 8 + 128
+
+
+class TestValidation:
+    def test_zero_g_rejected(self):
+        machine = SimMachine(SimConfig().with_disks(1))
+        seg = machine.load_base_segment("S0", 0, [SObject(0, 0, 0)], 128)
+        r = machine.create_process("R", frames=1)
+        s = machine.create_process("S", frames=1)
+        with pytest.raises(SimulationError):
+            GBufferChannel(r, s, seg, 0, 128, 8, 128)
+
+    def test_tiny_g_still_processes_one_at_a_time(self):
+        _, channel, _, _ = make_channel(g_bytes=1)
+        assert channel.batch_capacity == 1
+        delivered = []
+        channel.request(RObject(0, 3, 0), 3, lambda r, s: delivered.append(s.sid))
+        assert delivered == [3]

@@ -1,0 +1,42 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.sim.stats import DiskStats, MachineStats, MemoryStats
+
+
+class TestDiskStats:
+    def test_totals(self):
+        stats = DiskStats(blocks_read=3, blocks_written=2)
+        assert stats.blocks_total == 5
+
+
+class TestMemoryStats:
+    def test_hit_rate_no_accesses(self):
+        assert MemoryStats().hit_rate == 1.0
+
+    def test_hit_rate(self):
+        stats = MemoryStats(accesses=10, faults=3)
+        assert stats.hit_rate == pytest.approx(0.7)
+
+
+class TestMachineStats:
+    def test_lazily_created_substats(self):
+        stats = MachineStats()
+        stats.disk_stats(0).blocks_read += 4
+        stats.disk_stats(1).blocks_written += 2
+        stats.memory_stats("p").faults += 7
+        assert stats.total_blocks_read == 4
+        assert stats.total_blocks_written == 2
+        assert stats.total_faults == 7
+
+    def test_substats_are_stable_references(self):
+        stats = MachineStats()
+        assert stats.disk_stats(0) is stats.disk_stats(0)
+        assert stats.memory_stats("x") is stats.memory_stats("x")
+
+    def test_summary_mentions_key_counters(self):
+        stats = MachineStats(context_switches=12)
+        stats.disk_stats(0).blocks_read = 34
+        text = stats.summary()
+        assert "34" in text and "12" in text

@@ -1,0 +1,129 @@
+"""Tests for the paging trace recorder."""
+
+import pytest
+
+from repro.sim.disk import SimDisk
+from repro.sim.memory import PagedMemory
+from repro.sim.segment import SimSegment
+from repro.sim.trace import (
+    TraceRecorder,
+    attach_recorder,
+    detach_recorder,
+    fault_profile,
+    render_fault_strip,
+)
+
+
+def make_segment(name="seg", capacity=320, seg_id=1, disk=None):
+    disk = disk or SimDisk(0)
+    segment = SimSegment(
+        segment_id=seg_id,
+        name=name,
+        disk=disk,
+        start_block=disk.allocate(10),
+        capacity_objects=capacity,
+        object_bytes=128,
+        page_size=4096,
+    )
+    segment.mark_all_initialized()
+    return segment
+
+
+class TestRecorder:
+    def test_records_every_access(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        recorder = attach_recorder(mem)
+        mem.access(seg, 0)
+        mem.access(seg, 0)
+        mem.access(seg, 1, write=True)
+        assert recorder.access_count == 3
+        assert recorder.fault_count == 2
+        assert recorder.events[1].fault is False
+        assert recorder.events[2].write is True
+
+    def test_detach_stops_recording(self):
+        mem = PagedMemory(frames=4)
+        seg = make_segment()
+        recorder = attach_recorder(mem)
+        mem.access(seg, 0)
+        detach_recorder(mem)
+        mem.access(seg, 1)
+        assert recorder.access_count == 1
+
+    def test_detach_without_attach_is_noop(self):
+        mem = PagedMemory(frames=4)
+        detach_recorder(mem)  # must not raise
+
+    def test_traced_cost_identical(self):
+        plain = PagedMemory(frames=2)
+        traced = PagedMemory(frames=2)
+        attach_recorder(traced)
+        disk_a, disk_b = SimDisk(0), SimDisk(1)
+        seg_a = make_segment(disk=disk_a)
+        seg_b = make_segment(disk=disk_b)
+        pattern = [0, 1, 2, 0, 1, 3, 0]
+        cost_a = sum(plain.access(seg_a, p) for p in pattern)
+        cost_b = sum(traced.access(seg_b, p) for p in pattern)
+        assert cost_a == pytest.approx(cost_b)
+
+    def test_faults_by_segment(self):
+        mem = PagedMemory(frames=8)
+        disk = SimDisk(0)
+        a = make_segment(name="A", seg_id=1, disk=disk)
+        b = make_segment(name="B", seg_id=2, disk=disk)
+        recorder = attach_recorder(mem)
+        mem.access(a, 0)
+        mem.access(a, 1)
+        mem.access(b, 0)
+        assert recorder.faults_by_segment() == {"A": 2, "B": 1}
+
+    def test_eviction_flagged(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment()
+        recorder = attach_recorder(mem)
+        mem.access(seg, 0, write=True)
+        mem.access(seg, 1)
+        assert recorder.events[1].evicted_segment is not None
+        assert recorder.events[1].evicted_dirty is True
+
+    def test_premature_refaults(self):
+        mem = PagedMemory(frames=1)
+        seg = make_segment()
+        recorder = attach_recorder(mem)
+        for page in (0, 1, 0, 1, 0):
+            mem.access(seg, page)
+        assert recorder.premature_refaults("seg") == 3
+        assert recorder.premature_refaults("other") == 0
+
+
+class TestProfiles:
+    def _recorder_with_pattern(self, faults):
+        recorder = TraceRecorder()
+        seg = make_segment()
+        for i, fault in enumerate(faults):
+            recorder.record(seg, i % 4, False, fault, None, False)
+        return recorder
+
+    def test_fault_profile_rates(self):
+        recorder = self._recorder_with_pattern([True] * 10 + [False] * 10)
+        profile = fault_profile(recorder, buckets=2)
+        assert profile[0] == pytest.approx(1.0)
+        assert profile[-1] == pytest.approx(0.0)
+
+    def test_fault_profile_empty(self):
+        assert fault_profile(TraceRecorder(), buckets=5) == [0.0] * 5
+
+    def test_fault_profile_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            fault_profile(TraceRecorder(), buckets=0)
+
+    def test_render_fault_strip_extremes(self):
+        recorder = self._recorder_with_pattern([True] * 30 + [False] * 30)
+        strip = render_fault_strip(recorder, width=2)
+        assert strip[0] == "#"
+        assert strip[-1] == " "
+
+    def test_render_strip_length(self):
+        recorder = self._recorder_with_pattern([True, False] * 100)
+        assert len(render_fault_strip(recorder, width=40)) <= 40

@@ -1,0 +1,160 @@
+"""Tests for the persistent B-tree over the mapped store."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.btree import MAX_KEYS, BTreeError, PersistentBTree
+
+
+@pytest.fixture
+def tree(tmp_path):
+    t = PersistentBTree.create(tmp_path / "t.btree", capacity_nodes=512)
+    yield t
+    t.close()
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert len(tree) == 0
+        assert tree.search(1) is None
+        assert list(tree.items()) == []
+
+    def test_insert_and_search(self, tree):
+        tree.insert(5, 50)
+        tree.insert(3, 30)
+        assert tree.search(5) == 50
+        assert tree.search(3) == 30
+        assert tree.search(4) is None
+        assert len(tree) == 2
+
+    def test_update_in_place(self, tree):
+        tree.insert(7, 70)
+        tree.insert(7, 71)
+        assert tree.search(7) == 71
+        assert len(tree) == 1
+
+    def test_contains(self, tree):
+        tree.insert(9, 90)
+        assert 9 in tree
+        assert 10 not in tree
+
+    def test_items_sorted(self, tree):
+        for key in (9, 1, 5, 3, 7):
+            tree.insert(key, key * 10)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_range_query(self, tree):
+        for key in range(0, 100, 7):
+            tree.insert(key, key)
+        result = [k for k, _ in tree.range(10, 50)]
+        assert result == [k for k in range(0, 100, 7) if 10 <= k <= 50]
+
+    def test_empty_range(self, tree):
+        tree.insert(5, 5)
+        assert list(tree.range(10, 2)) == []
+
+    def test_rejects_oversized_values(self, tree):
+        with pytest.raises(BTreeError):
+            tree.insert(-1, 0)
+        with pytest.raises(BTreeError):
+            tree.insert(0, 2**64)
+
+
+class TestSplitsAndScale:
+    def test_splits_beyond_one_node(self, tree):
+        n = MAX_KEYS * 3
+        for key in range(n):
+            tree.insert(key, key * 2)
+        assert len(tree) == n
+        assert all(tree.search(k) == k * 2 for k in range(0, n, 17))
+        assert [k for k, _ in tree.items()] == list(range(n))
+
+    def test_reverse_insertion_order(self, tree):
+        n = MAX_KEYS * 2
+        for key in reversed(range(n)):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(n))
+
+    def test_random_bulk_matches_dict(self, tree):
+        rng = random.Random(42)
+        oracle = {}
+        for _ in range(5_000):
+            key = rng.randrange(1_500)
+            value = rng.randrange(1 << 50)
+            tree.insert(key, value)
+            oracle[key] = value
+        assert list(tree.items()) == sorted(oracle.items())
+
+    def test_capacity_exhaustion_raises(self, tmp_path):
+        t = PersistentBTree.create(tmp_path / "tiny.btree", capacity_nodes=3)
+        with pytest.raises(BTreeError):
+            for key in range(MAX_KEYS * 10):
+                t.insert(key, key)
+        t.close()
+
+
+class TestPersistence:
+    def test_reopen_preserves_everything(self, tmp_path):
+        path = tmp_path / "p.btree"
+        with PersistentBTree.create(path) as t:
+            for key in range(500):
+                t.insert(key * 3, key)
+        with PersistentBTree.open(path) as t:
+            assert len(t) == 500
+            assert t.search(3 * 123) == 123
+            assert [k for k, _ in t.items()] == [k * 3 for k in range(500)]
+
+    def test_pointers_survive_remap_without_swizzling(self, tmp_path):
+        """The µDatabase property: repeated map/unmap cycles never touch a
+        pointer."""
+        path = tmp_path / "p.btree"
+        with PersistentBTree.create(path) as t:
+            for key in range(MAX_KEYS * 2):
+                t.insert(key, key)
+        for _ in range(3):
+            with PersistentBTree.open(path) as t:
+                assert t.search(MAX_KEYS) == MAX_KEYS
+
+    def test_open_non_btree_rejected(self, tmp_path):
+        from repro.storage.segment import MappedSegment
+
+        path = tmp_path / "notatree.seg"
+        MappedSegment.create(path, capacity=4, record_bytes=4096).close()
+        with pytest.raises(BTreeError):
+            PersistentBTree.open(path)
+
+    def test_open_wrong_record_size_rejected(self, tmp_path):
+        from repro.storage.segment import MappedSegment
+
+        path = tmp_path / "small.seg"
+        MappedSegment.create(path, capacity=4, record_bytes=128).close()
+        with pytest.raises(BTreeError):
+            PersistentBTree.open(path)
+
+
+class TestPropertyBased:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=300),
+                st.integers(min_value=0, max_value=2**32),
+            ),
+            max_size=400,
+        )
+    )
+    def test_matches_dict_oracle(self, tmp_path_factory, operations):
+        path = tmp_path_factory.mktemp("bt") / "t.btree"
+        oracle = {}
+        with PersistentBTree.create(path, capacity_nodes=256) as tree:
+            for key, value in operations:
+                tree.insert(key, value)
+                oracle[key] = value
+            assert list(tree.items()) == sorted(oracle.items())
+            assert len(tree) == len(oracle)

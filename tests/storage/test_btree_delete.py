@@ -1,0 +1,122 @@
+"""Tests for B-tree deletion and rebalancing."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.btree import MAX_KEYS, PersistentBTree
+
+
+@pytest.fixture
+def tree(tmp_path):
+    t = PersistentBTree.create(tmp_path / "t.btree", capacity_nodes=1024)
+    yield t
+    t.close()
+
+
+class TestDeleteBasics:
+    def test_delete_present_key(self, tree):
+        tree.insert(5, 50)
+        assert tree.delete(5) is True
+        assert tree.search(5) is None
+        assert len(tree) == 0
+
+    def test_delete_absent_key(self, tree):
+        tree.insert(5, 50)
+        assert tree.delete(6) is False
+        assert len(tree) == 1
+
+    def test_delete_from_empty_tree(self, tree):
+        assert tree.delete(1) is False
+
+    def test_delete_then_reinsert(self, tree):
+        tree.insert(5, 50)
+        tree.delete(5)
+        tree.insert(5, 51)
+        assert tree.search(5) == 51
+        assert len(tree) == 1
+
+    def test_delete_does_not_disturb_neighbours(self, tree):
+        for key in range(20):
+            tree.insert(key, key)
+        tree.delete(10)
+        assert tree.search(9) == 9
+        assert tree.search(11) == 11
+        assert [k for k, _ in tree.items()] == [k for k in range(20) if k != 10]
+
+
+class TestRebalancing:
+    def test_delete_everything_from_multi_level_tree(self, tree):
+        n = MAX_KEYS * 4
+        for key in range(n):
+            tree.insert(key, key)
+        order = list(range(n))
+        random.Random(7).shuffle(order)
+        for key in order:
+            assert tree.delete(key) is True
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_sequential_deletes_shrink_tree(self, tree):
+        n = MAX_KEYS * 3
+        for key in range(n):
+            tree.insert(key, key)
+        for key in range(n // 2):
+            tree.delete(key)
+        assert [k for k, _ in tree.items()] == list(range(n // 2, n))
+
+    def test_separator_key_deletion_keeps_routing_correct(self, tree):
+        """Deleting a key that doubles as an internal separator must not
+        break lookups of its neighbours."""
+        n = MAX_KEYS + 10  # guarantees one split, one separator
+        for key in range(n):
+            tree.insert(key, key)
+        # Every key is deletable and, after each, all others still resolve.
+        probe = list(range(0, n, 13))
+        for key in probe:
+            assert tree.delete(key) is True
+            assert tree.search(key) is None
+            survivors = [k for k in range(n) if k not in probe[: probe.index(key) + 1]]
+            sample = survivors[:: max(1, len(survivors) // 10)]
+            assert all(tree.search(k) == k for k in sample)
+
+    def test_tree_survives_reopen_after_deletions(self, tmp_path):
+        path = tmp_path / "p.btree"
+        with PersistentBTree.create(path, capacity_nodes=1024) as t:
+            for key in range(MAX_KEYS * 2):
+                t.insert(key, key)
+            for key in range(0, MAX_KEYS * 2, 2):
+                t.delete(key)
+        with PersistentBTree.open(path) as t:
+            assert [k for k, _ in t.items()] == list(range(1, MAX_KEYS * 2, 2))
+
+
+class TestDeleteProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=0, max_value=200),
+            ),
+            max_size=500,
+        )
+    )
+    def test_matches_dict_oracle_with_deletes(self, tmp_path_factory, operations):
+        path = tmp_path_factory.mktemp("bt") / "t.btree"
+        oracle = {}
+        with PersistentBTree.create(path, capacity_nodes=512) as tree:
+            for op, key in operations:
+                if op == "insert":
+                    tree.insert(key, key * 7)
+                    oracle[key] = key * 7
+                else:
+                    assert tree.delete(key) == (key in oracle)
+                    oracle.pop(key, None)
+            assert list(tree.items()) == sorted(oracle.items())
+            assert len(tree) == len(oracle)

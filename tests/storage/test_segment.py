@@ -1,0 +1,145 @@
+"""Tests for the real mmap-backed segments."""
+
+import pytest
+
+from repro.storage.layout import LayoutError, RecordLayout
+from repro.storage.segment import (
+    MappedSegment,
+    StorageError,
+    timed_delete_map,
+    timed_new_map,
+    timed_open_map,
+)
+
+
+class TestRecordLayout:
+    def test_r_roundtrip(self):
+        from repro.core.records import RObject
+
+        layout = RecordLayout(128)
+        obj = RObject(rid=7, sptr=42, payload=99)
+        assert layout.unpack_r(layout.pack_r(obj)) == obj
+
+    def test_s_roundtrip(self):
+        from repro.core.records import SObject
+
+        layout = RecordLayout(128)
+        obj = SObject(sid=3, value=12, payload=5)
+        assert layout.unpack_s(layout.pack_s(obj)) == obj
+
+    def test_record_is_exactly_sized(self):
+        from repro.core.records import RObject
+
+        layout = RecordLayout(128)
+        assert len(layout.pack_r(RObject(1, 2, 3))) == 128
+
+    def test_rejects_too_small_record(self):
+        with pytest.raises(LayoutError):
+            RecordLayout(8)
+
+    def test_offset_of(self):
+        layout = RecordLayout(128)
+        assert layout.offset_of(3) == 384
+        with pytest.raises(LayoutError):
+            layout.offset_of(-1)
+
+
+class TestMappedSegment:
+    def test_create_write_read(self, tmp_path):
+        path = tmp_path / "a.seg"
+        with MappedSegment.create(path, capacity=10) as seg:
+            record = b"x" * 128
+            idx = seg.append_record(record)
+            assert idx == 0
+            assert seg.read_record(0) == record
+
+    def test_data_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "a.seg"
+        record = bytes(range(128))
+        with MappedSegment.create(path, capacity=4) as seg:
+            seg.append_record(record)
+        with MappedSegment.open(path) as seg:
+            assert len(seg) == 1
+            assert seg.read_record(0) == record
+
+    def test_create_over_existing_rejected(self, tmp_path):
+        path = tmp_path / "a.seg"
+        MappedSegment.create(path, capacity=1).close()
+        with pytest.raises(StorageError):
+            MappedSegment.create(path, capacity=1)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            MappedSegment.open(tmp_path / "ghost.seg")
+
+    def test_open_non_segment_rejected(self, tmp_path):
+        path = tmp_path / "junk.seg"
+        path.write_bytes(b"not a segment" * 1000)
+        with pytest.raises(StorageError):
+            MappedSegment.open(path)
+
+    def test_append_beyond_capacity_rejected(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=1) as seg:
+            seg.append_record(b"x" * 128)
+            with pytest.raises(StorageError):
+                seg.append_record(b"y" * 128)
+
+    def test_wrong_record_size_rejected(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=2) as seg:
+            with pytest.raises(StorageError):
+                seg.write_record(0, b"short")
+
+    def test_read_unwritten_rejected(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=2) as seg:
+            with pytest.raises(StorageError):
+                seg.read_record(0)
+
+    def test_write_at_index_extends_count(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=8) as seg:
+            seg.write_record(5, b"z" * 128)
+            assert len(seg) == 6
+
+    def test_use_after_close_rejected(self, tmp_path):
+        seg = MappedSegment.create(tmp_path / "a.seg", capacity=1)
+        seg.close()
+        with pytest.raises(StorageError):
+            seg.read_record(0)
+
+    def test_close_idempotent(self, tmp_path):
+        seg = MappedSegment.create(tmp_path / "a.seg", capacity=1)
+        seg.close()
+        seg.close()
+
+    def test_delete_removes_file(self, tmp_path):
+        path = tmp_path / "a.seg"
+        MappedSegment.create(path, capacity=1).close()
+        MappedSegment.delete(path)
+        assert not path.exists()
+
+    def test_delete_missing_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            MappedSegment.delete(tmp_path / "ghost.seg")
+
+    def test_iter_records(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=3) as seg:
+            for i in range(3):
+                seg.append_record(bytes([i]) * 128)
+            assert [r[0] for r in seg.iter_records()] == [0, 1, 2]
+
+    def test_zero_capacity_segment(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=0) as seg:
+            assert len(seg) == 0
+
+
+class TestTimedHelpers:
+    def test_timed_new_open_delete(self, tmp_path):
+        path = tmp_path / "t.seg"
+        seg, new_ms = timed_new_map(path, capacity=100)
+        seg.close()
+        assert new_ms >= 0.0
+        seg, open_ms = timed_open_map(path)
+        seg.close()
+        assert open_ms >= 0.0
+        delete_ms = timed_delete_map(path)
+        assert delete_ms >= 0.0
+        assert not path.exists()

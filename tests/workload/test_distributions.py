@@ -1,0 +1,103 @@
+"""Tests for the pointer distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload.distributions import (
+    DistributionError,
+    clustered_pointers,
+    partition_hot_pointers,
+    permutation_pointers,
+    sampler,
+    uniform_pointers,
+    zipf_pointers,
+)
+
+
+def in_range(pointers, s_objects):
+    return all(0 <= p < s_objects for p in pointers)
+
+
+class TestUniform:
+    def test_range_and_count(self):
+        ptrs = uniform_pointers(random.Random(1), 1000, 50)
+        assert len(ptrs) == 1000
+        assert in_range(ptrs, 50)
+
+    def test_roughly_even_coverage(self):
+        ptrs = uniform_pointers(random.Random(1), 50_000, 10)
+        counts = Counter(ptrs)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+
+class TestPermutation:
+    def test_no_duplicates_when_count_le_objects(self):
+        ptrs = permutation_pointers(random.Random(1), 100, 100)
+        assert len(set(ptrs)) == 100
+
+    def test_wraps_evenly_when_count_exceeds_objects(self):
+        ptrs = permutation_pointers(random.Random(1), 250, 100)
+        counts = Counter(ptrs)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_range(self):
+        assert in_range(permutation_pointers(random.Random(2), 300, 64), 64)
+
+
+class TestZipf:
+    def test_hot_objects_dominate(self):
+        ptrs = zipf_pointers(random.Random(3), 20_000, 1000, theta=1.2)
+        counts = Counter(ptrs)
+        top_share = sum(c for _, c in counts.most_common(10)) / len(ptrs)
+        assert top_share > 0.2
+
+    def test_theta_zero_roughly_uniform(self):
+        ptrs = zipf_pointers(random.Random(3), 20_000, 100, theta=0.0)
+        counts = Counter(ptrs)
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_range(self):
+        assert in_range(zipf_pointers(random.Random(4), 500, 37), 37)
+
+    def test_rejects_negative_theta(self):
+        with pytest.raises(DistributionError):
+            zipf_pointers(random.Random(1), 10, 10, theta=-1.0)
+
+
+class TestPartitionHot:
+    def test_hot_span_receives_extra_mass(self):
+        ptrs = partition_hot_pointers(
+            random.Random(5), 20_000, 1000, hot_fraction=0.8, hot_span=0.25
+        )
+        hot_hits = sum(1 for p in ptrs if p < 250)
+        assert hot_hits / len(ptrs) > 0.7
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(DistributionError):
+            partition_hot_pointers(rng, 10, 10, hot_fraction=1.5)
+        with pytest.raises(DistributionError):
+            partition_hot_pointers(rng, 10, 10, hot_span=0.0)
+
+
+class TestClustered:
+    def test_runs_are_sequential(self):
+        ptrs = clustered_pointers(random.Random(6), 64, 10_000, run_length=32)
+        # Within a run, consecutive pointers differ by one (mod wrap).
+        diffs = [(b - a) % 10_000 for a, b in zip(ptrs, ptrs[1:])]
+        assert diffs.count(1) >= 60 - 2  # all but the run boundaries
+
+    def test_rejects_bad_run_length(self):
+        with pytest.raises(DistributionError):
+            clustered_pointers(random.Random(1), 10, 10, run_length=0)
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert sampler("uniform") is uniform_pointers
+
+    def test_lookup_unknown(self):
+        with pytest.raises(DistributionError):
+            sampler("gaussian")
