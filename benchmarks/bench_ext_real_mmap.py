@@ -5,18 +5,56 @@ with one OS process per partition, and measures the real machine's
 Figure 1(b) analogue (timed newMap/openMap/deleteMap).  Wall-clock numbers
 here are of the *host*, not the simulated 1996 machine — the point is that
 the same algorithms run unchanged on a genuine single-level store.
+
+Besides the rendered table, the join bench emits machine-readable
+``results/BENCH_real_mmap.json`` — per-pass wall ms, pairs/sec, and a
+batched-vs-per-record storage microbenchmark — so the perf trajectory of
+the real backend is tracked across PRs.
 """
 
+import json
+import multiprocessing
 import tempfile
+import time
 from pathlib import Path
 
-from conftest import bench_scale
+from conftest import RESULTS_DIR, bench_scale
 
 from repro.harness.report import format_table
 from repro.joins import verify_pairs
+from repro.joins.reference import expected_checksum
 from repro.parallel import run_real_join
-from repro.storage import timed_delete_map, timed_new_map, timed_open_map
+from repro.storage import (
+    RRelationFile,
+    timed_delete_map,
+    timed_new_map,
+    timed_open_map,
+)
 from repro.workload import WorkloadSpec, generate_workload
+
+
+def _record_path_microbench(workload, root: Path) -> dict:
+    """Per-record (scalar get) vs batched (iter_objects) read of one R file."""
+    objects = [obj for part in workload.r_partitions for obj in part]
+    path = root / "micro.seg"
+    rel = RRelationFile.create(path, len(objects), workload.spec.r_bytes)
+    try:
+        rel.append_many(objects)
+        start = time.perf_counter()
+        scalar = [rel.get(i) for i in range(len(rel))]
+        scalar_ms = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        batched = list(rel.iter_objects())
+        batched_ms = (time.perf_counter() - start) * 1000.0
+    finally:
+        rel.close()
+    assert scalar == batched
+    return {
+        "records": len(objects),
+        "per_record_ms": scalar_ms,
+        "batched_ms": batched_ms,
+        "speedup": scalar_ms / batched_ms if batched_ms else None,
+    }
 
 
 def test_ext_real_mmap_joins(benchmark, record):
@@ -24,19 +62,25 @@ def test_ext_real_mmap_joins(benchmark, record):
     workload = generate_workload(
         WorkloadSpec.paper_validation(scale=scale), disks=4
     )
+    checksum = expected_checksum(workload)
 
     def run_all():
         out = {}
         with tempfile.TemporaryDirectory() as root:
-            for name in ("nested-loops", "sort-merge", "grace"):
-                result = run_real_join(
-                    name, workload, str(Path(root) / name), use_processes=True
-                )
-                verify_pairs(workload, result.pairs)
-                out[name] = result
+            with multiprocessing.Pool(processes=workload.disks) as pool:
+                for name in ("nested-loops", "sort-merge", "grace"):
+                    out[name] = run_real_join(
+                        name, workload, str(Path(root) / name),
+                        use_processes=True, pool=pool,
+                    )
         return out
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Oracle verification stays outside the timed region: it exercises the
+    # reference join, not the backend under measurement.
+    for res in results.values():
+        verify_pairs(workload, res.pairs)
 
     rows = [
         [name, res.wall_ms, res.pair_count]
@@ -50,8 +94,41 @@ def test_ext_real_mmap_joins(benchmark, record):
     )
     record("ext_real_mmap", text)
 
+    with tempfile.TemporaryDirectory() as root:
+        micro = _record_path_microbench(workload, Path(root))
+
+    payload = {
+        "workload": {
+            "scale": scale,
+            "r_objects": workload.r_objects_total,
+            "s_objects": len(workload.s_objects),
+            "disks": workload.disks,
+        },
+        "storage_read_path": micro,
+        "algorithms": {
+            name: {
+                "wall_ms": res.wall_ms,
+                "pass_wall_ms": res.pass_wall_ms,
+                "pass_counts": res.pass_counts,
+                "pair_count": res.pair_count,
+                "checksum_ok": res.checksum == checksum,
+                "pairs_per_sec": (
+                    res.pair_count / (res.wall_ms / 1000.0)
+                    if res.wall_ms else None
+                ),
+                "used_processes": res.used_processes,
+            }
+            for name, res in results.items()
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_real_mmap.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
     for res in results.values():
         assert res.pair_count == workload.r_objects_total
+        assert res.checksum == checksum
 
 
 def test_ext_real_mapping_setup(benchmark, record):

@@ -13,6 +13,7 @@ hold one extra object, keeping partition sizes within one of each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 class PointerError(ValueError):
@@ -67,6 +68,56 @@ class PointerMap:
         """(partition, offset) of a global pointer."""
         partition = self.partition_of(sptr)
         return partition, sptr - self.partition_start(partition)
+
+    # ------------------------------------------------------------- batches
+    #
+    # The scalar methods above pay property lookups and range checks per
+    # call, which dominates the real backend's redistribution passes.  The
+    # batch forms hoist the partition geometry into locals, validate the
+    # whole batch with one min/max, and run the arithmetic in a single
+    # comprehension.
+
+    def locate_many(self, sptrs: Sequence[int]) -> list[tuple[int, int]]:
+        """(partition, offset) for a whole batch of global pointers."""
+        if not sptrs:
+            return []
+        if min(sptrs) < 0 or max(sptrs) >= self.s_objects:
+            raise PointerError(
+                f"pointer outside [0, {self.s_objects}) in batch"
+            )
+        base, rem = self._base, self._remainder
+        boundary = (base + 1) * rem
+        out: list[tuple[int, int]] = []
+        append = out.append
+        for sptr in sptrs:
+            if sptr < boundary:
+                partition = sptr // (base + 1)
+                append((partition, sptr - partition * (base + 1)))
+            else:
+                spill = sptr - boundary
+                local = spill // base if base else 0
+                append((rem + local, spill - local * base))
+        return out
+
+    def offset_many(self, sptrs: Sequence[int]) -> list[int]:
+        """Local offsets for a whole batch of global pointers."""
+        if not sptrs:
+            return []
+        if min(sptrs) < 0 or max(sptrs) >= self.s_objects:
+            raise PointerError(
+                f"pointer outside [0, {self.s_objects}) in batch"
+            )
+        base, rem = self._base, self._remainder
+        boundary = (base + 1) * rem
+        out: list[int] = []
+        append = out.append
+        for sptr in sptrs:
+            if sptr < boundary:
+                append(sptr % (base + 1))
+            else:
+                spill = sptr - boundary
+                append(spill % base if base else spill)
+        return out
 
     def global_index(self, partition: int, offset: int) -> int:
         """Inverse of :meth:`locate`."""

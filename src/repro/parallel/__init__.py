@@ -6,8 +6,10 @@ from repro.parallel.runner import (
     RealJoinResult,
     run_real_join,
 )
+from repro.parallel.workers import PairResult
 
 __all__ = [
+    "PairResult",
     "REAL_ALGORITHMS",
     "RealJoinError",
     "RealJoinResult",

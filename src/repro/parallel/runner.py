@@ -2,8 +2,17 @@
 
 :func:`run_real_join` materializes a workload into a :class:`Store`,
 dispatches the per-partition workers (one OS process per partition by
-default, mirroring the paper's Rproc-per-disk design), verifies nothing is
-left behind, and returns the joined pairs with wall-clock timings per pass.
+default, mirroring the paper's Rproc-per-disk design), checks record
+conservation across the passes, and returns per-pass wall-clock timings,
+pair counts and checksums.
+
+One :class:`multiprocessing.Pool` is forked per join and reused across all
+of its passes (forking a fresh pool per pass costs more than some passes
+themselves).  Workers never pickle join output back through the pool: each
+streams its pairs into a mapped ``PAIRS`` segment and returns only a
+``(count, checksum, path)`` triple; the parent materializes the pairs from
+those segments — and only when ``collect_pairs`` asks for them, mirroring
+the simulator's ``PairCollector(keep_pairs=False)`` knob.
 """
 
 from __future__ import annotations
@@ -11,10 +20,12 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.records import JoinedPair
 from repro.parallel import workers
+from repro.parallel.workers import CHECKSUM_MOD, PairResult
+from repro.storage.relation import read_pairs
 from repro.storage.store import Store
 from repro.workload.generator import Workload
 
@@ -30,14 +41,14 @@ class RealJoinResult:
     """Outcome of one real-mmap join."""
 
     algorithm: str
-    pairs: List[JoinedPair]
+    pair_count: int
+    checksum: int
     wall_ms: float
+    pairs: Optional[List[JoinedPair]] = None
     pass_wall_ms: Dict[str, float] = field(default_factory=dict)
+    pass_counts: Dict[str, int] = field(default_factory=dict)
+    pass_checksums: Dict[str, int] = field(default_factory=dict)
     used_processes: bool = True
-
-    @property
-    def pair_count(self) -> int:
-        return len(self.pairs)
 
 
 def run_real_join(
@@ -49,8 +60,15 @@ def run_real_join(
     tsize: int = 64,
     irun: int = 4096,
     keep_store: bool = False,
+    collect_pairs: bool = True,
+    pool: Optional[multiprocessing.pool.Pool] = None,
 ) -> RealJoinResult:
-    """Execute one pointer-based join on real mmap-backed files."""
+    """Execute one pointer-based join on real mmap-backed files.
+
+    ``pool`` lets a caller running several joins share one worker pool
+    across them (workers are stateless — they open stores by path per
+    task); a shared pool is left open for the caller to close.
+    """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
             f"unknown algorithm {algorithm!r}; choices: {sorted(REAL_ALGORITHMS)}"
@@ -59,9 +77,28 @@ def run_real_join(
     store = Store(store_root, disks)
     store.materialize(workload)
     spec = workload.spec
+    r_total = workload.r_objects_total
     started = time.perf_counter()
     pass_wall: Dict[str, float] = {}
-    pairs: List[JoinedPair] = []
+    pass_counts: Dict[str, int] = {}
+    pass_checksums: Dict[str, int] = {}
+    pair_results: List[PairResult] = []
+
+    owns_pool = pool is None and use_processes and disks > 1
+    if owns_pool:
+        pool = multiprocessing.Pool(processes=disks)
+    elif not use_processes:
+        pool = None
+
+    def run_pairs_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
+        results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        pass_counts[label] = sum(r.count for r in results)
+        pass_checksums[label] = sum(r.checksum for r in results) % CHECKSUM_MOD
+        pair_results.extend(results)
+
+    def run_move_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
+        results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        pass_counts[label] = sum(results)
 
     try:
         if algorithm == "nested-loops":
@@ -69,77 +106,102 @@ def run_real_join(
                 (store_root, disks, i, spec.s_objects, spec.r_bytes)
                 for i in range(disks)
             ]
-            pairs += _run_pass(
-                workers.nested_loops_pass0, args0, use_processes, pass_wall, "pass0"
-            )
+            run_pairs_pass(workers.nested_loops_pass0, args0, "pass0")
             args1 = [(store_root, disks, i, spec.s_objects) for i in range(disks)]
-            pairs += _run_pass(
-                workers.nested_loops_pass1, args1, use_processes, pass_wall, "pass1"
+            run_pairs_pass(workers.nested_loops_pass1, args1, "pass1")
+            _check_conservation(
+                algorithm, "pass0+pass1 pairs",
+                pass_counts["pass0"] + pass_counts["pass1"], r_total,
             )
         elif algorithm == "sort-merge":
             args01 = [
                 (store_root, disks, i, spec.s_objects, spec.r_bytes)
                 for i in range(disks)
             ]
-            _run_pass(
-                workers.sort_merge_partition, args01, use_processes, pass_wall,
-                "partition",
+            run_move_pass(workers.sort_merge_partition, args01, "partition")
+            _check_conservation(
+                algorithm, "partitioned records",
+                pass_counts["partition"], r_total,
             )
             args2 = [
                 (store_root, disks, i, spec.s_objects, spec.r_bytes, irun)
                 for i in range(disks)
             ]
-            pairs += _run_pass(
-                workers.sort_merge_join, args2, use_processes, pass_wall,
-                "sort-merge-join",
+            run_pairs_pass(workers.sort_merge_join, args2, "sort-merge-join")
+            _check_conservation(
+                algorithm, "joined records",
+                pass_counts["sort-merge-join"], pass_counts["partition"],
             )
         else:  # grace
             args01 = [
                 (store_root, disks, i, spec.s_objects, spec.r_bytes, buckets)
                 for i in range(disks)
             ]
-            _run_pass(
-                workers.grace_partition, args01, use_processes, pass_wall,
-                "partition",
+            run_move_pass(workers.grace_partition, args01, "partition")
+            _check_conservation(
+                algorithm, "partitioned records",
+                pass_counts["partition"], r_total,
             )
             args2 = [
                 (store_root, disks, i, spec.s_objects, buckets, tsize)
                 for i in range(disks)
             ]
-            pairs += _run_pass(
-                workers.grace_probe, args2, use_processes, pass_wall, "probe"
+            run_pairs_pass(workers.grace_probe, args2, "probe")
+            _check_conservation(
+                algorithm, "probed records",
+                pass_counts["probe"], pass_counts["partition"],
             )
+
+        pairs: Optional[List[JoinedPair]] = None
+        if collect_pairs:
+            pairs = []
+            for result in pair_results:
+                pairs.extend(read_pairs(result.path))
     finally:
+        if owns_pool and pool is not None:
+            pool.close()
+            pool.join()
         if not keep_store:
             store.destroy()
 
     wall_ms = (time.perf_counter() - started) * 1000.0
     return RealJoinResult(
         algorithm=algorithm,
-        pairs=pairs,
+        pair_count=sum(r.count for r in pair_results),
+        checksum=sum(r.checksum for r in pair_results) % CHECKSUM_MOD,
         wall_ms=wall_ms,
+        pairs=pairs,
         pass_wall_ms=pass_wall,
+        pass_counts=pass_counts,
+        pass_checksums=pass_checksums,
         used_processes=use_processes,
     )
 
 
 def _run_pass(
+    pool,
     worker: Callable,
     arg_list: Sequence[tuple],
-    use_processes: bool,
     pass_wall: Dict[str, float],
     label: str,
-) -> List[JoinedPair]:
-    """Dispatch one pass to all partitions, flattening list results."""
+) -> list:
+    """Dispatch one pass to all partitions; every worker result is kept."""
     started = time.perf_counter()
-    if use_processes and len(arg_list) > 1:
-        with multiprocessing.Pool(processes=len(arg_list)) as pool:
-            results = pool.map(worker, arg_list)
+    if pool is not None:
+        results = pool.map(worker, arg_list)
     else:
         results = [worker(args) for args in arg_list]
     pass_wall[label] = (time.perf_counter() - started) * 1000.0
-    flattened: List[JoinedPair] = []
-    for result in results:
-        if isinstance(result, list):
-            flattened.extend(result)
-    return flattened
+    return results
+
+
+def _check_conservation(
+    algorithm: str, what: str, produced: int, expected: int
+) -> None:
+    """Records in must equal records out — lost or duplicated objects in a
+    redistribution or probe pass are the real failure modes here."""
+    if produced != expected:
+        raise RealJoinError(
+            f"{algorithm}: {what} not conserved "
+            f"({produced} produced, {expected} expected)"
+        )

@@ -6,25 +6,75 @@ dispatched to a :mod:`multiprocessing` pool (CPython's GIL rules out thread
 parallelism for this workload, so — like the paper's Rproc/Sproc design —
 parallelism is process-level, one worker per partition).
 
-Workers communicate only through the store's files and their pickled return
-values; there is no shared mutable state, and every (target, contributor)
-temporary file is written by exactly one worker, so passes are race-free by
-construction.
+All record movement is block-at-a-time: workers consume decoded batches
+(`iter_object_batches`), resolve pointers with the batched
+:meth:`PointerMap.locate_many` / :meth:`offset_many`, dereference S through
+:meth:`SRelationFile.dereference_many`, and append spills/runs/buckets via
+``append_many`` — no per-record ``bytes()`` copies or struct calls.
+
+Join output never crosses a process boundary.  Every pair-producing worker
+streams its pairs into its own mapped ``PAIRS`` segment (one writer per
+file, so passes stay race-free by construction) and returns only a
+:class:`PairResult` ``(count, checksum, path)``; the parent maps the files
+back in and materializes pairs lazily, if at all.
 """
 
 from __future__ import annotations
 
 import heapq
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Tuple
 
 from repro.core.pointer import PointerMap
-from repro.core.records import JoinedPair, RObject, join_pair
+from repro.core.records import RObject
 from repro.joins.grace import order_preserving_bucket, refining_chain
-from repro.storage.relation import RRelationFile
+from repro.storage.relation import BucketedRFile, PairsFile, RRelationFile
+from repro.storage.segment import MappedSegment
 from repro.storage.store import Store
 
-PairList = List[JoinedPair]
+BATCH_RECORDS = 4096
+CHECKSUM_MOD = 1 << 61
+
+
+class PairResult(NamedTuple):
+    """What a pair-producing worker sends back instead of the pairs."""
+
+    count: int
+    checksum: int
+    path: str
+
+
+class _PairSink:
+    """Stream joined pairs into one mapped segment, checksumming as we go.
+
+    The checksum is the simulator's :class:`PairCollector` mix — summing
+    per-batch and reducing once is equivalent to the per-pair running mod.
+    """
+
+    def __init__(self, path: Path, capacity: int) -> None:
+        self.path = path
+        self._file = PairsFile.create(path, max(1, capacity))
+        self.count = 0
+        self.checksum = 0
+
+    def emit_joined(self, r_objects: List[RObject], s_objects: List) -> None:
+        """Join matched R/S batches positionally and stream the pairs."""
+        pairs = [
+            (r[0], s[0], r[2], s[1])
+            for r, s in zip(r_objects, s_objects)
+        ]
+        if not pairs:
+            return
+        self._file.append_many(pairs)
+        self.count += len(pairs)
+        self.checksum = (
+            self.checksum
+            + sum(p[0] * 1_000_003 + p[1] * 7919 + p[3] for p in pairs)
+        ) % CHECKSUM_MOD
+
+    def close(self) -> PairResult:
+        self._file.close()
+        return PairResult(self.count, self.checksum, str(self.path))
 
 
 def _store(root: str, disks: int) -> Store:
@@ -39,17 +89,22 @@ def _phase_partner(i: int, t: int, disks: int) -> int:
     return (i + t) % disks
 
 
+def pairs_name(label: str, partition: int) -> str:
+    """The PAIRS segment written by one worker of one pass."""
+    return f"PAIRS_{label}_{partition}"
+
+
 # ------------------------------------------------------------ nested loops
 
 def nested_loops_pass0(
     args: Tuple[str, int, int, int, int]
-) -> PairList:
+) -> PairResult:
     """Scan R_i: join local references, spill the rest to the RP_i_j."""
     root, disks, i, s_objects, record_bytes = args
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
-    pairs: PairList = []
     with store.open_r(i) as r_rel, store.open_s(i) as s_rel:
+        sink = _PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
                 store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)), record_bytes
@@ -58,33 +113,47 @@ def nested_loops_pass0(
             if j != i
         }
         try:
-            for obj in r_rel:
-                target, offset = pmap.locate(obj.sptr)
-                if target == i:
-                    pairs.append(join_pair(obj, s_rel.dereference(offset)))
-                else:
-                    spill[target].append(obj)
+            for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+                located = pmap.locate_many([obj[1] for obj in batch])
+                local_r: List[RObject] = []
+                local_offsets: List[int] = []
+                remote: Dict[int, List[RObject]] = {}
+                for obj, (target, offset) in zip(batch, located):
+                    if target == i:
+                        local_r.append(obj)
+                        local_offsets.append(offset)
+                    else:
+                        remote.setdefault(target, []).append(obj)
+                sink.emit_joined(local_r, s_rel.dereference_many(local_offsets))
+                for target, objects in remote.items():
+                    spill[target].append_many(objects)
         finally:
             for rel in spill.values():
                 rel.close()
-    return pairs
+    return sink.close()
 
 
 def nested_loops_pass1(
     args: Tuple[str, int, int, int]
-) -> PairList:
+) -> PairResult:
     """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
     root, disks, i, s_objects = args
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
-    pairs: PairList = []
+    spill_paths = [
+        store.path(i, f"RP{i}_{_phase_partner(i, t, disks)}")
+        for t in range(1, disks)
+    ]
+    capacity = sum(MappedSegment.record_count(path) for path in spill_paths)
+    sink = _PairSink(store.path(i, pairs_name("p1", i)), capacity)
     for t in range(1, disks):
         j = _phase_partner(i, t, disks)
         with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
                 store.open_s(j) as s_rel:
-            for obj in spill:
-                pairs.append(join_pair(obj, s_rel.dereference(pmap.offset_of(obj.sptr))))
-    return pairs
+            for batch in spill.iter_object_batches(BATCH_RECORDS):
+                offsets = pmap.offset_many([obj[1] for obj in batch])
+                sink.emit_joined(batch, s_rel.dereference_many(offsets))
+    return sink.close()
 
 
 # --------------------------------------------------------------- sort-merge
@@ -105,9 +174,14 @@ def sort_merge_partition(
         }
         moved = 0
         try:
-            for obj in r_rel:
-                outputs[pmap.partition_of(obj.sptr)].append(obj)
-                moved += 1
+            for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+                located = pmap.locate_many([obj[1] for obj in batch])
+                buckets: Dict[int, List[RObject]] = {}
+                for obj, (target, _offset) in zip(batch, located):
+                    buckets.setdefault(target, []).append(obj)
+                for target, objects in buckets.items():
+                    outputs[target].append_many(objects)
+                    moved += len(objects)
         finally:
             for rel in outputs.values():
                 rel.close()
@@ -116,7 +190,7 @@ def sort_merge_partition(
 
 def sort_merge_join(
     args: Tuple[str, int, int, int, int, int]
-) -> PairList:
+) -> PairResult:
     """Sort RS_i into runs, merge the runs, join against sequential S_i."""
     root, disks, i, s_objects, record_bytes, irun = args
     store = _store(root, disks)
@@ -128,6 +202,7 @@ def sort_merge_join(
     run_paths: List[Path] = []
     buffer: List[RObject] = []
     run_id = 0
+    inbound = 0
 
     def flush_run() -> None:
         nonlocal run_id
@@ -137,8 +212,7 @@ def sort_merge_join(
         path = store.path(i, f"RUN{i}_{run_id}")
         rel = RRelationFile.create(path, len(buffer), record_bytes)
         try:
-            for obj in buffer:
-                rel.append(obj)
+            rel.append_many(buffer)
         finally:
             rel.close()
         run_paths.append(path)
@@ -147,27 +221,55 @@ def sort_merge_join(
 
     for contributor in range(disks):
         with RRelationFile.open(store.path(i, f"RS{i}_from{contributor}")) as rel:
-            for obj in rel:
-                buffer.append(obj)
-                if len(buffer) >= irun:
+            for batch in rel.iter_object_batches(BATCH_RECORDS):
+                inbound += len(batch)
+                buffer.extend(batch)
+                while len(buffer) >= irun:
+                    tail = buffer[irun:]
+                    del buffer[irun:]
                     flush_run()
+                    buffer.extend(tail)
     flush_run()
 
-    # Merge the run streams lazily and join against a sequential S_i scan.
-    pairs: PairList = []
-    streams = [_run_stream(path) for path in run_paths]
+    # Merge the run streams lazily and join against a sequential S_i scan,
+    # re-batching the merged stream so dereferences stay block-at-a-time.
+    # A single run needs no heap: its batches are already in sptr order,
+    # so the per-record merge machinery (generator hops + key calls) is
+    # skipped entirely — the common case whenever a partition's inbound
+    # fits one initial run.
+    sink = _PairSink(store.path(i, pairs_name("sm", i)), inbound)
     with store.open_s(i) as s_rel:
-        for obj in heapq.merge(*streams, key=lambda o: o.sptr):
-            pairs.append(join_pair(obj, s_rel.dereference(pmap.offset_of(obj.sptr))))
-    return pairs
+        if len(run_paths) == 1:
+            with RRelationFile.open(run_paths[0]) as rel:
+                for batch in rel.iter_object_batches(BATCH_RECORDS):
+                    offsets = pmap.offset_many([obj[1] for obj in batch])
+                    sink.emit_joined(batch, s_rel.dereference_many(offsets))
+        else:
+            streams = [_run_stream(path) for path in run_paths]
+            merged = heapq.merge(*streams, key=lambda o: o.sptr)
+            for batch in _rebatch(merged, BATCH_RECORDS):
+                offsets = pmap.offset_many([obj[1] for obj in batch])
+                sink.emit_joined(batch, s_rel.dereference_many(offsets))
+    return sink.close()
 
 
 def _run_stream(path: Path):
     rel = RRelationFile.open(path)
     try:
-        yield from rel
+        yield from rel.iter_objects(BATCH_RECORDS)
     finally:
         rel.close()
+
+
+def _rebatch(iterable: Iterable, size: int):
+    batch: List = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 # -------------------------------------------------------------------- grace
@@ -175,56 +277,82 @@ def _run_stream(path: Path):
 def grace_partition(
     args: Tuple[str, int, int, int, int, int]
 ) -> int:
-    """Passes 0 and 1 for one contributor: hash into BS_j_k_from_i files."""
+    """Passes 0 and 1 for one contributor: hash into the BS_j_from_i files.
+
+    All of one contributor's spill for one target lands in a single
+    bucket-grouped :class:`BucketedRFile` (file creation dominates this
+    pass when every (target, bucket) pair gets its own file).  The bucket
+    groups are accumulated in memory over the scan — the probe side, where
+    grace's memory bound actually lives, stays bucket-at-a-time.
+    """
     root, disks, i, s_objects, record_bytes, buckets = args
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    grouped: Dict[int, Dict[int, List[RObject]]] = {}
     with store.open_r(i) as r_rel:
-        outputs: Dict[Tuple[int, int], RRelationFile] = {}
-        moved = 0
+        for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+            located = pmap.locate_many([obj[1] for obj in batch])
+            for obj, (target, offset) in zip(batch, located):
+                bucket = order_preserving_bucket(
+                    offset, part_sizes[target], buckets
+                )
+                grouped.setdefault(target, {}).setdefault(bucket, []).append(obj)
+    moved = 0
+    for target, bucket_groups in grouped.items():
+        capacity = sum(len(objs) for objs in bucket_groups.values())
+        spill = BucketedRFile.create(
+            store.path(target, f"BS{target}_from{i}"),
+            capacity, buckets, record_bytes,
+        )
         try:
-            for obj in r_rel:
-                target, offset = pmap.locate(obj.sptr)
-                part_size = pmap.partition_size(target)
-                bucket = order_preserving_bucket(offset, part_size, buckets)
-                key = (target, bucket)
-                if key not in outputs:
-                    outputs[key] = RRelationFile.create(
-                        store.path(target, f"BS{target}_{bucket}_from{i}"),
-                        max(1, len(r_rel)),
-                        record_bytes,
-                    )
-                outputs[key].append(obj)
-                moved += 1
+            for bucket in sorted(bucket_groups):
+                spill.append_bucket(bucket, bucket_groups[bucket])
+                moved += len(bucket_groups[bucket])
         finally:
-            for rel in outputs.values():
-                rel.close()
+            spill.close()
     return moved
 
 
 def grace_probe(
     args: Tuple[str, int, int, int, int, int]
-) -> PairList:
+) -> PairResult:
     """Probe passes for one partition: bucket table, ordered S access."""
     root, disks, i, s_objects, buckets, tsize = args
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     part_size = pmap.partition_size(i)
-    pairs: PairList = []
-    with store.open_s(i) as s_rel:
-        for bucket in range(buckets):
-            table: List[List[RObject]] = [[] for _ in range(tsize)]
-            for contributor in range(disks):
-                path = store.path(i, f"BS{i}_{bucket}_from{contributor}")
-                if not path.exists():
-                    continue
-                with RRelationFile.open(path) as rel:
-                    for obj in rel:
-                        offset = pmap.offset_of(obj.sptr)
-                        chain = refining_chain(offset, part_size, buckets, tsize)
-                        table[chain].append(obj)
-            for chain in table:
-                for obj in chain:
-                    offset = pmap.offset_of(obj.sptr)
-                    pairs.append(join_pair(obj, s_rel.dereference(offset)))
-    return pairs
+    inbound: List[BucketedRFile] = []
+    for contributor in range(disks):
+        path = store.path(i, f"BS{i}_from{contributor}")
+        if path.exists():
+            inbound.append(BucketedRFile.open(path))
+    capacity = sum(len(rel) for rel in inbound)
+    sink = _PairSink(store.path(i, pairs_name("probe", i)), capacity)
+    try:
+        with store.open_s(i) as s_rel:
+            for bucket in range(buckets):
+                table: List[List[RObject]] = [[] for _ in range(tsize)]
+                for rel in inbound:
+                    for batch in rel.iter_bucket_batches(bucket, BATCH_RECORDS):
+                        offsets = pmap.offset_many([obj[1] for obj in batch])
+                        for obj, offset in zip(batch, offsets):
+                            chain = refining_chain(
+                                offset, part_size, buckets, tsize
+                            )
+                            table[chain].append(obj)
+                # Emit in chain order but batched across chains: per-chain
+                # emits average ~1 record, so chunking the whole bucket
+                # keeps the dereference/append calls block-sized.  The
+                # checksum and the multiset of pairs are order-independent,
+                # so this matches the per-chain path exactly.
+                ordered = [
+                    obj for chain_objects in table for obj in chain_objects
+                ]
+                for chunk in _rebatch(ordered, BATCH_RECORDS):
+                    offsets = pmap.offset_many([obj[1] for obj in chunk])
+                    sink.emit_joined(chunk, s_rel.dereference_many(offsets))
+    finally:
+        for rel in inbound:
+            rel.close()
+    return sink.close()

@@ -3,8 +3,11 @@
 from repro.storage.btree import MAX_KEYS, BTreeError, PersistentBTree
 from repro.storage.layout import LayoutError, RecordLayout
 from repro.storage.relation import (
+    PAIR_RECORD_BYTES,
+    PairsFile,
     RRelationFile,
     SRelationFile,
+    read_pairs,
     write_r_partition,
     write_s_partition,
 )
@@ -22,12 +25,15 @@ __all__ = [
     "LayoutError",
     "MAX_KEYS",
     "MappedSegment",
+    "PAIR_RECORD_BYTES",
+    "PairsFile",
     "PersistentBTree",
     "RRelationFile",
     "RecordLayout",
     "SRelationFile",
     "StorageError",
     "Store",
+    "read_pairs",
     "timed_delete_map",
     "timed_new_map",
     "timed_open_map",

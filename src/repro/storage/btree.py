@@ -334,6 +334,9 @@ class PersistentBTree:
                 f"tree full: {self._segment.capacity} node capacity reached"
             )
         self._node_count += 1
+        # Nodes are written out of allocation order during splits, so the
+        # slot must be declared valid before the sparse write lands.
+        self._segment.reserve(self._node_count)
         return index
 
     def _read_node(self, index: int) -> _Node:

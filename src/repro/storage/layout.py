@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Iterator, List, Sequence
 
 from repro.core.records import RObject, SObject
 
@@ -34,6 +35,24 @@ class RecordLayout:
                 f"record_bytes must be at least {_HEADER.size} "
                 f"(got {self.record_bytes})"
             )
+        # One Struct spanning the whole record (header + `x` pad bytes) so
+        # iter_unpack/pack_into stride record-by-record over a raw buffer
+        # with no per-record slicing, copying, or method dispatch.
+        object.__setattr__(
+            self,
+            "_record",
+            struct.Struct(f"<QQQ{self.record_bytes - _HEADER.size}x"),
+        )
+
+    @property
+    def header_struct(self) -> struct.Struct:
+        """The 3-field header encoding (no padding)."""
+        return _HEADER
+
+    @property
+    def record_struct(self) -> struct.Struct:
+        """The full-record encoding (header plus pad bytes)."""
+        return self._record
 
     @property
     def padding(self) -> bytes:
@@ -57,6 +76,42 @@ class RecordLayout:
     def unpack_s(self, data: bytes | memoryview) -> SObject:
         sid, value, payload = _HEADER.unpack_from(data)
         return SObject(sid=sid, value=value, payload=payload)
+
+    # ------------------------------------------------------------- batches
+    #
+    # The batch primitives avoid all per-record overhead of the scalar
+    # path: no bytes() copies, no per-record method dispatch, one C-level
+    # ``iter_unpack``/``pack_into`` stride over the whole buffer.
+
+    def iter_unpack_r(self, buffer: bytes | memoryview) -> Iterator[RObject]:
+        """Decode a contiguous run of R records from a raw buffer."""
+        return map(RObject._make, self._record.iter_unpack(buffer))
+
+    def iter_unpack_s(self, buffer: bytes | memoryview) -> Iterator[SObject]:
+        """Decode a contiguous run of S records from a raw buffer."""
+        return map(SObject._make, self._record.iter_unpack(buffer))
+
+    def unpack_r_batch(self, buffer: bytes | memoryview) -> List[RObject]:
+        return list(self.iter_unpack_r(buffer))
+
+    def unpack_s_batch(self, buffer: bytes | memoryview) -> List[SObject]:
+        return list(self.iter_unpack_s(buffer))
+
+    def pack_batch(self, objects: Sequence[tuple]) -> bytearray:
+        """Encode 3-field records (R or S) into one contiguous buffer."""
+        buffer = bytearray(len(objects) * self.record_bytes)
+        pack_into = self._record.pack_into
+        stride = self.record_bytes
+        offset = 0
+        for a, b, c in objects:
+            pack_into(buffer, offset, a, b, c)
+            offset += stride
+        return buffer
+
+    # R and S records share the 3×u64 header shape, so one packer serves
+    # both; the aliases keep call sites typed.
+    pack_r_batch = pack_batch
+    pack_s_batch = pack_batch
 
     def offset_of(self, index: int) -> int:
         """Byte offset of record ``index`` within the data area."""

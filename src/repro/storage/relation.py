@@ -1,20 +1,45 @@
-"""Typed relations over mapped segments."""
+"""Typed relations over mapped segments.
+
+All three relation types expose the scalar record API plus the batched
+path (:meth:`iter_objects` / :meth:`append_many`) that decodes and encodes
+whole blocks of the mapping at a time — the per-record ``bytes()`` copies
+and method dispatch of the scalar path dominate the real backend's join
+cost, so the workers use batches exclusively.
+"""
 
 from __future__ import annotations
 
 import os
-from pathlib import Path
-from typing import Iterator, List
+import struct
+from typing import Iterator, List, Sequence
 
-from repro.core.records import RObject, SObject
-from repro.storage.segment import MappedSegment
+from repro.core.records import JoinedPair, RObject, SObject
+from repro.storage.segment import META_CAPACITY, MappedSegment, StorageError
+
+DEFAULT_BATCH_RECORDS = 4096
 
 
-class RRelationFile:
-    """An R partition stored in one mapped segment."""
+class _RelationFile:
+    """Shared plumbing for segment-backed relations."""
 
     def __init__(self, segment: MappedSegment) -> None:
         self.segment = segment
+
+    def __len__(self) -> int:
+        return len(self.segment)
+
+    def close(self) -> None:
+        self.segment.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RRelationFile(_RelationFile):
+    """An R partition stored in one mapped segment."""
 
     @classmethod
     def create(
@@ -29,37 +54,48 @@ class RRelationFile:
     def append(self, obj: RObject) -> int:
         return self.segment.append_record(self.segment.layout.pack_r(obj))
 
+    def append_many(self, objects: Sequence[RObject]) -> int:
+        """Append a whole batch in one packed slice write."""
+        return self.segment.append_batch(
+            self.segment.layout.pack_r_batch(objects)
+        )
+
     def get(self, index: int) -> RObject:
         return self.segment.layout.unpack_r(self.segment.read_record(index))
 
-    def __len__(self) -> int:
-        return len(self.segment)
+    def iter_objects(
+        self, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[RObject]:
+        """Iterate all objects, decoding block-at-a-time from the mapping."""
+        unpack = self.segment.layout.iter_unpack_r
+        for view in self.segment.iter_batches(batch_records):
+            try:
+                yield from unpack(view)
+            finally:
+                view.release()
+
+    def iter_object_batches(
+        self, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[List[RObject]]:
+        """Iterate objects in decoded batches (the workers' inner shape)."""
+        unpack = self.segment.layout.unpack_r_batch
+        for view in self.segment.iter_batches(batch_records):
+            try:
+                yield unpack(view)
+            finally:
+                view.release()
 
     def __iter__(self) -> Iterator[RObject]:
-        unpack = self.segment.layout.unpack_r
-        for record in self.segment.iter_records():
-            yield unpack(record)
-
-    def close(self) -> None:
-        self.segment.close()
-
-    def __enter__(self) -> "RRelationFile":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        return self.iter_objects()
 
 
-class SRelationFile:
+class SRelationFile(_RelationFile):
     """An S partition stored in one mapped segment.
 
     S-objects sit at the offset their local index names — the "exact
     positioning" that lets a virtual pointer dereference without any
     swizzling or translation table.
     """
-
-    def __init__(self, segment: MappedSegment) -> None:
-        self.segment = segment
 
     @classmethod
     def create(
@@ -74,27 +110,230 @@ class SRelationFile:
     def append(self, obj: SObject) -> int:
         return self.segment.append_record(self.segment.layout.pack_s(obj))
 
+    def append_many(self, objects: Sequence[SObject]) -> int:
+        return self.segment.append_batch(
+            self.segment.layout.pack_s_batch(objects)
+        )
+
     def dereference(self, offset: int) -> SObject:
         """Follow a virtual pointer's local offset: one mapped read."""
         return self.segment.layout.unpack_s(self.segment.read_record(offset))
 
-    def __len__(self) -> int:
-        return len(self.segment)
+    def dereference_many(self, offsets: Sequence[int]) -> List[SObject]:
+        """Follow a batch of pointer offsets over one zero-copy view.
+
+        One bounds check for the whole batch, one exported buffer, and a
+        C-level ``unpack_from`` per record — no per-record slicing.
+        """
+        if not offsets:
+            return []
+        count = len(self.segment)
+        if min(offsets) < 0 or max(offsets) >= count:
+            raise StorageError(
+                f"pointer offset outside [0, {count}) in "
+                f"{self.segment.path.name}"
+            )
+        view = self.segment.read_batch(0, count)
+        try:
+            unpack_from = self.segment.layout.header_struct.unpack_from
+            stride = self.segment.layout.record_bytes
+            make = SObject._make
+            return [make(unpack_from(view, off * stride)) for off in offsets]
+        finally:
+            view.release()
+
+    def iter_objects(
+        self, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[SObject]:
+        unpack = self.segment.layout.iter_unpack_s
+        for view in self.segment.iter_batches(batch_records):
+            try:
+                yield from unpack(view)
+            finally:
+                view.release()
 
     def __iter__(self) -> Iterator[SObject]:
-        unpack = self.segment.layout.unpack_s
-        for record in self.segment.iter_records():
-            yield unpack(record)
+        return self.iter_objects()
+
+
+# ------------------------------------------------------------ bucketed files
+
+_DIR_COUNT = struct.Struct("<Q")
+_DIR_ENTRY = struct.Struct("<QQ")  # start, count
+
+
+class BucketedRFile(_RelationFile):
+    """R records grouped by hash bucket inside one mapped segment.
+
+    The grace algorithm's redistribution used to write one file per
+    (target, bucket, contributor); file creation is the dominant cost of
+    that pass on a real filesystem, so this packs all of one contributor's
+    buckets for one target into a single segment, bucket-contiguous, with
+    the per-bucket ``(start, count)`` directory stored in the segment's
+    spare header-page space.  The probe side still reads bucket-at-a-time
+    (its memory bound is unchanged); only the file fan-out shrinks from
+    ``D·K·D`` to ``D·D``.
+    """
+
+    def __init__(
+        self,
+        segment: MappedSegment,
+        directory: List[tuple],
+        writer: bool = False,
+    ) -> None:
+        super().__init__(segment)
+        self._directory = directory
+        self._writer = writer
+        self._next_bucket = 0
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        capacity: int,
+        buckets: int,
+        record_bytes: int = 128,
+    ) -> "BucketedRFile":
+        needed = _DIR_COUNT.size + buckets * _DIR_ENTRY.size
+        if needed > META_CAPACITY:
+            raise StorageError(
+                f"{buckets} buckets need a {needed}-byte directory; the "
+                f"header page holds {META_CAPACITY}"
+            )
+        return cls(
+            MappedSegment.create(path, capacity, record_bytes),
+            [(0, 0)] * buckets,
+            writer=True,
+        )
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "BucketedRFile":
+        segment = MappedSegment.open(path)
+        meta = segment.read_meta()
+        if len(meta) < _DIR_COUNT.size:
+            segment.close()
+            raise StorageError(f"{path} has no bucket directory")
+        (buckets,) = _DIR_COUNT.unpack_from(meta)
+        directory = [
+            _DIR_ENTRY.unpack_from(meta, _DIR_COUNT.size + b * _DIR_ENTRY.size)
+            for b in range(buckets)
+        ]
+        return cls(segment, directory)
+
+    @property
+    def buckets(self) -> int:
+        return len(self._directory)
+
+    def append_bucket(self, bucket: int, objects: Sequence[RObject]) -> None:
+        """Append one bucket's records; buckets must arrive in order."""
+        if bucket < self._next_bucket:
+            raise StorageError(
+                f"bucket {bucket} appended after bucket {self._next_bucket - 1}; "
+                "buckets must be written in increasing order"
+            )
+        if bucket >= len(self._directory):
+            raise StorageError(
+                f"bucket {bucket} outside [0, {len(self._directory)})"
+            )
+        start = self.segment.append_batch(
+            self.segment.layout.pack_r_batch(objects)
+        )
+        self._directory[bucket] = (start, len(objects))
+        self._next_bucket = bucket + 1
+
+    def bucket_len(self, bucket: int) -> int:
+        return self._directory[bucket][1]
+
+    def iter_bucket_batches(
+        self, bucket: int, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[List[RObject]]:
+        """Decode one bucket's records in batches (zero-copy slices)."""
+        start, count = self._directory[bucket]
+        unpack = self.segment.layout.unpack_r_batch
+        for lo in range(start, start + count, batch_records):
+            view = self.segment.read_batch(
+                lo, min(batch_records, start + count - lo)
+            )
+            try:
+                yield unpack(view)
+            finally:
+                view.release()
 
     def close(self) -> None:
-        self.segment.close()
+        if self._writer:
+            self._writer = False
+            blob = bytearray(
+                _DIR_COUNT.size + len(self._directory) * _DIR_ENTRY.size
+            )
+            _DIR_COUNT.pack_into(blob, 0, len(self._directory))
+            for b, (start, count) in enumerate(self._directory):
+                _DIR_ENTRY.pack_into(
+                    blob, _DIR_COUNT.size + b * _DIR_ENTRY.size, start, count
+                )
+            self.segment.write_meta(bytes(blob))
+        super().close()
 
-    def __enter__(self) -> "SRelationFile":
-        return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+# --------------------------------------------------------------- pair files
 
+_PAIR = struct.Struct("<QQQQ")  # rid, sid, r_payload, s_value
+
+PAIR_RECORD_BYTES = _PAIR.size
+
+
+class PairsFile(_RelationFile):
+    """Join output streamed into a mapped segment (the zero-pickle path).
+
+    Each worker writes exactly one pairs file and returns only its
+    ``(count, checksum, path)``, so no ``JoinedPair`` ever crosses a
+    process boundary; the parent maps the files back in and decodes them
+    lazily.  Pair records are exactly the packed 4×u64 tuple — no padding,
+    so ``iter_unpack`` strides the data area directly.
+    """
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, capacity: int) -> "PairsFile":
+        return cls(MappedSegment.create(path, capacity, PAIR_RECORD_BYTES))
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "PairsFile":
+        relation = cls(MappedSegment.open(path))
+        if relation.segment.layout.record_bytes != PAIR_RECORD_BYTES:
+            relation.close()
+            raise StorageError(f"{path} is not a pairs file")
+        return relation
+
+    def append_many(self, pairs: Sequence[tuple]) -> int:
+        """Append packed (rid, sid, r_payload, s_value) tuples."""
+        buffer = bytearray(len(pairs) * PAIR_RECORD_BYTES)
+        pack_into = _PAIR.pack_into
+        offset = 0
+        for rid, sid, r_payload, s_value in pairs:
+            pack_into(buffer, offset, rid, sid, r_payload, s_value)
+            offset += PAIR_RECORD_BYTES
+        return self.segment.append_batch(buffer)
+
+    def iter_pairs(
+        self, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[JoinedPair]:
+        make = JoinedPair._make
+        for view in self.segment.iter_batches(batch_records):
+            try:
+                yield from map(make, _PAIR.iter_unpack(view))
+            finally:
+                view.release()
+
+    def __iter__(self) -> Iterator[JoinedPair]:
+        return self.iter_pairs()
+
+
+def read_pairs(path: str | os.PathLike) -> List[JoinedPair]:
+    """Materialize one worker's pairs file (in the parent, no pickling)."""
+    with PairsFile.open(path) as relation:
+        return list(relation.iter_pairs())
+
+
+# ---------------------------------------------------------- partition files
 
 def write_r_partition(
     path: str | os.PathLike, objects: List[RObject], record_bytes: int = 128
@@ -102,8 +341,7 @@ def write_r_partition(
     """Materialize an R partition file."""
     relation = RRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
-        for obj in objects:
-            relation.append(obj)
+        relation.append_many(objects)
     finally:
         relation.close()
 
@@ -114,7 +352,6 @@ def write_s_partition(
     """Materialize an S partition file (objects at their offsets)."""
     relation = SRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
-        for obj in objects:
-            relation.append(obj)
+        relation.append_many(objects)
     finally:
         relation.close()

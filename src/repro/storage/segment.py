@@ -31,6 +31,8 @@ from repro.storage.layout import RecordLayout
 MAGIC = b"UDBSEG1\x00"
 HEADER = struct.Struct("<8sQQQ")  # magic, record_bytes, capacity, count
 PAGE_SIZE = mmap.PAGESIZE
+_META_LEN = struct.Struct("<Q")
+META_CAPACITY = PAGE_SIZE - HEADER.size - _META_LEN.size
 
 
 class StorageError(RuntimeError):
@@ -98,6 +100,27 @@ class MappedSegment:
         return cls(path, file_obj, mapping, RecordLayout(record_bytes), capacity, count)
 
     @staticmethod
+    def record_count(path: str | os.PathLike) -> int:
+        """Read a segment's record count from its header without mapping it.
+
+        Sizing a pass's output (e.g. a PAIRS segment) needs only the counts
+        of its input files; a plain 32-byte read is far cheaper than
+        building and tearing down a whole mapping per file.
+        """
+        path = Path(path)
+        try:
+            with open(path, "rb") as file_obj:
+                header = file_obj.read(HEADER.size)
+        except FileNotFoundError:
+            raise StorageError(f"no segment file at {path}") from None
+        if len(header) < HEADER.size:
+            raise StorageError(f"{path} is not a segment file")
+        magic, _record_bytes, _capacity, count = HEADER.unpack_from(header)
+        if magic != MAGIC:
+            raise StorageError(f"{path} is not a segment file")
+        return count
+
+    @staticmethod
     def delete(path: str | os.PathLike) -> None:
         """deleteMap: destroy a segment and its data."""
         path = Path(path)
@@ -111,10 +134,17 @@ class MappedSegment:
         self._map.flush()
 
     def close(self) -> None:
+        """Unmap the segment.
+
+        No ``msync`` here: dirty mapped pages survive ``munmap`` in the
+        unified page cache, so readers that re-open the file see every
+        write.  Call :meth:`flush` first when *durability* (power-failure
+        safety) is needed — closing hundreds of temporary spill files per
+        join must not pay a synchronous writeback each.
+        """
         if self._closed:
             return
         self._write_count()
-        self._map.flush()
         self._map.close()
         self._file.close()
         self._closed = True
@@ -124,6 +154,38 @@ class MappedSegment:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------ metadata
+    #
+    # The header page has ~4K of slack after the fixed header; segments
+    # expose it as a small application blob (e.g. the grace spill files
+    # store their per-bucket directory there, so one file can carry many
+    # bucket-grouped runs without a sidecar).
+
+    def write_meta(self, data: bytes) -> None:
+        """Store an application blob in the header page's spare space."""
+        self._check_open()
+        if len(data) > META_CAPACITY:
+            raise StorageError(
+                f"meta blob of {len(data)} bytes exceeds the header page's "
+                f"{META_CAPACITY} spare bytes"
+            )
+        start = HEADER.size
+        self._map[start : start + _META_LEN.size] = _META_LEN.pack(len(data))
+        self._map[
+            start + _META_LEN.size : start + _META_LEN.size + len(data)
+        ] = data
+
+    def read_meta(self) -> bytes:
+        """Fetch the application blob (empty if never written)."""
+        self._check_open()
+        start = HEADER.size
+        (length,) = _META_LEN.unpack_from(self._map, start)
+        if length > META_CAPACITY:
+            raise StorageError(f"corrupt meta length {length} in {self.path.name}")
+        return bytes(
+            self._map[start + _META_LEN.size : start + _META_LEN.size + length]
+        )
 
     # -------------------------------------------------------------- access
 
@@ -141,11 +203,23 @@ class MappedSegment:
         return bytes(self._map[start : start + self.layout.record_bytes])
 
     def write_record(self, index: int, data: bytes) -> None:
-        """Write one record in place."""
+        """Write one record in place.
+
+        ``index`` must fall inside the written prefix or name the next free
+        slot (``index == len(self)``): a jump past the count would leave
+        uninitialized garbage records that :meth:`iter_records` would then
+        happily yield.
+        """
         self._check_open()
         if not 0 <= index < self.capacity:
             raise StorageError(
                 f"record {index} outside capacity {self.capacity} in {self.path.name}"
+            )
+        if index > self._count:
+            raise StorageError(
+                f"sparse write at {index} would leave a gap of "
+                f"{index - self._count} garbage records in {self.path.name} "
+                f"(count is {self._count})"
             )
         if len(data) != self.layout.record_bytes:
             raise StorageError(
@@ -156,6 +230,24 @@ class MappedSegment:
         self._map[start : start + self.layout.record_bytes] = data
         if index >= self._count:
             self._count = index + 1
+
+    def reserve(self, count: int) -> None:
+        """Extend the record count to ``count``, declaring the zero-filled
+        records in between valid.
+
+        Fixed-slot structures (the B-tree's node table) address records out
+        of append order; they reserve their slots explicitly instead of
+        relying on sparse writes, which are rejected because the garbage
+        gap they leave would be yielded by :meth:`iter_records`.
+        """
+        self._check_open()
+        if count > self.capacity:
+            raise StorageError(
+                f"cannot reserve {count} records in {self.path.name} "
+                f"(capacity {self.capacity})"
+            )
+        if count > self._count:
+            self._count = count
 
     def append_record(self, data: bytes) -> int:
         """Append one record; returns its index."""
@@ -168,6 +260,61 @@ class MappedSegment:
     def iter_records(self) -> Iterator[bytes]:
         for index in range(self._count):
             yield self.read_record(index)
+
+    # ------------------------------------------------------------- batches
+    #
+    # Block-at-a-time access: a batch is a memoryview straight into the
+    # mapping — zero copies — which the layout's iter_unpack/pack_into
+    # primitives then stride over.  Callers must release (or drop) the
+    # views before closing the segment, since a mapping with exported
+    # buffers cannot be unmapped.
+
+    def read_batch(self, start: int, count: int) -> memoryview:
+        """A zero-copy view of ``count`` records beginning at ``start``."""
+        self._check_open()
+        if count < 0:
+            raise StorageError(f"batch count cannot be negative: {count}")
+        if not 0 <= start <= self._count or start + count > self._count:
+            raise StorageError(
+                f"batch [{start}, {start + count}) outside [0, {self._count}) "
+                f"in {self.path.name}"
+            )
+        record_bytes = self.layout.record_bytes
+        lo = PAGE_SIZE + start * record_bytes
+        return memoryview(self._map)[lo : lo + count * record_bytes]
+
+    def iter_batches(self, batch_records: int = 4096) -> Iterator[memoryview]:
+        """Views covering all written records, ``batch_records`` at a time."""
+        if batch_records <= 0:
+            raise StorageError(f"batch size must be positive: {batch_records}")
+        for start in range(0, self._count, batch_records):
+            yield self.read_batch(start, min(batch_records, self._count - start))
+
+    def append_batch(self, data: bytes | bytearray | memoryview) -> int:
+        """Append a contiguous run of packed records in one slice write.
+
+        Returns the index of the first appended record.
+        """
+        self._check_open()
+        record_bytes = self.layout.record_bytes
+        nbytes = len(data)
+        if nbytes % record_bytes:
+            raise StorageError(
+                f"batch of {nbytes} bytes is not a whole number of "
+                f"{record_bytes}-byte records"
+            )
+        count = nbytes // record_bytes
+        if self._count + count > self.capacity:
+            raise StorageError(
+                f"appending {count} records overflows {self.path.name} "
+                f"({self._count} of {self.capacity} used)"
+            )
+        start = self._count
+        if count:
+            lo = PAGE_SIZE + start * record_bytes
+            self._map[lo : lo + nbytes] = data
+            self._count = start + count
+        return start
 
     # ------------------------------------------------------------ internal
 

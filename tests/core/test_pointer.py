@@ -93,3 +93,35 @@ class TestValidation:
         pmap = PointerMap(s_objects=2, partitions=4)
         assert [pmap.partition_size(i) for i in range(4)] == [1, 1, 0, 0]
         assert pmap.partition_of(1) == 1
+
+
+class TestBatchArithmetic:
+    @given(
+        s_objects=st.integers(min_value=1, max_value=500),
+        partitions=st.integers(min_value=1, max_value=12),
+    )
+    def test_locate_many_matches_scalar(self, s_objects, partitions):
+        pmap = PointerMap(s_objects=s_objects, partitions=partitions)
+        sptrs = list(range(s_objects))
+        assert pmap.locate_many(sptrs) == [pmap.locate(p) for p in sptrs]
+
+    @given(
+        s_objects=st.integers(min_value=1, max_value=500),
+        partitions=st.integers(min_value=1, max_value=12),
+    )
+    def test_offset_many_matches_scalar(self, s_objects, partitions):
+        pmap = PointerMap(s_objects=s_objects, partitions=partitions)
+        sptrs = list(range(s_objects))
+        assert pmap.offset_many(sptrs) == [pmap.offset_of(p) for p in sptrs]
+
+    def test_empty_batches(self):
+        pmap = PointerMap(s_objects=10, partitions=3)
+        assert pmap.locate_many([]) == []
+        assert pmap.offset_many([]) == []
+
+    def test_batch_out_of_range_rejected(self):
+        pmap = PointerMap(s_objects=10, partitions=3)
+        with pytest.raises(PointerError):
+            pmap.locate_many([0, 10])
+        with pytest.raises(PointerError):
+            pmap.offset_many([-1, 3])

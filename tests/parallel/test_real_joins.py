@@ -72,6 +72,55 @@ class TestInlineExecution:
         assert verify_pairs(wl, result.pairs) == 300
 
 
+    def test_workers_return_scalars_not_pairs(self, workload, tmp_path):
+        """The zero-pickle protocol: a worker's return value is a
+        (count, checksum, path) triple, never a list of pairs."""
+        from repro.parallel.workers import PairResult, nested_loops_pass0
+        from repro.storage.store import Store
+
+        root = str(tmp_path / "db")
+        Store(root, workload.disks).materialize(workload)
+        result = nested_loops_pass0(
+            (root, workload.disks, 0, workload.spec.s_objects,
+             workload.spec.r_bytes)
+        )
+        assert isinstance(result, PairResult)
+        count, checksum, path = result
+        assert isinstance(count, int)
+        assert isinstance(checksum, int)
+        assert isinstance(path, str)
+
+    def test_collect_pairs_off_keeps_counts_and_checksum(self, workload, tmp_path):
+        kept = run_real_join(
+            "grace", workload, str(tmp_path / "a"), use_processes=False
+        )
+        skipped = run_real_join(
+            "grace", workload, str(tmp_path / "b"), use_processes=False,
+            collect_pairs=False,
+        )
+        assert skipped.pairs is None
+        assert skipped.pair_count == kept.pair_count == 800
+        assert skipped.checksum == kept.checksum
+
+    def test_pass_counts_conserve_records(self, workload, tmp_path):
+        result = run_real_join(
+            "nested-loops", workload, str(tmp_path / "db"), use_processes=False
+        )
+        assert result.pass_counts["pass0"] + result.pass_counts["pass1"] == 800
+        result = run_real_join(
+            "sort-merge", workload, str(tmp_path / "db2"), use_processes=False
+        )
+        assert result.pass_counts["partition"] == 800
+        assert result.pass_counts["sort-merge-join"] == 800
+
+    def test_pass_checksums_combine_to_total(self, workload, tmp_path):
+        result = run_real_join(
+            "nested-loops", workload, str(tmp_path / "db"), use_processes=False
+        )
+        combined = sum(result.pass_checksums.values()) % (1 << 61)
+        assert combined == result.checksum
+
+
 class TestProcessExecution:
     def test_multiprocess_matches_inline(self, workload, tmp_path):
         inline = run_real_join(
@@ -82,3 +131,20 @@ class TestProcessExecution:
         )
         assert sorted(inline.pairs) == sorted(multi.pairs)
         assert multi.used_processes
+
+    def test_shared_pool_across_joins(self, workload, tmp_path):
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=workload.disks) as pool:
+            first = run_real_join(
+                "nested-loops", workload, str(tmp_path / "a"),
+                use_processes=True, pool=pool,
+            )
+            second = run_real_join(
+                "sort-merge", workload, str(tmp_path / "b"),
+                use_processes=True, pool=pool,
+            )
+            # the shared pool is still usable: run_real_join must not
+            # close a pool it did not create
+            assert pool.map(abs, [-1, -2]) == [1, 2]
+        assert first.pair_count == second.pair_count == 800

@@ -94,10 +94,37 @@ class TestMappedSegment:
             with pytest.raises(StorageError):
                 seg.read_record(0)
 
-    def test_write_at_index_extends_count(self, tmp_path):
+    def test_write_at_next_slot_extends_count(self, tmp_path):
         with MappedSegment.create(tmp_path / "a.seg", capacity=8) as seg:
+            seg.write_record(0, b"z" * 128)
+            seg.write_record(1, b"y" * 128)
+            assert len(seg) == 2
+
+    def test_sparse_write_past_count_rejected(self, tmp_path):
+        """A write that jumps past the count would leave garbage records
+        that iter_records would then yield — rejected outright."""
+        with MappedSegment.create(tmp_path / "a.seg", capacity=8) as seg:
+            with pytest.raises(StorageError):
+                seg.write_record(5, b"z" * 128)
+            assert len(seg) == 0
+
+    def test_reserve_declares_slots_valid(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=8) as seg:
+            seg.reserve(6)
             seg.write_record(5, b"z" * 128)
             assert len(seg) == 6
+            assert seg.read_record(3) == b"\x00" * 128
+
+    def test_reserve_beyond_capacity_rejected(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=4) as seg:
+            with pytest.raises(StorageError):
+                seg.reserve(5)
+
+    def test_reserve_never_shrinks(self, tmp_path):
+        with MappedSegment.create(tmp_path / "a.seg", capacity=4) as seg:
+            seg.append_record(b"x" * 128)
+            seg.reserve(0)
+            assert len(seg) == 1
 
     def test_use_after_close_rejected(self, tmp_path):
         seg = MappedSegment.create(tmp_path / "a.seg", capacity=1)
