@@ -51,3 +51,23 @@ def record():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_stats():
+    """Validate and persist one observability stats document under results/.
+
+    Every bench harness can emit the versioned JSON stats schema of
+    ``docs/metrics_schema.md`` next to its rendered results; validation
+    here means a bench fails loudly if it emits a malformed document.
+    """
+    from repro.obs import write_stats_document
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, document: dict) -> Path:
+        path = RESULTS_DIR / f"{name}.json"
+        write_stats_document(path, document)
+        return path
+
+    return _record

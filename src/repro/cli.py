@@ -10,7 +10,11 @@ Commands:
 * ``calibrate``   — measure and print the machine-dependent functions;
 * ``sensitivity`` — rank machine parameters by cost elasticity;
 * ``crossover``   — find where the cheaper of two algorithms flips;
-* ``report``      — run the full evaluation and emit a markdown report.
+* ``report``      — run the full evaluation and emit a markdown report;
+* ``stats``       — validate or model-compare an exported stats document.
+
+``join --stats-out FILE`` writes the run's observability document (the
+versioned JSON schema of ``docs/metrics_schema.md``) for either backend.
 """
 
 from __future__ import annotations
@@ -73,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--real", action="store_true",
         help="run on the real mmap backend instead of the simulator",
     )
+    join.add_argument(
+        "--stats-out", default=None, metavar="FILE",
+        help="write the run's stats document (docs/metrics_schema.md) here",
+    )
 
     model = sub.add_parser("model", help="print an analytical prediction")
     _common_workload_args(model)
@@ -129,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-comparison", action="store_true",
                         help="skip the algorithm-comparison section")
 
+    stats = sub.add_parser(
+        "stats", help="validate or model-compare an exported stats document"
+    )
+    stats.add_argument("action", choices=("validate", "compare"))
+    stats.add_argument("path", help="a stats JSON document")
+    stats.add_argument(
+        "--fraction", type=float, default=0.1,
+        help="memory fraction for the model side of `compare`",
+    )
+
     return parser
 
 
@@ -150,6 +168,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "crossover": _cmd_crossover,
         "report": _cmd_report,
         "workload": _cmd_workload,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
 
@@ -188,6 +207,11 @@ def _cmd_join(args) -> int:
         pairs = verify_pairs(workload, result.pairs)
         print(f"{args.algorithm}: {pairs:,} pairs verified, "
               f"{result.wall_ms:,.0f} ms wall clock (real mmap backend)")
+        if args.stats_out:
+            from repro.obs import write_stats_document
+
+            write_stats_document(args.stats_out, result.stats_document(workload))
+            print(f"stats document written to {args.stats_out}")
         return 0
 
     memory = MemoryParameters.from_fractions(
@@ -199,6 +223,13 @@ def _cmd_join(args) -> int:
     print(f"{args.algorithm}: {pairs:,} pairs verified, "
           f"{result.elapsed_ms:,.0f} ms simulated")
     print(result.stats.summary())
+    if args.stats_out:
+        from repro.obs import build_sim_stats_document, write_stats_document
+
+        write_stats_document(
+            args.stats_out, build_sim_stats_document(result, workload)
+        )
+        print(f"stats document written to {args.stats_out}")
     return 0
 
 
@@ -315,6 +346,55 @@ def _cmd_workload(args) -> int:
         f"seed = {workload.spec.seed}, "
         f"measured skew = {relations.skew:.3f}"
     )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import (
+        StatsSchemaError,
+        compare_with_model,
+        load_stats_document,
+        schema_problems,
+    )
+
+    try:
+        document = load_stats_document(args.path)
+    except (OSError, ValueError) as error:
+        print(f"{args.path}: cannot read stats document: {error}", file=sys.stderr)
+        return 2
+
+    problems = schema_problems(document)
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        return 1
+    if args.action == "validate":
+        meta = document["meta"]
+        print(
+            f"{args.path}: valid stats document "
+            f"(schema v{document['schema_version']}, "
+            f"{meta['algorithm']} on {meta['backend']}, "
+            f"{len(document['per_pass'])} passes)"
+        )
+        return 0
+
+    # compare: rebuild the model prediction from the document's own meta.
+    from repro.model import RelationParameters
+
+    meta = document["meta"]
+    relations = RelationParameters(
+        r_objects=meta.get("r_objects") or 102_400,
+        s_objects=meta.get("s_objects") or 102_400,
+    )
+    memory = MemoryParameters.from_fractions(relations, args.fraction)
+    machine = calibrated_machine_parameters()
+    try:
+        report = MODEL_FUNCTIONS[meta["algorithm"]](machine, relations, memory)
+        comparison = compare_with_model(document, report)
+    except (KeyError, StatsSchemaError) as error:
+        print(f"{args.path}: cannot compare: {error}", file=sys.stderr)
+        return 1
+    print(comparison.describe())
     return 0
 
 

@@ -1,0 +1,76 @@
+"""Unified observability: metrics, spans, and the versioned stats document.
+
+Both execution backends emit into this package — the real-mmap storage and
+parallel layers record directly, the simulator's counters adapt on through
+:mod:`repro.sim.stats` — and both export the same schema-versioned JSON
+document (see ``docs/metrics_schema.md``).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.collecting() as registry:
+        with obs.span("pass", algo="grace", pass_no=0):
+            ...  # instrumented code records into `registry`
+    document = ...  # obs.export builds the JSON document
+
+Instrumented code calls :func:`active`, which returns a no-op
+:class:`NullRegistry` unless a registry has been activated — so an
+uninstrumented run pays almost nothing.
+"""
+
+from repro.obs.compare import (
+    ModelComparison,
+    PassComparison,
+    compare_with_model,
+)
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    StatsSchemaError,
+    build_real_stats_document,
+    build_sim_stats_document,
+    load_stats_document,
+    schema_problems,
+    validate_stats_document,
+    write_stats_document,
+)
+from repro.obs.registry import (
+    DEFAULT_MS_BUCKETS,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    activate,
+    active,
+    collecting,
+    deactivate,
+    metric_key,
+    parse_metric_key,
+)
+from repro.obs.spans import span
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "ModelComparison",
+    "NullRegistry",
+    "PassComparison",
+    "SCHEMA_VERSION",
+    "StatsSchemaError",
+    "activate",
+    "active",
+    "build_real_stats_document",
+    "build_sim_stats_document",
+    "collecting",
+    "compare_with_model",
+    "deactivate",
+    "load_stats_document",
+    "metric_key",
+    "parse_metric_key",
+    "schema_problems",
+    "span",
+    "validate_stats_document",
+    "write_stats_document",
+]

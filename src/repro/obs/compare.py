@@ -1,0 +1,150 @@
+"""Align an exported stats document with the analytical model (Figure 5).
+
+The paper's validation compares predicted and measured elapsed time per
+Rproc; this helper does the same for the real backend's stats documents.
+A modern host is orders of magnitude faster than the paper's Sequent, so
+the *absolute* ratio carries little meaning — what transfers is the
+**shape**: each pass's share of the total.  The model predicts, e.g., that
+grace's partition passes dominate its probe pass at ample memory; the
+comparison reports both shares side by side so regressions in shape are
+visible even as absolute times drift with hardware.
+
+The real backend fuses some model passes into one measured pass (its
+``partition`` pass covers the model's pass 0 *and* pass 1, because the
+mmap backend redistributes in a single file-to-file hop); the alignment
+table below records that mapping explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.obs.export import StatsSchemaError, validate_stats_document
+
+#: measured pass label -> model pass names whose predicted costs it covers.
+PASS_ALIGNMENT: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "nested-loops": {
+        "pass0": ("pass0",),
+        "pass1": ("pass1",),
+    },
+    "sort-merge": {
+        "partition": ("pass0", "pass1"),
+        "sort-merge-join": ("pass2-sort", "merge-passes", "final-merge-join"),
+    },
+    "grace": {
+        "partition": ("pass0", "pass1"),
+        "probe": ("probe-join",),
+    },
+}
+
+
+@dataclass(frozen=True)
+class PassComparison:
+    """One measured pass against the model passes it covers."""
+
+    measured_pass: str
+    model_passes: Tuple[str, ...]
+    measured_ms: float
+    predicted_ms: float
+    measured_share: float
+    predicted_share: float
+
+    @property
+    def share_delta(self) -> float:
+        return self.measured_share - self.predicted_share
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Full measured-vs-predicted decomposition of one run."""
+
+    algorithm: str
+    rows: Tuple[PassComparison, ...]
+    measured_total_ms: float
+    predicted_total_ms: float
+    unaligned_model_ms: float  # model passes (e.g. "setup") with no measured twin
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.algorithm}: measured {self.measured_total_ms:,.1f} ms "
+            f"vs predicted {self.predicted_total_ms:,.1f} ms/Rproc "
+            "(shares are the comparable quantity across machines)"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row.measured_pass:<16} "
+                f"measured {row.measured_ms:>10,.1f} ms ({row.measured_share:5.1%})"
+                f"  predicted {row.predicted_ms:>12,.1f} ms ({row.predicted_share:5.1%})"
+                f"  [model: {', '.join(row.model_passes)}]"
+            )
+        if self.unaligned_model_ms:
+            lines.append(
+                f"  (model-only setup cost, folded into measured passes: "
+                f"{self.unaligned_model_ms:,.1f} ms)"
+            )
+        return "\n".join(lines)
+
+
+def compare_with_model(document: Mapping, report) -> ModelComparison:
+    """Align one stats document's per-pass times with a `JoinCostReport`.
+
+    Raises :class:`StatsSchemaError` when the document is invalid or the
+    algorithm has no alignment table (the extension algorithms only exist
+    on the simulator).
+    """
+    validate_stats_document(document)
+    algorithm = document["meta"]["algorithm"]
+    alignment = PASS_ALIGNMENT.get(algorithm)
+    if alignment is None:
+        raise StatsSchemaError(
+            f"no model alignment for algorithm {algorithm!r}; "
+            f"choices: {sorted(PASS_ALIGNMENT)}"
+        )
+
+    model_ms = {p.name: p.total_ms for p in report.passes}
+    per_pass = document["per_pass"]
+    measured: List[Tuple[str, Tuple[str, ...], float, float]] = []
+    for label, model_names in alignment.items():
+        if label not in per_pass:
+            raise StatsSchemaError(
+                f"document has no per_pass entry {label!r} "
+                f"(has: {sorted(per_pass)})"
+            )
+        missing = [n for n in model_names if n not in model_ms]
+        if missing:
+            raise StatsSchemaError(
+                f"model report for {algorithm!r} lacks passes {missing}"
+            )
+        measured.append(
+            (
+                label,
+                model_names,
+                float(per_pass[label]["wall_ms"]),
+                sum(model_ms[n] for n in model_names),
+            )
+        )
+
+    measured_total = sum(m for _, _, m, _ in measured)
+    predicted_total = sum(p for _, _, _, p in measured)
+    aligned_model = {n for _, names, _, _ in measured for n in names}
+    unaligned = sum(ms for name, ms in model_ms.items() if name not in aligned_model)
+
+    rows = tuple(
+        PassComparison(
+            measured_pass=label,
+            model_passes=names,
+            measured_ms=measured_ms,
+            predicted_ms=predicted_ms,
+            measured_share=measured_ms / measured_total if measured_total else 0.0,
+            predicted_share=predicted_ms / predicted_total if predicted_total else 0.0,
+        )
+        for label, names, measured_ms, predicted_ms in measured
+    )
+    return ModelComparison(
+        algorithm=algorithm,
+        rows=rows,
+        measured_total_ms=measured_total,
+        predicted_total_ms=predicted_total,
+        unaligned_model_ms=unaligned,
+    )

@@ -1,0 +1,352 @@
+"""The versioned JSON stats document both backends export.
+
+One run — real-mmap or simulated — becomes one self-describing document:
+``schema_version`` plus ``meta`` / ``totals`` / ``per_pass`` / ``per_worker``
+/ ``per_segment`` / ``spans`` sections.  The full schema, with each
+metric's units and the paper cost term it decomposes, is documented in
+``docs/metrics_schema.md``; :func:`validate_stats_document` enforces the
+structural contract (CI runs it against a freshly emitted document).
+
+Nothing here imports the storage, sim or parallel layers: documents are
+built from duck-typed result objects and registry snapshots, so the
+exporter works identically for both backends.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from typing import Dict, List, Mapping, Optional
+
+from repro.obs.registry import MetricsRegistry, parse_metric_key
+
+SCHEMA_VERSION = 1
+DOCUMENT_KIND = "repro-join-stats"
+
+#: Spill segment kinds — temporaries redistributed between partitions, as
+#: opposed to base relations (R, S) and join output (PAIRS).
+SPILL_KINDS = frozenset({"RP", "RS", "RUN", "BS"})
+
+_REQUIRED_SECTIONS = {
+    "meta": dict,
+    "totals": dict,
+    "per_pass": dict,
+    "per_worker": dict,
+    "per_segment": dict,
+    "spans": list,
+}
+
+_SEGMENT_FIELDS = (
+    ("created", "storage.map.new"),
+    ("opened", "storage.map.open"),
+    ("deleted", "storage.map.delete"),
+    ("flushes", "storage.flush"),
+    ("read_records", "storage.read.records"),
+    ("read_bytes", "storage.read.bytes"),
+    ("deref_records", "storage.deref.records"),
+    ("deref_bytes", "storage.deref.bytes"),
+    ("write_records", "storage.write.records"),
+    ("write_bytes", "storage.write.bytes"),
+)
+
+
+class StatsSchemaError(ValueError):
+    """An exported stats document violates the schema contract."""
+
+
+# --------------------------------------------------------------- validation
+
+def schema_problems(document: object) -> List[str]:
+    """Every way ``document`` breaks the schema; empty when valid."""
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return [f"document is {type(document).__name__}, expected an object"]
+    version = document.get("schema_version")
+    if version is None:
+        problems.append("missing schema_version")
+    elif version != SCHEMA_VERSION:
+        problems.append(
+            f"unknown schema_version {version!r} (this build reads {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != DOCUMENT_KIND:
+        problems.append(
+            f"kind is {document.get('kind')!r}, expected {DOCUMENT_KIND!r}"
+        )
+    for section, expected_type in _REQUIRED_SECTIONS.items():
+        value = document.get(section)
+        if not isinstance(value, expected_type):
+            problems.append(
+                f"section {section!r} is "
+                f"{type(value).__name__ if value is not None else 'missing'}, "
+                f"expected {expected_type.__name__}"
+            )
+    if problems:
+        return problems
+
+    meta = document["meta"]
+    for field in ("algorithm", "backend"):
+        if not isinstance(meta.get(field), str):
+            problems.append(f"meta.{field} must be a string")
+    totals = document["totals"]
+    if not isinstance(totals.get("wall_ms"), (int, float)):
+        problems.append("totals.wall_ms must be a number")
+    for mapping_name in ("counters", "gauges"):
+        mapping = totals.get(mapping_name)
+        if not isinstance(mapping, dict):
+            problems.append(f"totals.{mapping_name} must be an object")
+        elif any(not isinstance(v, (int, float)) for v in mapping.values()):
+            problems.append(f"totals.{mapping_name} values must be numbers")
+    for label, entry in document["per_pass"].items():
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("wall_ms"), (int, float)
+        ):
+            problems.append(f"per_pass[{label!r}] needs a numeric wall_ms")
+    for label, workers in document["per_worker"].items():
+        if label not in document["per_pass"]:
+            problems.append(f"per_worker[{label!r}] has no matching per_pass entry")
+            continue
+        if not isinstance(workers, dict):
+            problems.append(f"per_worker[{label!r}] must be an object")
+            continue
+        for worker_id, metrics in workers.items():
+            if not isinstance(metrics, dict) or not isinstance(
+                metrics.get("wall_ms"), (int, float)
+            ):
+                problems.append(
+                    f"per_worker[{label!r}][{worker_id!r}] needs a numeric wall_ms"
+                )
+    for kind, entry in document["per_segment"].items():
+        if not isinstance(entry, dict):
+            problems.append(f"per_segment[{kind!r}] must be an object")
+    for i, record in enumerate(document["spans"]):
+        if not isinstance(record, dict) or "name" not in record or "ms" not in record:
+            problems.append(f"spans[{i}] needs name and ms fields")
+    return problems
+
+
+def validate_stats_document(document: object) -> None:
+    """Raise :class:`StatsSchemaError` unless ``document`` is schema-valid."""
+    problems = schema_problems(document)
+    if problems:
+        raise StatsSchemaError(
+            "invalid stats document: " + "; ".join(problems)
+        )
+
+
+# ----------------------------------------------------------------- building
+
+def _pages_estimate(bytes_moved: float) -> int:
+    """Bytes → whole OS pages: the document's page-touch *estimate*.
+
+    An estimate because sequential batches touch each page once while
+    scattered dereferences may revisit pages; exact residency would need a
+    per-access page set, which costs more than the work being measured.
+    """
+    return int(-(-bytes_moved // mmap.PAGESIZE)) if bytes_moved > 0 else 0
+
+
+def _worker_summary(snapshot: Mapping) -> dict:
+    """Derive the per-worker headline fields from a registry snapshot."""
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    by_name: Dict[str, float] = {}
+    spill_bytes = 0.0
+    for key, value in registry.counters.items():
+        name, labels = parse_metric_key(key)
+        by_name[name] = by_name.get(name, 0) + value
+        if name == "storage.write.bytes" and labels.get("kind") in SPILL_KINDS:
+            spill_bytes += value
+    wall_ms = max(registry.gauges.values(), default=0.0)
+    bytes_read = by_name.get("storage.read.bytes", 0) + by_name.get(
+        "storage.deref.bytes", 0
+    )
+    bytes_written = by_name.get("storage.write.bytes", 0)
+    return {
+        "wall_ms": wall_ms,
+        "records_read": int(
+            by_name.get("storage.read.records", 0)
+            + by_name.get("storage.deref.records", 0)
+        ),
+        "records_written": int(by_name.get("storage.write.records", 0)),
+        "bytes_read": int(bytes_read),
+        "bytes_written": int(bytes_written),
+        "spill_bytes": int(spill_bytes),
+        "batches": int(
+            by_name.get("storage.read.batches", 0)
+            + by_name.get("storage.write.batches", 0)
+        ),
+        "pairs": int(by_name.get("worker.pairs", 0)),
+        "pages_touched_est": _pages_estimate(bytes_read + bytes_written),
+        "counters": dict(registry.counters),
+    }
+
+
+def _segment_section(registry: MetricsRegistry) -> Dict[str, dict]:
+    """Aggregate storage counters by segment kind (R, S, RP, PAIRS, ...)."""
+    section: Dict[str, dict] = {}
+    for key, value in registry.counters.items():
+        name, labels = parse_metric_key(key)
+        kind = labels.get("kind")
+        if kind is None or not name.startswith("storage."):
+            continue
+        entry = section.setdefault(kind, {field: 0 for field, _ in _SEGMENT_FIELDS})
+        for field, counter_name in _SEGMENT_FIELDS:
+            if name == counter_name:
+                entry[field] += int(value)
+    for entry in section.values():
+        entry["pages_touched_est"] = _pages_estimate(
+            entry["read_bytes"] + entry["deref_bytes"] + entry["write_bytes"]
+        )
+    return section
+
+
+def build_real_stats_document(result, workload=None) -> dict:
+    """The stats document for one :class:`~repro.parallel.runner.RealJoinResult`.
+
+    ``result.worker_metrics`` (per pass → per partition registry snapshots)
+    and ``result.driver_metrics`` are merged here into the totals and
+    per-segment sections; per-pass counters are the merge of that pass's
+    workers.
+    """
+    worker_metrics = getattr(result, "worker_metrics", None) or {}
+    driver_metrics = getattr(result, "driver_metrics", None)
+
+    per_pass: Dict[str, dict] = {}
+    per_worker: Dict[str, dict] = {}
+    all_parts: List[Mapping] = []
+    for label, wall_ms in result.pass_wall_ms.items():
+        snapshots = worker_metrics.get(label, {})
+        pass_registry = MetricsRegistry.merged(snapshots.values())
+        all_parts.extend(snapshots.values())
+        per_pass[label] = {
+            "wall_ms": wall_ms,
+            "records": result.pass_counts.get(label),
+            "checksum": result.pass_checksums.get(label),
+            "workers": sorted(snapshots),
+            "counters": dict(pass_registry.counters),
+        }
+        per_worker[label] = {
+            str(partition): _worker_summary(snapshot)
+            for partition, snapshot in sorted(snapshots.items())
+        }
+
+    totals_registry = MetricsRegistry.merged(all_parts)
+    if driver_metrics:
+        totals_registry.merge(driver_metrics)
+
+    spec = getattr(workload, "spec", None)
+    meta = {
+        "algorithm": result.algorithm,
+        "backend": "real-mmap",
+        "used_processes": result.used_processes,
+    }
+    if workload is not None:
+        meta.update(
+            disks=workload.disks,
+            r_objects=workload.r_objects_total,
+            s_objects=len(workload.s_objects),
+            r_bytes=spec.r_bytes if spec else None,
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "meta": meta,
+        "totals": {
+            "wall_ms": result.wall_ms,
+            "pair_count": result.pair_count,
+            "checksum": result.checksum,
+            "counters": dict(totals_registry.counters),
+            "gauges": dict(totals_registry.gauges),
+            "histograms": {
+                k: h.snapshot() for k, h in totals_registry.histograms.items()
+            },
+        },
+        "per_pass": per_pass,
+        "per_worker": per_worker,
+        "per_segment": _segment_section(totals_registry),
+        "spans": list(totals_registry.spans),
+    }
+
+
+def build_sim_stats_document(result, workload=None) -> dict:
+    """The stats document for one simulator :class:`JoinRunResult`.
+
+    Per-pass wall times come from the run's checkpoints, per-worker times
+    from the per-process virtual clocks (grouped under the pseudo-pass
+    ``"run"`` — the simulator attributes counters per process, not per
+    pass), and the counters from the :mod:`repro.sim.stats` adapter.
+    """
+    from repro.sim.stats import machine_stats_registry
+
+    registry = machine_stats_registry(result.stats)
+    per_pass = {
+        label: {
+            "wall_ms": wall_ms,
+            "records": None,
+            "checksum": None,
+            "workers": [],
+            "counters": {},
+        }
+        for label, wall_ms in result.pass_ms.items()
+    }
+    per_worker: Dict[str, dict] = {}
+    if result.per_process_ms:
+        per_pass.setdefault(
+            "run",
+            {
+                "wall_ms": result.elapsed_ms,
+                "records": None,
+                "checksum": None,
+                "workers": [],
+                "counters": {},
+            },
+        )
+        per_worker["run"] = {
+            name: {"wall_ms": clock_ms}
+            for name, clock_ms in result.per_process_ms.items()
+        }
+
+    meta = {
+        "algorithm": result.algorithm,
+        "backend": "simulator",
+        "setup_ms": result.setup_ms,
+    }
+    if workload is not None:
+        meta.update(
+            disks=workload.disks,
+            r_objects=workload.r_objects_total,
+            s_objects=len(workload.s_objects),
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "meta": meta,
+        "totals": {
+            "wall_ms": result.elapsed_ms,
+            "pair_count": result.pair_count,
+            "checksum": result.checksum,
+            "counters": dict(registry.counters),
+            "gauges": dict(registry.gauges),
+            "histograms": {},
+        },
+        "per_pass": per_pass,
+        "per_worker": per_worker,
+        "per_segment": {},
+        "spans": [],
+    }
+
+
+def write_stats_document(
+    path: str | os.PathLike, document: dict, validate: bool = True
+) -> None:
+    """Validate (by default) and write one document as indented JSON."""
+    if validate:
+        validate_stats_document(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_stats_document(path: str | os.PathLike) -> dict:
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,303 @@
+"""The metrics registry: counters, gauges and histograms both backends share.
+
+The paper's contribution is a *decomposable* cost account — elapsed time
+split into disk transfer, fault service, heap work and mapping setup — so
+the reproduction needs the measured side to decompose the same way.  A
+:class:`MetricsRegistry` is the collection point: the storage layer counts
+mapping operations and block traffic into it, workers count records and
+wall time, the simulator adapts its existing counters onto it, and one
+merged registry per run becomes the versioned stats document
+(:mod:`repro.obs.export`).
+
+Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  Instrumented code always calls
+  ``obs.active().count(...)``; when no registry is activated that resolves
+  to the shared :class:`NullRegistry`, whose methods are empty.  Hot paths
+  are instrumented at *batch* granularity (one call per ~4096 records), so
+  even the enabled cost is amortized to nanoseconds per record.
+* **Lossless, associative cross-process merge.**  Workers run in separate
+  OS processes; each snapshots its registry to a plain dict and the parent
+  merges them.  Counter and histogram merges are element-wise sums, gauges
+  are keyed disjointly (labels carry the worker id) and conflict-resolve by
+  ``max`` — so ``merge(a, merge(b, c)) == merge(merge(a, b), c)`` and no
+  sample is dropped.
+* **Plain data.**  Snapshots are JSON-able dicts of flat string keys
+  (``name{label=value,...}``); nothing here imports the storage, sim or
+  parallel layers, so every layer can import ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+SNAPSHOT_VERSION = 1
+
+# Default histogram boundaries, milliseconds: span microsecond-scale batch
+# operations up to multi-second passes.  Fixed boundaries are what make the
+# cross-process merge lossless (element-wise bucket sums).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class MetricsError(RuntimeError):
+    """Raised for invalid metric operations (e.g. merging unlike bounds)."""
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`metric_key` (label values come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+class Histogram:
+    """Fixed-boundary histogram; merge is an element-wise bucket sum."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_MS_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricsError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise MetricsError(
+                "cannot merge histograms with different bucket boundaries"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        for attr in ("min", "max"):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if theirs is not None and (
+                mine is None or (theirs < mine if attr == "min" else theirs > mine)
+            ):
+                setattr(self, attr, theirs)
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping) -> "Histogram":
+        histogram = cls(tuple(data["bounds"]))
+        histogram.bucket_counts = list(data["bucket_counts"])
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        return histogram
+
+
+class MetricsRegistry:
+    """One process's (or one merged run's) metric store."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: List[dict] = []
+        self._span_stack: List[str] = []
+
+    # ------------------------------------------------------------ recording
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        """Add ``value`` to a monotonically increasing counter."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a point-in-time value (merge conflict resolves by max)."""
+        self.gauges[metric_key(name, labels)] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_MS_BUCKETS,
+        **labels: object,
+    ) -> None:
+        """Record one sample into a fixed-boundary histogram."""
+        key = metric_key(name, labels)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(bounds)
+        histogram.observe(value)
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> "MetricsRegistry":
+        """Fold another registry (or a snapshot dict) into this one.
+
+        Counters and histogram buckets add; gauges take the max on a key
+        collision (keys normally carry a ``worker=`` label, so collisions
+        only happen when two sources really measured the same thing); span
+        lists concatenate.  Associative and lossless — see the unit tests.
+        """
+        if isinstance(other, Mapping):
+            other = MetricsRegistry.from_snapshot(other)
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        for key, value in other.gauges.items():
+            mine = self.gauges.get(key)
+            self.gauges[key] = value if mine is None else max(mine, value)
+        for key, histogram in other.histograms.items():
+            mine_h = self.histograms.get(key)
+            if mine_h is None:
+                self.histograms[key] = Histogram.from_snapshot(histogram.snapshot())
+            else:
+                mine_h.merge(histogram)
+        self.spans.extend(other.spans)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["MetricsRegistry | Mapping"]) -> "MetricsRegistry":
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> dict:
+        """A JSON-able dict that :meth:`from_snapshot` restores losslessly."""
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.snapshot() for k, h in self.histograms.items()},
+            "spans": list(self.spans),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping) -> "MetricsRegistry":
+        version = data.get("snapshot_version", SNAPSHOT_VERSION)
+        if version != SNAPSHOT_VERSION:
+            raise MetricsError(f"unknown registry snapshot version {version!r}")
+        registry = cls()
+        registry.counters = dict(data.get("counters", {}))
+        registry.gauges = dict(data.get("gauges", {}))
+        registry.histograms = {
+            k: Histogram.from_snapshot(h)
+            for k, h in data.get("histograms", {}).items()
+        }
+        registry.spans = list(data.get("spans", []))
+        return registry
+
+    # ------------------------------------------------------------- querying
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        return self.counters.get(metric_key(name, labels), 0)
+
+    def counters_named(self, name: str) -> Dict[str, float]:
+        """All entries of one counter family, keyed by their flat key."""
+        return {
+            key: value
+            for key, value in self.counters.items()
+            if parse_metric_key(key)[0] == name
+        }
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.counters or self.gauges or self.histograms or self.spans
+        )
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every recording method is a no-op."""
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_MS_BUCKETS,
+        **labels: object,
+    ) -> None:
+        pass
+
+
+_NULL = NullRegistry()
+_ACTIVE: List[MetricsRegistry] = []
+
+
+def active() -> MetricsRegistry:
+    """The registry instrumented code should record into right now."""
+    return _ACTIVE[-1] if _ACTIVE else _NULL
+
+
+def activate(registry: MetricsRegistry) -> MetricsRegistry:
+    """Push a registry; instrumentation in this process records into it."""
+    _ACTIVE.append(registry)
+    return registry
+
+
+def deactivate() -> Optional[MetricsRegistry]:
+    """Pop the innermost active registry (no-op when none is active)."""
+    return _ACTIVE.pop() if _ACTIVE else None
+
+
+class collecting:
+    """``with collecting() as registry:`` — scoped activation."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __enter__(self) -> MetricsRegistry:
+        return activate(self.registry)
+
+    def __exit__(self, *exc_info) -> None:
+        deactivate()

@@ -1,0 +1,70 @@
+"""Span-style tracing over the metrics registry.
+
+A span is one timed region of a run — a pass, a worker task, a merge —
+with attributes (``span("pass", algo="grace", pass_no=1)``).  Spans nest:
+each records its slash-joined path (``join/pass0``), so exported documents
+show the timing tree without a separate trace format.  Every span also
+feeds a ``span_ms{span=...}`` histogram in the same registry, which is what
+makes per-pass latency distributions mergeable across workers.
+
+When the target registry is disabled (the :class:`~repro.obs.registry.NullRegistry`),
+entering a span does not even read the clock — the tentpole's "near-zero
+overhead when disabled" requirement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, active
+
+
+class span:
+    """Context manager timing one named region into a registry."""
+
+    __slots__ = ("name", "attrs", "registry", "_start", "_path")
+
+    def __init__(
+        self, name: str, registry: Optional[MetricsRegistry] = None, **attrs: object
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.registry = registry
+        self._start = 0.0
+        self._path = name
+
+    def __enter__(self) -> "span":
+        registry = self.registry if self.registry is not None else active()
+        self.registry = registry
+        if not registry.enabled:
+            return self
+        stack = registry._span_stack
+        self._path = "/".join((*stack, self.name)) if stack else self.name
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        registry = self.registry
+        if not registry.enabled:
+            return
+        duration_ms = (time.perf_counter() - self._start) * 1000.0
+        registry._span_stack.pop()
+        record = {
+            "name": self.name,
+            "path": self._path,
+            "ms": duration_ms,
+            "depth": self._path.count("/"),
+        }
+        if self.attrs:
+            record["attrs"] = {k: _plain(v) for k, v in self.attrs.items()}
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        registry.spans.append(record)
+        registry.observe("span_ms", duration_ms, span=self._path)
+
+
+def _plain(value: object) -> object:
+    """Keep span attributes JSON-able without surprises."""
+    return value if isinstance(value, (str, int, float, bool, type(None))) else str(value)

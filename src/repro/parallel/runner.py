@@ -13,18 +13,38 @@ streams its pairs into a mapped ``PAIRS`` segment and returns only a
 ``(count, checksum, path)`` triple; the parent materializes the pairs from
 those segments — and only when ``collect_pairs`` asks for them, mirroring
 the simulator's ``PairCollector(keep_pairs=False)`` knob.
+
+With ``collect_metrics`` on (the default), the runner drops the
+:data:`~repro.parallel.workers.OBS_MARKER` into the store root, every
+worker snapshots a process-local :class:`~repro.obs.MetricsRegistry` to a
+JSON sidecar, and the runner merges those snapshots per pass — counter and
+histogram merges are element-wise sums, so the merged totals are exactly
+what a single-process run would have counted.  The parent's own storage
+activity (materialization, pair collection) lands in a separate driver
+registry, and :meth:`RealJoinResult.stats_document` renders everything as
+the versioned JSON stats document of ``docs/metrics_schema.md``.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.records import JoinedPair
+from repro.obs.export import build_real_stats_document
+from repro.obs.registry import MetricsRegistry, activate, deactivate
+from repro.obs.spans import span
 from repro.parallel import workers
-from repro.parallel.workers import CHECKSUM_MOD, PairResult
+from repro.parallel.workers import (
+    CHECKSUM_MOD,
+    OBS_MARKER,
+    PairResult,
+    metrics_sidecar,
+)
 from repro.storage.relation import read_pairs
 from repro.storage.store import Store
 from repro.workload.generator import Workload
@@ -49,6 +69,14 @@ class RealJoinResult:
     pass_counts: Dict[str, int] = field(default_factory=dict)
     pass_checksums: Dict[str, int] = field(default_factory=dict)
     used_processes: bool = True
+    # Registry snapshots: per pass -> per partition, plus the parent's own.
+    worker_metrics: Dict[str, Dict[int, dict]] = field(default_factory=dict)
+    driver_metrics: Optional[dict] = None
+    metrics_enabled: bool = False
+
+    def stats_document(self, workload: Optional[Workload] = None) -> dict:
+        """Render this run as the versioned JSON stats document."""
+        return build_real_stats_document(self, workload)
 
 
 def run_real_join(
@@ -62,12 +90,19 @@ def run_real_join(
     keep_store: bool = False,
     collect_pairs: bool = True,
     pool: Optional[multiprocessing.pool.Pool] = None,
+    collect_metrics: bool = True,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
     ``pool`` lets a caller running several joins share one worker pool
     across them (workers are stateless — they open stores by path per
     task); a shared pool is left open for the caller to close.
+
+    ``collect_metrics`` turns the observability layer on: per-worker
+    registry snapshots merged per pass, driver-side counters and pass
+    spans, all exposed on the result (``worker_metrics``,
+    ``driver_metrics``, :meth:`RealJoinResult.stats_document`).  Off, the
+    workers skip collection entirely (one ``stat`` call per task).
     """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
@@ -75,7 +110,21 @@ def run_real_join(
         )
     disks = workload.disks
     store = Store(store_root, disks)
-    store.materialize(workload)
+    driver_registry: Optional[MetricsRegistry] = None
+    if collect_metrics:
+        (Path(store_root) / OBS_MARKER).touch()
+        driver_registry = activate(MetricsRegistry())
+    try:
+        store.materialize(workload)
+        owns_pool = pool is None and use_processes and disks > 1
+        if owns_pool:
+            pool = multiprocessing.Pool(processes=disks)
+        elif not use_processes:
+            pool = None
+    except BaseException:
+        if driver_registry is not None:
+            deactivate()
+        raise
     spec = workload.spec
     r_total = workload.r_objects_total
     started = time.perf_counter()
@@ -83,21 +132,35 @@ def run_real_join(
     pass_counts: Dict[str, int] = {}
     pass_checksums: Dict[str, int] = {}
     pair_results: List[PairResult] = []
+    worker_metrics: Dict[str, Dict[int, dict]] = {}
 
-    owns_pool = pool is None and use_processes and disks > 1
-    if owns_pool:
-        pool = multiprocessing.Pool(processes=disks)
-    elif not use_processes:
-        pool = None
+    def harvest_metrics(
+        worker: Callable, arg_list: Sequence[tuple], label: str
+    ) -> None:
+        """Merge the pass's worker registry sidecars into the result."""
+        if not collect_metrics:
+            return
+        snapshots: Dict[int, dict] = {}
+        for args in arg_list:
+            partition = args[2]
+            sidecar = metrics_sidecar(store_root, worker.__name__, partition)
+            if sidecar.exists():
+                snapshots[partition] = json.loads(sidecar.read_text())
+                sidecar.unlink()
+        worker_metrics[label] = snapshots
 
     def run_pairs_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
-        results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        with span("pass", algo=algorithm, label=label):
+            results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        harvest_metrics(worker, arg_list, label)
         pass_counts[label] = sum(r.count for r in results)
         pass_checksums[label] = sum(r.checksum for r in results) % CHECKSUM_MOD
         pair_results.extend(results)
 
     def run_move_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
-        results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        with span("pass", algo=algorithm, label=label):
+            results = _run_pass(pool, worker, arg_list, pass_wall, label)
+        harvest_metrics(worker, arg_list, label)
         pass_counts[label] = sum(results)
 
     try:
@@ -158,6 +221,8 @@ def run_real_join(
             for result in pair_results:
                 pairs.extend(read_pairs(result.path))
     finally:
+        if driver_registry is not None:
+            deactivate()
         if owns_pool and pool is not None:
             pool.close()
             pool.join()
@@ -175,6 +240,11 @@ def run_real_join(
         pass_counts=pass_counts,
         pass_checksums=pass_checksums,
         used_processes=use_processes,
+        worker_metrics=worker_metrics,
+        driver_metrics=(
+            driver_registry.snapshot() if driver_registry is not None else None
+        ),
+        metrics_enabled=collect_metrics,
     )
 
 

@@ -17,13 +17,27 @@ streams its pairs into its own mapped ``PAIRS`` segment (one writer per
 file, so passes stay race-free by construction) and returns only a
 :class:`PairResult` ``(count, checksum, path)``; the parent maps the files
 back in and materializes pairs lazily, if at all.
+
+Metrics follow the same files-only protocol: when the runner has dropped
+the :data:`OBS_MARKER` file into the store root, each worker activates a
+process-local :class:`~repro.obs.MetricsRegistry` (the storage layer's
+counters land there), stamps its own wall time, and snapshots the registry
+to a small JSON sidecar next to the segments — so per-worker metrics reach
+the parent without widening the pickled return values, and the marker file
+reaches pool processes that were forked before the join began.
 """
 
 from __future__ import annotations
 
+import functools
 import heapq
+import json
+import time
 from pathlib import Path
-from typing import Dict, Iterable, List, NamedTuple, Tuple
+from typing import Callable, Dict, Iterable, List, NamedTuple, Tuple
+
+from repro.obs.registry import MetricsRegistry, activate, active, deactivate
+from repro.obs.spans import span
 
 from repro.core.pointer import PointerMap
 from repro.core.records import RObject
@@ -34,6 +48,46 @@ from repro.storage.store import Store
 
 BATCH_RECORDS = 4096
 CHECKSUM_MOD = 1 << 61
+
+#: Presence of this file in the store root switches worker metrics on.
+OBS_MARKER = "metrics.on"
+
+
+def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
+    """Where one worker snapshots its registry for the parent to merge."""
+    return Path(root) / f"metrics_{task}_{partition}.json"
+
+
+def _instrumented(func: Callable) -> Callable:
+    """Collect one worker task's metrics when the store's marker is set.
+
+    Uninstrumented dispatch (no marker) costs one ``stat`` call; every
+    worker arg tuple starts ``(root, disks, partition, ...)``, which is
+    all the wrapper needs.
+    """
+    task = func.__name__
+
+    @functools.wraps(func)
+    def wrapper(args):
+        root, partition = args[0], args[2]
+        if not Path(root, OBS_MARKER).exists():
+            return func(args)
+        registry = activate(MetricsRegistry())
+        started = time.perf_counter()
+        try:
+            with span("task", task=task, worker=partition):
+                result = func(args)
+        finally:
+            deactivate()
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        registry.gauge("worker.wall_ms", wall_ms, task=task, worker=partition)
+        registry.count("worker.tasks", 1, task=task)
+        metrics_sidecar(root, task, partition).write_text(
+            json.dumps(registry.snapshot())
+        )
+        return result
+
+    return wrapper
 
 
 class PairResult(NamedTuple):
@@ -66,6 +120,7 @@ class _PairSink:
         if not pairs:
             return
         self._file.append_many(pairs)
+        active().count("worker.pairs", len(pairs))
         self.count += len(pairs)
         self.checksum = (
             self.checksum
@@ -96,6 +151,7 @@ def pairs_name(label: str, partition: int) -> str:
 
 # ------------------------------------------------------------ nested loops
 
+@_instrumented
 def nested_loops_pass0(
     args: Tuple[str, int, int, int, int]
 ) -> PairResult:
@@ -133,6 +189,7 @@ def nested_loops_pass0(
     return sink.close()
 
 
+@_instrumented
 def nested_loops_pass1(
     args: Tuple[str, int, int, int]
 ) -> PairResult:
@@ -158,6 +215,7 @@ def nested_loops_pass1(
 
 # --------------------------------------------------------------- sort-merge
 
+@_instrumented
 def sort_merge_partition(
     args: Tuple[str, int, int, int, int]
 ) -> int:
@@ -188,6 +246,7 @@ def sort_merge_partition(
     return moved
 
 
+@_instrumented
 def sort_merge_join(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
@@ -274,6 +333,7 @@ def _rebatch(iterable: Iterable, size: int):
 
 # -------------------------------------------------------------------- grace
 
+@_instrumented
 def grace_partition(
     args: Tuple[str, int, int, int, int, int]
 ) -> int:
@@ -314,6 +374,7 @@ def grace_partition(
     return moved
 
 
+@_instrumented
 def grace_probe(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:

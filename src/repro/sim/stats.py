@@ -4,12 +4,20 @@ The paper validates its model against measured elapsed time, but it also
 reasons about page faults, I/O volume and context switches; these counters
 expose the same quantities so tests can check mechanism-level agreement
 (e.g. measured S-partition faults vs. the Mackert–Lohman prediction).
+
+The dataclasses here are the simulator's native (and long-stable) counter
+API; :func:`machine_stats_registry` adapts one :class:`MachineStats` onto
+the unified :class:`~repro.obs.MetricsRegistry` so simulator runs export
+the same versioned stats document as the real-mmap backend (the ``sim.*``
+counter namespace in ``docs/metrics_schema.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -84,3 +92,38 @@ class MachineStats:
             f"faults={self.total_faults:,} "
             f"context switches={self.context_switches:,}"
         )
+
+
+def machine_stats_registry(stats: MachineStats) -> MetricsRegistry:
+    """Adapt one run's :class:`MachineStats` onto the unified registry.
+
+    Every native counter keeps its meaning; the names gain the ``sim.``
+    prefix and per-disk / per-process labels, so merged documents stay
+    distinguishable from the real backend's ``storage.*`` counters.
+    """
+    registry = MetricsRegistry()
+    registry.count("sim.context_switches", stats.context_switches)
+    registry.count("sim.bytes_moved", stats.bytes_moved_private, scope="private")
+    registry.count("sim.bytes_moved", stats.bytes_moved_shared, scope="shared")
+    registry.count("sim.map_operations", stats.map_operations)
+    registry.count("sim.cpu.map_calls", stats.cpu_map_calls)
+    registry.count("sim.cpu.hash_calls", stats.cpu_hash_calls)
+    registry.count("sim.heap.compares", stats.heap_compares)
+    registry.count("sim.heap.swaps", stats.heap_swaps)
+    registry.count("sim.heap.transfers", stats.heap_transfers)
+    for disk_id, disk in sorted(stats.disk.items()):
+        registry.count("sim.disk.blocks_read", disk.blocks_read, disk=disk_id)
+        registry.count("sim.disk.blocks_written", disk.blocks_written, disk=disk_id)
+        registry.count("sim.disk.read_ms", disk.read_ms, disk=disk_id)
+        registry.count("sim.disk.write_ms", disk.write_ms, disk=disk_id)
+        registry.count("sim.disk.flushes", disk.flushes, disk=disk_id)
+    for process_name, memory in sorted(stats.memory.items()):
+        registry.count("sim.memory.accesses", memory.accesses, process=process_name)
+        registry.count("sim.memory.faults", memory.faults, process=process_name)
+        registry.count("sim.memory.evictions", memory.evictions, process=process_name)
+        registry.count(
+            "sim.memory.dirty_evictions",
+            memory.dirty_evictions,
+            process=process_name,
+        )
+    return registry

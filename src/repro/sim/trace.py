@@ -10,6 +10,11 @@ into the kind of evidence the paper argues from.
 
 Tracing is strictly opt-in (attach/detach) and adds nothing to untraced
 runs.
+
+:func:`trace_registry` adapts a recorded stream onto the unified
+:class:`~repro.obs.MetricsRegistry` (the ``sim.trace.*`` namespace), so a
+traced simulator run can fold its access-pattern evidence into the same
+stats document the real backend exports.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.memory import PagedMemory
 from repro.sim.segment import SimSegment
 
@@ -94,6 +100,30 @@ class TraceRecorder:
                 refaults += 1
             seen.add(event.page)
         return refaults
+
+
+def trace_registry(recorder: TraceRecorder) -> MetricsRegistry:
+    """Summarize one access trace as unified ``sim.trace.*`` counters.
+
+    Exposes the quantities the paper argues from: accesses and faults per
+    segment, plus each segment's premature refaults (pages evicted while
+    still useful — the LRU pathology of §6.2/§7.3).
+    """
+    registry = MetricsRegistry()
+    registry.count("sim.trace.accesses", recorder.access_count)
+    registry.count("sim.trace.faults", recorder.fault_count)
+    segments = {event.segment_name for event in recorder.events}
+    faults_by_segment = recorder.faults_by_segment()
+    for name in sorted(segments):
+        registry.count(
+            "sim.trace.segment_faults", faults_by_segment.get(name, 0), segment=name
+        )
+        registry.count(
+            "sim.trace.premature_refaults",
+            recorder.premature_refaults(name),
+            segment=name,
+        )
+    return registry
 
 
 def attach_recorder(memory: PagedMemory) -> TraceRecorder:

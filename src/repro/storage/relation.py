@@ -14,6 +14,7 @@ import struct
 from typing import Iterator, List, Sequence
 
 from repro.core.records import JoinedPair, RObject, SObject
+from repro.obs.registry import active as _metrics
 from repro.storage.segment import META_CAPACITY, MappedSegment, StorageError
 
 DEFAULT_BATCH_RECORDS = 4096
@@ -133,6 +134,16 @@ class SRelationFile(_RelationFile):
                 f"pointer offset outside [0, {count}) in "
                 f"{self.segment.path.name}"
             )
+        metrics = _metrics()
+        if metrics.enabled:
+            kind = self.segment.kind
+            metrics.count("storage.deref.batches", 1, kind=kind)
+            metrics.count("storage.deref.records", len(offsets), kind=kind)
+            metrics.count(
+                "storage.deref.bytes",
+                len(offsets) * self.segment.layout.record_bytes,
+                kind=kind,
+            )
         view = self.segment.read_batch(0, count)
         try:
             unpack_from = self.segment.layout.header_struct.unpack_from
@@ -251,9 +262,18 @@ class BucketedRFile(_RelationFile):
         start, count = self._directory[bucket]
         unpack = self.segment.layout.unpack_r_batch
         for lo in range(start, start + count, batch_records):
-            view = self.segment.read_batch(
-                lo, min(batch_records, start + count - lo)
-            )
+            n = min(batch_records, start + count - lo)
+            metrics = _metrics()
+            if metrics.enabled:
+                kind = self.segment.kind
+                metrics.count("storage.read.batches", 1, kind=kind)
+                metrics.count("storage.read.records", n, kind=kind)
+                metrics.count(
+                    "storage.read.bytes",
+                    n * self.segment.layout.record_bytes,
+                    kind=kind,
+                )
+            view = self.segment.read_batch(lo, n)
             try:
                 yield unpack(view)
             finally:

@@ -15,6 +15,13 @@ The three mapping operations mirror the paper's cost model:
 
 All three are also exposed as timed helpers so the real backend can measure
 its own Figure 1(b).
+
+Every mapping operation and every batched read/write additionally records
+into the active :mod:`repro.obs` registry (labelled by segment *kind* — the
+leading alphabetic run of the file name, so ``RP0_1.seg`` counts under
+``RP``).  When no registry is active the calls hit the shared no-op
+``NullRegistry``; counting happens at batch granularity, so even enabled
+runs pay nanoseconds per record.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Iterator, Tuple
 
+from repro.obs.registry import active as _metrics
 from repro.storage.layout import RecordLayout
 
 MAGIC = b"UDBSEG1\x00"
@@ -37,6 +45,21 @@ META_CAPACITY = PAGE_SIZE - HEADER.size - _META_LEN.size
 
 class StorageError(RuntimeError):
     """Raised for storage layer failures."""
+
+
+def segment_kind(name: str) -> str:
+    """A file's metric label: the leading alphabetic run of its stem.
+
+    ``R0.seg`` → ``R``, ``RP0_1.seg`` → ``RP``, ``PAIRS_p0_0.seg`` →
+    ``PAIRS`` — the stats document's per-segment section aggregates on
+    these kinds, mirroring the paper's per-area disk layout
+    ``[ Ri | Si | RSi | RPi | ... ]``.
+    """
+    stem = name.split(".", 1)[0]
+    for i, char in enumerate(stem):
+        if not char.isalpha():
+            return stem[:i] or stem
+    return stem
 
 
 class MappedSegment:
@@ -53,6 +76,7 @@ class MappedSegment:
         self.capacity = capacity
         self._count = count
         self._closed = False
+        self.kind = segment_kind(path.name)
 
     # ----------------------------------------------------------- lifecycle
 
@@ -61,6 +85,7 @@ class MappedSegment:
         cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
     ) -> "MappedSegment":
         """newMap: create the file, size it, and map it in."""
+        started = time.perf_counter()
         if capacity < 0:
             raise StorageError("capacity cannot be negative")
         layout = RecordLayout(record_bytes)
@@ -78,11 +103,21 @@ class MappedSegment:
             path.unlink(missing_ok=True)
             raise
         mapping[: HEADER.size] = HEADER.pack(MAGIC, record_bytes, capacity, 0)
-        return cls(path, file_obj, mapping, layout, capacity, 0)
+        segment = cls(path, file_obj, mapping, layout, capacity, 0)
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.count("storage.map.new", 1, kind=segment.kind)
+            metrics.observe(
+                "storage.map_ms",
+                (time.perf_counter() - started) * 1000.0,
+                op="new", kind=segment.kind,
+            )
+        return segment
 
     @classmethod
     def open(cls, path: str | os.PathLike) -> "MappedSegment":
         """openMap: map an existing segment file."""
+        started = time.perf_counter()
         path = Path(path)
         if not path.exists():
             raise StorageError(f"no segment file at {path}")
@@ -97,7 +132,18 @@ class MappedSegment:
             mapping.close()
             file_obj.close()
             raise StorageError(f"{path} is not a segment file")
-        return cls(path, file_obj, mapping, RecordLayout(record_bytes), capacity, count)
+        segment = cls(
+            path, file_obj, mapping, RecordLayout(record_bytes), capacity, count
+        )
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.count("storage.map.open", 1, kind=segment.kind)
+            metrics.observe(
+                "storage.map_ms",
+                (time.perf_counter() - started) * 1000.0,
+                op="open", kind=segment.kind,
+            )
+        return segment
 
     @staticmethod
     def record_count(path: str | os.PathLike) -> int:
@@ -127,11 +173,13 @@ class MappedSegment:
         if not path.exists():
             raise StorageError(f"no segment file at {path}")
         path.unlink()
+        _metrics().count("storage.map.delete", 1, kind=segment_kind(path.name))
 
     def flush(self) -> None:
         self._check_open()
         self._write_count()
         self._map.flush()
+        _metrics().count("storage.flush", 1, kind=self.kind)
 
     def close(self) -> None:
         """Unmap the segment.
@@ -288,7 +336,17 @@ class MappedSegment:
         if batch_records <= 0:
             raise StorageError(f"batch size must be positive: {batch_records}")
         for start in range(0, self._count, batch_records):
-            yield self.read_batch(start, min(batch_records, self._count - start))
+            count = min(batch_records, self._count - start)
+            metrics = _metrics()
+            if metrics.enabled:
+                metrics.count("storage.read.batches", 1, kind=self.kind)
+                metrics.count("storage.read.records", count, kind=self.kind)
+                metrics.count(
+                    "storage.read.bytes",
+                    count * self.layout.record_bytes,
+                    kind=self.kind,
+                )
+            yield self.read_batch(start, count)
 
     def append_batch(self, data: bytes | bytearray | memoryview) -> int:
         """Append a contiguous run of packed records in one slice write.
@@ -314,6 +372,11 @@ class MappedSegment:
             lo = PAGE_SIZE + start * record_bytes
             self._map[lo : lo + nbytes] = data
             self._count = start + count
+            metrics = _metrics()
+            if metrics.enabled:
+                metrics.count("storage.write.batches", 1, kind=self.kind)
+                metrics.count("storage.write.records", count, kind=self.kind)
+                metrics.count("storage.write.bytes", nbytes, kind=self.kind)
         return start
 
     # ------------------------------------------------------------ internal

@@ -1,0 +1,217 @@
+"""MetricsRegistry semantics: keys, merges, snapshots, the null registry."""
+
+import json
+import pytest
+
+from repro.obs import (
+    DEFAULT_MS_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    NullRegistry,
+    active,
+    activate,
+    collecting,
+    deactivate,
+    metric_key,
+    parse_metric_key,
+)
+
+
+class TestMetricKeys:
+    def test_plain_name_round_trips(self):
+        assert metric_key("storage.flush", {}) == "storage.flush"
+        assert parse_metric_key("storage.flush") == ("storage.flush", {})
+
+    def test_labels_are_sorted_and_round_trip(self):
+        key = metric_key("storage.read.bytes", {"kind": "RP", "op": "open"})
+        assert key == "storage.read.bytes{kind=RP,op=open}"
+        assert parse_metric_key(key) == (
+            "storage.read.bytes",
+            {"kind": "RP", "op": "open"},
+        )
+
+    def test_label_order_does_not_matter(self):
+        assert metric_key("m", {"b": 2, "a": 1}) == metric_key(
+            "m", {"a": 1, "b": 2}
+        )
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("records", 10, kind="R")
+        registry.count("records", 5, kind="R")
+        registry.count("records", 3, kind="S")
+        assert registry.counter_value("records", kind="R") == 15
+        assert registry.counter_value("records", kind="S") == 3
+        assert registry.counter_value("records", kind="missing") == 0
+
+    def test_counters_named_sums_across_labels(self):
+        registry = MetricsRegistry()
+        registry.count("storage.read.bytes", 100, kind="R")
+        registry.count("storage.read.bytes", 200, kind="S")
+        named = registry.counters_named("storage.read.bytes")
+        assert sum(named.values()) == 300
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("worker.wall_ms", 12.5, worker=0)
+        registry.gauge("worker.wall_ms", 99.0, worker=0)
+        key = metric_key("worker.wall_ms", {"worker": 0})
+        assert registry.gauges[key] == 99.0
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("span_ms", 0.5)
+        registry.observe("span_ms", 5000.0)
+        hist = registry.histograms["span_ms"]
+        assert hist.count == 2
+        assert hist.total == pytest.approx(5000.5)
+        assert hist.min == pytest.approx(0.5)
+        assert hist.max == pytest.approx(5000.0)
+        assert sum(hist.bucket_counts) == 2
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("m", 1.0)
+        right.observe("m", 1.0, bounds=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            left.merge(right)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.observe("m", 1.0, bounds=(2.0, 1.0))
+
+
+class TestMergeSemantics:
+    """Cross-process merges must be associative and lossless.
+
+    The runner harvests one snapshot per worker task and folds them into
+    the driver registry in harvest order; these properties guarantee the
+    totals do not depend on which worker finished first.
+    """
+
+    @staticmethod
+    def _worker_registry(worker, records):
+        registry = MetricsRegistry()
+        registry.count("storage.read.records", records, kind="R")
+        registry.count("worker.tasks", 1, task="pass0")
+        registry.gauge("worker.wall_ms", 10.0 * (worker + 1), worker=worker)
+        for i in range(records):
+            registry.observe("span_ms", 0.1 * (i + 1), span="task")
+        return registry
+
+    def test_merge_is_associative(self):
+        parts = [self._worker_registry(w, records=3 + w) for w in range(3)]
+
+        left = MetricsRegistry.merged(
+            [MetricsRegistry.merged(parts[:2]), parts[2]]
+        )
+        right = MetricsRegistry.merged(
+            [parts[0], MetricsRegistry.merged(parts[1:])]
+        )
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_order_does_not_matter(self):
+        parts = [self._worker_registry(w, records=5) for w in range(4)]
+        forward = MetricsRegistry.merged(parts)
+        backward = MetricsRegistry.merged(reversed(parts))
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_is_lossless(self):
+        parts = [self._worker_registry(w, records=4) for w in range(4)]
+        merged = MetricsRegistry.merged(parts)
+
+        assert merged.counter_value(
+            "storage.read.records", kind="R"
+        ) == 4 * len(parts)
+        assert merged.counter_value("worker.tasks", task="pass0") == len(parts)
+        # Disjointly-labelled gauges all survive.
+        for worker in range(4):
+            key = metric_key("worker.wall_ms", {"worker": worker})
+            assert merged.gauges[key] == 10.0 * (worker + 1)
+        hist_key = metric_key("span_ms", {"span": "task"})
+        hist = merged.histograms[hist_key]
+        assert hist.count == sum(p.histograms[hist_key].count for p in parts)
+        assert hist.total == pytest.approx(
+            sum(p.histograms[hist_key].total for p in parts)
+        )
+
+    def test_merge_accepts_snapshot_dicts(self):
+        parts = [self._worker_registry(w, records=2) for w in range(3)]
+        from_objects = MetricsRegistry.merged(parts)
+        from_snapshots = MetricsRegistry.merged(
+            json.loads(json.dumps(p.snapshot())) for p in parts
+        )
+        assert from_objects.snapshot() == from_snapshots.snapshot()
+
+    def test_gauge_collision_takes_max(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.gauge("worker.wall_ms", 10.0, worker=0)
+        right.gauge("worker.wall_ms", 25.0, worker=0)
+        merged = MetricsRegistry.merged([left, right])
+        assert merged.gauges[metric_key("worker.wall_ms", {"worker": 0})] == 25.0
+
+
+class TestSnapshots:
+    """Snapshots are the cross-process wire format (worker sidecar files)."""
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.count("storage.write.bytes", 4096, kind="PAIRS")
+        registry.gauge("worker.wall_ms", 7.25, worker=2)
+        registry.observe("span_ms", 3.0, span="pass/task")
+
+        wire = json.dumps(registry.snapshot())
+        restored = MetricsRegistry.from_snapshot(json.loads(wire))
+        assert restored.snapshot() == registry.snapshot()
+
+    def test_unknown_snapshot_version_is_rejected(self):
+        snapshot = MetricsRegistry().snapshot()
+        snapshot["snapshot_version"] = 99
+        with pytest.raises(MetricsError):
+            MetricsRegistry.from_snapshot(snapshot)
+
+    def test_default_bucket_bounds_are_shared(self):
+        registry = MetricsRegistry()
+        registry.observe("m", 1.0)
+        assert tuple(registry.histograms["m"].bounds) == DEFAULT_MS_BUCKETS
+
+
+class TestActivation:
+    def test_inactive_default_is_disabled_null_registry(self):
+        assert isinstance(active(), NullRegistry)
+        assert not active().enabled
+        assert not active()
+
+    def test_null_registry_absorbs_everything(self):
+        null = NullRegistry()
+        null.count("c", 1)
+        null.gauge("g", 1.0)
+        null.observe("h", 1.0)
+        assert null.snapshot()["counters"] == {}
+
+    def test_activate_deactivate_nest(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        activate(outer)
+        try:
+            assert active() is outer
+            activate(inner)
+            try:
+                assert active() is inner
+            finally:
+                deactivate()
+            assert active() is outer
+        finally:
+            deactivate()
+        assert not active().enabled
+
+    def test_collecting_context_manager(self):
+        with collecting() as registry:
+            assert active() is registry
+            active().count("c", 1)
+        assert not active().enabled
+        assert registry.counter_value("c") == 1

@@ -1,0 +1,90 @@
+"""Span tracing: nesting paths, histogram feed, disabled-mode behaviour."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry, collecting, metric_key, span
+
+
+class TestSpanRecording:
+    def test_single_span_records_name_path_and_time(self):
+        registry = MetricsRegistry()
+        with span("pass", registry=registry, algo="grace", pass_no=0):
+            pass
+        assert len(registry.spans) == 1
+        record = registry.spans[0]
+        assert record["name"] == "pass"
+        assert record["path"] == "pass"
+        assert record["depth"] == 0
+        assert record["ms"] >= 0
+        assert record["attrs"] == {"algo": "grace", "pass_no": 0}
+
+    def test_nested_spans_build_slash_paths(self):
+        registry = MetricsRegistry()
+        with span("join", registry=registry):
+            with span("pass0", registry=registry):
+                with span("task", registry=registry):
+                    pass
+            with span("pass1", registry=registry):
+                pass
+        paths = [s["path"] for s in registry.spans]
+        # Spans close innermost-first.
+        assert paths == ["join/pass0/task", "join/pass0", "join/pass1", "join"]
+        assert [s["depth"] for s in registry.spans] == [2, 1, 1, 0]
+
+    def test_sibling_spans_do_not_inherit_closed_prefixes(self):
+        registry = MetricsRegistry()
+        with span("a", registry=registry):
+            pass
+        with span("b", registry=registry):
+            pass
+        assert [s["path"] for s in registry.spans] == ["a", "b"]
+
+    def test_spans_feed_the_span_ms_histogram(self):
+        registry = MetricsRegistry()
+        with span("outer", registry=registry):
+            with span("inner", registry=registry):
+                pass
+        assert metric_key("span_ms", {"span": "outer"}) in registry.histograms
+        assert metric_key("span_ms", {"span": "outer/inner"}) in registry.histograms
+
+    def test_exceptions_are_recorded_and_stack_unwinds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with span("outer", registry=registry):
+                with span("inner", registry=registry):
+                    raise ValueError("boom")
+        assert [s.get("error") for s in registry.spans] == [
+            "ValueError",
+            "ValueError",
+        ]
+        # The span stack must be empty again: a later span starts fresh.
+        with span("after", registry=registry):
+            pass
+        assert registry.spans[-1]["path"] == "after"
+
+    def test_non_json_attrs_are_stringified(self):
+        registry = MetricsRegistry()
+        with span("s", registry=registry, path=object()):
+            pass
+        assert isinstance(registry.spans[0]["attrs"]["path"], str)
+
+
+class TestActiveRegistryIntegration:
+    def test_span_uses_the_active_registry(self):
+        with collecting() as registry:
+            with span("pass"):
+                with span("task"):
+                    pass
+        assert [s["path"] for s in registry.spans] == ["pass/task", "pass"]
+
+    def test_disabled_registry_records_nothing(self):
+        null = NullRegistry()
+        with span("pass", registry=null):
+            pass
+        assert null.spans == []
+        assert null.histograms == {}
+
+    def test_no_active_registry_is_a_no_op(self):
+        # Outside any collecting() scope, spans must be inert.
+        with span("pass", algo="grace"):
+            pass
