@@ -81,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-out", default=None, metavar="FILE",
         help="write the run's stats document (docs/metrics_schema.md) here",
     )
+    join.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per worker task on the real backend",
+    )
+    join.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a real-backend worker task dead after this long "
+             "and retry it (required to detect crashed pool workers)",
+    )
+    join.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="deterministic fault plan for the real backend: a JSON file "
+             "path or an inline JSON object (testing/chaos runs)",
+    )
 
     model = sub.add_parser("model", help="print an analytical prediction")
     _common_workload_args(model)
@@ -193,7 +207,12 @@ def _cmd_figures(args) -> int:
 def _cmd_join(args) -> int:
     workload = _workload(args)
     if args.real:
-        from repro.parallel import REAL_ALGORITHMS, run_real_join
+        from repro.parallel import (
+            REAL_ALGORITHMS,
+            FaultPlan,
+            FaultPlanError,
+            run_real_join,
+        )
 
         if args.algorithm not in REAL_ALGORITHMS:
             print(
@@ -202,11 +221,29 @@ def _cmd_join(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        fault_plan = None
+        if args.fault_plan:
+            try:
+                fault_plan = FaultPlan.parse(args.fault_plan)
+            except (FaultPlanError, OSError) as error:
+                print(f"invalid --fault-plan: {error}", file=sys.stderr)
+                return 2
         with tempfile.TemporaryDirectory() as root:
-            result = run_real_join(args.algorithm, workload, root)
+            result = run_real_join(
+                args.algorithm, workload, root,
+                retries=args.retries,
+                task_timeout=args.task_timeout,
+                fault_plan=fault_plan,
+            )
         pairs = verify_pairs(workload, result.pairs)
         print(f"{args.algorithm}: {pairs:,} pairs verified, "
               f"{result.wall_ms:,.0f} ms wall clock (real mmap backend)")
+        if result.retries_total or result.timeouts_total or result.inline_fallbacks:
+            print(
+                f"recovery: {result.retries_total} retries, "
+                f"{result.timeouts_total} timeouts, "
+                f"{result.inline_fallbacks} inline fallbacks"
+            )
         if args.stats_out:
             from repro.obs import write_stats_document
 

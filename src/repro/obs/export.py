@@ -97,6 +97,14 @@ def schema_problems(document: object) -> List[str]:
             problems.append(f"totals.{mapping_name} must be an object")
         elif any(not isinstance(v, (int, float)) for v in mapping.values()):
             problems.append(f"totals.{mapping_name} values must be numbers")
+    recovery = totals.get("recovery")
+    if recovery is not None:
+        # Optional (the simulator has no failure model); when present it
+        # must be a flat object of numeric recovery totals.
+        if not isinstance(recovery, dict):
+            problems.append("totals.recovery must be an object")
+        elif any(not isinstance(v, (int, float)) for v in recovery.values()):
+            problems.append("totals.recovery values must be numbers")
     for label, entry in document["per_pass"].items():
         if not isinstance(entry, dict) or not isinstance(
             entry.get("wall_ms"), (int, float)
@@ -259,6 +267,13 @@ def build_real_stats_document(result, workload=None) -> dict:
             "gauges": dict(totals_registry.gauges),
             "histograms": {
                 k: h.snapshot() for k, h in totals_registry.histograms.items()
+            },
+            "recovery": {
+                "retries": int(getattr(result, "retries_total", 0)),
+                "timeouts": int(getattr(result, "timeouts_total", 0)),
+                "inline_fallbacks": int(
+                    getattr(result, "inline_fallbacks", 0)
+                ),
             },
         },
         "per_pass": per_pass,

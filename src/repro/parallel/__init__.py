@@ -1,5 +1,17 @@
 """Real-mmap parallel join backend (multiprocessing over mapped files)."""
 
+from repro.parallel.faults import (
+    ALGORITHM_TASKS,
+    FAULTS_FILE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    InjectedTornWrite,
+    RetryPolicy,
+)
 from repro.parallel.runner import (
     REAL_ALGORITHMS,
     RealJoinError,
@@ -9,9 +21,19 @@ from repro.parallel.runner import (
 from repro.parallel.workers import PairResult
 
 __all__ = [
+    "ALGORITHM_TASKS",
+    "FAULTS_FILE",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "InjectedTornWrite",
     "PairResult",
     "REAL_ALGORITHMS",
     "RealJoinError",
     "RealJoinResult",
+    "RetryPolicy",
     "run_real_join",
 ]

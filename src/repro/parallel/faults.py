@@ -1,0 +1,342 @@
+"""Deterministic fault injection and retry policy for the real-mmap backend.
+
+The paper's runs assume every Rproc finishes its pass; production does not
+get that luxury.  This module makes every failure mode of a per-partition
+worker *reproducible*:
+
+* a :class:`FaultSpec` names one fault — ``crash`` (the process dies
+  mid-task), ``hang`` (the process stops making progress) or ``torn-write``
+  (a partially written output segment is left behind at the moment of
+  death) — pinned to a ``(task, partition, attempt)`` coordinate;
+* a :class:`FaultPlan` is a set of specs, serialized as JSON into the
+  store root (``faults.json``, the same files-only protocol as the
+  metrics marker) so faults reach pool processes that were forked before
+  the join began;
+* :func:`maybe_inject`, called by every worker at task entry, fires the
+  matching spec exactly once per attempt — attempts are counted in small
+  per-``(task, partition)`` state files in the store root, so the count
+  survives the very process deaths it is instrumenting.
+
+Recovery is safe because passes are idempotent: a worker's outputs become
+visible only through the storage layer's atomic tmp-write/rename protocol
+(:mod:`repro.storage.segment`), so a retried attempt simply re-creates and
+atomically replaces whatever the dead attempt left behind.
+
+In a pool worker (a daemonic process) a ``crash`` is a real ``os._exit``;
+inline (``use_processes=False``) the same spec raises
+:class:`InjectedCrash` instead, so the whole failure matrix is testable
+without killing the test runner.  A ``hang`` sleeps and then *exits* —
+never completes — so an abandoned task can never race its own retry.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.storage.segment import HEADER, MAGIC
+
+#: Presence of this file in the store root arms fault injection.
+FAULTS_FILE = "faults.json"
+
+FAULT_KINDS = ("crash", "hang", "torn-write")
+
+#: Worker task names per algorithm, in pass order — the coordinates a
+#: fault plan pins to, and the basis of "kill one worker in every pass".
+ALGORITHM_TASKS: Dict[str, tuple] = {
+    "nested-loops": ("nested_loops_pass0", "nested_loops_pass1"),
+    "sort-merge": ("sort_merge_partition", "sort_merge_join"),
+    "grace": ("grace_partition", "grace_probe"),
+}
+
+# Torn-write victims: the one output file each task is guaranteed to
+# re-create on retry, so the garbage left at its *final* path exercises
+# the overwrite-on-retry path as well as the tmp-orphan path.  grace's
+# partition pass only creates a BS file for targets that records hash to,
+# so it gets a tmp-only tear (None).
+_TORN_VICTIMS: Dict[str, Optional[str]] = {
+    "nested_loops_pass0": "PAIRS_p0_{i}",
+    "nested_loops_pass1": "PAIRS_p1_{i}",
+    "sort_merge_partition": "RS{i}_from{i}",
+    "sort_merge_join": "PAIRS_sm_{i}",
+    "grace_partition": None,
+    "grace_probe": "PAIRS_probe_{i}",
+}
+
+_EXIT_CRASH = 23
+_EXIT_HANG = 24
+_EXIT_TORN = 25
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed fault plans."""
+
+
+class InjectedFault(RuntimeError):
+    """Base of the exceptions injected faults raise in inline execution."""
+
+
+class InjectedCrash(InjectedFault):
+    """Inline stand-in for a worker process dying mid-task."""
+
+
+class InjectedHang(InjectedFault):
+    """Inline stand-in for a worker that stops making progress.
+
+    The dispatcher treats this exactly like a task timeout, so the
+    timeout/retry path is testable without real wall-clock waits.
+    """
+
+
+class InjectedTornWrite(InjectedFault):
+    """Inline stand-in for a crash that leaves a torn output segment."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, pinned to a (task, partition, attempt) point."""
+
+    kind: str
+    task: str
+    partition: int
+    attempt: int = 0
+    #: How long a pool-mode hang sleeps before dying; inline hangs raise
+    #: immediately, so only real-process tests pay wall-clock for this.
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; choices: {FAULT_KINDS}"
+            )
+        if self.partition < 0 or self.attempt < 0:
+            raise FaultPlanError(
+                f"partition and attempt must be non-negative in {self}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "task": self.task,
+            "partition": self.partition,
+            "attempt": self.attempt,
+            "hang_s": self.hang_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            return cls(
+                kind=data["kind"],
+                task=data["task"],
+                partition=int(data["partition"]),
+                attempt=int(data.get("attempt", 0)),
+                hang_s=float(data.get("hang_s", 3600.0)),
+            )
+        except (KeyError, TypeError) as error:
+            raise FaultPlanError(f"malformed fault spec {data!r}: {error}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of faults for one join run."""
+
+    faults: List[FaultSpec] = field(default_factory=list)
+
+    def spec_for(
+        self, task: str, partition: int, attempt: int
+    ) -> Optional[FaultSpec]:
+        for spec in self.faults:
+            if (
+                spec.task == task
+                and spec.partition == partition
+                and spec.attempt == attempt
+            ):
+                return spec
+        return None
+
+    # -------------------------------------------------------- serialization
+
+    def to_json(self) -> str:
+        return json.dumps({"faults": [s.to_dict() for s in self.faults]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise FaultPlanError(f"fault plan is not valid JSON: {error}")
+        if not isinstance(data, dict) or not isinstance(
+            data.get("faults"), list
+        ):
+            raise FaultPlanError(
+                'a fault plan is {"faults": [{kind, task, partition, ...}]}'
+            )
+        return cls([FaultSpec.from_dict(entry) for entry in data["faults"]])
+
+    @classmethod
+    def parse(cls, source: str) -> "FaultPlan":
+        """Parse a CLI argument: a JSON file path or an inline JSON string."""
+        path = Path(source)
+        try:
+            exists = path.is_file()
+        except OSError:
+            exists = False
+        return cls.from_json(path.read_text() if exists else source)
+
+    # --------------------------------------------------------- constructors
+
+    @classmethod
+    def single(
+        cls, kind: str, task: str, partition: int, attempt: int = 0, **kw
+    ) -> "FaultPlan":
+        return cls([FaultSpec(kind, task, partition, attempt, **kw)])
+
+    @classmethod
+    def crash_every_pass(
+        cls, algorithm: str, partition: int = 0, attempt: int = 0
+    ) -> "FaultPlan":
+        """Kill one worker in every pass of ``algorithm`` (acceptance plan)."""
+        if algorithm not in ALGORITHM_TASKS:
+            raise FaultPlanError(f"unknown algorithm {algorithm!r}")
+        return cls(
+            [
+                FaultSpec("crash", task, partition, attempt)
+                for task in ALGORITHM_TASKS[algorithm]
+            ]
+        )
+
+    # ----------------------------------------------------------- store side
+
+    def install(self, root: str | os.PathLike) -> Path:
+        """Arm this plan for every worker that opens ``root``."""
+        path = Path(root) / FAULTS_FILE
+        path.write_text(self.to_json())
+        return path
+
+    @staticmethod
+    def load(root: str | os.PathLike) -> Optional["FaultPlan"]:
+        path = Path(root) / FAULTS_FILE
+        if not path.exists():
+            return None
+        return FaultPlan.from_json(path.read_text())
+
+
+@dataclass
+class RetryPolicy:
+    """How the runner dispatches, times out and retries worker tasks."""
+
+    #: Extra attempts per task after the first (0 = fail fast).
+    retries: int = 2
+    #: Seconds a pool task may run before it is declared dead/hung and
+    #: retried.  ``None`` disables the watchdog (a crashed pool worker is
+    #: then only detected if the pool itself reports it).
+    task_timeout: Optional[float] = None
+    #: Base of the exponential backoff between retry rounds.
+    backoff_s: float = 0.05
+    #: When pool attempts are exhausted, run the still-failing tasks in
+    #: the parent process as a last resort (graceful degradation).
+    fallback_inline: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise FaultPlanError(f"retries cannot be negative: {self.retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise FaultPlanError(
+                f"task_timeout must be positive: {self.task_timeout}"
+            )
+
+
+# ------------------------------------------------------------ worker hooks
+
+def attempt_state_path(
+    root: str | os.PathLike, task: str, partition: int
+) -> Path:
+    """Where one (task, partition)'s execution count is persisted."""
+    return Path(root) / f"fault_attempt_{task}_{partition}"
+
+
+def _bump_attempt(root: str, task: str, partition: int) -> int:
+    """Count this execution; returns the 0-based attempt number."""
+    path = attempt_state_path(root, task, partition)
+    try:
+        attempt = int(path.read_text())
+    except (OSError, ValueError):
+        attempt = 0
+    path.write_text(str(attempt + 1))
+    return attempt
+
+
+def _disk_path(root: str, partition: int, name: str) -> Path:
+    # Mirrors Store.path without constructing a Store (no mkdir side effects).
+    return Path(root) / f"disk{partition}" / f"{name}.seg"
+
+
+def _write_torn_segment(path: Path) -> None:
+    """A segment whose header claims more records than it can hold — the
+    signature of a writer that died between extending the file and
+    finishing its data.  ``MappedSegment.open`` must reject it."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(HEADER.pack(MAGIC, 128, 4, 977) + b"torn segment")
+
+
+def _fire(spec: FaultSpec, root: str, task: str, partition: int) -> None:
+    in_pool = multiprocessing.current_process().daemon
+    if spec.kind == "crash":
+        if in_pool:
+            os._exit(_EXIT_CRASH)
+        raise InjectedCrash(f"injected crash in {task} partition {partition}")
+    if spec.kind == "hang":
+        if in_pool:
+            # Sleep, then die without completing: an abandoned task must
+            # never wake up and race the retry that replaced it.
+            time.sleep(spec.hang_s)
+            os._exit(_EXIT_HANG)
+        raise InjectedHang(f"injected hang in {task} partition {partition}")
+    # torn-write: leave partial output where the retry must overwrite it.
+    victim = _TORN_VICTIMS.get(task)
+    if victim is not None:
+        final = _disk_path(root, partition, victim.format(i=partition))
+        _write_torn_segment(final)
+        _write_torn_segment(final.with_name(final.name + ".tmp"))
+    else:
+        tmp = _disk_path(root, partition, f"BS{partition}_from{partition}")
+        _write_torn_segment(tmp.with_name(tmp.name + ".tmp"))
+    if in_pool:
+        os._exit(_EXIT_TORN)
+    raise InjectedTornWrite(
+        f"injected torn write in {task} partition {partition}"
+    )
+
+
+def maybe_inject(root: str, task: str, partition: int) -> None:
+    """Fire the armed fault for this (task, partition, attempt), if any.
+
+    Costs one ``stat`` when no plan is installed.  Every execution bumps
+    the persistent attempt counter, so a retried task sees attempt 1, 2,
+    ... and a spec pinned to attempt 0 fires exactly once.
+    """
+    if not Path(root, FAULTS_FILE).exists():
+        return
+    plan = FaultPlan.load(root)
+    if plan is None or not plan.faults:
+        return
+    attempt = _bump_attempt(root, task, partition)
+    spec = plan.spec_for(task, partition, attempt)
+    if spec is not None:
+        _fire(spec, root, task, partition)
+
+
+def sweep_fault_state(root: str | os.PathLike) -> None:
+    """Remove the plan and attempt counters (every run-exit path)."""
+    root = Path(root)
+    if not root.exists():
+        return
+    (root / FAULTS_FILE).unlink(missing_ok=True)
+    for path in root.glob("fault_attempt_*"):
+        path.unlink(missing_ok=True)

@@ -14,21 +14,40 @@ streams its pairs into a mapped ``PAIRS`` segment and returns only a
 those segments — and only when ``collect_pairs`` asks for them, mirroring
 the simulator's ``PairCollector(keep_pairs=False)`` knob.
 
+Dispatch is recovery-aware.  Each pass submits one future per partition
+(``apply_async``) and collects it with an optional ``task_timeout``; a
+partition whose worker dies, raises, or fails to report in time is retried
+— with exponential backoff — up to a configurable budget.  Retries are
+safe because every worker's outputs are published atomically (tmp-write /
+rename in the storage layer) and re-created with ``overwrite=True``, so a
+half-finished dead attempt leaves nothing a retry can observe.  When the
+pool itself is unrecoverable (hung workers), the still-failing partitions
+are run inline in the parent as a last resort, and a pool that may still
+harbor abandoned tasks is terminated rather than joined.  Deterministic
+faults (:class:`~repro.parallel.faults.FaultPlan`) exercise all of this.
+
 With ``collect_metrics`` on (the default), the runner drops the
 :data:`~repro.parallel.workers.OBS_MARKER` into the store root, every
 worker snapshots a process-local :class:`~repro.obs.MetricsRegistry` to a
 JSON sidecar, and the runner merges those snapshots per pass — counter and
 histogram merges are element-wise sums, so the merged totals are exactly
 what a single-process run would have counted.  The parent's own storage
-activity (materialization, pair collection) lands in a separate driver
-registry, and :meth:`RealJoinResult.stats_document` renders everything as
-the versioned JSON stats document of ``docs/metrics_schema.md``.
+activity (materialization, pair collection) and the recovery counters
+(``runner.retries_total`` etc.) land in a separate driver registry, and
+:meth:`RealJoinResult.stats_document` renders everything as the versioned
+JSON stats document of ``docs/metrics_schema.md``.
+
+Whatever happens — success, exhausted retries, a conservation failure —
+the run's control files (metrics marker, metrics sidecars, fault plan,
+attempt counters) and any unpublished ``*.seg.tmp`` segments are swept
+from the store root before the driver returns or raises.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import multiprocessing.pool
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,9 +55,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.records import JoinedPair
 from repro.obs.export import build_real_stats_document
-from repro.obs.registry import MetricsRegistry, activate, deactivate
+from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
 from repro.parallel import workers
+from repro.parallel.faults import (
+    FaultPlan,
+    InjectedHang,
+    RetryPolicy,
+    sweep_fault_state,
+)
 from repro.parallel.workers import (
     CHECKSUM_MOD,
     OBS_MARKER,
@@ -50,6 +75,9 @@ from repro.storage.store import Store
 from repro.workload.generator import Workload
 
 REAL_ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+
+#: Backoff between retry rounds never sleeps longer than this.
+_BACKOFF_CAP_S = 2.0
 
 
 class RealJoinError(RuntimeError):
@@ -73,6 +101,10 @@ class RealJoinResult:
     worker_metrics: Dict[str, Dict[int, dict]] = field(default_factory=dict)
     driver_metrics: Optional[dict] = None
     metrics_enabled: bool = False
+    # Recovery totals: how hard the dispatcher had to work for this result.
+    retries_total: int = 0
+    timeouts_total: int = 0
+    inline_fallbacks: int = 0
 
     def stats_document(self, workload: Optional[Workload] = None) -> dict:
         """Render this run as the versioned JSON stats document."""
@@ -91,12 +123,32 @@ def run_real_join(
     collect_pairs: bool = True,
     pool: Optional[multiprocessing.pool.Pool] = None,
     collect_metrics: bool = True,
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    backoff_s: float = 0.05,
+    fallback_inline: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
     ``pool`` lets a caller running several joins share one worker pool
     across them (workers are stateless — they open stores by path per
-    task); a shared pool is left open for the caller to close.
+    task); a shared pool is left open for the caller to close, and is
+    never terminated even when a fault leaves it with abandoned tasks.
+
+    ``retries`` / ``task_timeout`` / ``backoff_s`` / ``fallback_inline``
+    configure the :class:`~repro.parallel.faults.RetryPolicy`: each
+    partition's task gets ``1 + retries`` pool attempts, a task that
+    exceeds ``task_timeout`` seconds is declared dead and retried, and —
+    if pool attempts are exhausted and ``fallback_inline`` is set — the
+    failing partitions run once more in the parent process.  A crashed
+    pool worker never delivers its result, so crash *detection* in pool
+    mode requires a ``task_timeout``.
+
+    ``fault_plan`` installs a deterministic
+    :class:`~repro.parallel.faults.FaultPlan` into the store root before
+    the first pass, so chosen ``(task, partition, attempt)`` coordinates
+    crash, hang, or tear their output on cue.
 
     ``collect_metrics`` turns the observability layer on: per-worker
     registry snapshots merged per pass, driver-side counters and pass
@@ -108,31 +160,30 @@ def run_real_join(
         raise RealJoinError(
             f"unknown algorithm {algorithm!r}; choices: {sorted(REAL_ALGORITHMS)}"
         )
+    policy = RetryPolicy(
+        retries=retries,
+        task_timeout=task_timeout,
+        backoff_s=backoff_s,
+        fallback_inline=fallback_inline,
+    )
     disks = workload.disks
-    store = Store(store_root, disks)
+    # clean_orphans: this is the driver, the one place where no sibling
+    # writer can be mid-publish, so stale *.seg.tmp from a previous dead
+    # run are safe to sweep.
+    store = Store(store_root, disks, clean_orphans=True)
+    _sweep_run_artifacts(store_root, store)
     driver_registry: Optional[MetricsRegistry] = None
-    if collect_metrics:
-        (Path(store_root) / OBS_MARKER).touch()
-        driver_registry = activate(MetricsRegistry())
-    try:
-        store.materialize(workload)
-        owns_pool = pool is None and use_processes and disks > 1
-        if owns_pool:
-            pool = multiprocessing.Pool(processes=disks)
-        elif not use_processes:
-            pool = None
-    except BaseException:
-        if driver_registry is not None:
-            deactivate()
-        raise
+    owns_pool = False
+    recovery = {"retries": 0, "timeouts": 0, "inline_fallbacks": 0,
+                "pool_dirty": False}
     spec = workload.spec
     r_total = workload.r_objects_total
-    started = time.perf_counter()
     pass_wall: Dict[str, float] = {}
     pass_counts: Dict[str, int] = {}
     pass_checksums: Dict[str, int] = {}
     pair_results: List[PairResult] = []
     worker_metrics: Dict[str, Dict[int, dict]] = {}
+    started = time.perf_counter()
 
     def harvest_metrics(
         worker: Callable, arg_list: Sequence[tuple], label: str
@@ -151,7 +202,10 @@ def run_real_join(
 
     def run_pairs_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
         with span("pass", algo=algorithm, label=label):
-            results = _run_pass(pool, worker, arg_list, pass_wall, label)
+            results = _dispatch_pass(
+                pool, worker, arg_list, pass_wall, label,
+                policy, store_root, algorithm, recovery,
+            )
         harvest_metrics(worker, arg_list, label)
         pass_counts[label] = sum(r.count for r in results)
         pass_checksums[label] = sum(r.checksum for r in results) % CHECKSUM_MOD
@@ -159,11 +213,26 @@ def run_real_join(
 
     def run_move_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
         with span("pass", algo=algorithm, label=label):
-            results = _run_pass(pool, worker, arg_list, pass_wall, label)
+            results = _dispatch_pass(
+                pool, worker, arg_list, pass_wall, label,
+                policy, store_root, algorithm, recovery,
+            )
         harvest_metrics(worker, arg_list, label)
         pass_counts[label] = sum(results)
 
     try:
+        if collect_metrics:
+            (Path(store_root) / OBS_MARKER).touch()
+            driver_registry = activate(MetricsRegistry())
+        store.materialize(workload)
+        if fault_plan is not None:
+            fault_plan.install(store_root)
+        if pool is None and use_processes and disks > 1:
+            owns_pool = True
+            pool = multiprocessing.Pool(processes=disks)
+        elif not use_processes:
+            pool = None
+
         if algorithm == "nested-loops":
             args0 = [
                 (store_root, disks, i, spec.s_objects, spec.r_bytes)
@@ -224,8 +293,17 @@ def run_real_join(
         if driver_registry is not None:
             deactivate()
         if owns_pool and pool is not None:
-            pool.close()
+            if recovery["pool_dirty"]:
+                # Abandoned (hung or crashed mid-task) workers would block
+                # close()+join() forever; this pool is ours, so kill it.
+                pool.terminate()
+            else:
+                pool.close()
             pool.join()
+        # The run's control files must not outlive the run — success or
+        # failure.  Order matters: only after the pool is gone is no
+        # worker left that could still be writing a sidecar or a .tmp.
+        _sweep_run_artifacts(store_root, store)
         if not keep_store:
             store.destroy()
 
@@ -245,24 +323,151 @@ def run_real_join(
             driver_registry.snapshot() if driver_registry is not None else None
         ),
         metrics_enabled=collect_metrics,
+        retries_total=recovery["retries"],
+        timeouts_total=recovery["timeouts"],
+        inline_fallbacks=recovery["inline_fallbacks"],
     )
 
 
-def _run_pass(
+def _sweep_run_artifacts(store_root: str, store: Store) -> None:
+    """Remove every run-scoped control file from the store root.
+
+    Called before a run (stale state from a previous dead driver) and on
+    every exit path (nothing of a finished run may leak): the metrics
+    marker, metrics sidecars, the fault plan and its attempt counters,
+    and unpublished ``*.seg.tmp`` segments.
+    """
+    root = Path(store_root)
+    if not root.exists():
+        return
+    (root / OBS_MARKER).unlink(missing_ok=True)
+    for sidecar in root.glob("metrics_*.json"):
+        sidecar.unlink(missing_ok=True)
+    sweep_fault_state(root)
+    store.cleanup_orphans()
+
+
+def _dispatch_pass(
     pool,
     worker: Callable,
     arg_list: Sequence[tuple],
     pass_wall: Dict[str, float],
     label: str,
+    policy: RetryPolicy,
+    store_root: str,
+    algorithm: str,
+    recovery: dict,
 ) -> list:
-    """Dispatch one pass to all partitions; every worker result is kept."""
+    """Dispatch one pass to all partitions, retrying failed tasks.
+
+    Every task gets ``1 + policy.retries`` attempts (plus one optional
+    inline-fallback attempt in the parent).  Between rounds the dispatcher
+    backs off exponentially.  Retrying is safe because worker outputs are
+    only published by atomic rename and re-created with overwrite, so a
+    failed attempt's partial work is invisible to its retry.
+    """
     started = time.perf_counter()
-    if pool is not None:
-        results = pool.map(worker, arg_list)
-    else:
-        results = [worker(args) for args in arg_list]
+    task = worker.__name__
+    results: list = [None] * len(arg_list)
+    pending = list(range(len(arg_list)))
+    errors: List[BaseException] = []
+    labels = {"algo": algorithm, "pass": label}
+    for attempt in range(policy.retries + 1):
+        if not pending:
+            break
+        if attempt:
+            recovery["retries"] += len(pending)
+            active().count("runner.retries_total", len(pending), **labels)
+            time.sleep(
+                min(policy.backoff_s * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
+            )
+        pending = _run_round(
+            pool, worker, arg_list, pending, results,
+            policy, store_root, recovery, errors, labels,
+        )
+    if pending and pool is not None and policy.fallback_inline:
+        # Graceful degradation: the pool could not finish these partitions
+        # within budget (it may be unrecoverable); run them in-process.
+        recovery["inline_fallbacks"] += len(pending)
+        active().count("runner.inline_fallbacks_total", len(pending), **labels)
+        pending = _run_round(
+            None, worker, arg_list, pending, results,
+            policy, store_root, recovery, errors, labels,
+        )
+    if pending:
+        partitions = [arg_list[idx][2] for idx in pending]
+        raise RealJoinError(
+            f"{algorithm} {label}: partitions {partitions} failed "
+            f"{task} after {policy.retries + 1} attempt(s)"
+        ) from (errors[-1] if errors else None)
     pass_wall[label] = (time.perf_counter() - started) * 1000.0
     return results
+
+
+def _run_round(
+    pool,
+    worker: Callable,
+    arg_list: Sequence[tuple],
+    indices: List[int],
+    results: list,
+    policy: RetryPolicy,
+    store_root: str,
+    recovery: dict,
+    errors: List[BaseException],
+    labels: Dict[str, str],
+) -> List[int]:
+    """Run one attempt for each pending task; return the still-failing set."""
+    task = worker.__name__
+    for idx in indices:
+        # A dead attempt may have left a sidecar snapshotted before its
+        # fault fired (or a stale one from a previous run); drop it so
+        # the harvest only ever sees the attempt that actually finished.
+        metrics_sidecar(store_root, task, arg_list[idx][2]).unlink(
+            missing_ok=True
+        )
+    still: List[int] = []
+    if pool is not None:
+        futures = [
+            (idx, pool.apply_async(worker, (arg_list[idx],)))
+            for idx in indices
+        ]
+        for idx, future in futures:
+            try:
+                results[idx] = future.get(policy.task_timeout)
+            except multiprocessing.TimeoutError:
+                # The worker died mid-task (its result will never arrive)
+                # or is hung; either way the pool now holds an abandoned
+                # task, so it can no longer be join()ed safely.
+                recovery["timeouts"] += 1
+                recovery["pool_dirty"] = True
+                active().count("runner.timeouts_total", 1, **labels)
+                errors.append(
+                    TimeoutError(
+                        f"{task} partition {arg_list[idx][2]} exceeded "
+                        f"{policy.task_timeout}s"
+                    )
+                )
+                still.append(idx)
+            except Exception as error:
+                active().count("runner.worker_failures_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+    else:
+        for idx in indices:
+            try:
+                results[idx] = worker(arg_list[idx])
+            except InjectedHang as error:
+                # Inline stand-in for a task timeout: counted as one, so
+                # the timeout/retry path is testable without processes.
+                recovery["timeouts"] += 1
+                active().count("runner.timeouts_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+            except Exception as error:
+                active().count("runner.worker_failures_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+    return still
 
 
 def _check_conservation(

@@ -25,6 +25,16 @@ counters land there), stamps its own wall time, and snapshots the registry
 to a small JSON sidecar next to the segments — so per-worker metrics reach
 the parent without widening the pickled return values, and the marker file
 reaches pool processes that were forked before the join began.
+
+Every worker is failure-safe: output segments are published only by the
+atomic rename in their ``close()``, and every exception path *aborts*
+(discards) the partially written outputs and releases the mmap/file
+handles before re-raising — so a pass that dies mid-stream leaks nothing
+and a retried attempt re-creates its outputs from scratch (``overwrite=
+True`` on every create makes that legal).  The
+:func:`~repro.parallel.faults.maybe_inject` hook at task entry is where a
+:class:`~repro.parallel.faults.FaultPlan` kills, hangs or tears a chosen
+``(task, partition, attempt)`` deterministically.
 """
 
 from __future__ import annotations
@@ -34,12 +44,13 @@ import heapq
 import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, NamedTuple, Tuple
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
 
 from repro.core.pointer import PointerMap
+from repro.parallel.faults import maybe_inject
 from repro.core.records import RObject
 from repro.joins.grace import order_preserving_bucket, refining_chain
 from repro.storage.relation import BucketedRFile, PairsFile, RRelationFile
@@ -59,17 +70,20 @@ def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
 
 
 def _instrumented(func: Callable) -> Callable:
-    """Collect one worker task's metrics when the store's marker is set.
+    """Inject armed faults and collect one worker task's metrics.
 
-    Uninstrumented dispatch (no marker) costs one ``stat`` call; every
-    worker arg tuple starts ``(root, disks, partition, ...)``, which is
-    all the wrapper needs.
+    The fault hook fires first — before any registry or file handle is
+    acquired — because a real crash would also strike before the task
+    produced anything.  Uninstrumented dispatch (no marker, no fault
+    plan) costs two ``stat`` calls; every worker arg tuple starts
+    ``(root, disks, partition, ...)``, which is all the wrapper needs.
     """
     task = func.__name__
 
     @functools.wraps(func)
     def wrapper(args):
         root, partition = args[0], args[2]
+        maybe_inject(root, task, partition)
         if not Path(root, OBS_MARKER).exists():
             return func(args)
         registry = activate(MetricsRegistry())
@@ -107,7 +121,10 @@ class _PairSink:
 
     def __init__(self, path: Path, capacity: int) -> None:
         self.path = path
-        self._file = PairsFile.create(path, max(1, capacity))
+        # overwrite=True: a retried pass legally replaces the outputs a
+        # failed attempt published; the segment stays a .tmp sibling
+        # until close() renames it into place.
+        self._file = PairsFile.create(path, max(1, capacity), overwrite=True)
         self.count = 0
         self.checksum = 0
 
@@ -128,8 +145,13 @@ class _PairSink:
         ) % CHECKSUM_MOD
 
     def close(self) -> PairResult:
+        """Publish the segment (atomic rename) and report its totals."""
         self._file.close()
         return PairResult(self.count, self.checksum, str(self.path))
+
+    def abort(self) -> None:
+        """Discard the sink without publishing (idempotent failure path)."""
+        self._file.abort()
 
 
 def _store(root: str, disks: int) -> Store:
@@ -163,7 +185,8 @@ def nested_loops_pass0(
         sink = _PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
-                store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)), record_bytes
+                store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)),
+                record_bytes, overwrite=True,
             )
             for j in range(disks)
             if j != i
@@ -183,10 +206,14 @@ def nested_loops_pass0(
                 sink.emit_joined(local_r, s_rel.dereference_many(local_offsets))
                 for target, objects in remote.items():
                     spill[target].append_many(objects)
-        finally:
             for rel in spill.values():
                 rel.close()
-    return sink.close()
+            return sink.close()
+        except BaseException:
+            for rel in spill.values():
+                rel.abort()
+            sink.abort()
+            raise
 
 
 @_instrumented
@@ -203,14 +230,18 @@ def nested_loops_pass1(
     ]
     capacity = sum(MappedSegment.record_count(path) for path in spill_paths)
     sink = _PairSink(store.path(i, pairs_name("p1", i)), capacity)
-    for t in range(1, disks):
-        j = _phase_partner(i, t, disks)
-        with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
-                store.open_s(j) as s_rel:
-            for batch in spill.iter_object_batches(BATCH_RECORDS):
-                offsets = pmap.offset_many([obj[1] for obj in batch])
-                sink.emit_joined(batch, s_rel.dereference_many(offsets))
-    return sink.close()
+    try:
+        for t in range(1, disks):
+            j = _phase_partner(i, t, disks)
+            with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
+                    store.open_s(j) as s_rel:
+                for batch in spill.iter_object_batches(BATCH_RECORDS):
+                    offsets = pmap.offset_many([obj[1] for obj in batch])
+                    sink.emit_joined(batch, s_rel.dereference_many(offsets))
+        return sink.close()
+    except BaseException:
+        sink.abort()
+        raise
 
 
 # --------------------------------------------------------------- sort-merge
@@ -226,7 +257,8 @@ def sort_merge_partition(
     with store.open_r(i) as r_rel:
         outputs = {
             j: RRelationFile.create(
-                store.path(j, f"RS{j}_from{i}"), max(1, len(r_rel)), record_bytes
+                store.path(j, f"RS{j}_from{i}"), max(1, len(r_rel)),
+                record_bytes, overwrite=True,
             )
             for j in range(disks)
         }
@@ -240,9 +272,12 @@ def sort_merge_partition(
                 for target, objects in buckets.items():
                     outputs[target].append_many(objects)
                     moved += len(objects)
-        finally:
             for rel in outputs.values():
                 rel.close()
+        except BaseException:
+            for rel in outputs.values():
+                rel.abort()
+            raise
     return moved
 
 
@@ -269,11 +304,15 @@ def sort_merge_join(
             return
         buffer.sort(key=lambda obj: obj.sptr)
         path = store.path(i, f"RUN{i}_{run_id}")
-        rel = RRelationFile.create(path, len(buffer), record_bytes)
+        rel = RRelationFile.create(
+            path, len(buffer), record_bytes, overwrite=True
+        )
         try:
             rel.append_many(buffer)
-        finally:
-            rel.close()
+        except BaseException:
+            rel.abort()
+            raise
+        rel.close()
         run_paths.append(path)
         run_id += 1
         buffer.clear()
@@ -297,19 +336,27 @@ def sort_merge_join(
     # skipped entirely — the common case whenever a partition's inbound
     # fits one initial run.
     sink = _PairSink(store.path(i, pairs_name("sm", i)), inbound)
-    with store.open_s(i) as s_rel:
-        if len(run_paths) == 1:
-            with RRelationFile.open(run_paths[0]) as rel:
-                for batch in rel.iter_object_batches(BATCH_RECORDS):
-                    offsets = pmap.offset_many([obj[1] for obj in batch])
-                    sink.emit_joined(batch, s_rel.dereference_many(offsets))
-        else:
-            streams = [_run_stream(path) for path in run_paths]
-            merged = heapq.merge(*streams, key=lambda o: o.sptr)
-            for batch in _rebatch(merged, BATCH_RECORDS):
-                offsets = pmap.offset_many([obj[1] for obj in batch])
-                sink.emit_joined(batch, s_rel.dereference_many(offsets))
-    return sink.close()
+    try:
+        with store.open_s(i) as s_rel:
+            if len(run_paths) == 1:
+                with RRelationFile.open(run_paths[0]) as rel:
+                    for batch in rel.iter_object_batches(BATCH_RECORDS):
+                        offsets = pmap.offset_many([obj[1] for obj in batch])
+                        sink.emit_joined(batch, s_rel.dereference_many(offsets))
+            else:
+                streams = [_run_stream(path) for path in run_paths]
+                try:
+                    merged = heapq.merge(*streams, key=lambda o: o.sptr)
+                    for batch in _rebatch(merged, BATCH_RECORDS):
+                        offsets = pmap.offset_many([obj[1] for obj in batch])
+                        sink.emit_joined(batch, s_rel.dereference_many(offsets))
+                finally:
+                    for stream in streams:
+                        stream.close()
+        return sink.close()
+    except BaseException:
+        sink.abort()
+        raise
 
 
 def _run_stream(path: Path):
@@ -363,14 +410,16 @@ def grace_partition(
         capacity = sum(len(objs) for objs in bucket_groups.values())
         spill = BucketedRFile.create(
             store.path(target, f"BS{target}_from{i}"),
-            capacity, buckets, record_bytes,
+            capacity, buckets, record_bytes, overwrite=True,
         )
         try:
             for bucket in sorted(bucket_groups):
                 spill.append_bucket(bucket, bucket_groups[bucket])
                 moved += len(bucket_groups[bucket])
-        finally:
-            spill.close()
+        except BaseException:
+            spill.abort()
+            raise
+        spill.close()
     return moved
 
 
@@ -389,8 +438,9 @@ def grace_probe(
         if path.exists():
             inbound.append(BucketedRFile.open(path))
     capacity = sum(len(rel) for rel in inbound)
-    sink = _PairSink(store.path(i, pairs_name("probe", i)), capacity)
+    sink: Optional[_PairSink] = None
     try:
+        sink = _PairSink(store.path(i, pairs_name("probe", i)), capacity)
         with store.open_s(i) as s_rel:
             for bucket in range(buckets):
                 table: List[List[RObject]] = [[] for _ in range(tsize)]
@@ -413,7 +463,11 @@ def grace_probe(
                 for chunk in _rebatch(ordered, BATCH_RECORDS):
                     offsets = pmap.offset_many([obj[1] for obj in chunk])
                     sink.emit_joined(chunk, s_rel.dereference_many(offsets))
+        return sink.close()
+    except BaseException:
+        if sink is not None:
+            sink.abort()
+        raise
     finally:
         for rel in inbound:
             rel.close()
-    return sink.close()

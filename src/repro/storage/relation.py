@@ -32,11 +32,23 @@ class _RelationFile:
     def close(self) -> None:
         self.segment.close()
 
+    def abort(self) -> None:
+        """Release the relation without publishing it (idempotent).
+
+        The failure path: a freshly created relation's ``.tmp`` backing
+        file is discarded, so a worker that dies mid-pass never leaves a
+        half-written segment where a reader could find it.
+        """
+        self.segment.discard()
+
     def __enter__(self):
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 class RRelationFile(_RelationFile):
@@ -44,9 +56,12 @@ class RRelationFile(_RelationFile):
 
     @classmethod
     def create(
-        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128,
+        overwrite: bool = False,
     ) -> "RRelationFile":
-        return cls(MappedSegment.create(path, capacity, record_bytes))
+        return cls(
+            MappedSegment.create(path, capacity, record_bytes, overwrite)
+        )
 
     @classmethod
     def open(cls, path: str | os.PathLike) -> "RRelationFile":
@@ -100,9 +115,12 @@ class SRelationFile(_RelationFile):
 
     @classmethod
     def create(
-        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128,
+        overwrite: bool = False,
     ) -> "SRelationFile":
-        return cls(MappedSegment.create(path, capacity, record_bytes))
+        return cls(
+            MappedSegment.create(path, capacity, record_bytes, overwrite)
+        )
 
     @classmethod
     def open(cls, path: str | os.PathLike) -> "SRelationFile":
@@ -204,6 +222,7 @@ class BucketedRFile(_RelationFile):
         capacity: int,
         buckets: int,
         record_bytes: int = 128,
+        overwrite: bool = False,
     ) -> "BucketedRFile":
         needed = _DIR_COUNT.size + buckets * _DIR_ENTRY.size
         if needed > META_CAPACITY:
@@ -212,7 +231,7 @@ class BucketedRFile(_RelationFile):
                 f"header page holds {META_CAPACITY}"
             )
         return cls(
-            MappedSegment.create(path, capacity, record_bytes),
+            MappedSegment.create(path, capacity, record_bytes, overwrite),
             [(0, 0)] * buckets,
             writer=True,
         )
@@ -312,8 +331,12 @@ class PairsFile(_RelationFile):
     """
 
     @classmethod
-    def create(cls, path: str | os.PathLike, capacity: int) -> "PairsFile":
-        return cls(MappedSegment.create(path, capacity, PAIR_RECORD_BYTES))
+    def create(
+        cls, path: str | os.PathLike, capacity: int, overwrite: bool = False
+    ) -> "PairsFile":
+        return cls(
+            MappedSegment.create(path, capacity, PAIR_RECORD_BYTES, overwrite)
+        )
 
     @classmethod
     def open(cls, path: str | os.PathLike) -> "PairsFile":
@@ -362,8 +385,10 @@ def write_r_partition(
     relation = RRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
         relation.append_many(objects)
-    finally:
-        relation.close()
+    except BaseException:
+        relation.abort()
+        raise
+    relation.close()
 
 
 def write_s_partition(
@@ -373,5 +398,7 @@ def write_s_partition(
     relation = SRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
         relation.append_many(objects)
-    finally:
-        relation.close()
+    except BaseException:
+        relation.abort()
+        raise
+    relation.close()

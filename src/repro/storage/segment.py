@@ -22,6 +22,20 @@ leading alphabetic run of the file name, so ``RP0_1.seg`` counts under
 ``RP``).  When no registry is active the calls hit the shared no-op
 ``NullRegistry``; counting happens at batch granularity, so even enabled
 runs pay nanoseconds per record.
+
+Segment creation is *atomic with respect to process crashes*: ``create``
+writes to a ``<name>.seg.tmp`` sibling and ``close`` renames it into
+place, so a reader can only ever open a fully written segment — a writer
+that dies mid-pass leaves an orphan ``.tmp`` file that
+:meth:`~repro.storage.store.Store.cleanup_orphans` sweeps, never a
+half-written ``.seg``.  ``discard`` closes *without* publishing (the
+failure path), and ``open`` rejects torn files outright (bad magic, a
+header count beyond capacity, or a file shorter than its header claims).
+The rename protocol alone covers process-crash recovery, which is the
+real backend's fault model; pass ``durable=True`` to additionally
+msync+fsync before the rename when power-failure durability is needed —
+it is off by default because closing hundreds of temporary spill files
+per join must not pay a synchronous writeback each.
 """
 
 from __future__ import annotations
@@ -31,7 +45,7 @@ import os
 import struct
 import time
 from pathlib import Path
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.obs.registry import active as _metrics
 from repro.storage.layout import RecordLayout
@@ -45,6 +59,12 @@ META_CAPACITY = PAGE_SIZE - HEADER.size - _META_LEN.size
 
 class StorageError(RuntimeError):
     """Raised for storage layer failures."""
+
+
+def tmp_segment_path(path: str | os.PathLike) -> Path:
+    """The sibling a segment is written to before its atomic publish."""
+    path = Path(path)
+    return path.with_name(path.name + ".tmp")
 
 
 def segment_kind(name: str) -> str:
@@ -67,7 +87,8 @@ class MappedSegment:
 
     def __init__(
         self, path: Path, file_obj, mapping: mmap.mmap, layout: RecordLayout,
-        capacity: int, count: int,
+        capacity: int, count: int, backing_path: Optional[Path] = None,
+        durable: bool = False,
     ) -> None:
         self.path = path
         self._file = file_obj
@@ -77,33 +98,52 @@ class MappedSegment:
         self._count = count
         self._closed = False
         self.kind = segment_kind(path.name)
+        # Where the bytes actually live right now; differs from `path`
+        # until a created segment is published by close().
+        self._backing = backing_path if backing_path is not None else path
+        self._pending = self._backing != self.path
+        self._durable = durable
 
     # ----------------------------------------------------------- lifecycle
 
     @classmethod
     def create(
-        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128
+        cls, path: str | os.PathLike, capacity: int, record_bytes: int = 128,
+        overwrite: bool = False, durable: bool = False,
     ) -> "MappedSegment":
-        """newMap: create the file, size it, and map it in."""
+        """newMap: create the file, size it, and map it in.
+
+        The segment is written to a ``.tmp`` sibling and atomically
+        renamed over ``path`` on :meth:`close` — until then, ``path``
+        does not exist (or, with ``overwrite=True``, still holds its old
+        contents).  ``overwrite=True`` is the retry-idempotence knob: a
+        re-executed worker pass may legitimately replace the outputs a
+        failed attempt published.
+        """
         started = time.perf_counter()
         if capacity < 0:
             raise StorageError("capacity cannot be negative")
         layout = RecordLayout(record_bytes)
         path = Path(path)
-        if path.exists():
+        if path.exists() and not overwrite:
             raise StorageError(f"segment file already exists: {path}")
+        tmp = tmp_segment_path(path)
+        tmp.unlink(missing_ok=True)  # a stale orphan from a dead writer
         data_bytes = max(1, capacity) * record_bytes
         total = PAGE_SIZE + _round_up(data_bytes, PAGE_SIZE)
-        file_obj = open(path, "w+b")
+        file_obj = open(tmp, "w+b")
         try:
             file_obj.truncate(total)
             mapping = mmap.mmap(file_obj.fileno(), total)
         except Exception:
             file_obj.close()
-            path.unlink(missing_ok=True)
+            tmp.unlink(missing_ok=True)
             raise
         mapping[: HEADER.size] = HEADER.pack(MAGIC, record_bytes, capacity, 0)
-        segment = cls(path, file_obj, mapping, layout, capacity, 0)
+        segment = cls(
+            path, file_obj, mapping, layout, capacity, 0,
+            backing_path=tmp, durable=durable,
+        )
         metrics = _metrics()
         if metrics.enabled:
             metrics.count("storage.map.new", 1, kind=segment.kind)
@@ -127,14 +167,24 @@ class MappedSegment:
         except Exception:
             file_obj.close()
             raise
-        magic, record_bytes, capacity, count = HEADER.unpack_from(mapping)
-        if magic != MAGIC:
+        if len(mapping) < HEADER.size:
             mapping.close()
             file_obj.close()
             raise StorageError(f"{path} is not a segment file")
-        segment = cls(
-            path, file_obj, mapping, RecordLayout(record_bytes), capacity, count
+        magic, record_bytes, capacity, count = HEADER.unpack_from(mapping)
+        problem = _header_problem(
+            magic, record_bytes, capacity, count, len(mapping)
         )
+        if problem is None:
+            try:
+                layout = RecordLayout(record_bytes)
+            except Exception:
+                problem = f"declares an unusable record size {record_bytes}"
+        if problem is not None:
+            mapping.close()
+            file_obj.close()
+            raise StorageError(f"{path} {problem}")
+        segment = cls(path, file_obj, mapping, layout, capacity, count)
         metrics = _metrics()
         if metrics.enabled:
             metrics.count("storage.map.open", 1, kind=segment.kind)
@@ -161,9 +211,12 @@ class MappedSegment:
             raise StorageError(f"no segment file at {path}") from None
         if len(header) < HEADER.size:
             raise StorageError(f"{path} is not a segment file")
-        magic, _record_bytes, _capacity, count = HEADER.unpack_from(header)
-        if magic != MAGIC:
-            raise StorageError(f"{path} is not a segment file")
+        magic, record_bytes, capacity, count = HEADER.unpack_from(header)
+        problem = _header_problem(
+            magic, record_bytes, capacity, count, os.path.getsize(path)
+        )
+        if problem is not None:
+            raise StorageError(f"{path} {problem}")
         return count
 
     @staticmethod
@@ -182,26 +235,56 @@ class MappedSegment:
         _metrics().count("storage.flush", 1, kind=self.kind)
 
     def close(self) -> None:
-        """Unmap the segment.
+        """Unmap the segment and, if it was freshly created, publish it:
+        the ``.tmp`` backing file is atomically renamed to the final path,
+        so readers only ever see complete segments.
 
-        No ``msync`` here: dirty mapped pages survive ``munmap`` in the
-        unified page cache, so readers that re-open the file see every
-        write.  Call :meth:`flush` first when *durability* (power-failure
-        safety) is needed — closing hundreds of temporary spill files per
-        join must not pay a synchronous writeback each.
+        No ``msync`` here by default: dirty mapped pages survive
+        ``munmap`` in the unified page cache, so readers that re-open the
+        file see every write, and a *process* crash after the rename
+        cannot tear the data.  Segments created with ``durable=True``
+        additionally msync+fsync before the rename for power-failure
+        safety — closing hundreds of temporary spill files per join must
+        not pay a synchronous writeback each, so that is opt-in.
         """
         if self._closed:
             return
         self._write_count()
+        if self._pending and self._durable:
+            self._map.flush()
+            os.fsync(self._file.fileno())
         self._map.close()
         self._file.close()
         self._closed = True
+        if self._pending:
+            os.replace(self._backing, self.path)
+            self._pending = False
+
+    def discard(self) -> None:
+        """Close *without* publishing (idempotent, the failure path).
+
+        A created-but-unpublished segment's ``.tmp`` backing file is
+        removed; an opened segment is simply unmapped with its header
+        count left as it was on disk, so partial appends from a failed
+        pass are never made visible.
+        """
+        if self._closed:
+            return
+        self._map.close()
+        self._file.close()
+        self._closed = True
+        if self._pending:
+            self._backing.unlink(missing_ok=True)
+            self._pending = False
 
     def __enter__(self) -> "MappedSegment":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and self._pending:
+            self.discard()
+        else:
+            self.close()
 
     # ------------------------------------------------------------ metadata
     #
@@ -394,6 +477,34 @@ class MappedSegment:
 
 def _round_up(value: int, multiple: int) -> int:
     return -(-value // multiple) * multiple
+
+
+def _header_problem(
+    magic: bytes, record_bytes: int, capacity: int, count: int,
+    file_bytes: int,
+) -> Optional[str]:
+    """Why a segment header cannot be trusted, or None if it can.
+
+    A writer that died mid-pass can leave a file whose header disagrees
+    with its data area; accepting it would surface garbage records, so
+    open/record_count reject torn segments outright and the caller
+    re-creates them (worker passes are idempotent).
+    """
+    if magic != MAGIC:
+        return "is not a segment file"
+    if record_bytes <= 0:
+        return f"declares an unusable record size {record_bytes}"
+    if count > capacity:
+        return (
+            f"is torn: header claims {count} records but capacity is "
+            f"{capacity}"
+        )
+    if file_bytes < PAGE_SIZE + capacity * record_bytes:
+        return (
+            f"is torn: {file_bytes} bytes on disk cannot hold the "
+            f"declared {capacity}-record data area"
+        )
+    return None
 
 
 # ------------------------------------------------------- timed map helpers

@@ -22,15 +22,26 @@ from repro.workload.generator import Workload
 
 
 class Store:
-    """A root directory holding one subdirectory per disk."""
+    """A root directory holding one subdirectory per disk.
 
-    def __init__(self, root: str | Path, disks: int) -> None:
+    ``clean_orphans=True`` sweeps ``*.seg.tmp`` files — unpublished
+    segments whose writer died before the atomic rename — on open.  Only
+    the *driver* of a join should pass it: workers construct a Store per
+    task while sibling workers are still writing their own ``.tmp``
+    files, so cleaning from a worker would race live writers.
+    """
+
+    def __init__(
+        self, root: str | Path, disks: int, clean_orphans: bool = False
+    ) -> None:
         if disks <= 0:
             raise StorageError("a store needs at least one disk directory")
         self.root = Path(root)
         self.disks = disks
         for i in range(disks):
             self.disk_dir(i).mkdir(parents=True, exist_ok=True)
+        if clean_orphans:
+            self.cleanup_orphans()
 
     def disk_dir(self, disk: int) -> Path:
         if not 0 <= disk < self.disks:
@@ -80,6 +91,21 @@ class Store:
             p for p in sorted(self.disk_dir(disk).glob("*.seg"))
             if p.name not in reserved
         ]
+
+    def cleanup_orphans(self) -> int:
+        """Remove unpublished ``*.seg.tmp`` files left by dead writers.
+
+        Returns how many were removed.  Safe on a store of valid
+        segments: a ``.tmp`` file only exists between a segment's create
+        and its atomic publish, so anything found here belongs to a
+        writer that no longer exists.
+        """
+        removed = 0
+        for disk in range(self.disks):
+            for path in self.disk_dir(disk).glob("*.seg.tmp"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
 
     def cleanup_temps(self) -> None:
         for disk in range(self.disks):

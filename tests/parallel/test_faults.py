@@ -1,0 +1,315 @@
+"""Fault injection and crash recovery for the real-mmap backend.
+
+The acceptance matrix of the recovery layer: for every algorithm x pass,
+inject one crash, one hang, and one torn write, and require the recovered
+run to be bit-identical to a fault-free run — same pair count, same
+checksum, same per-pass record counts — while still verifying against the
+workload's ground-truth oracle.  Plus the failure-budget contract: when
+retries are exhausted the run must raise and leave no control file, no
+metrics sidecar, and no unpublished segment behind.
+"""
+
+import itertools
+
+import pytest
+
+from repro.joins import verify_pairs
+from repro.obs.export import schema_problems
+from repro.parallel import RealJoinError, run_real_join
+from repro.parallel.faults import (
+    ALGORITHM_TASKS,
+    FAULT_KINDS,
+    FAULTS_FILE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.workload import WorkloadSpec, generate_workload
+
+R_OBJECTS = 300
+
+# (algorithm, task) coordinates: every pass of every algorithm.
+ALL_TASKS = [
+    (algorithm, task)
+    for algorithm, tasks in sorted(ALGORITHM_TASKS.items())
+    for task in tasks
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadSpec(r_objects=R_OBJECTS, s_objects=R_OBJECTS, seed=7),
+        disks=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines(workload, tmp_path_factory):
+    """Fault-free reference results, one per algorithm."""
+    root = tmp_path_factory.mktemp("baseline")
+    results = {}
+    for algorithm in sorted(ALGORITHM_TASKS):
+        result = run_real_join(
+            algorithm, workload, str(root / algorithm), use_processes=False
+        )
+        assert verify_pairs(workload, result.pairs) == R_OBJECTS
+        results[algorithm] = result
+    return results
+
+
+def assert_no_run_artifacts(root):
+    """Nothing run-scoped may outlive a join — success or failure."""
+    leftovers = [
+        p for p in root.rglob("*")
+        if p.name == "metrics.on"
+        or p.name == FAULTS_FILE
+        or p.name.startswith("fault_attempt_")
+        or p.name.startswith("metrics_")
+        or p.name.endswith(".seg.tmp")
+    ]
+    assert leftovers == [], f"run artifacts leaked: {leftovers}"
+
+
+def assert_matches_baseline(result, baseline, workload):
+    assert result.pair_count == baseline.pair_count
+    assert result.checksum == baseline.checksum
+    assert result.pass_counts == baseline.pass_counts
+    assert result.pass_checksums == baseline.pass_checksums
+    assert verify_pairs(workload, result.pairs) == R_OBJECTS
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec("crash", "grace_probe", 1),
+                FaultSpec("hang", "sort_merge_join", 0, attempt=2, hang_s=9.0),
+            ]
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_parse_inline_json(self):
+        plan = FaultPlan.parse(
+            '{"faults": [{"kind": "crash", "task": "grace_probe",'
+            ' "partition": 0}]}'
+        )
+        assert plan.spec_for("grace_probe", 0, 0).kind == "crash"
+        assert plan.spec_for("grace_probe", 0, 1) is None
+        assert plan.spec_for("grace_probe", 1, 0) is None
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.single("hang", "grace_probe", 0).to_json())
+        assert FaultPlan.parse(str(path)).faults[0].kind == "hang"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec("segfault", "grace_probe", 0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-negative"):
+            FaultSpec("crash", "grace_probe", -1)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json('{"faults": "nope"}')
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json('{"faults": [{"kind": "crash"}]}')
+
+    def test_crash_every_pass_covers_all_tasks(self):
+        for algorithm, tasks in ALGORITHM_TASKS.items():
+            plan = FaultPlan.crash_every_pass(algorithm)
+            assert tuple(s.task for s in plan.faults) == tasks
+        with pytest.raises(FaultPlanError, match="unknown algorithm"):
+            FaultPlan.crash_every_pass("hash-loops")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(task_timeout=0)
+
+
+class TestInlineRecoveryMatrix:
+    """Every algorithm x pass x fault kind, recovered inline."""
+
+    @pytest.mark.parametrize(
+        "algorithm,task,kind",
+        [
+            (algorithm, task, kind)
+            for (algorithm, task), kind in itertools.product(
+                ALL_TASKS, FAULT_KINDS
+            )
+        ],
+    )
+    def test_recovers_bit_identical(
+        self, workload, baselines, algorithm, task, kind, tmp_path
+    ):
+        root = tmp_path / "db"
+        result = run_real_join(
+            algorithm, workload, str(root), use_processes=False,
+            fault_plan=FaultPlan.single(kind, task, partition=0),
+        )
+        assert_matches_baseline(result, baselines[algorithm], workload)
+        assert result.retries_total >= 1
+        if kind == "hang":
+            assert result.timeouts_total >= 1
+        assert not root.exists()
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHM_TASKS))
+    def test_crash_in_every_pass_still_recovers(
+        self, workload, baselines, algorithm, tmp_path
+    ):
+        """The issue's headline acceptance: one worker dies in *every*
+        pass and the join still completes bit-identically."""
+        result = run_real_join(
+            algorithm, workload, str(tmp_path / "db"), use_processes=False,
+            fault_plan=FaultPlan.crash_every_pass(algorithm),
+        )
+        assert_matches_baseline(result, baselines[algorithm], workload)
+        assert result.retries_total >= len(ALGORITHM_TASKS[algorithm])
+
+    def test_second_attempt_fault_also_recovered(self, workload, baselines, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultSpec("crash", "grace_probe", 0, attempt=0),
+                FaultSpec("torn-write", "grace_probe", 0, attempt=1),
+            ]
+        )
+        result = run_real_join(
+            "grace", workload, str(tmp_path / "db"), use_processes=False,
+            fault_plan=plan,
+        )
+        assert_matches_baseline(result, baselines["grace"], workload)
+        assert result.retries_total >= 2
+
+    def test_no_artifacts_after_faulted_run(self, workload, tmp_path):
+        root = tmp_path / "db"
+        run_real_join(
+            "grace", workload, str(root), use_processes=False,
+            keep_store=True,
+            fault_plan=FaultPlan.single("crash", "grace_partition", 0),
+        )
+        assert (root / "disk0" / "R.seg").exists()
+        assert_no_run_artifacts(root)
+
+
+class TestRetryExhaustion:
+    def exhausting_plan(self, task, retries):
+        return FaultPlan(
+            [
+                FaultSpec("crash", task, 0, attempt=attempt)
+                for attempt in range(retries + 1)
+            ]
+        )
+
+    def test_raises_after_budget(self, workload, tmp_path):
+        root = tmp_path / "db"
+        with pytest.raises(RealJoinError, match="failed"):
+            run_real_join(
+                "grace", workload, str(root), use_processes=False,
+                retries=2, keep_store=True,
+                fault_plan=self.exhausting_plan("grace_probe", retries=2),
+            )
+        # The store survives (keep_store) but nothing run-scoped does.
+        assert (root / "disk0" / "R.seg").exists()
+        assert_no_run_artifacts(root)
+
+    def test_destroys_store_by_default_on_failure(self, workload, tmp_path):
+        root = tmp_path / "db"
+        with pytest.raises(RealJoinError):
+            run_real_join(
+                "grace", workload, str(root), use_processes=False,
+                retries=0,
+                fault_plan=self.exhausting_plan("grace_partition", retries=0),
+            )
+        assert not root.exists()
+
+    def test_zero_retries_fails_fast(self, workload, tmp_path):
+        with pytest.raises(RealJoinError):
+            run_real_join(
+                "grace", workload, str(tmp_path / "db"), use_processes=False,
+                retries=0,
+                fault_plan=FaultPlan.single("crash", "grace_probe", 0),
+            )
+
+
+class TestRecoveryObservability:
+    def test_stats_document_reports_recovery(self, workload, tmp_path):
+        result = run_real_join(
+            "sort-merge", workload, str(tmp_path / "db"), use_processes=False,
+            fault_plan=FaultPlan.single("crash", "sort_merge_join", 0),
+        )
+        document = result.stats_document(workload)
+        assert schema_problems(document) == []
+        recovery = document["totals"]["recovery"]
+        assert recovery["retries"] == result.retries_total >= 1
+        retry_counters = {
+            key: value
+            for key, value in document["totals"]["counters"].items()
+            if key.startswith("runner.retries_total")
+        }
+        assert sum(retry_counters.values()) == result.retries_total
+
+    def test_fault_free_run_reports_zero_recovery(self, workload, tmp_path):
+        result = run_real_join(
+            "grace", workload, str(tmp_path / "db"), use_processes=False
+        )
+        assert result.retries_total == 0
+        assert result.timeouts_total == 0
+        assert result.inline_fallbacks == 0
+        document = result.stats_document(workload)
+        assert document["totals"]["recovery"] == {
+            "retries": 0, "timeouts": 0, "inline_fallbacks": 0
+        }
+        assert not any(
+            key.startswith("runner.")
+            for key in document["totals"]["counters"]
+        )
+
+
+class TestProcessRecovery:
+    """Real process deaths: the pool-mode dispatch path.
+
+    Crash detection in pool mode is by task timeout (a dead worker's
+    result simply never arrives), so these runs each pay one timeout
+    wait for the killed partition.
+    """
+
+    def test_pool_crash_recovered(self, workload, baselines, tmp_path):
+        result = run_real_join(
+            "grace", workload, str(tmp_path / "db"), use_processes=True,
+            task_timeout=3.0, retries=2,
+            fault_plan=FaultPlan.single("crash", "grace_probe", 0),
+        )
+        assert_matches_baseline(result, baselines["grace"], workload)
+        assert result.retries_total >= 1
+        assert result.timeouts_total >= 1
+
+    def test_pool_hang_recovered(self, workload, baselines, tmp_path):
+        plan = FaultPlan.single(
+            "hang", "nested_loops_pass0", 0, hang_s=60.0
+        )
+        result = run_real_join(
+            "nested-loops", workload, str(tmp_path / "db"),
+            use_processes=True, task_timeout=2.0, retries=2,
+            fault_plan=plan,
+        )
+        assert_matches_baseline(result, baselines["nested-loops"], workload)
+        assert result.timeouts_total >= 1
+
+    def test_pool_torn_write_recovered(self, workload, baselines, tmp_path):
+        root = tmp_path / "db"
+        result = run_real_join(
+            "sort-merge", workload, str(root), use_processes=True,
+            task_timeout=3.0, retries=2, keep_store=True,
+            fault_plan=FaultPlan.single(
+                "torn-write", "sort_merge_partition", 0
+            ),
+        )
+        assert_matches_baseline(result, baselines["sort-merge"], workload)
+        assert_no_run_artifacts(root)
