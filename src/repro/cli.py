@@ -20,6 +20,7 @@ versioned JSON schema of ``docs/metrics_schema.md``) for either backend.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import tempfile
 from typing import Optional, Sequence
@@ -94,6 +95,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="JSON",
         help="deterministic fault plan for the real backend: a JSON file "
              "path or an inline JSON object (testing/chaos runs)",
+    )
+    join.add_argument(
+        "--mem-budget", default=None, metavar="BYTES",
+        help="real-backend memory budget across all workers (suffixes "
+             "K/M/G); arms the resource governor",
+    )
+    join.add_argument(
+        "--disk-budget", default=None, metavar="BYTES",
+        help="real-backend disk budget for the whole store (suffixes K/M/G)",
+    )
+    join.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="N",
+        help="admit at most N concurrent joins through a process-local "
+             "resource governor (meaningful with --on-pressure=queue/fail)",
+    )
+    join.add_argument(
+        "--on-pressure", choices=("degrade", "queue", "fail"),
+        default="degrade",
+        help="what resource pressure does: degrade the plan down the "
+             "ladder (default), queue for admission without re-planning, "
+             "or fail with a classified error",
+    )
+    join.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="real-backend store directory (kept after the run) instead "
+             "of a throwaway temporary directory",
     )
 
     model = sub.add_parser("model", help="print an analytical prediction")
@@ -194,6 +221,25 @@ def _workload(args):
     )
 
 
+_SIZE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+
+
+def parse_size(text: str) -> int:
+    """``"256K"`` → 262144.  Bare numbers are bytes; suffixes K/M/G."""
+    raw = text.strip().upper()
+    multiplier = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw) * multiplier
+    except ValueError:
+        raise ValueError(f"invalid size {text!r} (expected e.g. 4096, 256K, 2M)")
+    if value <= 0:
+        raise ValueError(f"size must be positive: {text!r}")
+    return value
+
+
 def _cmd_figures(args) -> int:
     if args.figure:
         print(FIGURE_BUILDERS[args.figure](args).render())
@@ -221,6 +267,8 @@ def _cmd_join(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        from repro.governor import ResourceExhausted, ResourceGovernor
+
         fault_plan = None
         if args.fault_plan:
             try:
@@ -228,13 +276,39 @@ def _cmd_join(args) -> int:
             except (FaultPlanError, OSError) as error:
                 print(f"invalid --fault-plan: {error}", file=sys.stderr)
                 return 2
-        with tempfile.TemporaryDirectory() as root:
-            result = run_real_join(
-                args.algorithm, workload, root,
-                retries=args.retries,
-                task_timeout=args.task_timeout,
-                fault_plan=fault_plan,
+        try:
+            mem_budget = parse_size(args.mem_budget) if args.mem_budget else None
+            disk_budget = (
+                parse_size(args.disk_budget) if args.disk_budget else None
             )
+        except ValueError as error:
+            print(f"invalid budget: {error}", file=sys.stderr)
+            return 2
+        governor = (
+            ResourceGovernor(max_concurrent=args.max_concurrent)
+            if args.max_concurrent is not None else None
+        )
+        with contextlib.ExitStack() as stack:
+            root = args.store or stack.enter_context(
+                tempfile.TemporaryDirectory()
+            )
+            try:
+                result = run_real_join(
+                    args.algorithm, workload, root,
+                    keep_store=bool(args.store),
+                    retries=args.retries,
+                    task_timeout=args.task_timeout,
+                    fault_plan=fault_plan,
+                    mem_budget=mem_budget,
+                    disk_budget=disk_budget,
+                    on_pressure=args.on_pressure,
+                    governor=governor,
+                )
+            except ResourceExhausted as error:
+                # Classified exhaustion is an orderly refusal, not a crash:
+                # its own exit code, and never a raw OSError/MemoryError.
+                print(f"resource exhausted: {error.describe()}", file=sys.stderr)
+                return 3
         pairs = verify_pairs(workload, result.pairs)
         print(f"{args.algorithm}: {pairs:,} pairs verified, "
               f"{result.wall_ms:,.0f} ms wall clock (real mmap backend)")
@@ -243,6 +317,19 @@ def _cmd_join(args) -> int:
                 f"recovery: {result.retries_total} retries, "
                 f"{result.timeouts_total} timeouts, "
                 f"{result.inline_fallbacks} inline fallbacks"
+            )
+        if result.governor is not None:
+            gov = result.governor
+            observed = gov["observed"]
+            print(
+                f"governor: admission={gov['admission']}, "
+                f"degradations={gov['degradations_total']} "
+                f"({gov['admission_degradations']} at admission, "
+                f"{gov['runtime_degradations']} at runtime), "
+                f"predicted hwm {gov['predicted']['mem_high_water_bytes']:,} B, "
+                f"observed hwm "
+                f"{int(observed['worker_mem_high_water_bytes'] or 0):,} B, "
+                f"disk peak {observed['disk_peak_bytes']:,} B"
             )
         if args.stats_out:
             from repro.obs import write_stats_document

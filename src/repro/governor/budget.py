@@ -1,0 +1,132 @@
+"""Budget propagation and disk reservation accounting.
+
+Budgets follow the same files-only protocol as the metrics marker and the
+fault plan: the driver writes a small ``governor.json`` into the store
+root, and every worker (including pool processes forked before the join
+began) reads it at task entry.  Nothing is widened in any worker argument
+or return type.
+
+Disk accounting exploits a property the storage layer already has:
+:meth:`MappedSegment.create` truncates the file to its *full* capacity up
+front, so a segment's ``st_size`` **is** its disk reservation — summing
+file sizes over the store gives exactly the space the run has claimed,
+with no separate reservation ledger to keep consistent.
+:func:`disk_preflight` checks a prospective creation against the budget
+*before* the ``ftruncate`` that would otherwise die with a raw ``ENOSPC``
+mid-write, and raises the classified
+:class:`~repro.governor.errors.DiskExhausted` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.governor.errors import DiskExhausted
+
+#: Presence of this file in the store root arms budget enforcement.
+GOVERNOR_FILE = "governor.json"
+
+#: Suffixes of the files whose sizes constitute the store's disk usage
+#: (segments and their unpublished tmp siblings; control files are noise).
+_SEGMENT_SUFFIXES = (".seg", ".seg.tmp")
+
+
+@dataclass(frozen=True)
+class BudgetFile:
+    """The per-run budgets the driver hands its workers."""
+
+    worker_mem_budget_bytes: Optional[int] = None
+    disk_budget_bytes: Optional[int] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "worker_mem_budget_bytes": self.worker_mem_budget_bytes,
+                "disk_budget_bytes": self.disk_budget_bytes,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BudgetFile":
+        data = json.loads(text)
+        return cls(
+            worker_mem_budget_bytes=data.get("worker_mem_budget_bytes"),
+            disk_budget_bytes=data.get("disk_budget_bytes"),
+        )
+
+
+def install_budgets(
+    root: str | os.PathLike,
+    worker_mem_budget_bytes: Optional[int] = None,
+    disk_budget_bytes: Optional[int] = None,
+) -> Path:
+    """Arm budgets for every worker that opens ``root``."""
+    path = Path(root) / GOVERNOR_FILE
+    path.write_text(
+        BudgetFile(worker_mem_budget_bytes, disk_budget_bytes).to_json()
+    )
+    return path
+
+
+def load_budgets(root: str | os.PathLike) -> Optional[BudgetFile]:
+    """The armed budgets, or ``None``.  Costs one ``stat`` when unarmed."""
+    path = Path(root) / GOVERNOR_FILE
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        return BudgetFile.from_json(text)
+    except (ValueError, TypeError):
+        # A torn/garbage budget file must not take the whole run down;
+        # treat it as unarmed (the driver rewrites it every run anyway).
+        return None
+
+
+def sweep_budgets(root: str | os.PathLike) -> None:
+    """Remove the budget file (called on every run-exit path)."""
+    root = Path(root)
+    if root.exists():
+        (root / GOVERNOR_FILE).unlink(missing_ok=True)
+
+
+def store_usage_bytes(root: str | os.PathLike) -> int:
+    """Bytes currently reserved by segments (and tmps) under ``root``.
+
+    Because segments are truncated to full capacity at creation, this is
+    the run's true disk reservation, not just the bytes written so far.
+    """
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith(_SEGMENT_SUFFIXES):
+                try:
+                    total += os.path.getsize(os.path.join(dirpath, name))
+                except OSError:
+                    continue  # racing an unlink is fine; it freed space
+    return total
+
+
+def disk_preflight(segment_path: str | os.PathLike, nbytes: int) -> None:
+    """Refuse a segment creation that would cross the store's disk budget.
+
+    ``segment_path`` lives at ``<root>/disk<N>/<name>.seg``, so the store
+    root (where ``governor.json`` lives) is two levels up.  Without an
+    armed budget this is one failed ``stat``.
+    """
+    root = Path(segment_path).parent.parent
+    budgets = load_budgets(root)
+    if budgets is None or budgets.disk_budget_bytes is None:
+        return
+    used = store_usage_bytes(root)
+    if used + nbytes > budgets.disk_budget_bytes:
+        raise DiskExhausted(
+            f"disk budget exceeded creating {Path(segment_path).name}",
+            requested=nbytes,
+            limit=budgets.disk_budget_bytes,
+            used=used,
+        )

@@ -1,0 +1,115 @@
+"""Classified resource-exhaustion errors for the real-mmap backend.
+
+The seed backend surfaced resource pressure as whatever the OS happened to
+raise — a raw ``OSError(ENOSPC)`` out of an ``ftruncate`` deep inside
+segment creation, or a ``MemoryError`` from an over-full worker buffer.
+Callers could not tell "this join needs a different plan" apart from "the
+code is broken".  This module gives every resource failure one classified
+type with the three numbers a governor needs to react: what was asked for,
+what the limit was, and what was already in use.
+
+All of these exceptions cross :mod:`multiprocessing` pool boundaries, so
+they implement ``__reduce__`` explicitly — the default ``Exception``
+pickling drops keyword-initialized attributes, and a classified error that
+arrives in the parent stripped of its classification would defeat the
+point.
+
+This is a leaf module: it imports nothing from the storage, model or
+parallel layers, so any of them may raise these errors without cycles.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Optional
+
+#: OS error numbers that mean "the disk (or quota) is full".
+DISK_FULL_ERRNOS = frozenset(
+    {errno.ENOSPC} | ({errno.EDQUOT} if hasattr(errno, "EDQUOT") else set())
+)
+
+
+class ResourceExhausted(RuntimeError):
+    """A join hit (or would hit) a resource budget.
+
+    ``resource`` is a class attribute — ``"memory"``, ``"disk"`` or
+    ``"admission"`` — so callers can route on type *or* on the string
+    (the stats document records the string).
+    """
+
+    resource = "resource"
+
+    def __init__(
+        self,
+        message: str,
+        requested: Optional[int] = None,
+        limit: Optional[int] = None,
+        used: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.limit = limit
+        self.used = used
+
+    def __reduce__(self):
+        # Explicit so requested/limit/used survive pool pickling.
+        return (
+            self.__class__,
+            (
+                self.args[0] if self.args else "",
+                self.requested,
+                self.limit,
+                self.used,
+            ),
+        )
+
+    def describe(self) -> str:
+        parts = [str(self.args[0]) if self.args else self.resource]
+        if self.requested is not None:
+            parts.append(f"requested={self.requested}")
+        if self.used is not None:
+            parts.append(f"used={self.used}")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return " ".join(parts)
+
+
+class MemoryExhausted(ResourceExhausted):
+    """A memory budget (or the machine's memory) was exhausted."""
+
+    resource = "memory"
+
+
+class DiskExhausted(ResourceExhausted):
+    """A disk budget (or the filesystem) was exhausted."""
+
+    resource = "disk"
+
+
+class AdmissionRejected(ResourceExhausted):
+    """The governor declined to run a join (queue full, deadline, policy)."""
+
+    resource = "admission"
+
+
+def classify_os_error(
+    error: BaseException, context: str
+) -> Optional[ResourceExhausted]:
+    """The classified twin of an OS-level resource error, or ``None``.
+
+    ``ENOSPC``/``EDQUOT`` become :class:`DiskExhausted`, ``ENOMEM`` and
+    ``MemoryError`` become :class:`MemoryExhausted`; anything else is not a
+    resource error and returns ``None`` (the caller re-raises the
+    original).  An already-classified error passes through unchanged so
+    boundary code can call this unconditionally.
+    """
+    if isinstance(error, ResourceExhausted):
+        return error
+    if isinstance(error, MemoryError):
+        return MemoryExhausted(f"{context}: out of memory")
+    code = getattr(error, "errno", None)
+    if code in DISK_FULL_ERRNOS:
+        return DiskExhausted(f"{context}: out of disk space ({error})")
+    if code == errno.ENOMEM:
+        return MemoryExhausted(f"{context}: out of memory ({error})")
+    return None

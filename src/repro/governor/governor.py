@@ -1,0 +1,144 @@
+"""Bounded admission control for concurrent ``run_real_join`` callers.
+
+The paper's machine model has a fixed number of processors and disks; the
+runtime equivalent is that N concurrent joins each spawning ``disks``
+worker processes oversubscribe the pool and *all* of them thrash.  A
+:class:`ResourceGovernor` is a small counting semaphore with a bounded
+wait queue and an optional per-join deadline: up to ``max_concurrent``
+joins run, up to ``queue_limit`` more wait their turn, and everything
+beyond that (or anything whose deadline lapses while queued) is rejected
+with a classified :class:`~repro.governor.errors.AdmissionRejected` —
+backpressure as an error the caller can act on, not a mystery slowdown.
+
+One governor instance is shared by the callers it should arbitrate
+(typically one per process serving many joins); ``run_real_join`` accepts
+it as an optional parameter and runs ungoverned when none is given.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.governor.errors import AdmissionRejected
+
+
+class AdmissionTicket:
+    """Proof of admission; release it (or use as a context manager)."""
+
+    def __init__(
+        self, governor: "ResourceGovernor", decision: str, queued_ms: float
+    ) -> None:
+        self._governor = governor
+        self.decision = decision  # "admitted" | "queued"
+        self.queued_ms = queued_ms
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._governor._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ResourceGovernor:
+    """Admit at most ``max_concurrent`` joins; queue a bounded overflow."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 1,
+        queue_limit: int = 8,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1: {max_concurrent}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0: {queue_limit}")
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.deadline_s = deadline_s
+        self._lock = threading.Condition()
+        self._running = 0
+        self._waiting = 0
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+
+    def admit(
+        self, on_pressure: str = "degrade", deadline_s: Optional[float] = None
+    ) -> AdmissionTicket:
+        """Block until a slot frees (or fail fast under ``on_pressure="fail"``).
+
+        Returns an :class:`AdmissionTicket` whose ``decision`` records
+        whether the join ran immediately or waited.  Raises
+        :class:`AdmissionRejected` when the caller declines to wait, the
+        queue is full, or the deadline lapses before a slot frees.
+        """
+        deadline = deadline_s if deadline_s is not None else self.deadline_s
+        with self._lock:
+            if self._running < self.max_concurrent:
+                self._running += 1
+                self.admitted_total += 1
+                return AdmissionTicket(self, "admitted", 0.0)
+            if on_pressure == "fail":
+                self.rejected_total += 1
+                raise AdmissionRejected(
+                    "governor saturated and on_pressure=fail",
+                    requested=1,
+                    limit=self.max_concurrent,
+                    used=self._running,
+                )
+            if self._waiting >= self.queue_limit:
+                self.rejected_total += 1
+                raise AdmissionRejected(
+                    "governor admission queue is full",
+                    requested=1,
+                    limit=self.queue_limit,
+                    used=self._waiting,
+                )
+            self._waiting += 1
+            started = time.monotonic()
+            try:
+                while self._running >= self.max_concurrent:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - (time.monotonic() - started)
+                        if remaining <= 0:
+                            self.rejected_total += 1
+                            raise AdmissionRejected(
+                                f"admission deadline of {deadline:g}s lapsed "
+                                "while queued",
+                                limit=self.max_concurrent,
+                                used=self._running,
+                            )
+                    self._lock.wait(timeout=remaining)
+            finally:
+                self._waiting -= 1
+            self._running += 1
+            self.admitted_total += 1
+            self.queued_total += 1
+            queued_ms = (time.monotonic() - started) * 1000.0
+            return AdmissionTicket(self, "queued", queued_ms)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._running = max(0, self._running - 1)
+            self._lock.notify()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "queue_limit": self.queue_limit,
+                "running": self._running,
+                "waiting": self._waiting,
+                "admitted_total": self.admitted_total,
+                "queued_total": self.queued_total,
+                "rejected_total": self.rejected_total,
+            }

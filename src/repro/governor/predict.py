@@ -1,0 +1,328 @@
+"""Model-driven footprint prediction and the degradation ladder.
+
+Admission control is only as good as its estimate, and this repo already
+*has* the estimate: the paper's analytical model.  This module turns the
+model's machinery — partition geometry (:mod:`repro.model.geometry`), the
+Mackert–Lohman ``Ylru`` buffer model (:mod:`repro.model.buffer`) and the
+Johnson–Kotz urn model of Grace bucket thrashing (:mod:`repro.model.urn`)
+— into the two numbers the governor needs *before* a join runs:
+
+* the per-worker **memory high-water mark**, in the same record-byte unit
+  the runtime :class:`~repro.governor.watchdog.MemoryMeter` charges, so
+  predicted-vs-observed is a direct comparison (a test asserts the
+  tolerance); and
+* the **disk footprint** — base relations plus every spill and pairs
+  segment at its full creation capacity, which is exactly the reservation
+  ``MappedSegment.create`` claims via truncate.
+
+A :class:`JoinPlan` is the knob set the prediction is a function of, and
+:meth:`JoinPlan.degraded` is one rung of the degradation ladder: smaller
+batches for nested loops, a smaller sort heap (more, smaller runs) for
+sort-merge, chunked spilling and more/smaller buckets for Grace.
+:func:`fit_plan` walks the ladder until the predicted high-water mark fits
+the budget — the "re-plan instead of thrash" admission decision.
+
+Deliberately import-light: only :mod:`repro.model` (itself pure math), so
+the storage layer can depend on this package without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.model.buffer import ylru
+from repro.model.geometry import nested_loops_geometry, synchronized_geometry
+from repro.model.parameters import MachineParameters
+from repro.model.urn import grace_thrashing_estimate
+
+#: Mirrors of storage-layer constants (not imported, to stay cycle-free;
+#: pinned by tests against the real values).
+PAGE_SIZE = 4096
+PAIR_RECORD_BYTES = 32  # struct <QQQQ>: rid, sid, r_payload, s_value
+
+#: Ladder floors/ceilings.  Batches and runs below 64 records spend more
+#: time in dispatch than in work; the bucket ceiling keeps the
+#: BucketedRFile per-bucket directory inside the header page's spare room.
+MIN_BATCH_RECORDS = 64
+MIN_IRUN = 64
+MAX_BUCKETS = 248
+
+#: fit_plan aims below the budget by this margin: the prediction is a
+#: model, and landing exactly on the limit would turn every small
+#: mis-estimate into a runtime degradation round.
+FIT_MARGIN = 0.75
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The tunable knobs one real join runs with."""
+
+    batch_records: int = 4096
+    irun: int = 4096
+    buckets: int = 16
+    tsize: int = 64
+    #: Grace only: flush bucket groups to chunked spill files whenever
+    #: this many objects are retained.  ``None`` = single flush at end of
+    #: scan (the fast path, byte-identical to the ungoverned backend).
+    spill_threshold: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "batch_records": self.batch_records,
+            "irun": self.irun,
+            "buckets": self.buckets,
+            "tsize": self.tsize,
+            "spill_threshold": self.spill_threshold,
+        }
+
+    def degraded(self, algorithm: str, resource: str = "memory") -> "JoinPlan":
+        """One rung down the ladder; returns ``self`` when exhausted.
+
+        Disk pressure has no plan-level remedy beyond throttling batch
+        sizes (spill capacities are workload-determined), so every
+        algorithm degrades the same way for ``resource="disk"``.
+        """
+        if resource != "memory":
+            if self.batch_records > MIN_BATCH_RECORDS:
+                return self._with_batch(self.batch_records // 2)
+            return self
+        if algorithm == "nested-loops":
+            if self.batch_records > MIN_BATCH_RECORDS:
+                return self._with_batch(self.batch_records // 2)
+            return self
+        if algorithm == "sort-merge":
+            if self.irun > MIN_IRUN:
+                return replace(self, irun=max(MIN_IRUN, self.irun // 2))
+            if self.batch_records > MIN_BATCH_RECORDS:
+                return self._with_batch(self.batch_records // 2)
+            return self
+        # grace: first bound the partition pass (chunked spilling), then
+        # shrink the chunks, then the batches, then split buckets finer so
+        # the probe-side tables shrink too.
+        if self.spill_threshold is None:
+            return replace(
+                self,
+                spill_threshold=max(MIN_BATCH_RECORDS, 4 * self.batch_records),
+            )
+        if self.spill_threshold > self.batch_records:
+            return replace(
+                self,
+                spill_threshold=max(
+                    self.batch_records, self.spill_threshold // 2
+                ),
+            )
+        if self.batch_records > MIN_BATCH_RECORDS:
+            return self._with_batch(self.batch_records // 2)
+        if self.buckets < MAX_BUCKETS:
+            return replace(self, buckets=min(MAX_BUCKETS, self.buckets * 2))
+        return self
+
+    def _with_batch(self, batch_records: int) -> "JoinPlan":
+        batch_records = max(MIN_BATCH_RECORDS, batch_records)
+        threshold = self.spill_threshold
+        if threshold is not None:
+            threshold = max(batch_records, min(threshold, 4 * batch_records))
+        return replace(
+            self, batch_records=batch_records, spill_threshold=threshold
+        )
+
+
+@dataclass(frozen=True)
+class FootprintEstimate:
+    """What the model expects one join to cost in memory and disk."""
+
+    #: Per-worker retained-object high-water mark, per pass (bytes).
+    per_pass_mem_bytes: Dict[str, float] = field(default_factory=dict)
+    #: Max of the above — the number a worker budget is checked against.
+    mem_high_water_bytes: float = 0.0
+    #: All workers together (disks x per-worker high water).
+    total_mem_bytes: float = 0.0
+    #: Full on-disk reservation: base relations + spills + pairs.
+    disk_bytes: float = 0.0
+    #: The spill (temporary redistribution) share of ``disk_bytes``.
+    spill_bytes: float = 0.0
+    #: Model diagnostics (Ylru faults, urn premature replacements, ...).
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "mem_high_water_bytes": int(self.mem_high_water_bytes),
+            "total_mem_bytes": int(self.total_mem_bytes),
+            "disk_bytes": int(self.disk_bytes),
+            "spill_bytes": int(self.spill_bytes),
+            "per_pass_mem_bytes": {
+                label: int(value)
+                for label, value in self.per_pass_mem_bytes.items()
+            },
+            "details": dict(self.details),
+        }
+
+
+def _segment_bytes(capacity: float, record_bytes: int) -> float:
+    """On-disk reservation of one segment: header page + page-rounded data."""
+    records = max(1, math.ceil(capacity))
+    data = records * record_bytes
+    return PAGE_SIZE + math.ceil(data / PAGE_SIZE) * PAGE_SIZE
+
+
+def predict_footprint(
+    algorithm: str,
+    workload,
+    plan: JoinPlan,
+    worker_mem_budget_bytes: Optional[int] = None,
+) -> FootprintEstimate:
+    """The model's memory/disk footprint for ``algorithm`` under ``plan``.
+
+    ``workload`` is duck-typed: ``disks``, ``spec.s_bytes`` and
+    ``relation_parameters()`` (which carries the *measured* skew, so a
+    skewed pointer distribution inflates the worst partition exactly the
+    way the paper's analyses do).
+    """
+    relations = workload.relation_parameters()
+    disks = workload.disks
+    machine = MachineParameters(disks=disks)
+    r = relations.r_bytes
+    s = relations.s_bytes
+    synchronized = algorithm != "nested-loops"
+    geometry = (
+        synchronized_geometry(machine, relations)
+        if synchronized
+        else nested_loops_geometry(machine, relations)
+    )
+    r_i = geometry.r_i
+    # Worst-partition inbound for the redistribution algorithms: the
+    # barrier makes the most-skewed partition gate every pass.
+    inbound = max(1.0, geometry.rs_i * relations.skew)
+    batch = max(1, min(plan.batch_records, math.ceil(r_i)))
+    per_pass: Dict[str, float] = {}
+    details: Dict[str, float] = {}
+
+    base_bytes = disks * (
+        _segment_bytes(r_i, r) + _segment_bytes(geometry.s_i, s)
+    )
+    frames = (
+        worker_mem_budget_bytes / machine.page_size
+        if worker_mem_budget_bytes
+        else geometry.pages_r_i + geometry.pages_s_i
+    )
+
+    if algorithm == "nested-loops":
+        # Each batch retains its decoded R objects plus the dereferenced S
+        # objects; worst case every pointer resolves locally.
+        per_pass["pass0"] = batch * r + batch * s
+        per_pass["pass1"] = batch * r + batch * s
+        spill_bytes = disks * (disks - 1) * _segment_bytes(r_i, r)
+        pairs_bytes = 2 * (
+            disks * PAGE_SIZE
+            + _segment_bytes(relations.r_objects, PAIR_RECORD_BYTES)
+        )
+        try:
+            details["ylru_fault_pages"] = ylru(
+                n_tuples=int(geometry.s_i) or 1,
+                t_pages=math.ceil(geometry.pages_s_i) or 1,
+                i_keys=int(geometry.s_i) or 1,
+                b_frames=max(1.0, frames),
+                x_lookups=geometry.r_ii,
+            )
+        except ValueError:
+            details["ylru_fault_pages"] = 0.0
+    elif algorithm == "sort-merge":
+        per_pass["partition"] = batch * r
+        irun_eff = max(1, min(plan.irun, math.ceil(inbound)))
+        n_runs = max(1, math.ceil(inbound / irun_eff))
+        # Run building holds at most irun + one trailing batch before a
+        # flush; merging streams run batches lazily and retains only the
+        # re-batched output plus its dereferenced S objects.  The merged
+        # stream re-batches against *inbound* (which skew can push past
+        # r_i), so its batch clamp must use inbound, not r_i.
+        merge_batch = max(1, min(plan.batch_records, math.ceil(inbound)))
+        run_build = min(inbound, irun_eff + batch) * r
+        merge = merge_batch * (r + s)
+        per_pass["sort-merge-join"] = max(run_build, merge)
+        spill_bytes = (
+            disks * disks * _segment_bytes(r_i, r)
+            + disks * (_segment_bytes(inbound, r) + (n_runs - 1) * PAGE_SIZE)
+        )
+        pairs_bytes = disks * PAGE_SIZE + _segment_bytes(
+            relations.r_objects, PAIR_RECORD_BYTES
+        )
+        details["merge_runs"] = float(n_runs)
+    else:  # grace
+        if plan.spill_threshold is None:
+            retained = r_i
+        else:
+            retained = min(r_i, plan.spill_threshold + batch)
+        per_pass["partition"] = max(retained, batch) * r
+        # Range bucketing splits near-evenly; allow 3 sigma of multinomial
+        # wobble over the mean bucket population.
+        bucket_mean = inbound / plan.buckets
+        bucket_high = min(inbound, bucket_mean + 3.0 * math.sqrt(bucket_mean) + 1)
+        # Dereference chunks are carved from one bucket, so they are
+        # bounded by the bucket population as well as the batch knob.
+        probe_chunk = max(1, min(plan.batch_records, math.ceil(bucket_high)))
+        per_pass["probe"] = bucket_high * r + probe_chunk * s
+        per_contributor = r_i / disks  # one contributor's share per target
+        chunks = (
+            1
+            if plan.spill_threshold is None
+            else max(1, math.ceil(r_i / plan.spill_threshold))
+        )
+        spill_bytes = disks * disks * (
+            _segment_bytes(per_contributor, r) + (chunks - 1) * PAGE_SIZE
+        )
+        pairs_bytes = disks * PAGE_SIZE + _segment_bytes(
+            relations.r_objects, PAIR_RECORD_BYTES
+        )
+        try:
+            objects_per_block = max(1, machine.page_size // r)
+            details["grace_premature_replacements"] = grace_thrashing_estimate(
+                hashed_objects=int(geometry.r_ii) or 1,
+                buckets=plan.buckets,
+                frames=max(1, int(frames)),
+                disks=disks,
+                objects_per_block=objects_per_block,
+            ).premature_replacements
+        except ValueError:
+            details["grace_premature_replacements"] = 0.0
+
+    mem_high_water = max(per_pass.values())
+    return FootprintEstimate(
+        per_pass_mem_bytes=per_pass,
+        mem_high_water_bytes=mem_high_water,
+        total_mem_bytes=disks * mem_high_water,
+        disk_bytes=base_bytes + spill_bytes + pairs_bytes,
+        spill_bytes=spill_bytes,
+        details=details,
+    )
+
+
+def fit_plan(
+    algorithm: str,
+    workload,
+    plan: JoinPlan,
+    worker_mem_budget_bytes: int,
+) -> Tuple[JoinPlan, int, FootprintEstimate]:
+    """Walk the ladder until the predicted high-water mark fits the budget.
+
+    Returns ``(plan, rungs_descended, estimate)``.  If even the ladder's
+    floor does not fit, the floored plan is returned — the runtime meter
+    will then catch any true overrun and the runner decides whether to
+    keep degrading or raise.
+    """
+    target = FIT_MARGIN * worker_mem_budget_bytes
+    steps = 0
+    estimate = predict_footprint(
+        algorithm, workload, plan, worker_mem_budget_bytes
+    )
+    while estimate.mem_high_water_bytes > target:
+        lowered = plan.degraded(algorithm, "memory")
+        if lowered == plan:
+            break
+        plan = lowered
+        steps += 1
+        estimate = predict_footprint(
+            algorithm, workload, plan, worker_mem_budget_bytes
+        )
+    return plan, steps, estimate

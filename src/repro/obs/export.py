@@ -21,7 +21,11 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.obs.registry import MetricsRegistry, parse_metric_key
 
-SCHEMA_VERSION = 1
+#: Version 2 added ``totals.governor`` (resource-governor decision record)
+#: and the per-worker memory gauges; version-1 documents (no governor
+#: section) are still readable by consumers that ignore unknown fields,
+#: but this build emits and validates version 2.
+SCHEMA_VERSION = 2
 DOCUMENT_KIND = "repro-join-stats"
 
 #: Spill segment kinds — temporaries redistributed between partitions, as
@@ -105,6 +109,7 @@ def schema_problems(document: object) -> List[str]:
             problems.append("totals.recovery must be an object")
         elif any(not isinstance(v, (int, float)) for v in recovery.values()):
             problems.append("totals.recovery values must be numbers")
+    problems.extend(_governor_problems(totals.get("governor")))
     for label, entry in document["per_pass"].items():
         if not isinstance(entry, dict) or not isinstance(
             entry.get("wall_ms"), (int, float)
@@ -130,6 +135,30 @@ def schema_problems(document: object) -> List[str]:
     for i, record in enumerate(document["spans"]):
         if not isinstance(record, dict) or "name" not in record or "ms" not in record:
             problems.append(f"spans[{i}] needs name and ms fields")
+    return problems
+
+
+def _governor_problems(governor: object) -> List[str]:
+    """Schema problems in an optional ``totals.governor`` section.
+
+    Absent on ungoverned runs and on the simulator; when present it is the
+    governor's full decision record (see ``docs/metrics_schema.md``).
+    """
+    if governor is None:
+        return []
+    if not isinstance(governor, Mapping):
+        return ["totals.governor must be an object"]
+    problems: List[str] = []
+    if not isinstance(governor.get("admission"), str):
+        problems.append("totals.governor.admission must be a string")
+    for field in ("degradations_total", "admission_degradations",
+                  "runtime_degradations"):
+        if not isinstance(governor.get(field), (int, float)):
+            problems.append(f"totals.governor.{field} must be a number")
+    for field in ("predicted", "observed", "resource_errors", "budgets",
+                  "plan"):
+        if not isinstance(governor.get(field), Mapping):
+            problems.append(f"totals.governor.{field} must be an object")
     return problems
 
 
@@ -164,13 +193,23 @@ def _worker_summary(snapshot: Mapping) -> dict:
         by_name[name] = by_name.get(name, 0) + value
         if name == "storage.write.bytes" and labels.get("kind") in SPILL_KINDS:
             spill_bytes += value
-    wall_ms = max(registry.gauges.values(), default=0.0)
+    gauges_by_name: Dict[str, float] = {}
+    for key, value in registry.gauges.items():
+        name, _ = parse_metric_key(key)
+        gauges_by_name[name] = max(gauges_by_name.get(name, value), value)
     bytes_read = by_name.get("storage.read.bytes", 0) + by_name.get(
         "storage.deref.bytes", 0
     )
     bytes_written = by_name.get("storage.write.bytes", 0)
     return {
-        "wall_ms": wall_ms,
+        "wall_ms": gauges_by_name.get("worker.wall_ms", 0.0),
+        "mem_high_water_bytes": int(
+            gauges_by_name.get("worker.mem_high_water_bytes", 0)
+        ),
+        "mapped_peak_bytes": int(
+            gauges_by_name.get("worker.mapped_peak_bytes", 0)
+        ),
+        "rss_max_bytes": int(gauges_by_name.get("worker.rss_max_bytes", 0)),
         "records_read": int(
             by_name.get("storage.read.records", 0)
             + by_name.get("storage.deref.records", 0)
@@ -243,6 +282,7 @@ def build_real_stats_document(result, workload=None) -> dict:
         totals_registry.merge(driver_metrics)
 
     spec = getattr(workload, "spec", None)
+    governor = getattr(result, "governor", None)
     meta = {
         "algorithm": result.algorithm,
         "backend": "real-mmap",
@@ -275,6 +315,7 @@ def build_real_stats_document(result, workload=None) -> dict:
                     getattr(result, "inline_fallbacks", 0)
                 ),
             },
+            **({"governor": governor} if governor is not None else {}),
         },
         "per_pass": per_pass,
         "per_worker": per_worker,

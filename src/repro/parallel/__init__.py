@@ -7,12 +7,15 @@ from repro.parallel.faults import (
     FaultPlanError,
     FaultSpec,
     InjectedCrash,
+    InjectedDiskFull,
     InjectedFault,
     InjectedHang,
+    InjectedMemPressure,
     InjectedTornWrite,
     RetryPolicy,
 )
 from repro.parallel.runner import (
+    ON_PRESSURE_MODES,
     REAL_ALGORITHMS,
     RealJoinError,
     RealJoinResult,
@@ -27,9 +30,12 @@ __all__ = [
     "FaultPlanError",
     "FaultSpec",
     "InjectedCrash",
+    "InjectedDiskFull",
     "InjectedFault",
     "InjectedHang",
+    "InjectedMemPressure",
     "InjectedTornWrite",
+    "ON_PRESSURE_MODES",
     "PairResult",
     "REAL_ALGORITHMS",
     "RealJoinError",

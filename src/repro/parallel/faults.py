@@ -39,12 +39,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+import errno as _errno
+
+from repro.governor.errors import MemoryExhausted
 from repro.storage.segment import HEADER, MAGIC
 
 #: Presence of this file in the store root arms fault injection.
 FAULTS_FILE = "faults.json"
 
-FAULT_KINDS = ("crash", "hang", "torn-write")
+#: ``crash``/``hang``/``torn-write`` exercise the PR-3 recovery layer;
+#: ``disk-full`` and ``mem-pressure`` exercise the governor — they raise
+#: (never kill) in both pool and inline modes, because resource pressure
+#: is a *classified error* the runner degrades on, not a process death.
+FAULT_KINDS = ("crash", "hang", "torn-write", "disk-full", "mem-pressure")
 
 #: Worker task names per algorithm, in pass order — the coordinates a
 #: fault plan pins to, and the basis of "kill one worker in every pass".
@@ -95,6 +102,37 @@ class InjectedHang(InjectedFault):
 
 class InjectedTornWrite(InjectedFault):
     """Inline stand-in for a crash that leaves a torn output segment."""
+
+
+class InjectedDiskFull(InjectedFault, OSError):
+    """An ``ENOSPC`` exactly as the OS would raise it mid-``ftruncate``.
+
+    Deliberately a *raw* ``OSError`` — the worker boundary must prove it
+    classifies OS-level disk exhaustion into
+    :class:`~repro.governor.errors.DiskExhausted`; injecting an already-
+    classified error would test nothing.
+    """
+
+    def __init__(self, task: str, partition: int) -> None:
+        super().__init__(
+            f"injected disk-full in {task} partition {partition}"
+        )
+        # Multiple inheritance leaves OSError's errno unset; classification
+        # routes on it, so set it the way a real ENOSPC would carry it.
+        self.errno = _errno.ENOSPC
+        self._coords = (task, partition)
+
+    def __reduce__(self):
+        return (self.__class__, self._coords)
+
+
+class InjectedMemPressure(InjectedFault, MemoryExhausted):
+    """A worker hitting its memory budget at a chosen coordinate.
+
+    Already classified (it *is* a :class:`MemoryExhausted`), mirroring the
+    watchdog raising mid-charge — including surviving pool pickling with
+    its requested/limit/used fields intact.
+    """
 
 
 @dataclass(frozen=True)
@@ -287,6 +325,18 @@ def _write_torn_segment(path: Path) -> None:
 
 def _fire(spec: FaultSpec, root: str, task: str, partition: int) -> None:
     in_pool = multiprocessing.current_process().daemon
+    if spec.kind == "disk-full":
+        # Raised (not exited) in both modes: resource pressure is an error
+        # the worker boundary classifies and the runner degrades on.  The
+        # raw OSError pickles back through the pool like any task failure.
+        raise InjectedDiskFull(task, partition)
+    if spec.kind == "mem-pressure":
+        raise InjectedMemPressure(
+            f"injected memory pressure in {task} partition {partition}",
+            requested=1 << 20,
+            limit=1 << 20,
+            used=1 << 20,
+        )
     if spec.kind == "crash":
         if in_pool:
             os._exit(_EXIT_CRASH)

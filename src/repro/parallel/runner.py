@@ -26,6 +26,23 @@ are run inline in the parent as a last resort, and a pool that may still
 harbor abandoned tasks is terminated rather than joined.  Deterministic
 faults (:class:`~repro.parallel.faults.FaultPlan`) exercise all of this.
 
+Resource exhaustion is governed, not retried.  A classified
+:class:`~repro.governor.errors.ResourceExhausted` out of a worker (the
+memory meter tripping its budget, a disk preflight refusing a segment, a
+real or injected ENOSPC) is deterministic under the same plan, so the
+dispatcher lets it surface immediately; under ``on_pressure="degrade"``
+the runner then descends one rung of the plan's degradation ladder
+(:meth:`~repro.governor.predict.JoinPlan.degraded` — smaller batches,
+smaller sort runs, chunked grace spilling, finer buckets), resets the
+round (temps cleared; passes are idempotent), and re-executes.  Admission
+happens before the store is touched: the analytical model predicts the
+footprint (:func:`~repro.governor.predict.predict_footprint`), an
+over-budget plan is pre-degraded to fit
+(:func:`~repro.governor.predict.fit_plan`) or rejected, and an optional
+shared :class:`~repro.governor.ResourceGovernor` bounds how many joins
+run at once.  Every decision lands in ``RealJoinResult.governor`` (the
+stats document's ``totals.governor`` section).
+
 With ``collect_metrics`` on (the default), the runner drops the
 :data:`~repro.parallel.workers.OBS_MARKER` into the store root, every
 worker snapshots a process-local :class:`~repro.obs.MetricsRegistry` to a
@@ -37,10 +54,11 @@ activity (materialization, pair collection) and the recovery counters
 :meth:`RealJoinResult.stats_document` renders everything as the versioned
 JSON stats document of ``docs/metrics_schema.md``.
 
-Whatever happens — success, exhausted retries, a conservation failure —
-the run's control files (metrics marker, metrics sidecars, fault plan,
-attempt counters) and any unpublished ``*.seg.tmp`` segments are swept
-from the store root before the driver returns or raises.
+Whatever happens — success, exhausted retries, a conservation failure, a
+rejected admission — the run's control files (metrics marker, metrics
+sidecars, fault plan, attempt counters, budget file) and any unpublished
+``*.seg.tmp`` segments are swept from the store root before the driver
+returns or raises.
 """
 
 from __future__ import annotations
@@ -54,6 +72,14 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.records import JoinedPair
+from repro.governor.budget import install_budgets, store_usage_bytes, sweep_budgets
+from repro.governor.errors import (
+    DiskExhausted,
+    MemoryExhausted,
+    ResourceExhausted,
+)
+from repro.governor.governor import ResourceGovernor
+from repro.governor.predict import JoinPlan, fit_plan, predict_footprint
 from repro.obs.export import build_real_stats_document
 from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
@@ -70,11 +96,13 @@ from repro.parallel.workers import (
     PairResult,
     metrics_sidecar,
 )
-from repro.storage.relation import read_pairs
+from repro.storage.relation import iter_pairs_file
 from repro.storage.store import Store
 from repro.workload.generator import Workload
 
 REAL_ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+
+ON_PRESSURE_MODES = ("degrade", "queue", "fail")
 
 #: Backoff between retry rounds never sleeps longer than this.
 _BACKOFF_CAP_S = 2.0
@@ -105,6 +133,11 @@ class RealJoinResult:
     retries_total: int = 0
     timeouts_total: int = 0
     inline_fallbacks: int = 0
+    # Governance totals: how far the plan had to shrink to fit its budget
+    # (admission-time fit steps + runtime degradation rounds), and the
+    # governor's full decision record (None on ungoverned runs).
+    degradations_total: int = 0
+    governor: Optional[dict] = None
 
     def stats_document(self, workload: Optional[Workload] = None) -> dict:
         """Render this run as the versioned JSON stats document."""
@@ -128,6 +161,13 @@ def run_real_join(
     backoff_s: float = 0.05,
     fallback_inline: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    mem_budget: Optional[int] = None,
+    disk_budget: Optional[int] = None,
+    on_pressure: str = "degrade",
+    governor: Optional[ResourceGovernor] = None,
+    deadline_s: Optional[float] = None,
+    max_degradations: int = 8,
+    batch_records: Optional[int] = None,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -148,7 +188,18 @@ def run_real_join(
     ``fault_plan`` installs a deterministic
     :class:`~repro.parallel.faults.FaultPlan` into the store root before
     the first pass, so chosen ``(task, partition, attempt)`` coordinates
-    crash, hang, or tear their output on cue.
+    crash, hang, tear their output, or hit resource pressure on cue.
+
+    ``mem_budget`` (total, split evenly across the ``disks`` workers) and
+    ``disk_budget`` (whole store) arm the governor: the analytical model
+    predicts the footprint before anything runs, and ``on_pressure``
+    decides what an over-budget prediction or a runtime
+    :class:`~repro.governor.errors.ResourceExhausted` does — ``degrade``
+    re-plans down the ladder (up to ``max_degradations`` rounds),
+    ``queue``/``fail`` raise the classified error.  A shared ``governor``
+    additionally bounds concurrent admissions (``queue`` waits its turn up
+    to ``deadline_s``; ``fail`` rejects when saturated).  Budgeted and
+    governed runs report every decision in ``RealJoinResult.governor``.
 
     ``collect_metrics`` turns the observability layer on: per-worker
     registry snapshots merged per pass, driver-side counters and pass
@@ -160,6 +211,15 @@ def run_real_join(
         raise RealJoinError(
             f"unknown algorithm {algorithm!r}; choices: {sorted(REAL_ALGORITHMS)}"
         )
+    if on_pressure not in ON_PRESSURE_MODES:
+        raise RealJoinError(
+            f"unknown on_pressure mode {on_pressure!r}; "
+            f"choices: {sorted(ON_PRESSURE_MODES)}"
+        )
+    if mem_budget is not None and mem_budget <= 0:
+        raise RealJoinError(f"mem_budget must be positive: {mem_budget}")
+    if disk_budget is not None and disk_budget <= 0:
+        raise RealJoinError(f"disk_budget must be positive: {disk_budget}")
     policy = RetryPolicy(
         retries=retries,
         task_timeout=task_timeout,
@@ -167,11 +227,64 @@ def run_real_join(
         fallback_inline=fallback_inline,
     )
     disks = workload.disks
+    plan = JoinPlan(
+        batch_records=(
+            batch_records if batch_records is not None else workers.BATCH_RECORDS
+        ),
+        irun=irun,
+        buckets=buckets,
+        tsize=tsize,
+    )
+    governed = (
+        mem_budget is not None or disk_budget is not None or governor is not None
+    )
+    worker_budget = mem_budget // disks if mem_budget is not None else None
+
+    # ------------------------------------------------------------ admission
+    # The model speaks first: predict the plan's footprint, shrink it to
+    # fit (degrade) or refuse it (queue/fail) *before* creating anything.
+    admission = "admitted"
+    admission_degradations = 0
+    predicted = None
+    if governed:
+        predicted = predict_footprint(algorithm, workload, plan, worker_budget)
+        if worker_budget is not None:
+            if on_pressure == "degrade":
+                plan, admission_degradations, predicted = fit_plan(
+                    algorithm, workload, plan, worker_budget
+                )
+                if admission_degradations:
+                    admission = "degraded"
+            elif predicted.mem_high_water_bytes > worker_budget:
+                raise MemoryExhausted(
+                    f"{algorithm}: predicted per-worker high-water mark "
+                    "exceeds the memory budget",
+                    requested=int(predicted.mem_high_water_bytes),
+                    limit=worker_budget,
+                )
+        if disk_budget is not None and predicted.disk_bytes > disk_budget:
+            # Disk has no useful ladder: spill capacities are workload-
+            # determined, so a plan predicted not to fit never will.
+            raise DiskExhausted(
+                f"{algorithm}: predicted disk footprint exceeds the budget",
+                requested=int(predicted.disk_bytes),
+                limit=disk_budget,
+            )
+
     # clean_orphans: this is the driver, the one place where no sibling
     # writer can be mid-publish, so stale *.seg.tmp from a previous dead
-    # run are safe to sweep.
+    # run are safe to sweep (live tmps are flock-protected regardless).
     store = Store(store_root, disks, clean_orphans=True)
     _sweep_run_artifacts(store_root, store)
+    if mem_budget is not None or disk_budget is not None:
+        install_budgets(store_root, worker_budget, disk_budget)
+
+    ticket = None
+    if governor is not None:
+        ticket = governor.admit(on_pressure, deadline_s)
+        if ticket.decision == "queued":
+            admission = "queued"
+
     driver_registry: Optional[MetricsRegistry] = None
     owns_pool = False
     recovery = {"retries": 0, "timeouts": 0, "inline_fallbacks": 0,
@@ -183,6 +296,9 @@ def run_real_join(
     pass_checksums: Dict[str, int] = {}
     pair_results: List[PairResult] = []
     worker_metrics: Dict[str, Dict[int, dict]] = {}
+    resource_errors: Dict[str, int] = {}
+    runtime_degradations = 0
+    disk_peak = 0
     started = time.perf_counter()
 
     def harvest_metrics(
@@ -200,6 +316,12 @@ def run_real_join(
                 sidecar.unlink()
         worker_metrics[label] = snapshots
 
+    def sample_disk() -> None:
+        """Track the store's reservation high-water mark across passes."""
+        nonlocal disk_peak
+        if governed:
+            disk_peak = max(disk_peak, store_usage_bytes(store_root))
+
     def run_pairs_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
         with span("pass", algo=algorithm, label=label):
             results = _dispatch_pass(
@@ -207,6 +329,7 @@ def run_real_join(
                 policy, store_root, algorithm, recovery,
             )
         harvest_metrics(worker, arg_list, label)
+        sample_disk()
         pass_counts[label] = sum(r.count for r in results)
         pass_checksums[label] = sum(r.checksum for r in results) % CHECKSUM_MOD
         pair_results.extend(results)
@@ -218,28 +341,22 @@ def run_real_join(
                 policy, store_root, algorithm, recovery,
             )
         harvest_metrics(worker, arg_list, label)
+        sample_disk()
         pass_counts[label] = sum(results)
 
-    try:
-        if collect_metrics:
-            (Path(store_root) / OBS_MARKER).touch()
-            driver_registry = activate(MetricsRegistry())
-        store.materialize(workload)
-        if fault_plan is not None:
-            fault_plan.install(store_root)
-        if pool is None and use_processes and disks > 1:
-            owns_pool = True
-            pool = multiprocessing.Pool(processes=disks)
-        elif not use_processes:
-            pool = None
-
+    def execute_passes(current: JoinPlan) -> None:
+        """One full attempt of every pass under ``current``'s knobs."""
         if algorithm == "nested-loops":
             args0 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes)
+                (store_root, disks, i, spec.s_objects, spec.r_bytes,
+                 current.batch_records)
                 for i in range(disks)
             ]
             run_pairs_pass(workers.nested_loops_pass0, args0, "pass0")
-            args1 = [(store_root, disks, i, spec.s_objects) for i in range(disks)]
+            args1 = [
+                (store_root, disks, i, spec.s_objects, current.batch_records)
+                for i in range(disks)
+            ]
             run_pairs_pass(workers.nested_loops_pass1, args1, "pass1")
             _check_conservation(
                 algorithm, "pass0+pass1 pairs",
@@ -247,7 +364,8 @@ def run_real_join(
             )
         elif algorithm == "sort-merge":
             args01 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes)
+                (store_root, disks, i, spec.s_objects, spec.r_bytes,
+                 current.batch_records)
                 for i in range(disks)
             ]
             run_move_pass(workers.sort_merge_partition, args01, "partition")
@@ -256,7 +374,8 @@ def run_real_join(
                 pass_counts["partition"], r_total,
             )
             args2 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes, irun)
+                (store_root, disks, i, spec.s_objects, spec.r_bytes,
+                 current.irun, current.batch_records)
                 for i in range(disks)
             ]
             run_pairs_pass(workers.sort_merge_join, args2, "sort-merge-join")
@@ -266,7 +385,9 @@ def run_real_join(
             )
         else:  # grace
             args01 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes, buckets)
+                (store_root, disks, i, spec.s_objects, spec.r_bytes,
+                 current.buckets, current.spill_threshold,
+                 current.batch_records)
                 for i in range(disks)
             ]
             run_move_pass(workers.grace_partition, args01, "partition")
@@ -275,7 +396,8 @@ def run_real_join(
                 pass_counts["partition"], r_total,
             )
             args2 = [
-                (store_root, disks, i, spec.s_objects, buckets, tsize)
+                (store_root, disks, i, spec.s_objects, current.buckets,
+                 current.tsize, current.batch_records)
                 for i in range(disks)
             ]
             run_pairs_pass(workers.grace_probe, args2, "probe")
@@ -284,11 +406,73 @@ def run_real_join(
                 pass_counts["probe"], pass_counts["partition"],
             )
 
+    def reset_round() -> None:
+        """Wipe one failed round's partial state so the next is pristine.
+
+        Temps (spills, runs, chunks, pairs) are re-created from R/S, so
+        clearing them keeps a re-planned round from double-counting stale
+        files written under the previous plan's knobs.  Fault attempt
+        counters are deliberately *kept*: a one-shot injected fault must
+        not re-fire in the degraded round.
+        """
+        pass_wall.clear()
+        pass_counts.clear()
+        pass_checksums.clear()
+        pair_results.clear()
+        worker_metrics.clear()
+        for sidecar in Path(store_root).glob("metrics_*.json"):
+            sidecar.unlink(missing_ok=True)
+        store.cleanup_temps()
+        store.cleanup_orphans()
+
+    try:
+        if collect_metrics:
+            (Path(store_root) / OBS_MARKER).touch()
+            driver_registry = activate(MetricsRegistry())
+        store.materialize(workload)
+        sample_disk()
+        if fault_plan is not None:
+            fault_plan.install(store_root)
+        if pool is None and use_processes and disks > 1:
+            owns_pool = True
+            pool = multiprocessing.Pool(processes=disks)
+        elif not use_processes:
+            pool = None
+
+        while True:
+            try:
+                execute_passes(plan)
+                break
+            except ResourceExhausted as error:
+                resource_errors[error.resource] = (
+                    resource_errors.get(error.resource, 0) + 1
+                )
+                active().count(
+                    "runner.resource_errors_total", 1,
+                    algo=algorithm, resource=error.resource,
+                )
+                lowered = plan.degraded(algorithm, error.resource)
+                if (
+                    on_pressure != "degrade"
+                    or runtime_degradations >= max_degradations
+                    or lowered == plan
+                ):
+                    raise
+                plan = lowered
+                runtime_degradations += 1
+                active().count(
+                    "runner.degradations_total", 1, algo=algorithm
+                )
+                reset_round()
+
         pairs: Optional[List[JoinedPair]] = None
         if collect_pairs:
             pairs = []
             for result in pair_results:
-                pairs.extend(read_pairs(result.path))
+                # Streamed a batch at a time: only the final list (which
+                # the caller asked for) is whole-output, never a second
+                # per-file materialization on top of it.
+                pairs.extend(iter_pairs_file(result.path, plan.batch_records))
     finally:
         if driver_registry is not None:
             deactivate()
@@ -306,6 +490,45 @@ def run_real_join(
         _sweep_run_artifacts(store_root, store)
         if not keep_store:
             store.destroy()
+        if ticket is not None:
+            ticket.release()
+
+    governor_doc: Optional[dict] = None
+    if governed:
+        if runtime_degradations:
+            # The plan changed mid-run; report the prediction for the plan
+            # that actually produced the result.
+            predicted = predict_footprint(
+                algorithm, workload, plan, worker_budget
+            )
+        governor_doc = {
+            "admission": admission,
+            "on_pressure": on_pressure,
+            "queued_ms": ticket.queued_ms if ticket is not None else 0.0,
+            "admission_degradations": admission_degradations,
+            "runtime_degradations": runtime_degradations,
+            "degradations_total": admission_degradations + runtime_degradations,
+            "resource_errors": dict(resource_errors),
+            "budgets": {
+                "mem_budget_bytes": mem_budget,
+                "worker_mem_budget_bytes": worker_budget,
+                "disk_budget_bytes": disk_budget,
+            },
+            "plan": plan.as_dict(),
+            "predicted": predicted.as_dict(),
+            "observed": {
+                "worker_mem_high_water_bytes": _max_worker_gauge(
+                    worker_metrics, "worker.mem_high_water_bytes"
+                ),
+                "worker_mapped_peak_bytes": _max_worker_gauge(
+                    worker_metrics, "worker.mapped_peak_bytes"
+                ),
+                "worker_rss_max_bytes": _max_worker_gauge(
+                    worker_metrics, "worker.rss_max_bytes"
+                ),
+                "disk_peak_bytes": disk_peak,
+            },
+        }
 
     wall_ms = (time.perf_counter() - started) * 1000.0
     return RealJoinResult(
@@ -326,7 +549,23 @@ def run_real_join(
         retries_total=recovery["retries"],
         timeouts_total=recovery["timeouts"],
         inline_fallbacks=recovery["inline_fallbacks"],
+        degradations_total=admission_degradations + runtime_degradations,
+        governor=governor_doc,
     )
+
+
+def _max_worker_gauge(
+    worker_metrics: Dict[str, Dict[int, dict]], name: str
+) -> Optional[float]:
+    """The maximum of one gauge across every worker snapshot, or None."""
+    prefix = name + "{"
+    best: Optional[float] = None
+    for snapshots in worker_metrics.values():
+        for snapshot in snapshots.values():
+            for key, value in snapshot.get("gauges", {}).items():
+                if key == name or key.startswith(prefix):
+                    best = value if best is None else max(best, value)
+    return best
 
 
 def _sweep_run_artifacts(store_root: str, store: Store) -> None:
@@ -335,7 +574,7 @@ def _sweep_run_artifacts(store_root: str, store: Store) -> None:
     Called before a run (stale state from a previous dead driver) and on
     every exit path (nothing of a finished run may leak): the metrics
     marker, metrics sidecars, the fault plan and its attempt counters,
-    and unpublished ``*.seg.tmp`` segments.
+    the budget file, and unpublished ``*.seg.tmp`` segments.
     """
     root = Path(store_root)
     if not root.exists():
@@ -344,6 +583,7 @@ def _sweep_run_artifacts(store_root: str, store: Store) -> None:
     for sidecar in root.glob("metrics_*.json"):
         sidecar.unlink(missing_ok=True)
     sweep_fault_state(root)
+    sweep_budgets(root)
     store.cleanup_orphans()
 
 
@@ -365,6 +605,10 @@ def _dispatch_pass(
     backs off exponentially.  Retrying is safe because worker outputs are
     only published by atomic rename and re-created with overwrite, so a
     failed attempt's partial work is invisible to its retry.
+
+    Classified :class:`ResourceExhausted` failures are *not* retried —
+    under the same plan the same budget trips deterministically — they
+    propagate to the runner's degradation loop instead.
     """
     started = time.perf_counter()
     task = worker.__name__
@@ -416,7 +660,15 @@ def _run_round(
     errors: List[BaseException],
     labels: Dict[str, str],
 ) -> List[int]:
-    """Run one attempt for each pending task; return the still-failing set."""
+    """Run one attempt for each pending task; return the still-failing set.
+
+    A :class:`ResourceExhausted` ends the round: inline it raises at once;
+    in pool mode the remaining futures are *drained first* (so no sibling
+    task of this round is still running when the runner re-plans and
+    re-dispatches — an abandoned attempt publishing over its replacement
+    would corrupt the degraded round) and the first classified error is
+    then raised.
+    """
     task = worker.__name__
     for idx in indices:
         # A dead attempt may have left a sidecar snapshotted before its
@@ -431,6 +683,7 @@ def _run_round(
             (idx, pool.apply_async(worker, (arg_list[idx],)))
             for idx in indices
         ]
+        resource_error: Optional[ResourceExhausted] = None
         for idx, future in futures:
             try:
                 results[idx] = future.get(policy.task_timeout)
@@ -448,14 +701,21 @@ def _run_round(
                     )
                 )
                 still.append(idx)
+            except ResourceExhausted as error:
+                if resource_error is None:
+                    resource_error = error
             except Exception as error:
                 active().count("runner.worker_failures_total", 1, **labels)
                 errors.append(error)
                 still.append(idx)
+        if resource_error is not None:
+            raise resource_error
     else:
         for idx in indices:
             try:
                 results[idx] = worker(arg_list[idx])
+            except ResourceExhausted:
+                raise
             except InjectedHang as error:
                 # Inline stand-in for a task timeout: counted as one, so
                 # the timeout/retry path is testable without processes.

@@ -46,6 +46,15 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
+from repro.governor.budget import load_budgets
+from repro.governor.errors import ResourceExhausted, classify_os_error
+from repro.governor.watchdog import (
+    MemoryMeter,
+    activate_meter,
+    active_meter,
+    deactivate_meter,
+    rss_high_water_bytes,
+)
 from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
 
@@ -70,12 +79,18 @@ def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
 
 
 def _instrumented(func: Callable) -> Callable:
-    """Inject armed faults and collect one worker task's metrics.
+    """Inject armed faults, meter memory, and collect one task's metrics.
 
-    The fault hook fires first — before any registry or file handle is
-    acquired — because a real crash would also strike before the task
-    produced anything.  Uninstrumented dispatch (no marker, no fault
-    plan) costs two ``stat`` calls; every worker arg tuple starts
+    The wrapper is also the backend's *classification boundary*: any raw
+    ``OSError``/``MemoryError`` that escapes a task — a real ``ENOSPC``
+    out of an ``ftruncate``, an injected ``disk-full``, an allocator
+    failure — leaves here as a classified
+    :class:`~repro.governor.errors.ResourceExhausted` subtype (which
+    pickles intact through the pool), so the runner can tell "this join
+    needs a smaller plan" apart from "the code is broken".
+
+    Uninstrumented dispatch (no marker, no budget file, no fault plan)
+    costs three ``stat`` calls; every worker arg tuple starts
     ``(root, disks, partition, ...)``, which is all the wrapper needs.
     """
     task = func.__name__
@@ -83,8 +98,37 @@ def _instrumented(func: Callable) -> Callable:
     @functools.wraps(func)
     def wrapper(args):
         root, partition = args[0], args[2]
-        maybe_inject(root, task, partition)
-        if not Path(root, OBS_MARKER).exists():
+        try:
+            return _governed_task(func, task, args, root, partition)
+        except ResourceExhausted:
+            raise
+        except (MemoryError, OSError) as error:
+            classified = classify_os_error(
+                error, f"{task} partition {partition}"
+            )
+            if classified is not None:
+                raise classified from error
+            raise
+
+    return wrapper
+
+
+def _governed_task(func: Callable, task: str, args, root, partition):
+    """Run one task under the armed budgets/metrics, if any.
+
+    The fault hook fires first — before any registry or file handle is
+    acquired — because a real crash would also strike before the task
+    produced anything.
+    """
+    maybe_inject(root, task, partition)
+    budgets = load_budgets(root)
+    metrics_on = Path(root, OBS_MARKER).exists()
+    if budgets is None and not metrics_on:
+        return func(args)
+    limit = budgets.worker_mem_budget_bytes if budgets is not None else None
+    meter = activate_meter(MemoryMeter(limit))
+    try:
+        if not metrics_on:
             return func(args)
         registry = activate(MetricsRegistry())
         started = time.perf_counter()
@@ -94,14 +138,26 @@ def _instrumented(func: Callable) -> Callable:
         finally:
             deactivate()
         wall_ms = (time.perf_counter() - started) * 1000.0
-        registry.gauge("worker.wall_ms", wall_ms, task=task, worker=partition)
+        labels = {"task": task, "worker": partition}
+        registry.gauge("worker.wall_ms", wall_ms, **labels)
+        registry.gauge(
+            "worker.mem_high_water_bytes",
+            float(meter.high_water_bytes), **labels,
+        )
+        registry.gauge(
+            "worker.mapped_peak_bytes",
+            float(meter.mapped_high_water_bytes), **labels,
+        )
+        rss = rss_high_water_bytes()
+        if rss is not None:
+            registry.gauge("worker.rss_max_bytes", float(rss), **labels)
         registry.count("worker.tasks", 1, task=task)
         metrics_sidecar(root, task, partition).write_text(
             json.dumps(registry.snapshot())
         )
         return result
-
-    return wrapper
+    finally:
+        deactivate_meter()
 
 
 class PairResult(NamedTuple):
@@ -177,11 +233,18 @@ def pairs_name(label: str, partition: int) -> str:
 def nested_loops_pass0(
     args: Tuple[str, int, int, int, int]
 ) -> PairResult:
-    """Scan R_i: join local references, spill the rest to the RP_i_j."""
-    root, disks, i, s_objects, record_bytes = args
+    """Scan R_i: join local references, spill the rest to the RP_i_j.
+
+    The trailing optional arg throttles the batch size — the governor's
+    nested-loops degradation knob.
+    """
+    root, disks, i, s_objects, record_bytes = args[:5]
+    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     with store.open_r(i) as r_rel, store.open_s(i) as s_rel:
+        s_bytes = s_rel.segment.layout.record_bytes
         sink = _PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
@@ -192,7 +255,9 @@ def nested_loops_pass0(
             if j != i
         }
         try:
-            for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+            for batch in r_rel.iter_object_batches(batch_records):
+                charged = len(batch) * record_bytes
+                meter.charge(charged, "nested-loops R batch")
                 located = pmap.locate_many([obj[1] for obj in batch])
                 local_r: List[RObject] = []
                 local_offsets: List[int] = []
@@ -203,9 +268,14 @@ def nested_loops_pass0(
                         local_offsets.append(offset)
                     else:
                         remote.setdefault(target, []).append(obj)
+                meter.charge(
+                    len(local_offsets) * s_bytes, "dereferenced S batch"
+                )
+                charged += len(local_offsets) * s_bytes
                 sink.emit_joined(local_r, s_rel.dereference_many(local_offsets))
                 for target, objects in remote.items():
                     spill[target].append_many(objects)
+                meter.release(charged)
             for rel in spill.values():
                 rel.close()
             return sink.close()
@@ -221,9 +291,11 @@ def nested_loops_pass1(
     args: Tuple[str, int, int, int]
 ) -> PairResult:
     """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
-    root, disks, i, s_objects = args
+    root, disks, i, s_objects = args[:4]
+    batch_records = args[4] if len(args) > 4 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     spill_paths = [
         store.path(i, f"RP{i}_{_phase_partner(i, t, disks)}")
         for t in range(1, disks)
@@ -235,9 +307,14 @@ def nested_loops_pass1(
             j = _phase_partner(i, t, disks)
             with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
                     store.open_s(j) as s_rel:
-                for batch in spill.iter_object_batches(BATCH_RECORDS):
+                r_bytes = spill.segment.layout.record_bytes
+                s_bytes = s_rel.segment.layout.record_bytes
+                for batch in spill.iter_object_batches(batch_records):
+                    charged = len(batch) * (r_bytes + s_bytes)
+                    meter.charge(charged, "nested-loops spill batch")
                     offsets = pmap.offset_many([obj[1] for obj in batch])
                     sink.emit_joined(batch, s_rel.dereference_many(offsets))
+                    meter.release(charged)
         return sink.close()
     except BaseException:
         sink.abort()
@@ -251,9 +328,11 @@ def sort_merge_partition(
     args: Tuple[str, int, int, int, int]
 ) -> int:
     """Passes 0 and 1 for one contributor: write the RS_j_from_i files."""
-    root, disks, i, s_objects, record_bytes = args
+    root, disks, i, s_objects, record_bytes = args[:5]
+    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     with store.open_r(i) as r_rel:
         outputs = {
             j: RRelationFile.create(
@@ -264,7 +343,10 @@ def sort_merge_partition(
         }
         moved = 0
         try:
-            for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+            for batch in r_rel.iter_object_batches(batch_records):
+                meter.charge(
+                    len(batch) * record_bytes, "sort-merge partition batch"
+                )
                 located = pmap.locate_many([obj[1] for obj in batch])
                 buckets: Dict[int, List[RObject]] = {}
                 for obj, (target, _offset) in zip(batch, located):
@@ -272,6 +354,7 @@ def sort_merge_partition(
                 for target, objects in buckets.items():
                     outputs[target].append_many(objects)
                     moved += len(objects)
+                meter.release(len(batch) * record_bytes)
             for rel in outputs.values():
                 rel.close()
         except BaseException:
@@ -286,13 +369,19 @@ def sort_merge_join(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
     """Sort RS_i into runs, merge the runs, join against sequential S_i."""
-    root, disks, i, s_objects, record_bytes, irun = args
+    root, disks, i, s_objects, record_bytes, irun = args[:6]
+    batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     irun = max(1, irun)
 
     # Gather this partition's inbound objects and cut them into sorted runs
-    # stored back on disk (the external-sort structure of the paper).
+    # stored back on disk (the external-sort structure of the paper).  The
+    # meter's charge always equals len(buffer) * record_bytes: extends
+    # charge, flushes release exactly what they wrote — so a shrunken
+    # ``irun`` (the governor's sort-merge knob) directly lowers the
+    # high-water mark at the cost of more runs to merge.
     run_paths: List[Path] = []
     buffer: List[RObject] = []
     run_id = 0
@@ -315,12 +404,14 @@ def sort_merge_join(
         rel.close()
         run_paths.append(path)
         run_id += 1
+        meter.release(len(buffer) * record_bytes)
         buffer.clear()
 
     for contributor in range(disks):
         with RRelationFile.open(store.path(i, f"RS{i}_from{contributor}")) as rel:
-            for batch in rel.iter_object_batches(BATCH_RECORDS):
+            for batch in rel.iter_object_batches(batch_records):
                 inbound += len(batch)
+                meter.charge(len(batch) * record_bytes, "sort-run buffer")
                 buffer.extend(batch)
                 while len(buffer) >= irun:
                     tail = buffer[irun:]
@@ -338,18 +429,24 @@ def sort_merge_join(
     sink = _PairSink(store.path(i, pairs_name("sm", i)), inbound)
     try:
         with store.open_s(i) as s_rel:
+            s_bytes = s_rel.segment.layout.record_bytes
+            batch_cost = record_bytes + s_bytes
             if len(run_paths) == 1:
                 with RRelationFile.open(run_paths[0]) as rel:
-                    for batch in rel.iter_object_batches(BATCH_RECORDS):
+                    for batch in rel.iter_object_batches(batch_records):
+                        meter.charge(len(batch) * batch_cost, "merge batch")
                         offsets = pmap.offset_many([obj[1] for obj in batch])
                         sink.emit_joined(batch, s_rel.dereference_many(offsets))
+                        meter.release(len(batch) * batch_cost)
             else:
                 streams = [_run_stream(path) for path in run_paths]
                 try:
                     merged = heapq.merge(*streams, key=lambda o: o.sptr)
-                    for batch in _rebatch(merged, BATCH_RECORDS):
+                    for batch in _rebatch(merged, batch_records):
+                        meter.charge(len(batch) * batch_cost, "merge batch")
                         offsets = pmap.offset_many([obj[1] for obj in batch])
                         sink.emit_joined(batch, s_rel.dereference_many(offsets))
+                        meter.release(len(batch) * batch_cost)
                 finally:
                     for stream in streams:
                         stream.close()
@@ -388,38 +485,70 @@ def grace_partition(
 
     All of one contributor's spill for one target lands in a single
     bucket-grouped :class:`BucketedRFile` (file creation dominates this
-    pass when every (target, bucket) pair gets its own file).  The bucket
-    groups are accumulated in memory over the scan — the probe side, where
-    grace's memory bound actually lives, stays bucket-at-a-time.
+    pass when every (target, bucket) pair gets its own file).  By default
+    the bucket groups are accumulated in memory over the whole scan — the
+    probe side, where grace's memory bound actually lives, stays
+    bucket-at-a-time.  Under a memory budget the governor passes a
+    ``spill_threshold``: whenever that many objects are retained the
+    groups are flushed to *chunked* spill files (``BS<j>_from<i>_c<n>``),
+    bounding the partition pass at threshold + one batch.  The probe side
+    reads base and chunk files alike, so the join output is identical.
     """
-    root, disks, i, s_objects, record_bytes, buckets = args
+    root, disks, i, s_objects, record_bytes, buckets = args[:6]
+    spill_threshold = args[6] if len(args) > 6 else None
+    batch_records = args[7] if len(args) > 7 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     part_sizes = [pmap.partition_size(j) for j in range(disks)]
     grouped: Dict[int, Dict[int, List[RObject]]] = {}
+    moved = 0
+    retained = 0
+    chunk_id = 0
+
+    def flush_groups(name_for_target) -> int:
+        nonlocal retained
+        flushed = 0
+        for target, bucket_groups in grouped.items():
+            capacity = sum(len(objs) for objs in bucket_groups.values())
+            spill = BucketedRFile.create(
+                store.path(target, name_for_target(target)),
+                capacity, buckets, record_bytes, overwrite=True,
+            )
+            try:
+                for bucket in sorted(bucket_groups):
+                    spill.append_bucket(bucket, bucket_groups[bucket])
+                    flushed += len(bucket_groups[bucket])
+            except BaseException:
+                spill.abort()
+                raise
+            spill.close()
+        grouped.clear()
+        meter.release(retained * record_bytes)
+        retained = 0
+        return flushed
+
     with store.open_r(i) as r_rel:
-        for batch in r_rel.iter_object_batches(BATCH_RECORDS):
+        for batch in r_rel.iter_object_batches(batch_records):
+            meter.charge(len(batch) * record_bytes, "grace bucket groups")
+            retained += len(batch)
             located = pmap.locate_many([obj[1] for obj in batch])
             for obj, (target, offset) in zip(batch, located):
                 bucket = order_preserving_bucket(
                     offset, part_sizes[target], buckets
                 )
                 grouped.setdefault(target, {}).setdefault(bucket, []).append(obj)
-    moved = 0
-    for target, bucket_groups in grouped.items():
-        capacity = sum(len(objs) for objs in bucket_groups.values())
-        spill = BucketedRFile.create(
-            store.path(target, f"BS{target}_from{i}"),
-            capacity, buckets, record_bytes, overwrite=True,
-        )
-        try:
-            for bucket in sorted(bucket_groups):
-                spill.append_bucket(bucket, bucket_groups[bucket])
-                moved += len(bucket_groups[bucket])
-        except BaseException:
-            spill.abort()
-            raise
-        spill.close()
+            if spill_threshold is not None and retained >= spill_threshold:
+                chunk = chunk_id
+                moved += flush_groups(
+                    lambda target: f"BS{target}_from{i}_c{chunk}"
+                )
+                chunk_id += 1
+    if spill_threshold is None:
+        moved += flush_groups(lambda target: f"BS{target}_from{i}")
+    elif grouped:
+        chunk = chunk_id
+        moved += flush_groups(lambda target: f"BS{target}_from{i}_c{chunk}")
     return moved
 
 
@@ -428,24 +557,32 @@ def grace_probe(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
     """Probe passes for one partition: bucket table, ordered S access."""
-    root, disks, i, s_objects, buckets, tsize = args
+    root, disks, i, s_objects, buckets, tsize = args[:6]
+    batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
+    meter = active_meter()
     part_size = pmap.partition_size(i)
     inbound: List[BucketedRFile] = []
     for contributor in range(disks):
-        path = store.path(i, f"BS{i}_from{contributor}")
-        if path.exists():
+        for path in _grace_spill_paths(store, i, contributor):
             inbound.append(BucketedRFile.open(path))
     capacity = sum(len(rel) for rel in inbound)
     sink: Optional[_PairSink] = None
     try:
         sink = _PairSink(store.path(i, pairs_name("probe", i)), capacity)
         with store.open_s(i) as s_rel:
+            s_bytes = s_rel.segment.layout.record_bytes
             for bucket in range(buckets):
                 table: List[List[RObject]] = [[] for _ in range(tsize)]
+                bucket_charged = 0
                 for rel in inbound:
-                    for batch in rel.iter_bucket_batches(bucket, BATCH_RECORDS):
+                    r_bytes = rel.segment.layout.record_bytes
+                    for batch in rel.iter_bucket_batches(bucket, batch_records):
+                        meter.charge(
+                            len(batch) * r_bytes, "grace probe bucket"
+                        )
+                        bucket_charged += len(batch) * r_bytes
                         offsets = pmap.offset_many([obj[1] for obj in batch])
                         for obj, offset in zip(batch, offsets):
                             chain = refining_chain(
@@ -460,9 +597,12 @@ def grace_probe(
                 ordered = [
                     obj for chain_objects in table for obj in chain_objects
                 ]
-                for chunk in _rebatch(ordered, BATCH_RECORDS):
+                for chunk in _rebatch(ordered, batch_records):
+                    meter.charge(len(chunk) * s_bytes, "dereferenced S batch")
                     offsets = pmap.offset_many([obj[1] for obj in chunk])
                     sink.emit_joined(chunk, s_rel.dereference_many(offsets))
+                    meter.release(len(chunk) * s_bytes)
+                meter.release(bucket_charged)
         return sink.close()
     except BaseException:
         if sink is not None:
@@ -471,3 +611,24 @@ def grace_probe(
     finally:
         for rel in inbound:
             rel.close()
+
+
+def _grace_spill_paths(store: Store, i: int, contributor: int) -> List[Path]:
+    """One contributor's spill files for partition ``i``, chunks included.
+
+    The unchunked base file and any ``_c<n>`` chunks (written when the
+    partition pass ran under a spill threshold) are all valid inputs;
+    chunks are ordered numerically so probe input order is deterministic.
+    """
+    paths: List[Path] = []
+    base = store.path(i, f"BS{i}_from{contributor}")
+    if base.exists():
+        paths.append(base)
+    prefix = f"BS{i}_from{contributor}_c"
+    chunks = [
+        path for path in store.disk_dir(i).glob(f"{prefix}*.seg")
+        if path.name[len(prefix):-len(".seg")].isdigit()
+    ]
+    chunks.sort(key=lambda path: int(path.name[len(prefix):-len(".seg")]))
+    paths.extend(chunks)
+    return paths

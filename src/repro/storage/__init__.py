@@ -7,6 +7,7 @@ from repro.storage.relation import (
     PairsFile,
     RRelationFile,
     SRelationFile,
+    iter_pairs_file,
     read_pairs,
     write_r_partition,
     write_s_partition,
@@ -33,6 +34,7 @@ __all__ = [
     "SRelationFile",
     "StorageError",
     "Store",
+    "iter_pairs_file",
     "read_pairs",
     "timed_delete_map",
     "timed_new_map",

@@ -370,10 +370,31 @@ class PairsFile(_RelationFile):
         return self.iter_pairs()
 
 
-def read_pairs(path: str | os.PathLike) -> List[JoinedPair]:
-    """Materialize one worker's pairs file (in the parent, no pickling)."""
+def iter_pairs_file(
+    path: str | os.PathLike, batch_records: int = DEFAULT_BATCH_RECORDS
+) -> Iterator[JoinedPair]:
+    """Stream one worker's pairs file a batch at a time (bounded memory).
+
+    The generator owns the mapping for its lifetime and decodes
+    ``batch_records`` pairs per step, so a driver collecting a huge join
+    result holds one batch of ``JoinedPair`` objects per file, not the
+    whole output — the difference between respecting a memory budget and
+    blowing it at the finish line.
+    """
     with PairsFile.open(path) as relation:
-        return list(relation.iter_pairs())
+        yield from relation.iter_pairs(batch_records)
+
+
+def read_pairs(
+    path: str | os.PathLike, batch_records: int = DEFAULT_BATCH_RECORDS
+) -> List[JoinedPair]:
+    """Materialize one worker's pairs file (in the parent, no pickling).
+
+    Decoding still happens batch-at-a-time via :func:`iter_pairs_file`;
+    only the returned list is whole-file.  Callers that can consume pairs
+    incrementally should use :func:`iter_pairs_file` directly.
+    """
+    return list(iter_pairs_file(path, batch_records))
 
 
 # ---------------------------------------------------------- partition files

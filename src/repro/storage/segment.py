@@ -47,6 +47,14 @@ import time
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
+try:  # pragma: no cover - POSIX-only; the flock guard degrades gracefully
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover
+    _fcntl = None
+
+from repro.governor.budget import disk_preflight
+from repro.governor.errors import classify_os_error
+from repro.governor.watchdog import active_meter as _meter
 from repro.obs.registry import active as _metrics
 from repro.storage.layout import RecordLayout
 
@@ -103,6 +111,8 @@ class MappedSegment:
         self._backing = backing_path if backing_path is not None else path
         self._pending = self._backing != self.path
         self._durable = durable
+        self._mapped_bytes = len(mapping)
+        _meter().map_bytes(self._mapped_bytes)
 
     # ----------------------------------------------------------- lifecycle
 
@@ -131,13 +141,34 @@ class MappedSegment:
         tmp.unlink(missing_ok=True)  # a stale orphan from a dead writer
         data_bytes = max(1, capacity) * record_bytes
         total = PAGE_SIZE + _round_up(data_bytes, PAGE_SIZE)
+        # Refuse (with a classified error) a creation that would cross an
+        # armed disk budget, *before* acquiring any space.
+        disk_preflight(path, total)
         file_obj = open(tmp, "w+b")
+        if _fcntl is not None:
+            # Mark the tmp as live-writer-owned: cleanup_orphans probes
+            # this lock and skips tmps whose writer still holds it.  The
+            # lock dies with the fd (close/discard/process death), so a
+            # crashed writer's orphan is sweepable immediately.
+            try:
+                _fcntl.flock(
+                    file_obj.fileno(), _fcntl.LOCK_EX | _fcntl.LOCK_NB
+                )
+            except OSError:  # pragma: no cover - lock table exhaustion
+                pass
         try:
             file_obj.truncate(total)
             mapping = mmap.mmap(file_obj.fileno(), total)
-        except Exception:
+        except Exception as error:
             file_obj.close()
             tmp.unlink(missing_ok=True)
+            # A full disk (ENOSPC out of ftruncate, ENOMEM out of mmap)
+            # surfaces as a classified resource error, not a raw OSError.
+            classified = classify_os_error(
+                error, f"creating segment {path.name}"
+            )
+            if classified is not None:
+                raise classified from error
             raise
         mapping[: HEADER.size] = HEADER.pack(MAGIC, record_bytes, capacity, 0)
         segment = cls(
@@ -256,6 +287,7 @@ class MappedSegment:
         self._map.close()
         self._file.close()
         self._closed = True
+        _meter().unmap_bytes(self._mapped_bytes)
         if self._pending:
             os.replace(self._backing, self.path)
             self._pending = False
@@ -273,6 +305,7 @@ class MappedSegment:
         self._map.close()
         self._file.close()
         self._closed = True
+        _meter().unmap_bytes(self._mapped_bytes)
         if self._pending:
             self._backing.unlink(missing_ok=True)
             self._pending = False

@@ -7,10 +7,17 @@ the temporary areas the join algorithms create.
 
 from __future__ import annotations
 
+import os
 import shutil
 from pathlib import Path
 from typing import List
 
+try:  # pragma: no cover - POSIX-only; without flock every tmp is swept
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover
+    _fcntl = None
+
+from repro.governor.budget import store_usage_bytes
 from repro.storage.relation import (
     RRelationFile,
     SRelationFile,
@@ -93,16 +100,20 @@ class Store:
         ]
 
     def cleanup_orphans(self) -> int:
-        """Remove unpublished ``*.seg.tmp`` files left by dead writers.
+        """Remove unpublished ``*.seg.tmp`` files left by *dead* writers.
 
-        Returns how many were removed.  Safe on a store of valid
-        segments: a ``.tmp`` file only exists between a segment's create
-        and its atomic publish, so anything found here belongs to a
-        writer that no longer exists.
+        Returns how many were removed.  A tmp file whose creator is still
+        alive holds an ``flock`` on it (taken in ``MappedSegment.create``);
+        the sweep probes that lock and skips live tmps, so a concurrent
+        writer — e.g. a sibling worker mid-pass while the driver cleans up
+        another attempt — never loses its unpublished output.  A crashed
+        writer's lock died with its fd, so its orphans remain sweepable.
         """
         removed = 0
         for disk in range(self.disks):
             for path in self.disk_dir(disk).glob("*.seg.tmp"):
+                if _tmp_writer_alive(path):
+                    continue
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed
@@ -112,6 +123,29 @@ class Store:
             for path in self.temp_paths(disk):
                 path.unlink()
 
+    def usage_bytes(self) -> int:
+        """The store's current disk reservation (summed segment sizes)."""
+        return store_usage_bytes(self.root)
+
     def destroy(self) -> None:
         """Remove the whole store from disk."""
         shutil.rmtree(self.root, ignore_errors=True)
+
+
+def _tmp_writer_alive(path: Path) -> bool:
+    """Whether some live process still holds the create-time flock."""
+    if _fcntl is None:
+        return False
+    try:
+        fd = os.open(path, os.O_RDWR)
+    except OSError:
+        return False  # already gone — nothing to sweep either
+    try:
+        try:
+            _fcntl.flock(fd, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+        except OSError:
+            return True  # EWOULDBLOCK: the writer's lock is still held
+        _fcntl.flock(fd, _fcntl.LOCK_UN)
+        return False
+    finally:
+        os.close(fd)

@@ -1,0 +1,71 @@
+"""The files-only budget protocol and the store disk preflight."""
+
+import pytest
+
+from repro.governor import (
+    GOVERNOR_FILE,
+    BudgetFile,
+    DiskExhausted,
+    disk_preflight,
+    install_budgets,
+    load_budgets,
+    store_usage_bytes,
+    sweep_budgets,
+)
+
+
+class TestBudgetFile:
+    def test_roundtrip(self, tmp_path):
+        install_budgets(tmp_path, 4096, 1 << 20)
+        budgets = load_budgets(tmp_path)
+        assert budgets == BudgetFile(
+            worker_mem_budget_bytes=4096, disk_budget_bytes=1 << 20
+        )
+
+    def test_absent_means_none(self, tmp_path):
+        assert load_budgets(tmp_path) is None
+
+    def test_garbage_means_none(self, tmp_path):
+        (tmp_path / GOVERNOR_FILE).write_text("{not json")
+        assert load_budgets(tmp_path) is None
+
+    def test_sweep(self, tmp_path):
+        install_budgets(tmp_path, None, 123)
+        sweep_budgets(tmp_path)
+        assert load_budgets(tmp_path) is None
+        sweep_budgets(tmp_path)  # idempotent
+
+
+class TestStoreUsage:
+    def test_counts_segments_and_tmps_only(self, tmp_path):
+        disk = tmp_path / "disk0"
+        disk.mkdir()
+        (disk / "a.seg").write_bytes(b"x" * 100)
+        (disk / "b.seg.tmp").write_bytes(b"y" * 50)
+        (disk / "notes.txt").write_bytes(b"z" * 1000)  # not storage
+        assert store_usage_bytes(tmp_path) == 150
+
+
+class TestDiskPreflight:
+    def test_no_budget_no_limit(self, tmp_path):
+        disk = tmp_path / "disk0"
+        disk.mkdir()
+        disk_preflight(disk / "big.seg", 1 << 40)  # no budget file: passes
+
+    def test_over_budget_raises_classified(self, tmp_path):
+        disk = tmp_path / "disk0"
+        disk.mkdir()
+        (disk / "existing.seg").write_bytes(b"x" * 600)
+        install_budgets(tmp_path, None, 1000)
+        with pytest.raises(DiskExhausted) as info:
+            disk_preflight(disk / "new.seg", 500)
+        error = info.value
+        assert error.requested == 500
+        assert error.limit == 1000
+        assert error.used == 600
+
+    def test_under_budget_passes(self, tmp_path):
+        disk = tmp_path / "disk0"
+        disk.mkdir()
+        install_budgets(tmp_path, None, 1000)
+        disk_preflight(disk / "new.seg", 999)

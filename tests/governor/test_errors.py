@@ -1,0 +1,75 @@
+"""The classified resource-exhaustion hierarchy and OS-error classifier."""
+
+import errno
+import pickle
+
+import pytest
+
+from repro.governor import (
+    AdmissionRejected,
+    DiskExhausted,
+    MemoryExhausted,
+    ResourceExhausted,
+    classify_os_error,
+)
+
+
+class TestHierarchy:
+    def test_resources(self):
+        assert MemoryExhausted("m").resource == "memory"
+        assert DiskExhausted("d").resource == "disk"
+        assert AdmissionRejected("a").resource == "admission"
+        for cls in (MemoryExhausted, DiskExhausted, AdmissionRejected):
+            assert issubclass(cls, ResourceExhausted)
+
+    def test_describe_includes_accounting(self):
+        error = MemoryExhausted("over", requested=100, limit=60, used=50)
+        text = error.describe()
+        assert "over" in text
+        assert "requested=100" in text
+        assert "limit=60" in text
+        assert "used=50" in text
+
+    def test_describe_without_accounting(self):
+        assert DiskExhausted("just a message").describe() == "just a message"
+
+    @pytest.mark.parametrize(
+        "cls", [ResourceExhausted, MemoryExhausted, DiskExhausted,
+                AdmissionRejected]
+    )
+    def test_pickle_roundtrip_preserves_accounting(self, cls):
+        """Workers raise these through a multiprocessing.Pool: the pickle
+        round trip must keep the budget accounting intact."""
+        error = cls("boom", requested=7, limit=5, used=4)
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is cls
+        assert clone.args == error.args
+        assert (clone.requested, clone.limit, clone.used) == (7, 5, 4)
+        assert clone.resource == error.resource
+
+
+class TestClassify:
+    def test_enospc_becomes_disk(self):
+        error = OSError(errno.ENOSPC, "No space left on device")
+        classified = classify_os_error(error, "pass0 partition 1")
+        assert isinstance(classified, DiskExhausted)
+        assert "pass0 partition 1" in str(classified)
+
+    def test_edquot_becomes_disk(self):
+        error = OSError(errno.EDQUOT, "Quota exceeded")
+        assert isinstance(classify_os_error(error, "x"), DiskExhausted)
+
+    def test_enomem_becomes_memory(self):
+        error = OSError(errno.ENOMEM, "Cannot allocate memory")
+        assert isinstance(classify_os_error(error, "x"), MemoryExhausted)
+
+    def test_memoryerror_becomes_memory(self):
+        assert isinstance(classify_os_error(MemoryError(), "x"), MemoryExhausted)
+
+    def test_unrelated_oserror_is_not_classified(self):
+        assert classify_os_error(OSError(errno.ENOENT, "gone"), "x") is None
+        assert classify_os_error(OSError("no errno"), "x") is None
+
+    def test_already_classified_passes_through(self):
+        original = DiskExhausted("already", requested=1, limit=1)
+        assert classify_os_error(original, "x") is original

@@ -1,0 +1,69 @@
+"""Admission control: concurrency slots, the bounded queue, deadlines."""
+
+import threading
+
+import pytest
+
+from repro.governor import AdmissionRejected, ResourceGovernor
+
+
+class TestAdmission:
+    def test_immediate_admission(self):
+        governor = ResourceGovernor(max_concurrent=2)
+        with governor.admit() as ticket:
+            assert ticket.decision == "admitted"
+            with governor.admit() as second:
+                assert second.decision == "admitted"
+        snapshot = governor.snapshot()
+        assert snapshot["admitted_total"] == 2
+        assert snapshot["rejected_total"] == 0
+
+    def test_fail_mode_rejects_when_saturated(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        ticket = governor.admit("fail")
+        with pytest.raises(AdmissionRejected):
+            governor.admit("fail")
+        ticket.release()
+        governor.admit("fail").release()  # slot freed: admitted again
+        assert governor.snapshot()["rejected_total"] == 1
+
+    def test_release_is_idempotent(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        ticket = governor.admit()
+        ticket.release()
+        ticket.release()
+        governor.admit("fail").release()  # the double release freed one slot
+
+    def test_deadline_lapses_while_queued(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        holder = governor.admit()
+        with pytest.raises(AdmissionRejected, match="deadline"):
+            governor.admit("queue", deadline_s=0.05)
+        holder.release()
+
+    def test_queue_limit_rejects(self):
+        governor = ResourceGovernor(max_concurrent=1, queue_limit=0)
+        holder = governor.admit()
+        with pytest.raises(AdmissionRejected, match="queue"):
+            governor.admit("queue", deadline_s=1.0)
+        holder.release()
+
+    def test_queued_caller_admitted_on_release(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        holder = governor.admit()
+        decisions = []
+
+        def contender():
+            with governor.admit("queue", deadline_s=5.0) as ticket:
+                decisions.append((ticket.decision, ticket.queued_ms))
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        # Give the contender time to join the queue, then free the slot.
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        holder.release()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert decisions and decisions[0][0] == "queued"
+        assert governor.snapshot()["queued_total"] == 1

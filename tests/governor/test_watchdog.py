@@ -1,0 +1,90 @@
+"""The per-worker memory meter: charging, limits, the activation stack."""
+
+import pytest
+
+from repro.governor import (
+    MemoryExhausted,
+    MemoryMeter,
+    NullMeter,
+    activate_meter,
+    active_meter,
+    deactivate_meter,
+    metering,
+    rss_high_water_bytes,
+)
+
+
+class TestMemoryMeter:
+    def test_charge_and_release(self):
+        meter = MemoryMeter()
+        meter.charge(100, "batch")
+        meter.charge(50, "run")
+        assert meter.charged_bytes == 150
+        assert meter.high_water_bytes == 150
+        meter.release(120)
+        assert meter.charged_bytes == 30
+        assert meter.high_water_bytes == 150  # high water never recedes
+
+    def test_release_clamps_at_zero(self):
+        meter = MemoryMeter()
+        meter.charge(10, "x")
+        meter.release(100)
+        assert meter.charged_bytes == 0
+
+    def test_limit_trips_before_committing(self):
+        meter = MemoryMeter(limit_bytes=100)
+        meter.charge(80, "batch")
+        with pytest.raises(MemoryExhausted) as info:
+            meter.charge(40, "sort run")
+        # The failed charge must not be committed.
+        assert meter.charged_bytes == 80
+        error = info.value
+        assert error.requested == 40
+        assert error.limit == 100
+        assert error.used == 80
+        assert "sort run" in str(error)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryMeter(limit_bytes=0)
+
+    def test_mapped_bytes_tracked_but_never_limited(self):
+        meter = MemoryMeter(limit_bytes=10)
+        meter.map_bytes(1 << 30)  # far over the limit: mapped is page cache
+        assert meter.mapped_high_water_bytes == 1 << 30
+        meter.unmap_bytes(1 << 30)
+        assert meter.mapped_bytes == 0
+        assert meter.charged_bytes == 0
+
+
+class TestActivationStack:
+    def test_default_is_null(self):
+        meter = active_meter()
+        assert isinstance(meter, NullMeter)
+        meter.charge(1 << 40, "anything")  # never raises, never counts
+
+    def test_activate_deactivate(self):
+        meter = MemoryMeter()
+        assert activate_meter(meter) is meter
+        try:
+            assert active_meter() is meter
+        finally:
+            assert deactivate_meter() is meter
+        assert isinstance(active_meter(), NullMeter)
+
+    def test_nesting_restores_outer(self):
+        outer, inner = MemoryMeter(), MemoryMeter()
+        activate_meter(outer)
+        try:
+            with metering(meter=inner):
+                assert active_meter() is inner
+            assert active_meter() is outer
+        finally:
+            deactivate_meter()
+
+
+def test_rss_high_water_is_plausible():
+    rss = rss_high_water_bytes()
+    if rss is not None:
+        # A running Python interpreter holds at least a few MB.
+        assert rss > 1 << 20

@@ -207,6 +207,24 @@ class TestPairsFile:
         with pytest.raises(StorageError):
             PairsFile.open(path)
 
+    def test_iter_pairs_file_streams_batched(self, tmp_path):
+        """The generator form: same pairs as read_pairs, never the whole
+        file materialized at once (the governor's pair-collection path)."""
+        import types
+
+        from repro.storage import iter_pairs_file
+
+        pairs = [JoinedPair(i, i + 1, i + 2, i + 3) for i in range(100)]
+        path = tmp_path / "p.seg"
+        with PairsFile.create(path, 100) as pf:
+            pf.append_many(pairs)
+        stream = iter_pairs_file(path, batch_records=7)
+        assert isinstance(stream, types.GeneratorType)
+        assert list(stream) == pairs
+        # Odd batch sizes must not drop the tail.
+        assert list(iter_pairs_file(path, batch_records=33)) == pairs
+        assert read_pairs(path, batch_records=7) == pairs
+
 
 class TestBucketedRFile:
     def test_bucket_roundtrip(self, tmp_path):
