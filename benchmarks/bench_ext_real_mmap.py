@@ -1,6 +1,6 @@
 """Extension: the real-mmap backend (paper §2.1, µDatabase).
 
-Runs the three pointer-based joins on actual ``mmap``-backed segment files
+Runs the four pointer-based joins on actual ``mmap``-backed segment files
 with one OS process per partition, and measures the real machine's
 Figure 1(b) analogue (timed newMap/openMap/deleteMap).  Wall-clock numbers
 here are of the *host*, not the simulated 1996 machine — the point is that
@@ -20,6 +20,7 @@ stats document per algorithm to ``results/STATS_real_<algorithm>.json``.
 
 import json
 import multiprocessing
+import os
 import statistics
 import tempfile
 import time
@@ -39,7 +40,7 @@ from repro.storage import (
 )
 from repro.workload import WorkloadSpec, generate_workload
 
-ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
 ROUNDS = 5
 
 
@@ -123,6 +124,19 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
         name: 100.0 * (m["on"] - m["off"]) / m["off"]
         for name, m in medians.items()
     }
+    # Overhead gate input: each metrics-on round paired with the
+    # metrics-off round that ran right next to it, so slow drift (CPU
+    # frequency, co-tenants on a shared runner) cancels within the pair
+    # instead of landing on whichever mode ran later.  walls[False] has
+    # one extra leading entry — the benchmark-fixture round — so the
+    # interleaved off rounds start at index 1.
+    paired_delta_ms = {
+        name: statistics.median(
+            on - off
+            for off, on in zip(walls[name][False][1:], walls[name][True])
+        )
+        for name in ALGORITHMS
+    }
 
     stats_paths = {}
     for name, res in results_on.items():
@@ -202,10 +216,22 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
         assert res.checksum == checksum
         assert res.worker_metrics, f"{name}: no per-worker metrics harvested"
         # The acceptance bar: metrics cost below 5% of the uninstrumented
-        # median, with a small absolute floor so timer noise at bench
-        # scale (medians of tens of ms) cannot flake the suite.
-        assert medians[name]["on"] <= medians[name]["off"] * 1.05 + 10.0, (
-            f"{name}: metrics overhead {overhead_pct[name]:+.1f}% "
+        # median, with an absolute floor so timer noise at bench scale
+        # (medians of tens of ms) cannot flake the suite.  The cost is
+        # the median of *paired* round deltas — on a loaded runner the
+        # unpaired medians can drift past this gate in either direction
+        # while the true overhead stays flat.  The floor is a per-worker
+        # allowance: with fewer cores than workers the per-worker metrics
+        # cost serializes onto the wall clock instead of overlapping, so
+        # the floor scales by that serialization factor (1 on any runner
+        # with >= disks cores, where the strict bar holds).
+        serialization = max(1.0, workload.disks / (os.cpu_count() or 1))
+        assert (
+            paired_delta_ms[name]
+            <= medians[name]["off"] * 0.05 + 10.0 * serialization
+        ), (
+            f"{name}: metrics overhead {paired_delta_ms[name]:+.1f} ms "
+            f"median paired delta "
             f"({medians[name]['off']:.1f} -> {medians[name]['on']:.1f} ms)"
         )
 

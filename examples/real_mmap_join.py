@@ -19,7 +19,7 @@ from pathlib import Path
 
 from repro.harness.report import format_table
 from repro.joins import verify_pairs
-from repro.parallel import run_real_join
+from repro.parallel import REAL_ALGORITHMS, run_real_join
 from repro.storage import timed_delete_map, timed_new_map, timed_open_map
 from repro.workload import WorkloadSpec, generate_workload
 
@@ -37,7 +37,7 @@ def main() -> None:
 
     rows = []
     with tempfile.TemporaryDirectory() as root:
-        for name in ("nested-loops", "sort-merge", "grace"):
+        for name in sorted(REAL_ALGORITHMS):
             result = run_real_join(
                 name, workload, str(Path(root) / name), use_processes=True
             )

@@ -15,15 +15,27 @@ Johnson–Kotz urn model of Grace bucket thrashing (:mod:`repro.model.urn`)
   segment at its full creation capacity, which is exactly the reservation
   ``MappedSegment.create`` claims via truncate.
 
+Both numbers are functions of the algorithm's declarative pass plan, not
+of the algorithm's name: :func:`predict_footprint` walks the registered
+:class:`~repro.parallel.engine.stages.PassPlan` and prices each stage by
+its *kind* (scan-join, partition, sort-run, merge, probe), and
+:meth:`JoinPlan.degraded` picks ladder rungs by which stage kinds the
+plan contains.  Registering a new plan therefore gives the governor its
+admission model and degradation ladder for free — hybrid hash added a
+resident-join flag and one ladder rung, nothing else.
+
 A :class:`JoinPlan` is the knob set the prediction is a function of, and
 :meth:`JoinPlan.degraded` is one rung of the degradation ladder: smaller
-batches for nested loops, a smaller sort heap (more, smaller runs) for
-sort-merge, chunked spilling and more/smaller buckets for Grace.
-:func:`fit_plan` walks the ladder until the predicted high-water mark fits
-the budget — the "re-plan instead of thrash" admission decision.
+batches for scan joins, a smaller sort heap (more, smaller runs) for
+sort-runs, chunked spilling and more/smaller buckets for the bucketed
+plans, fewer resident buckets for hybrid hash.  :func:`fit_plan` walks
+the ladder until the predicted high-water mark fits the budget — the
+"re-plan instead of thrash" admission decision.
 
-Deliberately import-light: only :mod:`repro.model` (itself pure math), so
-the storage layer can depend on this package without cycles.
+Deliberately import-light at module level: only :mod:`repro.model`
+(itself pure math); the engine's plan registry is imported lazily at
+call time so the storage layer can depend on this package without
+cycles.
 """
 
 from __future__ import annotations
@@ -55,6 +67,18 @@ MAX_BUCKETS = 248
 FIT_MARGIN = 0.75
 
 
+def _pass_plan(algorithm: str):
+    """The registered PassPlan for ``algorithm`` (lazy, cycle-free)."""
+    from repro.parallel.engine.stages import plan_for
+
+    plan = plan_for(algorithm)
+    if plan is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}: no registered pass plan"
+        )
+    return plan
+
+
 @dataclass(frozen=True)
 class JoinPlan:
     """The tunable knobs one real join runs with."""
@@ -63,10 +87,18 @@ class JoinPlan:
     irun: int = 4096
     buckets: int = 16
     tsize: int = 64
-    #: Grace only: flush bucket groups to chunked spill files whenever
-    #: this many objects are retained.  ``None`` = single flush at end of
-    #: scan (the fast path, byte-identical to the ungoverned backend).
+    #: Bucketed plans only: flush bucket groups to chunked spill files
+    #: whenever this many objects are retained.  ``None`` = single flush
+    #: at end of scan (the fast path, byte-identical to the ungoverned
+    #: backend).
     spill_threshold: Optional[int] = None
+    #: Hybrid hash only: buckets joined in place during the partition
+    #: scan instead of spilled.  Clamped to ``buckets - 1`` so at least
+    #: one bucket always flows through the probe pass.
+    resident_buckets: int = 4
+
+    def effective_resident_buckets(self) -> int:
+        return max(0, min(self.resident_buckets, self.buckets - 1))
 
     def as_dict(self) -> dict:
         return {
@@ -75,10 +107,18 @@ class JoinPlan:
             "buckets": self.buckets,
             "tsize": self.tsize,
             "spill_threshold": self.spill_threshold,
+            "resident_buckets": self.resident_buckets,
         }
 
     def degraded(self, algorithm: str, resource: str = "memory") -> "JoinPlan":
         """One rung down the ladder; returns ``self`` when exhausted.
+
+        The rungs are chosen by the stage kinds in the algorithm's pass
+        plan, cheapest-loss first: shrink the sort heap (more, smaller
+        runs), bound then shrink the partition buffer (chunked spilling),
+        shrink the batches, evict resident buckets (hybrid degenerates
+        toward grace), and finally split buckets finer so the probe-side
+        tables shrink too.
 
         Disk pressure has no plan-level remedy beyond throttling batch
         sizes (spill capacities are workload-determined), so every
@@ -88,34 +128,38 @@ class JoinPlan:
             if self.batch_records > MIN_BATCH_RECORDS:
                 return self._with_batch(self.batch_records // 2)
             return self
-        if algorithm == "nested-loops":
-            if self.batch_records > MIN_BATCH_RECORDS:
-                return self._with_batch(self.batch_records // 2)
-            return self
-        if algorithm == "sort-merge":
-            if self.irun > MIN_IRUN:
-                return replace(self, irun=max(MIN_IRUN, self.irun // 2))
-            if self.batch_records > MIN_BATCH_RECORDS:
-                return self._with_batch(self.batch_records // 2)
-            return self
-        # grace: first bound the partition pass (chunked spilling), then
-        # shrink the chunks, then the batches, then split buckets finer so
-        # the probe-side tables shrink too.
-        if self.spill_threshold is None:
-            return replace(
-                self,
-                spill_threshold=max(MIN_BATCH_RECORDS, 4 * self.batch_records),
-            )
-        if self.spill_threshold > self.batch_records:
-            return replace(
-                self,
-                spill_threshold=max(
-                    self.batch_records, self.spill_threshold // 2
-                ),
-            )
+        pass_plan = _pass_plan(algorithm)
+        buffered = any(
+            getattr(stage, "buffered", False) for stage in pass_plan.stages
+        )
+        resident_join = any(
+            getattr(stage, "resident_join", False)
+            for stage in pass_plan.stages
+        )
+        if pass_plan.has_kind("sort-run") and self.irun > MIN_IRUN:
+            return replace(self, irun=max(MIN_IRUN, self.irun // 2))
+        if buffered:
+            if self.spill_threshold is None:
+                return replace(
+                    self,
+                    spill_threshold=max(
+                        MIN_BATCH_RECORDS, 4 * self.batch_records
+                    ),
+                )
+            if self.spill_threshold > self.batch_records:
+                return replace(
+                    self,
+                    spill_threshold=max(
+                        self.batch_records, self.spill_threshold // 2
+                    ),
+                )
         if self.batch_records > MIN_BATCH_RECORDS:
             return self._with_batch(self.batch_records // 2)
-        if self.buckets < MAX_BUCKETS:
+        if resident_join and self.effective_resident_buckets() > 0:
+            return replace(
+                self, resident_buckets=self.effective_resident_buckets() // 2
+            )
+        if pass_plan.has_kind("probe") and self.buckets < MAX_BUCKETS:
             return replace(self, buckets=min(MAX_BUCKETS, self.buckets * 2))
         return self
 
@@ -133,7 +177,8 @@ class JoinPlan:
 class FootprintEstimate:
     """What the model expects one join to cost in memory and disk."""
 
-    #: Per-worker retained-object high-water mark, per pass (bytes).
+    #: Per-worker retained-object high-water mark, per pass (bytes),
+    #: keyed by the pass plan's stage labels.
     per_pass_mem_bytes: Dict[str, float] = field(default_factory=dict)
     #: Max of the above — the number a worker budget is checked against.
     mem_high_water_bytes: float = 0.0
@@ -178,14 +223,19 @@ def predict_footprint(
     ``workload`` is duck-typed: ``disks``, ``spec.s_bytes`` and
     ``relation_parameters()`` (which carries the *measured* skew, so a
     skewed pointer distribution inflates the worst partition exactly the
-    way the paper's analyses do).
+    way the paper's analyses do).  The estimate is assembled stage by
+    stage from the algorithm's registered pass plan, so its ``per_pass``
+    labels match the executor's.
     """
+    pass_plan = _pass_plan(algorithm)
     relations = workload.relation_parameters()
     disks = workload.disks
     machine = MachineParameters(disks=disks)
     r = relations.r_bytes
     s = relations.s_bytes
-    synchronized = algorithm != "nested-loops"
+    # Scan-join plans interleave probes with the scan; everything else
+    # runs synchronized redistribution passes behind barriers.
+    synchronized = not pass_plan.has_kind("scan-join")
     geometry = (
         synchronized_geometry(machine, relations)
         if synchronized
@@ -198,6 +248,8 @@ def predict_footprint(
     batch = max(1, min(plan.batch_records, math.ceil(r_i)))
     per_pass: Dict[str, float] = {}
     details: Dict[str, float] = {}
+    spill_bytes = 0.0
+    pairs_segments = 0
 
     base_bytes = disks * (
         _segment_bytes(r_i, r) + _segment_bytes(geometry.s_i, s)
@@ -208,84 +260,107 @@ def predict_footprint(
         else geometry.pages_r_i + geometry.pages_s_i
     )
 
-    if algorithm == "nested-loops":
-        # Each batch retains its decoded R objects plus the dereferenced S
-        # objects; worst case every pointer resolves locally.
-        per_pass["pass0"] = batch * r + batch * s
-        per_pass["pass1"] = batch * r + batch * s
-        spill_bytes = disks * (disks - 1) * _segment_bytes(r_i, r)
-        pairs_bytes = 2 * (
-            disks * PAGE_SIZE
-            + _segment_bytes(relations.r_objects, PAIR_RECORD_BYTES)
-        )
-        try:
-            details["ylru_fault_pages"] = ylru(
-                n_tuples=int(geometry.s_i) or 1,
-                t_pages=math.ceil(geometry.pages_s_i) or 1,
-                i_keys=int(geometry.s_i) or 1,
-                b_frames=max(1.0, frames),
-                x_lookups=geometry.r_ii,
+    for stage in pass_plan.stages:
+        if stage.emits in ("pairs", "both"):
+            pairs_segments += 1
+        if stage.kind == "scan-join":
+            # Each batch retains its decoded R objects plus the
+            # dereferenced S objects; worst case every pointer resolves
+            # locally.
+            per_pass[stage.label] = batch * r + batch * s
+            if stage.spills:
+                spill_bytes += disks * (disks - 1) * _segment_bytes(r_i, r)
+            if "ylru_fault_pages" not in details:
+                try:
+                    details["ylru_fault_pages"] = ylru(
+                        n_tuples=int(geometry.s_i) or 1,
+                        t_pages=math.ceil(geometry.pages_s_i) or 1,
+                        i_keys=int(geometry.s_i) or 1,
+                        b_frames=max(1.0, frames),
+                        x_lookups=geometry.r_ii,
+                    )
+                except ValueError:
+                    details["ylru_fault_pages"] = 0.0
+        elif stage.kind == "partition":
+            if not stage.buffered:
+                per_pass[stage.label] = batch * r
+                spill_bytes += disks * disks * _segment_bytes(r_i, r)
+                continue
+            if plan.spill_threshold is None:
+                retained = r_i
+            else:
+                retained = min(r_i, plan.spill_threshold + batch)
+            estimate = max(retained, batch) * r
+            if stage.resident_join and plan.effective_resident_buckets() > 0:
+                # Resident buckets dereference their S partners during
+                # the scan: one chunk of S objects rides on top of the
+                # retained R buffer.
+                estimate += batch * s
+            per_pass[stage.label] = estimate
+            per_contributor = r_i / disks  # one contributor's share/target
+            chunks = (
+                1
+                if plan.spill_threshold is None
+                else max(1, math.ceil(r_i / plan.spill_threshold))
             )
-        except ValueError:
-            details["ylru_fault_pages"] = 0.0
-    elif algorithm == "sort-merge":
-        per_pass["partition"] = batch * r
-        irun_eff = max(1, min(plan.irun, math.ceil(inbound)))
-        n_runs = max(1, math.ceil(inbound / irun_eff))
-        # Run building holds at most irun + one trailing batch before a
-        # flush; merging streams run batches lazily and retains only the
-        # re-batched output plus its dereferenced S objects.  The merged
-        # stream re-batches against *inbound* (which skew can push past
-        # r_i), so its batch clamp must use inbound, not r_i.
-        merge_batch = max(1, min(plan.batch_records, math.ceil(inbound)))
-        run_build = min(inbound, irun_eff + batch) * r
-        merge = merge_batch * (r + s)
-        per_pass["sort-merge-join"] = max(run_build, merge)
-        spill_bytes = (
-            disks * disks * _segment_bytes(r_i, r)
-            + disks * (_segment_bytes(inbound, r) + (n_runs - 1) * PAGE_SIZE)
-        )
-        pairs_bytes = disks * PAGE_SIZE + _segment_bytes(
-            relations.r_objects, PAIR_RECORD_BYTES
-        )
-        details["merge_runs"] = float(n_runs)
-    else:  # grace
-        if plan.spill_threshold is None:
-            retained = r_i
-        else:
-            retained = min(r_i, plan.spill_threshold + batch)
-        per_pass["partition"] = max(retained, batch) * r
-        # Range bucketing splits near-evenly; allow 3 sigma of multinomial
-        # wobble over the mean bucket population.
-        bucket_mean = inbound / plan.buckets
-        bucket_high = min(inbound, bucket_mean + 3.0 * math.sqrt(bucket_mean) + 1)
-        # Dereference chunks are carved from one bucket, so they are
-        # bounded by the bucket population as well as the batch knob.
-        probe_chunk = max(1, min(plan.batch_records, math.ceil(bucket_high)))
-        per_pass["probe"] = bucket_high * r + probe_chunk * s
-        per_contributor = r_i / disks  # one contributor's share per target
-        chunks = (
-            1
-            if plan.spill_threshold is None
-            else max(1, math.ceil(r_i / plan.spill_threshold))
-        )
-        spill_bytes = disks * disks * (
-            _segment_bytes(per_contributor, r) + (chunks - 1) * PAGE_SIZE
-        )
-        pairs_bytes = disks * PAGE_SIZE + _segment_bytes(
-            relations.r_objects, PAIR_RECORD_BYTES
-        )
-        try:
-            objects_per_block = max(1, machine.page_size // r)
-            details["grace_premature_replacements"] = grace_thrashing_estimate(
-                hashed_objects=int(geometry.r_ii) or 1,
-                buckets=plan.buckets,
-                frames=max(1, int(frames)),
-                disks=disks,
-                objects_per_block=objects_per_block,
-            ).premature_replacements
-        except ValueError:
-            details["grace_premature_replacements"] = 0.0
+            spill_bytes += disks * disks * (
+                _segment_bytes(per_contributor, r) + (chunks - 1) * PAGE_SIZE
+            )
+        elif stage.kind == "sort-run":
+            irun_eff = max(1, min(plan.irun, math.ceil(inbound)))
+            n_runs = max(1, math.ceil(inbound / irun_eff))
+            # Run building holds at most irun + one trailing batch before
+            # a flush.
+            per_pass[stage.label] = min(inbound, irun_eff + batch) * r
+            spill_bytes += disks * (
+                _segment_bytes(inbound, r) + (n_runs - 1) * PAGE_SIZE
+            )
+            details["merge_runs"] = float(n_runs)
+        elif stage.kind == "merge":
+            # Merging streams run batches lazily and retains only the
+            # re-batched output plus its dereferenced S objects.  The
+            # merged stream re-batches against *inbound* (which skew can
+            # push past r_i), so its batch clamp must use inbound.
+            merge_batch = max(
+                1, min(plan.batch_records, math.ceil(inbound))
+            )
+            per_pass[stage.label] = merge_batch * (r + s)
+        elif stage.kind == "probe":
+            # Range bucketing splits near-evenly; allow 3 sigma of
+            # multinomial wobble over the mean bucket population.  The
+            # mean holds for hybrid too: the spilled fraction of inbound
+            # spreads over the non-resident fraction of the buckets.
+            bucket_mean = inbound / plan.buckets
+            bucket_high = min(
+                inbound, bucket_mean + 3.0 * math.sqrt(bucket_mean) + 1
+            )
+            # Dereference chunks are carved from one bucket, so they are
+            # bounded by the bucket population as well as the batch knob.
+            probe_chunk = max(
+                1, min(plan.batch_records, math.ceil(bucket_high))
+            )
+            per_pass[stage.label] = bucket_high * r + probe_chunk * s
+            if "grace_premature_replacements" not in details:
+                try:
+                    objects_per_block = max(1, machine.page_size // r)
+                    details["grace_premature_replacements"] = (
+                        grace_thrashing_estimate(
+                            hashed_objects=int(geometry.r_ii) or 1,
+                            buckets=plan.buckets,
+                            frames=max(1, int(frames)),
+                            disks=disks,
+                            objects_per_block=objects_per_block,
+                        ).premature_replacements
+                    )
+                except ValueError:
+                    details["grace_premature_replacements"] = 0.0
+        else:  # pragma: no cover - registry validates stage kinds
+            raise ValueError(f"no footprint model for stage kind {stage.kind!r}")
+
+    pairs_bytes = pairs_segments * (
+        disks * PAGE_SIZE
+        + _segment_bytes(relations.r_objects, PAIR_RECORD_BYTES)
+    )
 
     mem_high_water = max(per_pass.values())
     return FootprintEstimate(

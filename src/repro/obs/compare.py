@@ -30,9 +30,14 @@ PASS_ALIGNMENT: Dict[str, Dict[str, Tuple[str, ...]]] = {
     },
     "sort-merge": {
         "partition": ("pass0", "pass1"),
-        "sort-merge-join": ("pass2-sort", "merge-passes", "final-merge-join"),
+        "sort-runs": ("pass2-sort",),
+        "merge-join": ("merge-passes", "final-merge-join"),
     },
     "grace": {
+        "partition": ("pass0", "pass1"),
+        "probe": ("probe-join",),
+    },
+    "hybrid-hash": {
         "partition": ("pass0", "pass1"),
         "probe": ("probe-join",),
     },

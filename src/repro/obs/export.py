@@ -22,10 +22,13 @@ from typing import Dict, List, Mapping, Optional
 from repro.obs.registry import MetricsRegistry, parse_metric_key
 
 #: Version 2 added ``totals.governor`` (resource-governor decision record)
-#: and the per-worker memory gauges; version-1 documents (no governor
-#: section) are still readable by consumers that ignore unknown fields,
-#: but this build emits and validates version 2.
-SCHEMA_VERSION = 2
+#: and the per-worker memory gauges.  Version 3 reflects the pass-pipeline
+#: engine: real-backend ``per_pass`` entries carry the stage ``kind``
+#: (scan-join / partition / sort-run / merge / probe — optional, the
+#: simulator has no stage taxonomy), per-pass labels come from the
+#: registered pass plans (sort-merge is now partition / sort-runs /
+#: merge-join), and stage spans are named ``stage`` rather than ``pass``.
+SCHEMA_VERSION = 3
 DOCUMENT_KIND = "repro-join-stats"
 
 #: Spill segment kinds — temporaries redistributed between partitions, as
@@ -115,6 +118,10 @@ def schema_problems(document: object) -> List[str]:
             entry.get("wall_ms"), (int, float)
         ):
             problems.append(f"per_pass[{label!r}] needs a numeric wall_ms")
+        elif "kind" in entry and not isinstance(entry["kind"], str):
+            # Optional: the real backend stamps each pass with its stage
+            # kind; the simulator has no stage taxonomy.
+            problems.append(f"per_pass[{label!r}].kind must be a string")
     for label, workers in document["per_worker"].items():
         if label not in document["per_pass"]:
             problems.append(f"per_worker[{label!r}] has no matching per_pass entry")
@@ -258,6 +265,7 @@ def build_real_stats_document(result, workload=None) -> dict:
     worker_metrics = getattr(result, "worker_metrics", None) or {}
     driver_metrics = getattr(result, "driver_metrics", None)
 
+    pass_kinds = getattr(result, "pass_kinds", None) or {}
     per_pass: Dict[str, dict] = {}
     per_worker: Dict[str, dict] = {}
     all_parts: List[Mapping] = []
@@ -271,6 +279,9 @@ def build_real_stats_document(result, workload=None) -> dict:
             "checksum": result.pass_checksums.get(label),
             "workers": sorted(snapshots),
             "counters": dict(pass_registry.counters),
+            **(
+                {"kind": pass_kinds[label]} if label in pass_kinds else {}
+            ),
         }
         per_worker[label] = {
             str(partition): _worker_summary(snapshot)

@@ -1,5 +1,12 @@
-"""Real-mmap parallel join backend (multiprocessing over mapped files)."""
+"""Real-mmap parallel join backend (multiprocessing over mapped files).
 
+Algorithms are declarative pass plans (:mod:`repro.parallel.engine`)
+executed by one generic engine; :mod:`repro.parallel.workers` holds the
+per-partition stage kernels and :mod:`repro.parallel.runner` the
+admission/governance facade.
+"""
+
+from repro.parallel.engine.stages import PassPlan, PassPlanError, plan_for
 from repro.parallel.faults import (
     ALGORITHM_TASKS,
     FAULTS_FILE,
@@ -37,9 +44,12 @@ __all__ = [
     "InjectedTornWrite",
     "ON_PRESSURE_MODES",
     "PairResult",
+    "PassPlan",
+    "PassPlanError",
     "REAL_ALGORITHMS",
     "RealJoinError",
     "RealJoinResult",
     "RetryPolicy",
+    "plan_for",
     "run_real_join",
 ]

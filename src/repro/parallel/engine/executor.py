@@ -1,0 +1,512 @@
+"""The generic pass-plan executor for the real-mmap backend.
+
+One function, :func:`execute_plan`, runs *any* registered
+:class:`~repro.parallel.engine.stages.PassPlan` and owns everything the
+old per-algorithm runner duplicated per pass:
+
+* store lifecycle — orphan sweep, budget install, metrics marker, fault
+  plan install, workload materialization, final artifact sweep/destroy;
+* task fan-out — one :func:`~repro.parallel.engine.task.run_task` payload
+  per partition per stage, dispatched to a shared
+  :class:`multiprocessing.Pool` (or inline), futures drained with an
+  optional timeout;
+* recovery — a retry budget with exponential backoff, inline fallback
+  when the pool is unrecoverable, and dirty-pool termination;
+* governance — classified :class:`ResourceExhausted` failures end the
+  round (drained, never retried) and descend one rung of the plan's
+  degradation ladder before the round re-executes from clean temps;
+* observability — per-stage spans, driver counters, worker sidecar
+  harvest, disk high-water sampling;
+* invariants — the plan's :class:`ConservationRule` set, each rule
+  checked the moment every stage it references has completed.
+
+Dispatch is recovery-aware.  Each stage submits one future per partition
+(``apply_async``) and collects it with an optional ``task_timeout``; a
+partition whose worker dies, raises, or fails to report in time is
+retried — with exponential backoff — up to a configurable budget.
+Retries are safe because every kernel's outputs are published atomically
+(tmp-write / rename in the storage layer) and re-created with
+``overwrite=True``, so a half-finished dead attempt leaves nothing a
+retry can observe.  When the pool itself is unrecoverable (hung
+workers), the still-failing partitions are run inline in the parent as a
+last resort, and a pool that may still harbor abandoned tasks is
+terminated rather than joined.
+
+Resource exhaustion is governed, not retried: a classified
+:class:`~repro.governor.errors.ResourceExhausted` out of a worker is
+deterministic under the same plan, so the dispatcher lets it surface
+immediately; under ``on_pressure="degrade"`` the executor descends one
+rung (:meth:`~repro.governor.predict.JoinPlan.degraded`), resets the
+round (temps cleared; stages are idempotent), and re-executes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.pool
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.records import JoinedPair
+from repro.governor.budget import install_budgets, store_usage_bytes
+from repro.governor.errors import ResourceExhausted
+from repro.governor.predict import JoinPlan
+from repro.obs.registry import MetricsRegistry, activate, active, deactivate
+from repro.obs.spans import span
+from repro.parallel.engine.stages import PassPlan, Stage, StageContext
+from repro.parallel.engine.task import (
+    CHECKSUM_MOD,
+    OBS_MARKER,
+    PairResult,
+    StageOutput,
+    metrics_sidecar,
+    run_task,
+)
+from repro.parallel.faults import (
+    FaultPlan,
+    InjectedHang,
+    RetryPolicy,
+    sweep_fault_state,
+)
+from repro.governor.budget import sweep_budgets
+from repro.storage.relation import iter_pairs_file
+from repro.storage.store import Store
+from repro.workload.generator import Workload
+
+#: Backoff between retry rounds never sleeps longer than this.
+_BACKOFF_CAP_S = 2.0
+
+
+class RealJoinError(RuntimeError):
+    """Raised when the real backend cannot run a join."""
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything one :func:`execute_plan` run produced and endured."""
+
+    plan: JoinPlan
+    pair_count: int = 0
+    checksum: int = 0
+    pairs: Optional[List[JoinedPair]] = None
+    pass_wall_ms: Dict[str, float] = field(default_factory=dict)
+    pass_counts: Dict[str, int] = field(default_factory=dict)
+    pass_checksums: Dict[str, int] = field(default_factory=dict)
+    pass_kinds: Dict[str, str] = field(default_factory=dict)
+    worker_metrics: Dict[str, Dict[int, dict]] = field(default_factory=dict)
+    driver_metrics: Optional[dict] = None
+    recovery: Dict[str, object] = field(default_factory=dict)
+    runtime_degradations: int = 0
+    resource_errors: Dict[str, int] = field(default_factory=dict)
+    disk_peak_bytes: int = 0
+
+
+def sweep_run_artifacts(store_root: str, store: Store) -> None:
+    """Remove every run-scoped control file from the store root.
+
+    Called before a run (stale state from a previous dead driver) and on
+    every exit path (nothing of a finished run may leak): the metrics
+    marker, metrics sidecars, the fault plan and its attempt counters,
+    the budget file, and unpublished ``*.seg.tmp`` segments.
+    """
+    root = Path(store_root)
+    if not root.exists():
+        return
+    (root / OBS_MARKER).unlink(missing_ok=True)
+    for sidecar in root.glob("metrics_*.json"):
+        sidecar.unlink(missing_ok=True)
+    sweep_fault_state(root)
+    sweep_budgets(root)
+    store.cleanup_orphans()
+
+
+def execute_plan(
+    pass_plan: PassPlan,
+    workload: Workload,
+    store_root: str,
+    plan: JoinPlan,
+    *,
+    use_processes: bool = True,
+    pool: Optional[multiprocessing.pool.Pool] = None,
+    collect_metrics: bool = True,
+    collect_pairs: bool = True,
+    keep_store: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    on_pressure: str = "degrade",
+    max_degradations: int = 8,
+    governed: bool = False,
+    worker_mem_budget: Optional[int] = None,
+    disk_budget: Optional[int] = None,
+) -> ExecutionOutcome:
+    """Run every stage of ``pass_plan`` across all partitions.
+
+    The caller (the runner) owns admission: ``plan`` arrives already
+    fitted to its budget.  This function owns everything from "touch the
+    store" to "the store is swept" — including descending the ladder
+    further when a runtime :class:`ResourceExhausted` proves the
+    admission estimate optimistic.
+    """
+    policy = policy or RetryPolicy()
+    algorithm = pass_plan.algorithm
+    disks = workload.disks
+    spec = workload.spec
+    ctx = StageContext(
+        store_root=store_root,
+        disks=disks,
+        s_objects=spec.s_objects,
+        r_bytes=spec.r_bytes,
+    )
+    # clean_orphans: this is the driver, the one place where no sibling
+    # writer can be mid-publish, so stale *.seg.tmp from a previous dead
+    # run are safe to sweep (live tmps are flock-protected regardless).
+    store = Store(store_root, disks, clean_orphans=True)
+    sweep_run_artifacts(store_root, store)
+    if worker_mem_budget is not None or disk_budget is not None:
+        install_budgets(store_root, worker_mem_budget, disk_budget)
+
+    outcome = ExecutionOutcome(plan=plan)
+    recovery: Dict[str, object] = {
+        "retries": 0, "timeouts": 0, "inline_fallbacks": 0,
+        "pool_dirty": False,
+    }
+    outcome.recovery = recovery
+    driver_registry: Optional[MetricsRegistry] = None
+    owns_pool = False
+    pair_results: List[PairResult] = []
+    # Per-round stage outcomes feeding the conservation rules:
+    # label -> {"moved": int, "pairs": int, "total": int}.
+    stage_totals: Dict[str, Dict[str, int]] = {}
+    checked_rules: set = set()
+
+    def sample_disk() -> None:
+        if governed:
+            outcome.disk_peak_bytes = max(
+                outcome.disk_peak_bytes, store_usage_bytes(store_root)
+            )
+
+    def harvest_metrics(stage: Stage) -> None:
+        """Merge the stage's worker registry sidecars into the outcome."""
+        if not collect_metrics:
+            return
+        snapshots: Dict[int, dict] = {}
+        for partition in range(disks):
+            sidecar = metrics_sidecar(store_root, stage.kernel, partition)
+            if sidecar.exists():
+                snapshots[partition] = json.loads(sidecar.read_text())
+                sidecar.unlink()
+        outcome.worker_metrics[stage.label] = snapshots
+
+    def conserved(ref) -> int:
+        label, fld = ref
+        return stage_totals[label][fld]
+
+    def check_conservation() -> None:
+        """Fire every rule whose referenced stages have all completed."""
+        for rule in pass_plan.conservation:
+            if rule.what in checked_rules:
+                continue
+            refs = list(rule.produced)
+            if isinstance(rule.expected, tuple):
+                refs.append(rule.expected)
+            if any(label not in stage_totals for label, _ in refs):
+                continue
+            produced = sum(conserved(ref) for ref in rule.produced)
+            expected = (
+                workload.r_objects_total
+                if rule.expected == "input"
+                else conserved(rule.expected)
+            )
+            checked_rules.add(rule.what)
+            if produced != expected:
+                raise RealJoinError(
+                    f"{algorithm}: {rule.what} not conserved "
+                    f"({produced} produced, {expected} expected)"
+                )
+
+    def run_stage(stage: Stage, current: JoinPlan) -> None:
+        arg_list = [
+            stage.args_for(ctx, current, partition)
+            for partition in range(disks)
+        ]
+        with span("stage", algo=algorithm, label=stage.label, kind=stage.kind):
+            results = _dispatch_stage(
+                pool, stage, arg_list, outcome.pass_wall_ms,
+                policy, store_root, algorithm, recovery,
+            )
+        harvest_metrics(stage)
+        sample_disk()
+        moved = 0
+        stage_pairs: List[PairResult] = []
+        if stage.emits == "moved":
+            moved = sum(results)
+        elif stage.emits == "pairs":
+            stage_pairs = list(results)
+        else:  # both
+            outputs = [StageOutput(*result) for result in results]
+            moved = sum(output.moved for output in outputs)
+            stage_pairs = [output.pairs for output in outputs]
+        pairs_count = sum(result.count for result in stage_pairs)
+        stage_totals[stage.label] = {
+            "moved": moved,
+            "pairs": pairs_count,
+            "total": moved + pairs_count,
+        }
+        outcome.pass_kinds[stage.label] = stage.kind
+        if stage.emits == "moved":
+            outcome.pass_counts[stage.label] = moved
+        elif stage.emits == "pairs":
+            outcome.pass_counts[stage.label] = pairs_count
+        else:
+            outcome.pass_counts[stage.label] = moved + pairs_count
+        if stage_pairs:
+            outcome.pass_checksums[stage.label] = (
+                sum(result.checksum for result in stage_pairs) % CHECKSUM_MOD
+            )
+            pair_results.extend(stage_pairs)
+        check_conservation()
+
+    def reset_round() -> None:
+        """Wipe one failed round's partial state so the next is pristine.
+
+        Temps (spills, runs, chunks, pairs) are re-created from R/S, so
+        clearing them keeps a re-planned round from double-counting stale
+        files written under the previous plan's knobs.  Fault attempt
+        counters are deliberately *kept*: a one-shot injected fault must
+        not re-fire in the degraded round.
+        """
+        outcome.pass_wall_ms.clear()
+        outcome.pass_counts.clear()
+        outcome.pass_checksums.clear()
+        outcome.pass_kinds.clear()
+        outcome.worker_metrics.clear()
+        pair_results.clear()
+        stage_totals.clear()
+        checked_rules.clear()
+        for sidecar in Path(store_root).glob("metrics_*.json"):
+            sidecar.unlink(missing_ok=True)
+        store.cleanup_temps()
+        store.cleanup_orphans()
+
+    try:
+        if collect_metrics:
+            (Path(store_root) / OBS_MARKER).touch()
+            driver_registry = activate(MetricsRegistry())
+        store.materialize(workload)
+        sample_disk()
+        if fault_plan is not None:
+            fault_plan.install(store_root)
+        if pool is None and use_processes and disks > 1:
+            owns_pool = True
+            pool = multiprocessing.Pool(processes=disks)
+        elif not use_processes:
+            pool = None
+
+        current = plan
+        while True:
+            try:
+                for stage in pass_plan.stages:
+                    run_stage(stage, current)
+                break
+            except ResourceExhausted as error:
+                outcome.resource_errors[error.resource] = (
+                    outcome.resource_errors.get(error.resource, 0) + 1
+                )
+                active().count(
+                    "runner.resource_errors_total", 1,
+                    algo=algorithm, resource=error.resource,
+                )
+                lowered = current.degraded(algorithm, error.resource)
+                if (
+                    on_pressure != "degrade"
+                    or outcome.runtime_degradations >= max_degradations
+                    or lowered == current
+                ):
+                    raise
+                current = lowered
+                outcome.runtime_degradations += 1
+                active().count(
+                    "runner.degradations_total", 1, algo=algorithm
+                )
+                reset_round()
+        outcome.plan = current
+
+        if collect_pairs:
+            pairs: List[JoinedPair] = []
+            for result in pair_results:
+                # Streamed a batch at a time: only the final list (which
+                # the caller asked for) is whole-output, never a second
+                # per-file materialization on top of it.
+                pairs.extend(iter_pairs_file(result.path, current.batch_records))
+            outcome.pairs = pairs
+    finally:
+        if driver_registry is not None:
+            deactivate()
+        if owns_pool and pool is not None:
+            if recovery["pool_dirty"]:
+                # Abandoned (hung or crashed mid-task) workers would block
+                # close()+join() forever; this pool is ours, so kill it.
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        # The run's control files must not outlive the run — success or
+        # failure.  Order matters: only after the pool is gone is no
+        # worker left that could still be writing a sidecar or a .tmp.
+        sweep_run_artifacts(store_root, store)
+        if not keep_store:
+            store.destroy()
+
+    outcome.pair_count = sum(result.count for result in pair_results)
+    outcome.checksum = (
+        sum(result.checksum for result in pair_results) % CHECKSUM_MOD
+    )
+    outcome.driver_metrics = (
+        driver_registry.snapshot() if driver_registry is not None else None
+    )
+    return outcome
+
+
+def _dispatch_stage(
+    pool,
+    stage: Stage,
+    arg_list: Sequence[tuple],
+    pass_wall: Dict[str, float],
+    policy: RetryPolicy,
+    store_root: str,
+    algorithm: str,
+    recovery: dict,
+) -> list:
+    """Dispatch one stage to all partitions, retrying failed tasks.
+
+    Every task gets ``1 + policy.retries`` attempts (plus one optional
+    inline-fallback attempt in the parent).  Between rounds the
+    dispatcher backs off exponentially.  Retrying is safe because kernel
+    outputs are only published by atomic rename and re-created with
+    overwrite, so a failed attempt's partial work is invisible to its
+    retry.
+
+    Classified :class:`ResourceExhausted` failures are *not* retried —
+    under the same plan the same budget trips deterministically — they
+    propagate to the executor's degradation loop instead.
+    """
+    started = time.perf_counter()
+    results: list = [None] * len(arg_list)
+    pending = list(range(len(arg_list)))
+    errors: List[BaseException] = []
+    labels = {"algo": algorithm, "pass": stage.label}
+    for attempt in range(policy.retries + 1):
+        if not pending:
+            break
+        if attempt:
+            recovery["retries"] += len(pending)
+            active().count("runner.retries_total", len(pending), **labels)
+            time.sleep(
+                min(policy.backoff_s * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
+            )
+        pending = _run_round(
+            pool, stage, arg_list, pending, results,
+            policy, store_root, recovery, errors, labels,
+        )
+    if pending and pool is not None and policy.fallback_inline:
+        # Graceful degradation: the pool could not finish these partitions
+        # within budget (it may be unrecoverable); run them in-process.
+        recovery["inline_fallbacks"] += len(pending)
+        active().count("runner.inline_fallbacks_total", len(pending), **labels)
+        pending = _run_round(
+            None, stage, arg_list, pending, results,
+            policy, store_root, recovery, errors, labels,
+        )
+    if pending:
+        partitions = [arg_list[idx][2] for idx in pending]
+        raise RealJoinError(
+            f"{algorithm} {stage.label}: partitions {partitions} failed "
+            f"{stage.kernel} after {policy.retries + 1} attempt(s)"
+        ) from (errors[-1] if errors else None)
+    pass_wall[stage.label] = (time.perf_counter() - started) * 1000.0
+    return results
+
+
+def _run_round(
+    pool,
+    stage: Stage,
+    arg_list: Sequence[tuple],
+    indices: List[int],
+    results: list,
+    policy: RetryPolicy,
+    store_root: str,
+    recovery: dict,
+    errors: List[BaseException],
+    labels: Dict[str, str],
+) -> List[int]:
+    """Run one attempt for each pending task; return the still-failing set.
+
+    A :class:`ResourceExhausted` ends the round: inline it raises at once;
+    in pool mode the remaining futures are *drained first* (so no sibling
+    task of this round is still running when the executor re-plans and
+    re-dispatches — an abandoned attempt publishing over its replacement
+    would corrupt the degraded round) and the first classified error is
+    then raised.
+    """
+    task = stage.kernel
+    for idx in indices:
+        # A dead attempt may have left a sidecar snapshotted before its
+        # fault fired (or a stale one from a previous run); drop it so
+        # the harvest only ever sees the attempt that actually finished.
+        metrics_sidecar(store_root, task, arg_list[idx][2]).unlink(
+            missing_ok=True
+        )
+    still: List[int] = []
+    if pool is not None:
+        futures = [
+            (idx, pool.apply_async(run_task, ((task, arg_list[idx]),)))
+            for idx in indices
+        ]
+        resource_error: Optional[ResourceExhausted] = None
+        for idx, future in futures:
+            try:
+                results[idx] = future.get(policy.task_timeout)
+            except multiprocessing.TimeoutError:
+                # The worker died mid-task (its result will never arrive)
+                # or is hung; either way the pool now holds an abandoned
+                # task, so it can no longer be join()ed safely.
+                recovery["timeouts"] += 1
+                recovery["pool_dirty"] = True
+                active().count("runner.timeouts_total", 1, **labels)
+                errors.append(
+                    TimeoutError(
+                        f"{task} partition {arg_list[idx][2]} exceeded "
+                        f"{policy.task_timeout}s"
+                    )
+                )
+                still.append(idx)
+            except ResourceExhausted as error:
+                if resource_error is None:
+                    resource_error = error
+            except Exception as error:
+                active().count("runner.worker_failures_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+        if resource_error is not None:
+            raise resource_error
+    else:
+        for idx in indices:
+            try:
+                results[idx] = run_task((task, arg_list[idx]))
+            except ResourceExhausted:
+                raise
+            except InjectedHang as error:
+                # Inline stand-in for a task timeout: counted as one, so
+                # the timeout/retry path is testable without processes.
+                recovery["timeouts"] += 1
+                active().count("runner.timeouts_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+            except Exception as error:
+                active().count("runner.worker_failures_total", 1, **labels)
+                errors.append(error)
+                still.append(idx)
+    return still

@@ -1,0 +1,243 @@
+"""Typed stages, declarative pass plans, and the algorithm registry.
+
+A join algorithm on the real-mmap backend is a :class:`PassPlan`: a short
+DAG (here, a linear chain — the paper's algorithms are all pass-barriered)
+of typed stages, each naming the worker *kernel* that executes one
+partition's share of that stage.  The stage types mirror the paper's
+physical operators:
+
+* :class:`ScanJoinStage` — scan R_i, join local references on the fly
+  (nested loops' two passes);
+* :class:`PartitionStage` — redistribute R by pointer target (sort-merge's
+  range partition, Grace/hybrid's hash partition; hybrid additionally
+  joins its resident buckets during the scan, so the stage can emit both
+  moved records *and* pairs);
+* :class:`SortRunStage` — cut a partition's inbound into sorted runs;
+* :class:`MergeStage` — multi-way merge runs and join against S;
+* :class:`ProbeStage` — per-bucket hash-table probe against S.
+
+The executor (:mod:`repro.parallel.engine.executor`) never looks at the
+algorithm name: it walks the stages, builds each worker's argument tuple
+via :meth:`Stage.build_args`, and enforces the plan's
+:class:`ConservationRule` set.  The governor's footprint model
+(:mod:`repro.governor.predict`) walks the same stages, so prediction and
+the degradation ladder extend to a new algorithm automatically when its
+plan is registered.
+
+This module is import-light on purpose — dataclasses and the registry
+only, no storage or multiprocessing — so the governor can import plans
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, Optional, Tuple, Union
+
+#: How a stage's per-partition worker return value is interpreted.
+#: ``"moved"`` — an int count of redistributed records; ``"pairs"`` — a
+#: PairResult; ``"both"`` — a (moved, PairResult) StageOutput.
+EMIT_KINDS = ("moved", "pairs", "both")
+
+
+class PassPlanError(ValueError):
+    """Raised for malformed pass plans or stage wiring."""
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Everything a stage needs to build worker argument tuples.
+
+    One context per run; stages combine it with the current
+    :class:`~repro.governor.predict.JoinPlan` (whose knobs change under
+    degradation) and a partition index.
+    """
+
+    store_root: str
+    disks: int
+    s_objects: int
+    r_bytes: int
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pass of a join plan, executed once per partition.
+
+    ``kernel`` names a worker function registered with
+    :func:`repro.parallel.engine.task.register_kernel`; ``build_args``
+    produces the positional argument tuple that kernel receives.  Every
+    tuple must start ``(store_root, disks, partition, ...)`` — the engine
+    task wrapper and the fault injector key off those three.
+    """
+
+    kind: ClassVar[str] = "stage"
+
+    label: str
+    kernel: str
+    emits: str
+    build_args: Callable = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.emits not in EMIT_KINDS:
+            raise PassPlanError(
+                f"stage {self.label!r} emits {self.emits!r}; "
+                f"choices: {EMIT_KINDS}"
+            )
+
+    def args_for(self, ctx: StageContext, plan, partition: int) -> tuple:
+        args = self.build_args(ctx, plan, partition)
+        if args[:3] != (ctx.store_root, ctx.disks, partition):
+            raise PassPlanError(
+                f"stage {self.label!r} built a malformed arg tuple; it "
+                "must start (store_root, disks, partition)"
+            )
+        return args
+
+
+@dataclass(frozen=True)
+class ScanJoinStage(Stage):
+    """Scan a base-R partition, joining pointer-local references on the fly.
+
+    ``spills`` marks the pass that also writes RP spill files for remote
+    references (nested loops pass 0); the footprint model charges the
+    spill reservation only there.
+    """
+
+    kind: ClassVar[str] = "scan-join"
+
+    spills: bool = False
+
+
+@dataclass(frozen=True)
+class PartitionStage(Stage):
+    """Redistribute R records to their pointer-target partitions.
+
+    ``buffered`` — the kernel retains bucket groups in memory across the
+    scan (Grace/hybrid hash partitioning), so the governor's
+    ``spill_threshold`` knob applies.  ``resident_join`` — the kernel
+    joins its plan-designated resident buckets during the scan (hybrid
+    hash), so the stage emits pairs as well as moved records and the
+    ``resident_buckets`` knob applies.
+    """
+
+    kind: ClassVar[str] = "partition"
+
+    buffered: bool = False
+    resident_join: bool = False
+
+
+@dataclass(frozen=True)
+class SortRunStage(Stage):
+    """Cut one partition's inbound records into sorted runs on disk."""
+
+    kind: ClassVar[str] = "sort-run"
+
+
+@dataclass(frozen=True)
+class MergeStage(Stage):
+    """Multi-way merge sorted runs and join against sequential S."""
+
+    kind: ClassVar[str] = "merge"
+
+
+@dataclass(frozen=True)
+class ProbeStage(Stage):
+    """Per-bucket hash-table probe of spilled R against S."""
+
+    kind: ClassVar[str] = "probe"
+
+
+@dataclass(frozen=True)
+class ConservationRule:
+    """Records in must equal records out across one or more stages.
+
+    ``produced`` sums the named fields of the named stages' outcomes
+    (field ``"moved"``, ``"pairs"`` or ``"total"`` = moved + pairs);
+    ``expected`` is either the literal ``"input"`` (the workload's total R
+    objects) or another ``(label, field)`` reference.  The executor checks
+    a rule as soon as every stage it references has completed, so a
+    corrupted redistribution fails before the next pass wastes work on it.
+    """
+
+    what: str
+    produced: Tuple[Tuple[str, str], ...]
+    expected: Union[str, Tuple[str, str]] = "input"
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """One algorithm, declaratively: its stages and conservation laws."""
+
+    algorithm: str
+    stages: Tuple[Stage, ...]
+    conservation: Tuple[ConservationRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise PassPlanError(f"{self.algorithm}: a plan needs stages")
+        labels = [stage.label for stage in self.stages]
+        if len(set(labels)) != len(labels):
+            raise PassPlanError(
+                f"{self.algorithm}: duplicate stage labels {labels}"
+            )
+        known = set(labels)
+        for rule in self.conservation:
+            refs = list(rule.produced)
+            if isinstance(rule.expected, tuple):
+                refs.append(rule.expected)
+            for label, fld in refs:
+                if label not in known:
+                    raise PassPlanError(
+                        f"{self.algorithm}: conservation rule {rule.what!r} "
+                        f"references unknown stage {label!r}"
+                    )
+                if fld not in ("moved", "pairs", "total"):
+                    raise PassPlanError(
+                        f"{self.algorithm}: conservation rule {rule.what!r} "
+                        f"references unknown field {fld!r}"
+                    )
+
+    def stage(self, label: str) -> Stage:
+        for stage in self.stages:
+            if stage.label == label:
+                return stage
+        raise PassPlanError(f"{self.algorithm}: no stage {label!r}")
+
+    def has_kind(self, kind: str) -> bool:
+        return any(stage.kind == kind for stage in self.stages)
+
+    def tasks(self) -> Tuple[str, ...]:
+        """Kernel names in pass order (the fault plan's coordinates)."""
+        return tuple(stage.kernel for stage in self.stages)
+
+
+# ------------------------------------------------------------- the registry
+
+_PLANS: Dict[str, PassPlan] = {}
+
+
+def register_plan(plan: PassPlan) -> PassPlan:
+    """Register one algorithm's plan; the single point of extension."""
+    if plan.algorithm in _PLANS:
+        raise PassPlanError(f"algorithm {plan.algorithm!r} already registered")
+    _PLANS[plan.algorithm] = plan
+    return plan
+
+
+def plan_for(algorithm: str) -> Optional[PassPlan]:
+    """The registered plan for ``algorithm``, or None."""
+    _ensure_builtin_plans()
+    return _PLANS.get(algorithm)
+
+
+def algorithms() -> Tuple[str, ...]:
+    """Every registered algorithm, in registration order."""
+    _ensure_builtin_plans()
+    return tuple(_PLANS)
+
+
+def _ensure_builtin_plans() -> None:
+    # Self-healing registry: importing this module alone (e.g. from the
+    # governor) must still see the built-in plans.
+    if not _PLANS:
+        from repro.parallel.engine import plans  # noqa: F401  (registers)

@@ -1,0 +1,304 @@
+"""The engine-side task wrapper and the shared worker utilities.
+
+Everything cross-cutting that every stage kernel used to re-implement
+lives here exactly once:
+
+* :func:`run_task` — the module-level (hence picklable) wrapper the
+  executor dispatches to the pool.  It fires armed faults, loads budgets,
+  activates the memory meter and a process-local metrics registry,
+  snapshots the registry to the task's JSON sidecar, and classifies any
+  raw ``OSError``/``MemoryError`` escaping a kernel into the governor's
+  :class:`~repro.governor.errors.ResourceExhausted` hierarchy (which
+  pickles intact through the pool);
+* :class:`PairSink` / :class:`PairResult` — streaming pair output into a
+  mapped segment, returning only ``(count, checksum, path)``;
+* batch utilities (:func:`rebatch`, :func:`run_stream`) and the
+  stage-owned artifact naming scheme (:func:`pairs_name`,
+  :func:`run_name` / :func:`run_paths`, :func:`bucket_spill_name` /
+  :func:`bucket_spill_paths`) — so producers and consumers of spill files
+  agree on names through one module instead of duplicated string logic.
+
+Kernels are plain functions registered by name
+(:func:`register_kernel`); the executor ships only the *name* plus the
+argument tuple across the pool, and :func:`run_task` resolves it in the
+worker process — keeping the pickled payload tiny and the kernels
+decorator-free (directly callable in tests).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple
+
+from repro.core.records import RObject
+from repro.governor.budget import load_budgets
+from repro.governor.errors import ResourceExhausted, classify_os_error
+from repro.obs.registry import MetricsRegistry, activate, active, deactivate
+from repro.obs.spans import span
+from repro.governor.watchdog import (
+    MemoryMeter,
+    activate_meter,
+    deactivate_meter,
+    rss_high_water_bytes,
+)
+from repro.parallel.faults import maybe_inject
+from repro.storage.relation import PairsFile, RRelationFile
+from repro.storage.store import Store
+
+BATCH_RECORDS = 4096
+CHECKSUM_MOD = 1 << 61
+
+#: Presence of this file in the store root switches worker metrics on.
+OBS_MARKER = "metrics.on"
+
+
+def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
+    """Where one worker snapshots its registry for the parent to merge."""
+    return Path(root) / f"metrics_{task}_{partition}.json"
+
+
+# ---------------------------------------------------------- kernel registry
+
+_KERNELS: Dict[str, Callable] = {}
+
+
+def register_kernel(func: Callable) -> Callable:
+    """Register a stage kernel under its function name.
+
+    Returns ``func`` unchanged — kernels stay plain callables (tests
+    invoke them directly with a raw argument tuple; the null-object
+    fallbacks of :func:`~repro.governor.watchdog.active_meter` and
+    :func:`~repro.obs.registry.active` make that legal).
+    """
+    _KERNELS[func.__name__] = func
+    return func
+
+
+def resolve_kernel(name: str) -> Callable:
+    """Look up a kernel by name, importing the kernel module on demand.
+
+    A fresh pool process may run :func:`run_task` before anything imported
+    :mod:`repro.parallel.workers`; the lazy import fills the registry.
+    """
+    if name not in _KERNELS:
+        importlib.import_module("repro.parallel.workers")
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise LookupError(f"no registered kernel {name!r}") from None
+
+
+def run_task(payload):
+    """Execute one ``(kernel_name, args)`` task under the armed hooks.
+
+    This is the backend's single instrumentation point *and* its
+    classification boundary: any raw ``OSError``/``MemoryError`` that
+    escapes a kernel — a real ``ENOSPC`` out of an ``ftruncate``, an
+    injected ``disk-full``, an allocator failure — leaves here as a
+    classified :class:`ResourceExhausted` subtype, so the executor can
+    tell "this join needs a smaller plan" apart from "the code is
+    broken".  Uninstrumented dispatch (no marker, no budget file, no
+    fault plan) costs three ``stat`` calls.
+    """
+    task, args = payload
+    root, partition = args[0], args[2]
+    func = resolve_kernel(task)
+    try:
+        return _governed(func, task, args, root, partition)
+    except ResourceExhausted:
+        raise
+    except (MemoryError, OSError) as error:
+        classified = classify_os_error(error, f"{task} partition {partition}")
+        if classified is not None:
+            raise classified from error
+        raise
+
+
+def _governed(func: Callable, task: str, args, root, partition):
+    """Run one kernel under the armed budgets/metrics, if any.
+
+    The fault hook fires first — before any registry or file handle is
+    acquired — because a real crash would also strike before the task
+    produced anything.
+    """
+    maybe_inject(root, task, partition)
+    budgets = load_budgets(root)
+    metrics_on = Path(root, OBS_MARKER).exists()
+    if budgets is None and not metrics_on:
+        return func(args)
+    limit = budgets.worker_mem_budget_bytes if budgets is not None else None
+    meter = activate_meter(MemoryMeter(limit))
+    try:
+        if not metrics_on:
+            return func(args)
+        registry = activate(MetricsRegistry())
+        started = time.perf_counter()
+        try:
+            with span("task", task=task, worker=partition):
+                result = func(args)
+        finally:
+            deactivate()
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        labels = {"task": task, "worker": partition}
+        registry.gauge("worker.wall_ms", wall_ms, **labels)
+        registry.gauge(
+            "worker.mem_high_water_bytes",
+            float(meter.high_water_bytes), **labels,
+        )
+        registry.gauge(
+            "worker.mapped_peak_bytes",
+            float(meter.mapped_high_water_bytes), **labels,
+        )
+        rss = rss_high_water_bytes()
+        if rss is not None:
+            registry.gauge("worker.rss_max_bytes", float(rss), **labels)
+        registry.count("worker.tasks", 1, task=task)
+        metrics_sidecar(root, task, partition).write_text(
+            json.dumps(registry.snapshot())
+        )
+        return result
+    finally:
+        deactivate_meter()
+
+
+# -------------------------------------------------------------- pair output
+
+class PairResult(NamedTuple):
+    """What a pair-producing kernel sends back instead of the pairs."""
+
+    count: int
+    checksum: int
+    path: str
+
+
+class StageOutput(NamedTuple):
+    """Return value of a stage that both moves records and emits pairs."""
+
+    moved: int
+    pairs: PairResult
+
+
+class PairSink:
+    """Stream joined pairs into one mapped segment, checksumming as we go.
+
+    The checksum is the simulator's ``PairCollector`` mix — summing
+    per-batch and reducing once is equivalent to the per-pair running mod.
+    """
+
+    def __init__(self, path: Path, capacity: int) -> None:
+        self.path = path
+        # overwrite=True: a retried pass legally replaces the outputs a
+        # failed attempt published; the segment stays a .tmp sibling
+        # until close() renames it into place.
+        self._file = PairsFile.create(path, max(1, capacity), overwrite=True)
+        self.count = 0
+        self.checksum = 0
+
+    def emit_joined(self, r_objects: List[RObject], s_objects: List) -> None:
+        """Join matched R/S batches positionally and stream the pairs."""
+        pairs = [
+            (r[0], s[0], r[2], s[1])
+            for r, s in zip(r_objects, s_objects)
+        ]
+        if not pairs:
+            return
+        self._file.append_many(pairs)
+        active().count("worker.pairs", len(pairs))
+        self.count += len(pairs)
+        self.checksum = (
+            self.checksum
+            + sum(p[0] * 1_000_003 + p[1] * 7919 + p[3] for p in pairs)
+        ) % CHECKSUM_MOD
+
+    def close(self) -> PairResult:
+        """Publish the segment (atomic rename) and report its totals."""
+        self._file.close()
+        return PairResult(self.count, self.checksum, str(self.path))
+
+    def abort(self) -> None:
+        """Discard the sink without publishing (idempotent failure path)."""
+        self._file.abort()
+
+
+# -------------------------------------------------- artifact naming scheme
+
+def pairs_name(label: str, partition: int) -> str:
+    """The PAIRS segment written by one worker of one pass."""
+    return f"PAIRS_{label}_{partition}"
+
+
+def run_name(partition: int, run_id: int) -> str:
+    """One sorted run cut by the sort-run stage."""
+    return f"RUN{partition}_{run_id}"
+
+
+def run_paths(store: Store, partition: int) -> List[Path]:
+    """Every published run for ``partition``, in run-id order."""
+    prefix = f"RUN{partition}_"
+    paths = [
+        path for path in store.disk_dir(partition).glob(f"{prefix}*.seg")
+        if path.name[len(prefix):-len(".seg")].isdigit()
+    ]
+    paths.sort(key=lambda path: int(path.name[len(prefix):-len(".seg")]))
+    return paths
+
+
+def bucket_spill_name(
+    target: int, contributor: int, chunk: int | None = None
+) -> str:
+    """One contributor's bucketed spill file for one target partition.
+
+    ``chunk`` is set when the partition pass ran under a spill threshold
+    and flushed its groups incrementally.
+    """
+    base = f"BS{target}_from{contributor}"
+    return base if chunk is None else f"{base}_c{chunk}"
+
+
+def bucket_spill_paths(
+    store: Store, partition: int, contributor: int
+) -> List[Path]:
+    """One contributor's spill files for ``partition``, chunks included.
+
+    The unchunked base file and any ``_c<n>`` chunks are all valid
+    inputs; chunks are ordered numerically so probe input order is
+    deterministic.
+    """
+    paths: List[Path] = []
+    base = store.path(partition, bucket_spill_name(partition, contributor))
+    if base.exists():
+        paths.append(base)
+    prefix = f"BS{partition}_from{contributor}_c"
+    chunks = [
+        path for path in store.disk_dir(partition).glob(f"{prefix}*.seg")
+        if path.name[len(prefix):-len(".seg")].isdigit()
+    ]
+    chunks.sort(key=lambda path: int(path.name[len(prefix):-len(".seg")]))
+    paths.extend(chunks)
+    return paths
+
+
+# ----------------------------------------------------------- batch utilities
+
+def rebatch(iterable: Iterable, size: int) -> Iterator[List]:
+    """Chunk any iterable into lists of at most ``size`` items."""
+    batch: List = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def run_stream(path: Path) -> Iterator[RObject]:
+    """Lazily stream one run file's objects (closable generator)."""
+    rel = RRelationFile.open(path)
+    try:
+        yield from rel.iter_objects(BATCH_RECORDS)
+    finally:
+        rel.close()

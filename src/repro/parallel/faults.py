@@ -55,23 +55,34 @@ FAULT_KINDS = ("crash", "hang", "torn-write", "disk-full", "mem-pressure")
 
 #: Worker task names per algorithm, in pass order — the coordinates a
 #: fault plan pins to, and the basis of "kill one worker in every pass".
+#: Kept static (this module must import without the engine) but pinned
+#: by a test against each registered pass plan's ``tasks()``.
 ALGORITHM_TASKS: Dict[str, tuple] = {
     "nested-loops": ("nested_loops_pass0", "nested_loops_pass1"),
-    "sort-merge": ("sort_merge_partition", "sort_merge_join"),
+    "sort-merge": (
+        "sort_merge_partition",
+        "sort_merge_runs",
+        "sort_merge_merge_join",
+    ),
     "grace": ("grace_partition", "grace_probe"),
+    "hybrid-hash": ("hybrid_hash_partition", "grace_probe"),
 }
 
 # Torn-write victims: the one output file each task is guaranteed to
 # re-create on retry, so the garbage left at its *final* path exercises
-# the overwrite-on-retry path as well as the tmp-orphan path.  grace's
-# partition pass only creates a BS file for targets that records hash to,
-# so it gets a tmp-only tear (None).
+# the overwrite-on-retry path as well as the tmp-orphan path.  The
+# bucketed partition passes only create a BS file for targets that
+# records hash to, so they get a tmp-only tear (None) — hybrid's pairs
+# sink would be a valid victim but its name depends on the pairs label,
+# and the tmp-orphan path is the interesting one there anyway.
 _TORN_VICTIMS: Dict[str, Optional[str]] = {
     "nested_loops_pass0": "PAIRS_p0_{i}",
     "nested_loops_pass1": "PAIRS_p1_{i}",
     "sort_merge_partition": "RS{i}_from{i}",
-    "sort_merge_join": "PAIRS_sm_{i}",
+    "sort_merge_runs": "RUN{i}_0",
+    "sort_merge_merge_join": "PAIRS_sm_{i}",
     "grace_partition": None,
+    "hybrid_hash_partition": "PAIRS_hh_{i}",
     "grace_probe": "PAIRS_probe_{i}",
 }
 

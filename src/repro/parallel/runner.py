@@ -1,115 +1,52 @@
 """Driver for the real-mmap parallel joins.
 
-:func:`run_real_join` materializes a workload into a :class:`Store`,
-dispatches the per-partition workers (one OS process per partition by
-default, mirroring the paper's Rproc-per-disk design), checks record
-conservation across the passes, and returns per-pass wall-clock timings,
-pair counts and checksums.
-
-One :class:`multiprocessing.Pool` is forked per join and reused across all
-of its passes (forking a fresh pool per pass costs more than some passes
-themselves).  Workers never pickle join output back through the pool: each
-streams its pairs into a mapped ``PAIRS`` segment and returns only a
-``(count, checksum, path)`` triple; the parent materializes the pairs from
-those segments — and only when ``collect_pairs`` asks for them, mirroring
-the simulator's ``PairCollector(keep_pairs=False)`` knob.
-
-Dispatch is recovery-aware.  Each pass submits one future per partition
-(``apply_async``) and collects it with an optional ``task_timeout``; a
-partition whose worker dies, raises, or fails to report in time is retried
-— with exponential backoff — up to a configurable budget.  Retries are
-safe because every worker's outputs are published atomically (tmp-write /
-rename in the storage layer) and re-created with ``overwrite=True``, so a
-half-finished dead attempt leaves nothing a retry can observe.  When the
-pool itself is unrecoverable (hung workers), the still-failing partitions
-are run inline in the parent as a last resort, and a pool that may still
-harbor abandoned tasks is terminated rather than joined.  Deterministic
-faults (:class:`~repro.parallel.faults.FaultPlan`) exercise all of this.
-
-Resource exhaustion is governed, not retried.  A classified
-:class:`~repro.governor.errors.ResourceExhausted` out of a worker (the
-memory meter tripping its budget, a disk preflight refusing a segment, a
-real or injected ENOSPC) is deterministic under the same plan, so the
-dispatcher lets it surface immediately; under ``on_pressure="degrade"``
-the runner then descends one rung of the plan's degradation ladder
-(:meth:`~repro.governor.predict.JoinPlan.degraded` — smaller batches,
-smaller sort runs, chunked grace spilling, finer buckets), resets the
-round (temps cleared; passes are idempotent), and re-executes.  Admission
-happens before the store is touched: the analytical model predicts the
+:func:`run_real_join` is a thin facade over the pass-pipeline engine:
+it validates the request, resolves the algorithm's declarative
+:class:`~repro.parallel.engine.stages.PassPlan` from the engine
+registry, performs *admission* — the analytical model predicts the
 footprint (:func:`~repro.governor.predict.predict_footprint`), an
 over-budget plan is pre-degraded to fit
 (:func:`~repro.governor.predict.fit_plan`) or rejected, and an optional
 shared :class:`~repro.governor.ResourceGovernor` bounds how many joins
-run at once.  Every decision lands in ``RealJoinResult.governor`` (the
-stats document's ``totals.governor`` section).
+run at once — then hands the admitted plan to one generic executor
+(:func:`~repro.parallel.engine.executor.execute_plan`), which owns task
+fan-out, retry/backoff/inline-fallback recovery, runtime degradation,
+metrics harvest, conservation checks, pair collection and artifact
+sweeping for **every** algorithm through the same path.
 
-With ``collect_metrics`` on (the default), the runner drops the
-:data:`~repro.parallel.workers.OBS_MARKER` into the store root, every
-worker snapshots a process-local :class:`~repro.obs.MetricsRegistry` to a
-JSON sidecar, and the runner merges those snapshots per pass — counter and
-histogram merges are element-wise sums, so the merged totals are exactly
-what a single-process run would have counted.  The parent's own storage
-activity (materialization, pair collection) and the recovery counters
-(``runner.retries_total`` etc.) land in a separate driver registry, and
-:meth:`RealJoinResult.stats_document` renders everything as the versioned
+Every governance decision lands in ``RealJoinResult.governor`` (the
+stats document's ``totals.governor`` section), and
+:meth:`RealJoinResult.stats_document` renders the run as the versioned
 JSON stats document of ``docs/metrics_schema.md``.
-
-Whatever happens — success, exhausted retries, a conservation failure, a
-rejected admission — the run's control files (metrics marker, metrics
-sidecars, fault plan, attempt counters, budget file) and any unpublished
-``*.seg.tmp`` segments are swept from the store root before the driver
-returns or raises.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
 import multiprocessing.pool
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.records import JoinedPair
-from repro.governor.budget import install_budgets, store_usage_bytes, sweep_budgets
-from repro.governor.errors import (
-    DiskExhausted,
-    MemoryExhausted,
-    ResourceExhausted,
-)
+from repro.governor.errors import DiskExhausted, MemoryExhausted
 from repro.governor.governor import ResourceGovernor
 from repro.governor.predict import JoinPlan, fit_plan, predict_footprint
 from repro.obs.export import build_real_stats_document
-from repro.obs.registry import MetricsRegistry, activate, active, deactivate
-from repro.obs.spans import span
-from repro.parallel import workers
-from repro.parallel.faults import (
-    FaultPlan,
-    InjectedHang,
-    RetryPolicy,
-    sweep_fault_state,
+from repro.parallel.engine import task as engine_task
+from repro.parallel.engine.executor import (
+    RealJoinError,
+    execute_plan,
 )
-from repro.parallel.workers import (
-    CHECKSUM_MOD,
-    OBS_MARKER,
-    PairResult,
-    metrics_sidecar,
-)
-from repro.storage.relation import iter_pairs_file
-from repro.storage.store import Store
+from repro.parallel.engine.stages import algorithms as registered_algorithms
+from repro.parallel.engine.stages import plan_for
+from repro.parallel.faults import FaultPlan, RetryPolicy
 from repro.workload.generator import Workload
 
-REAL_ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+#: Derived from the engine's plan registry: registering a PassPlan is the
+#: single step that adds an algorithm here, to the CLI, and to the tests.
+REAL_ALGORITHMS = registered_algorithms()
 
 ON_PRESSURE_MODES = ("degrade", "queue", "fail")
-
-#: Backoff between retry rounds never sleeps longer than this.
-_BACKOFF_CAP_S = 2.0
-
-
-class RealJoinError(RuntimeError):
-    """Raised when the real backend cannot run a join."""
 
 
 @dataclass
@@ -124,6 +61,8 @@ class RealJoinResult:
     pass_wall_ms: Dict[str, float] = field(default_factory=dict)
     pass_counts: Dict[str, int] = field(default_factory=dict)
     pass_checksums: Dict[str, int] = field(default_factory=dict)
+    #: Stage kind per pass label (the engine's stage taxonomy).
+    pass_kinds: Dict[str, str] = field(default_factory=dict)
     used_processes: bool = True
     # Registry snapshots: per pass -> per partition, plus the parent's own.
     worker_metrics: Dict[str, Dict[int, dict]] = field(default_factory=dict)
@@ -168,6 +107,7 @@ def run_real_join(
     deadline_s: Optional[float] = None,
     max_degradations: int = 8,
     batch_records: Optional[int] = None,
+    resident_buckets: int = 4,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -191,21 +131,16 @@ def run_real_join(
     crash, hang, tear their output, or hit resource pressure on cue.
 
     ``mem_budget`` (total, split evenly across the ``disks`` workers) and
-    ``disk_budget`` (whole store) arm the governor: the analytical model
-    predicts the footprint before anything runs, and ``on_pressure``
+    ``disk_budget`` (whole store) arm the governor; ``on_pressure``
     decides what an over-budget prediction or a runtime
     :class:`~repro.governor.errors.ResourceExhausted` does — ``degrade``
     re-plans down the ladder (up to ``max_degradations`` rounds),
-    ``queue``/``fail`` raise the classified error.  A shared ``governor``
-    additionally bounds concurrent admissions (``queue`` waits its turn up
-    to ``deadline_s``; ``fail`` rejects when saturated).  Budgeted and
-    governed runs report every decision in ``RealJoinResult.governor``.
+    ``queue``/``fail`` raise the classified error.
 
-    ``collect_metrics`` turns the observability layer on: per-worker
-    registry snapshots merged per pass, driver-side counters and pass
-    spans, all exposed on the result (``worker_metrics``,
-    ``driver_metrics``, :meth:`RealJoinResult.stats_document`).  Off, the
-    workers skip collection entirely (one ``stat`` call per task).
+    ``resident_buckets`` (hybrid hash only) is how many buckets stay
+    home — joined during the partition scan instead of spilled; the
+    governor's final memory rung shrinks it to zero, at which point
+    hybrid degenerates to grace.
     """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
@@ -220,6 +155,12 @@ def run_real_join(
         raise RealJoinError(f"mem_budget must be positive: {mem_budget}")
     if disk_budget is not None and disk_budget <= 0:
         raise RealJoinError(f"disk_budget must be positive: {disk_budget}")
+    if algorithm == "hybrid-hash" and not 0 <= resident_buckets < buckets:
+        raise RealJoinError(
+            f"resident_buckets must satisfy 0 <= resident < buckets: "
+            f"{resident_buckets} vs {buckets} buckets"
+        )
+    pass_plan = plan_for(algorithm)
     policy = RetryPolicy(
         retries=retries,
         task_timeout=task_timeout,
@@ -229,11 +170,14 @@ def run_real_join(
     disks = workload.disks
     plan = JoinPlan(
         batch_records=(
-            batch_records if batch_records is not None else workers.BATCH_RECORDS
+            batch_records
+            if batch_records is not None
+            else engine_task.BATCH_RECORDS
         ),
         irun=irun,
         buckets=buckets,
         tsize=tsize,
+        resident_buckets=resident_buckets,
     )
     governed = (
         mem_budget is not None or disk_budget is not None or governor is not None
@@ -271,285 +215,96 @@ def run_real_join(
                 limit=disk_budget,
             )
 
-    # clean_orphans: this is the driver, the one place where no sibling
-    # writer can be mid-publish, so stale *.seg.tmp from a previous dead
-    # run are safe to sweep (live tmps are flock-protected regardless).
-    store = Store(store_root, disks, clean_orphans=True)
-    _sweep_run_artifacts(store_root, store)
-    if mem_budget is not None or disk_budget is not None:
-        install_budgets(store_root, worker_budget, disk_budget)
-
     ticket = None
     if governor is not None:
         ticket = governor.admit(on_pressure, deadline_s)
         if ticket.decision == "queued":
             admission = "queued"
 
-    driver_registry: Optional[MetricsRegistry] = None
-    owns_pool = False
-    recovery = {"retries": 0, "timeouts": 0, "inline_fallbacks": 0,
-                "pool_dirty": False}
-    spec = workload.spec
-    r_total = workload.r_objects_total
-    pass_wall: Dict[str, float] = {}
-    pass_counts: Dict[str, int] = {}
-    pass_checksums: Dict[str, int] = {}
-    pair_results: List[PairResult] = []
-    worker_metrics: Dict[str, Dict[int, dict]] = {}
-    resource_errors: Dict[str, int] = {}
-    runtime_degradations = 0
-    disk_peak = 0
     started = time.perf_counter()
-
-    def harvest_metrics(
-        worker: Callable, arg_list: Sequence[tuple], label: str
-    ) -> None:
-        """Merge the pass's worker registry sidecars into the result."""
-        if not collect_metrics:
-            return
-        snapshots: Dict[int, dict] = {}
-        for args in arg_list:
-            partition = args[2]
-            sidecar = metrics_sidecar(store_root, worker.__name__, partition)
-            if sidecar.exists():
-                snapshots[partition] = json.loads(sidecar.read_text())
-                sidecar.unlink()
-        worker_metrics[label] = snapshots
-
-    def sample_disk() -> None:
-        """Track the store's reservation high-water mark across passes."""
-        nonlocal disk_peak
-        if governed:
-            disk_peak = max(disk_peak, store_usage_bytes(store_root))
-
-    def run_pairs_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
-        with span("pass", algo=algorithm, label=label):
-            results = _dispatch_pass(
-                pool, worker, arg_list, pass_wall, label,
-                policy, store_root, algorithm, recovery,
-            )
-        harvest_metrics(worker, arg_list, label)
-        sample_disk()
-        pass_counts[label] = sum(r.count for r in results)
-        pass_checksums[label] = sum(r.checksum for r in results) % CHECKSUM_MOD
-        pair_results.extend(results)
-
-    def run_move_pass(worker: Callable, arg_list: Sequence[tuple], label: str) -> None:
-        with span("pass", algo=algorithm, label=label):
-            results = _dispatch_pass(
-                pool, worker, arg_list, pass_wall, label,
-                policy, store_root, algorithm, recovery,
-            )
-        harvest_metrics(worker, arg_list, label)
-        sample_disk()
-        pass_counts[label] = sum(results)
-
-    def execute_passes(current: JoinPlan) -> None:
-        """One full attempt of every pass under ``current``'s knobs."""
-        if algorithm == "nested-loops":
-            args0 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes,
-                 current.batch_records)
-                for i in range(disks)
-            ]
-            run_pairs_pass(workers.nested_loops_pass0, args0, "pass0")
-            args1 = [
-                (store_root, disks, i, spec.s_objects, current.batch_records)
-                for i in range(disks)
-            ]
-            run_pairs_pass(workers.nested_loops_pass1, args1, "pass1")
-            _check_conservation(
-                algorithm, "pass0+pass1 pairs",
-                pass_counts["pass0"] + pass_counts["pass1"], r_total,
-            )
-        elif algorithm == "sort-merge":
-            args01 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes,
-                 current.batch_records)
-                for i in range(disks)
-            ]
-            run_move_pass(workers.sort_merge_partition, args01, "partition")
-            _check_conservation(
-                algorithm, "partitioned records",
-                pass_counts["partition"], r_total,
-            )
-            args2 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes,
-                 current.irun, current.batch_records)
-                for i in range(disks)
-            ]
-            run_pairs_pass(workers.sort_merge_join, args2, "sort-merge-join")
-            _check_conservation(
-                algorithm, "joined records",
-                pass_counts["sort-merge-join"], pass_counts["partition"],
-            )
-        else:  # grace
-            args01 = [
-                (store_root, disks, i, spec.s_objects, spec.r_bytes,
-                 current.buckets, current.spill_threshold,
-                 current.batch_records)
-                for i in range(disks)
-            ]
-            run_move_pass(workers.grace_partition, args01, "partition")
-            _check_conservation(
-                algorithm, "partitioned records",
-                pass_counts["partition"], r_total,
-            )
-            args2 = [
-                (store_root, disks, i, spec.s_objects, current.buckets,
-                 current.tsize, current.batch_records)
-                for i in range(disks)
-            ]
-            run_pairs_pass(workers.grace_probe, args2, "probe")
-            _check_conservation(
-                algorithm, "probed records",
-                pass_counts["probe"], pass_counts["partition"],
-            )
-
-    def reset_round() -> None:
-        """Wipe one failed round's partial state so the next is pristine.
-
-        Temps (spills, runs, chunks, pairs) are re-created from R/S, so
-        clearing them keeps a re-planned round from double-counting stale
-        files written under the previous plan's knobs.  Fault attempt
-        counters are deliberately *kept*: a one-shot injected fault must
-        not re-fire in the degraded round.
-        """
-        pass_wall.clear()
-        pass_counts.clear()
-        pass_checksums.clear()
-        pair_results.clear()
-        worker_metrics.clear()
-        for sidecar in Path(store_root).glob("metrics_*.json"):
-            sidecar.unlink(missing_ok=True)
-        store.cleanup_temps()
-        store.cleanup_orphans()
-
     try:
-        if collect_metrics:
-            (Path(store_root) / OBS_MARKER).touch()
-            driver_registry = activate(MetricsRegistry())
-        store.materialize(workload)
-        sample_disk()
-        if fault_plan is not None:
-            fault_plan.install(store_root)
-        if pool is None and use_processes and disks > 1:
-            owns_pool = True
-            pool = multiprocessing.Pool(processes=disks)
-        elif not use_processes:
-            pool = None
-
-        while True:
-            try:
-                execute_passes(plan)
-                break
-            except ResourceExhausted as error:
-                resource_errors[error.resource] = (
-                    resource_errors.get(error.resource, 0) + 1
-                )
-                active().count(
-                    "runner.resource_errors_total", 1,
-                    algo=algorithm, resource=error.resource,
-                )
-                lowered = plan.degraded(algorithm, error.resource)
-                if (
-                    on_pressure != "degrade"
-                    or runtime_degradations >= max_degradations
-                    or lowered == plan
-                ):
-                    raise
-                plan = lowered
-                runtime_degradations += 1
-                active().count(
-                    "runner.degradations_total", 1, algo=algorithm
-                )
-                reset_round()
-
-        pairs: Optional[List[JoinedPair]] = None
-        if collect_pairs:
-            pairs = []
-            for result in pair_results:
-                # Streamed a batch at a time: only the final list (which
-                # the caller asked for) is whole-output, never a second
-                # per-file materialization on top of it.
-                pairs.extend(iter_pairs_file(result.path, plan.batch_records))
+        outcome = execute_plan(
+            pass_plan,
+            workload,
+            store_root,
+            plan,
+            use_processes=use_processes,
+            pool=pool,
+            collect_metrics=collect_metrics,
+            collect_pairs=collect_pairs,
+            keep_store=keep_store,
+            policy=policy,
+            fault_plan=fault_plan,
+            on_pressure=on_pressure,
+            max_degradations=max_degradations,
+            governed=governed,
+            worker_mem_budget=worker_budget,
+            disk_budget=disk_budget,
+        )
     finally:
-        if driver_registry is not None:
-            deactivate()
-        if owns_pool and pool is not None:
-            if recovery["pool_dirty"]:
-                # Abandoned (hung or crashed mid-task) workers would block
-                # close()+join() forever; this pool is ours, so kill it.
-                pool.terminate()
-            else:
-                pool.close()
-            pool.join()
-        # The run's control files must not outlive the run — success or
-        # failure.  Order matters: only after the pool is gone is no
-        # worker left that could still be writing a sidecar or a .tmp.
-        _sweep_run_artifacts(store_root, store)
-        if not keep_store:
-            store.destroy()
         if ticket is not None:
             ticket.release()
+    wall_ms = (time.perf_counter() - started) * 1000.0
 
     governor_doc: Optional[dict] = None
     if governed:
-        if runtime_degradations:
+        if outcome.runtime_degradations:
             # The plan changed mid-run; report the prediction for the plan
             # that actually produced the result.
             predicted = predict_footprint(
-                algorithm, workload, plan, worker_budget
+                algorithm, workload, outcome.plan, worker_budget
             )
         governor_doc = {
             "admission": admission,
             "on_pressure": on_pressure,
             "queued_ms": ticket.queued_ms if ticket is not None else 0.0,
             "admission_degradations": admission_degradations,
-            "runtime_degradations": runtime_degradations,
-            "degradations_total": admission_degradations + runtime_degradations,
-            "resource_errors": dict(resource_errors),
+            "runtime_degradations": outcome.runtime_degradations,
+            "degradations_total": (
+                admission_degradations + outcome.runtime_degradations
+            ),
+            "resource_errors": dict(outcome.resource_errors),
             "budgets": {
                 "mem_budget_bytes": mem_budget,
                 "worker_mem_budget_bytes": worker_budget,
                 "disk_budget_bytes": disk_budget,
             },
-            "plan": plan.as_dict(),
+            "plan": outcome.plan.as_dict(),
             "predicted": predicted.as_dict(),
             "observed": {
                 "worker_mem_high_water_bytes": _max_worker_gauge(
-                    worker_metrics, "worker.mem_high_water_bytes"
+                    outcome.worker_metrics, "worker.mem_high_water_bytes"
                 ),
                 "worker_mapped_peak_bytes": _max_worker_gauge(
-                    worker_metrics, "worker.mapped_peak_bytes"
+                    outcome.worker_metrics, "worker.mapped_peak_bytes"
                 ),
                 "worker_rss_max_bytes": _max_worker_gauge(
-                    worker_metrics, "worker.rss_max_bytes"
+                    outcome.worker_metrics, "worker.rss_max_bytes"
                 ),
-                "disk_peak_bytes": disk_peak,
+                "disk_peak_bytes": outcome.disk_peak_bytes,
             },
         }
 
-    wall_ms = (time.perf_counter() - started) * 1000.0
     return RealJoinResult(
         algorithm=algorithm,
-        pair_count=sum(r.count for r in pair_results),
-        checksum=sum(r.checksum for r in pair_results) % CHECKSUM_MOD,
+        pair_count=outcome.pair_count,
+        checksum=outcome.checksum,
         wall_ms=wall_ms,
-        pairs=pairs,
-        pass_wall_ms=pass_wall,
-        pass_counts=pass_counts,
-        pass_checksums=pass_checksums,
+        pairs=outcome.pairs,
+        pass_wall_ms=outcome.pass_wall_ms,
+        pass_counts=outcome.pass_counts,
+        pass_checksums=outcome.pass_checksums,
+        pass_kinds=outcome.pass_kinds,
         used_processes=use_processes,
-        worker_metrics=worker_metrics,
-        driver_metrics=(
-            driver_registry.snapshot() if driver_registry is not None else None
-        ),
+        worker_metrics=outcome.worker_metrics,
+        driver_metrics=outcome.driver_metrics,
         metrics_enabled=collect_metrics,
-        retries_total=recovery["retries"],
-        timeouts_total=recovery["timeouts"],
-        inline_fallbacks=recovery["inline_fallbacks"],
-        degradations_total=admission_degradations + runtime_degradations,
+        retries_total=outcome.recovery["retries"],
+        timeouts_total=outcome.recovery["timeouts"],
+        inline_fallbacks=outcome.recovery["inline_fallbacks"],
+        degradations_total=(
+            admission_degradations + outcome.runtime_degradations
+        ),
         governor=governor_doc,
     )
 
@@ -566,177 +321,3 @@ def _max_worker_gauge(
                 if key == name or key.startswith(prefix):
                     best = value if best is None else max(best, value)
     return best
-
-
-def _sweep_run_artifacts(store_root: str, store: Store) -> None:
-    """Remove every run-scoped control file from the store root.
-
-    Called before a run (stale state from a previous dead driver) and on
-    every exit path (nothing of a finished run may leak): the metrics
-    marker, metrics sidecars, the fault plan and its attempt counters,
-    the budget file, and unpublished ``*.seg.tmp`` segments.
-    """
-    root = Path(store_root)
-    if not root.exists():
-        return
-    (root / OBS_MARKER).unlink(missing_ok=True)
-    for sidecar in root.glob("metrics_*.json"):
-        sidecar.unlink(missing_ok=True)
-    sweep_fault_state(root)
-    sweep_budgets(root)
-    store.cleanup_orphans()
-
-
-def _dispatch_pass(
-    pool,
-    worker: Callable,
-    arg_list: Sequence[tuple],
-    pass_wall: Dict[str, float],
-    label: str,
-    policy: RetryPolicy,
-    store_root: str,
-    algorithm: str,
-    recovery: dict,
-) -> list:
-    """Dispatch one pass to all partitions, retrying failed tasks.
-
-    Every task gets ``1 + policy.retries`` attempts (plus one optional
-    inline-fallback attempt in the parent).  Between rounds the dispatcher
-    backs off exponentially.  Retrying is safe because worker outputs are
-    only published by atomic rename and re-created with overwrite, so a
-    failed attempt's partial work is invisible to its retry.
-
-    Classified :class:`ResourceExhausted` failures are *not* retried —
-    under the same plan the same budget trips deterministically — they
-    propagate to the runner's degradation loop instead.
-    """
-    started = time.perf_counter()
-    task = worker.__name__
-    results: list = [None] * len(arg_list)
-    pending = list(range(len(arg_list)))
-    errors: List[BaseException] = []
-    labels = {"algo": algorithm, "pass": label}
-    for attempt in range(policy.retries + 1):
-        if not pending:
-            break
-        if attempt:
-            recovery["retries"] += len(pending)
-            active().count("runner.retries_total", len(pending), **labels)
-            time.sleep(
-                min(policy.backoff_s * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
-            )
-        pending = _run_round(
-            pool, worker, arg_list, pending, results,
-            policy, store_root, recovery, errors, labels,
-        )
-    if pending and pool is not None and policy.fallback_inline:
-        # Graceful degradation: the pool could not finish these partitions
-        # within budget (it may be unrecoverable); run them in-process.
-        recovery["inline_fallbacks"] += len(pending)
-        active().count("runner.inline_fallbacks_total", len(pending), **labels)
-        pending = _run_round(
-            None, worker, arg_list, pending, results,
-            policy, store_root, recovery, errors, labels,
-        )
-    if pending:
-        partitions = [arg_list[idx][2] for idx in pending]
-        raise RealJoinError(
-            f"{algorithm} {label}: partitions {partitions} failed "
-            f"{task} after {policy.retries + 1} attempt(s)"
-        ) from (errors[-1] if errors else None)
-    pass_wall[label] = (time.perf_counter() - started) * 1000.0
-    return results
-
-
-def _run_round(
-    pool,
-    worker: Callable,
-    arg_list: Sequence[tuple],
-    indices: List[int],
-    results: list,
-    policy: RetryPolicy,
-    store_root: str,
-    recovery: dict,
-    errors: List[BaseException],
-    labels: Dict[str, str],
-) -> List[int]:
-    """Run one attempt for each pending task; return the still-failing set.
-
-    A :class:`ResourceExhausted` ends the round: inline it raises at once;
-    in pool mode the remaining futures are *drained first* (so no sibling
-    task of this round is still running when the runner re-plans and
-    re-dispatches — an abandoned attempt publishing over its replacement
-    would corrupt the degraded round) and the first classified error is
-    then raised.
-    """
-    task = worker.__name__
-    for idx in indices:
-        # A dead attempt may have left a sidecar snapshotted before its
-        # fault fired (or a stale one from a previous run); drop it so
-        # the harvest only ever sees the attempt that actually finished.
-        metrics_sidecar(store_root, task, arg_list[idx][2]).unlink(
-            missing_ok=True
-        )
-    still: List[int] = []
-    if pool is not None:
-        futures = [
-            (idx, pool.apply_async(worker, (arg_list[idx],)))
-            for idx in indices
-        ]
-        resource_error: Optional[ResourceExhausted] = None
-        for idx, future in futures:
-            try:
-                results[idx] = future.get(policy.task_timeout)
-            except multiprocessing.TimeoutError:
-                # The worker died mid-task (its result will never arrive)
-                # or is hung; either way the pool now holds an abandoned
-                # task, so it can no longer be join()ed safely.
-                recovery["timeouts"] += 1
-                recovery["pool_dirty"] = True
-                active().count("runner.timeouts_total", 1, **labels)
-                errors.append(
-                    TimeoutError(
-                        f"{task} partition {arg_list[idx][2]} exceeded "
-                        f"{policy.task_timeout}s"
-                    )
-                )
-                still.append(idx)
-            except ResourceExhausted as error:
-                if resource_error is None:
-                    resource_error = error
-            except Exception as error:
-                active().count("runner.worker_failures_total", 1, **labels)
-                errors.append(error)
-                still.append(idx)
-        if resource_error is not None:
-            raise resource_error
-    else:
-        for idx in indices:
-            try:
-                results[idx] = worker(arg_list[idx])
-            except ResourceExhausted:
-                raise
-            except InjectedHang as error:
-                # Inline stand-in for a task timeout: counted as one, so
-                # the timeout/retry path is testable without processes.
-                recovery["timeouts"] += 1
-                active().count("runner.timeouts_total", 1, **labels)
-                errors.append(error)
-                still.append(idx)
-            except Exception as error:
-                active().count("runner.worker_failures_total", 1, **labels)
-                errors.append(error)
-                still.append(idx)
-    return still
-
-
-def _check_conservation(
-    algorithm: str, what: str, produced: int, expected: int
-) -> None:
-    """Records in must equal records out — lost or duplicated objects in a
-    redistribution or probe pass are the real failure modes here."""
-    if produced != expected:
-        raise RealJoinError(
-            f"{algorithm}: {what} not conserved "
-            f"({produced} produced, {expected} expected)"
-        )

@@ -1,213 +1,86 @@
-"""Per-partition worker functions for the real-mmap parallel joins.
+"""Stage kernels for the real-mmap parallel joins.
 
-Each function handles one partition's share of one pass, operating purely
-on memory-mapped segment files, and is a module-level callable so it can be
-dispatched to a :mod:`multiprocessing` pool (CPython's GIL rules out thread
-parallelism for this workload, so — like the paper's Rproc/Sproc design —
-parallelism is process-level, one worker per partition).
+Each kernel is one partition's share of one :class:`~repro.parallel.
+engine.stages.Stage`, operating purely on memory-mapped segment files.
+Kernels are *thin*: every cross-cutting concern — fault injection, memory
+metering, metrics registries and sidecars, error classification — lives
+once in the engine task wrapper (:func:`repro.parallel.engine.task.
+run_task`); a kernel only moves records.  :func:`~repro.parallel.engine.
+task.register_kernel` records each function under its name so the
+executor can dispatch it by name through a :mod:`multiprocessing` pool
+(CPython's GIL rules out thread parallelism for this workload, so — like
+the paper's Rproc/Sproc design — parallelism is process-level, one worker
+per partition).
 
-All record movement is block-at-a-time: workers consume decoded batches
+All record movement is block-at-a-time: kernels consume decoded batches
 (`iter_object_batches`), resolve pointers with the batched
 :meth:`PointerMap.locate_many` / :meth:`offset_many`, dereference S through
 :meth:`SRelationFile.dereference_many`, and append spills/runs/buckets via
 ``append_many`` — no per-record ``bytes()`` copies or struct calls.
 
-Join output never crosses a process boundary.  Every pair-producing worker
-streams its pairs into its own mapped ``PAIRS`` segment (one writer per
-file, so passes stay race-free by construction) and returns only a
-:class:`PairResult` ``(count, checksum, path)``; the parent maps the files
-back in and materializes pairs lazily, if at all.
+Join output never crosses a process boundary.  Every pair-producing
+kernel streams its pairs into its own mapped ``PAIRS`` segment (one
+writer per file, so passes stay race-free by construction) and returns
+only a :class:`~repro.parallel.engine.task.PairResult`
+``(count, checksum, path)``; the parent maps the files back in and
+materializes pairs lazily, if at all.
 
-Metrics follow the same files-only protocol: when the runner has dropped
-the :data:`OBS_MARKER` file into the store root, each worker activates a
-process-local :class:`~repro.obs.MetricsRegistry` (the storage layer's
-counters land there), stamps its own wall time, and snapshots the registry
-to a small JSON sidecar next to the segments — so per-worker metrics reach
-the parent without widening the pickled return values, and the marker file
-reaches pool processes that were forked before the join began.
-
-Every worker is failure-safe: output segments are published only by the
+Every kernel is failure-safe: output segments are published only by the
 atomic rename in their ``close()``, and every exception path *aborts*
 (discards) the partially written outputs and releases the mmap/file
 handles before re-raising — so a pass that dies mid-stream leaks nothing
 and a retried attempt re-creates its outputs from scratch (``overwrite=
-True`` on every create makes that legal).  The
-:func:`~repro.parallel.faults.maybe_inject` hook at task entry is where a
-:class:`~repro.parallel.faults.FaultPlan` kills, hangs or tears a chosen
-``(task, partition, attempt)`` deterministically.
+True`` on every create makes that legal).
 """
 
 from __future__ import annotations
 
-import functools
 import heapq
-import json
-import time
-from pathlib import Path
-from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.governor.budget import load_budgets
-from repro.governor.errors import ResourceExhausted, classify_os_error
-from repro.governor.watchdog import (
-    MemoryMeter,
-    activate_meter,
-    active_meter,
-    deactivate_meter,
-    rss_high_water_bytes,
-)
-from repro.obs.registry import MetricsRegistry, activate, active, deactivate
-from repro.obs.spans import span
+from repro.governor.watchdog import active_meter
 
 from repro.core.pointer import PointerMap
-from repro.parallel.faults import maybe_inject
 from repro.core.records import RObject
 from repro.joins.grace import order_preserving_bucket, refining_chain
-from repro.storage.relation import BucketedRFile, PairsFile, RRelationFile
+from repro.parallel.engine.task import (
+    BATCH_RECORDS,
+    CHECKSUM_MOD,
+    OBS_MARKER,
+    PairResult,
+    PairSink,
+    StageOutput,
+    bucket_spill_name,
+    bucket_spill_paths,
+    metrics_sidecar,
+    pairs_name,
+    rebatch,
+    register_kernel,
+    run_name,
+    run_paths,
+    run_stream,
+)
+from repro.storage.relation import BucketedRFile, RRelationFile
 from repro.storage.segment import MappedSegment
 from repro.storage.store import Store
 
-BATCH_RECORDS = 4096
-CHECKSUM_MOD = 1 << 61
-
-#: Presence of this file in the store root switches worker metrics on.
-OBS_MARKER = "metrics.on"
-
-
-def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
-    """Where one worker snapshots its registry for the parent to merge."""
-    return Path(root) / f"metrics_{task}_{partition}.json"
-
-
-def _instrumented(func: Callable) -> Callable:
-    """Inject armed faults, meter memory, and collect one task's metrics.
-
-    The wrapper is also the backend's *classification boundary*: any raw
-    ``OSError``/``MemoryError`` that escapes a task — a real ``ENOSPC``
-    out of an ``ftruncate``, an injected ``disk-full``, an allocator
-    failure — leaves here as a classified
-    :class:`~repro.governor.errors.ResourceExhausted` subtype (which
-    pickles intact through the pool), so the runner can tell "this join
-    needs a smaller plan" apart from "the code is broken".
-
-    Uninstrumented dispatch (no marker, no budget file, no fault plan)
-    costs three ``stat`` calls; every worker arg tuple starts
-    ``(root, disks, partition, ...)``, which is all the wrapper needs.
-    """
-    task = func.__name__
-
-    @functools.wraps(func)
-    def wrapper(args):
-        root, partition = args[0], args[2]
-        try:
-            return _governed_task(func, task, args, root, partition)
-        except ResourceExhausted:
-            raise
-        except (MemoryError, OSError) as error:
-            classified = classify_os_error(
-                error, f"{task} partition {partition}"
-            )
-            if classified is not None:
-                raise classified from error
-            raise
-
-    return wrapper
-
-
-def _governed_task(func: Callable, task: str, args, root, partition):
-    """Run one task under the armed budgets/metrics, if any.
-
-    The fault hook fires first — before any registry or file handle is
-    acquired — because a real crash would also strike before the task
-    produced anything.
-    """
-    maybe_inject(root, task, partition)
-    budgets = load_budgets(root)
-    metrics_on = Path(root, OBS_MARKER).exists()
-    if budgets is None and not metrics_on:
-        return func(args)
-    limit = budgets.worker_mem_budget_bytes if budgets is not None else None
-    meter = activate_meter(MemoryMeter(limit))
-    try:
-        if not metrics_on:
-            return func(args)
-        registry = activate(MetricsRegistry())
-        started = time.perf_counter()
-        try:
-            with span("task", task=task, worker=partition):
-                result = func(args)
-        finally:
-            deactivate()
-        wall_ms = (time.perf_counter() - started) * 1000.0
-        labels = {"task": task, "worker": partition}
-        registry.gauge("worker.wall_ms", wall_ms, **labels)
-        registry.gauge(
-            "worker.mem_high_water_bytes",
-            float(meter.high_water_bytes), **labels,
-        )
-        registry.gauge(
-            "worker.mapped_peak_bytes",
-            float(meter.mapped_high_water_bytes), **labels,
-        )
-        rss = rss_high_water_bytes()
-        if rss is not None:
-            registry.gauge("worker.rss_max_bytes", float(rss), **labels)
-        registry.count("worker.tasks", 1, task=task)
-        metrics_sidecar(root, task, partition).write_text(
-            json.dumps(registry.snapshot())
-        )
-        return result
-    finally:
-        deactivate_meter()
-
-
-class PairResult(NamedTuple):
-    """What a pair-producing worker sends back instead of the pairs."""
-
-    count: int
-    checksum: int
-    path: str
-
-
-class _PairSink:
-    """Stream joined pairs into one mapped segment, checksumming as we go.
-
-    The checksum is the simulator's :class:`PairCollector` mix — summing
-    per-batch and reducing once is equivalent to the per-pair running mod.
-    """
-
-    def __init__(self, path: Path, capacity: int) -> None:
-        self.path = path
-        # overwrite=True: a retried pass legally replaces the outputs a
-        # failed attempt published; the segment stays a .tmp sibling
-        # until close() renames it into place.
-        self._file = PairsFile.create(path, max(1, capacity), overwrite=True)
-        self.count = 0
-        self.checksum = 0
-
-    def emit_joined(self, r_objects: List[RObject], s_objects: List) -> None:
-        """Join matched R/S batches positionally and stream the pairs."""
-        pairs = [
-            (r[0], s[0], r[2], s[1])
-            for r, s in zip(r_objects, s_objects)
-        ]
-        if not pairs:
-            return
-        self._file.append_many(pairs)
-        active().count("worker.pairs", len(pairs))
-        self.count += len(pairs)
-        self.checksum = (
-            self.checksum
-            + sum(p[0] * 1_000_003 + p[1] * 7919 + p[3] for p in pairs)
-        ) % CHECKSUM_MOD
-
-    def close(self) -> PairResult:
-        """Publish the segment (atomic rename) and report its totals."""
-        self._file.close()
-        return PairResult(self.count, self.checksum, str(self.path))
-
-    def abort(self) -> None:
-        """Discard the sink without publishing (idempotent failure path)."""
-        self._file.abort()
+__all__ = [
+    "BATCH_RECORDS",
+    "CHECKSUM_MOD",
+    "OBS_MARKER",
+    "PairResult",
+    "StageOutput",
+    "grace_partition",
+    "grace_probe",
+    "hybrid_hash_partition",
+    "metrics_sidecar",
+    "nested_loops_pass0",
+    "nested_loops_pass1",
+    "pairs_name",
+    "sort_merge_merge_join",
+    "sort_merge_partition",
+    "sort_merge_runs",
+]
 
 
 def _store(root: str, disks: int) -> Store:
@@ -222,14 +95,9 @@ def _phase_partner(i: int, t: int, disks: int) -> int:
     return (i + t) % disks
 
 
-def pairs_name(label: str, partition: int) -> str:
-    """The PAIRS segment written by one worker of one pass."""
-    return f"PAIRS_{label}_{partition}"
-
-
 # ------------------------------------------------------------ nested loops
 
-@_instrumented
+@register_kernel
 def nested_loops_pass0(
     args: Tuple[str, int, int, int, int]
 ) -> PairResult:
@@ -245,7 +113,7 @@ def nested_loops_pass0(
     meter = active_meter()
     with store.open_r(i) as r_rel, store.open_s(i) as s_rel:
         s_bytes = s_rel.segment.layout.record_bytes
-        sink = _PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
+        sink = PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
                 store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)),
@@ -286,7 +154,7 @@ def nested_loops_pass0(
             raise
 
 
-@_instrumented
+@register_kernel
 def nested_loops_pass1(
     args: Tuple[str, int, int, int]
 ) -> PairResult:
@@ -301,7 +169,7 @@ def nested_loops_pass1(
         for t in range(1, disks)
     ]
     capacity = sum(MappedSegment.record_count(path) for path in spill_paths)
-    sink = _PairSink(store.path(i, pairs_name("p1", i)), capacity)
+    sink = PairSink(store.path(i, pairs_name("p1", i)), capacity)
     try:
         for t in range(1, disks):
             j = _phase_partner(i, t, disks)
@@ -323,7 +191,7 @@ def nested_loops_pass1(
 
 # --------------------------------------------------------------- sort-merge
 
-@_instrumented
+@register_kernel
 def sort_merge_partition(
     args: Tuple[str, int, int, int, int]
 ) -> int:
@@ -364,25 +232,28 @@ def sort_merge_partition(
     return moved
 
 
-@_instrumented
-def sort_merge_join(
-    args: Tuple[str, int, int, int, int, int]
-) -> PairResult:
-    """Sort RS_i into runs, merge the runs, join against sequential S_i."""
-    root, disks, i, s_objects, record_bytes, irun = args[:6]
-    batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
+@register_kernel
+def sort_merge_runs(
+    args: Tuple[str, int, int, int, int]
+) -> int:
+    """Cut one partition's inbound RS files into sorted runs on disk.
+
+    The meter's charge always equals len(buffer) * record_bytes: extends
+    charge, flushes release exactly what they wrote — so a shrunken
+    ``irun`` (the governor's sort-merge knob) directly lowers the
+    high-water mark at the cost of more runs for the merge stage.
+    """
+    root, disks, i, record_bytes, irun = args[:5]
+    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
-    pmap = _pmap(s_objects, disks)
     meter = active_meter()
     irun = max(1, irun)
-
-    # Gather this partition's inbound objects and cut them into sorted runs
-    # stored back on disk (the external-sort structure of the paper).  The
-    # meter's charge always equals len(buffer) * record_bytes: extends
-    # charge, flushes release exactly what they wrote — so a shrunken
-    # ``irun`` (the governor's sort-merge knob) directly lowers the
-    # high-water mark at the cost of more runs to merge.
-    run_paths: List[Path] = []
+    # Stale runs are poison: the merge stage discovers runs by glob, so
+    # leftovers from a previous attempt or plan (including torn-write
+    # garbage at a run's final path) must be gone before this attempt
+    # cuts its own.
+    for stale in run_paths(store, i):
+        stale.unlink(missing_ok=True)
     buffer: List[RObject] = []
     run_id = 0
     inbound = 0
@@ -392,9 +263,9 @@ def sort_merge_join(
         if not buffer:
             return
         buffer.sort(key=lambda obj: obj.sptr)
-        path = store.path(i, f"RUN{i}_{run_id}")
         rel = RRelationFile.create(
-            path, len(buffer), record_bytes, overwrite=True
+            store.path(i, run_name(i, run_id)), len(buffer), record_bytes,
+            overwrite=True,
         )
         try:
             rel.append_many(buffer)
@@ -402,7 +273,6 @@ def sort_merge_join(
             rel.abort()
             raise
         rel.close()
-        run_paths.append(path)
         run_id += 1
         meter.release(len(buffer) * record_bytes)
         buffer.clear()
@@ -419,30 +289,44 @@ def sort_merge_join(
                     flush_run()
                     buffer.extend(tail)
     flush_run()
+    return inbound
 
-    # Merge the run streams lazily and join against a sequential S_i scan,
-    # re-batching the merged stream so dereferences stay block-at-a-time.
-    # A single run needs no heap: its batches are already in sptr order,
-    # so the per-record merge machinery (generator hops + key calls) is
-    # skipped entirely — the common case whenever a partition's inbound
-    # fits one initial run.
-    sink = _PairSink(store.path(i, pairs_name("sm", i)), inbound)
+
+@register_kernel
+def sort_merge_merge_join(
+    args: Tuple[str, int, int, int, int]
+) -> PairResult:
+    """Merge one partition's sorted runs and join against sequential S_i.
+
+    A single run needs no heap: its batches are already in sptr order, so
+    the per-record merge machinery (generator hops + key calls) is
+    skipped entirely — the common case whenever a partition's inbound fits
+    one initial run.
+    """
+    root, disks, i, s_objects, record_bytes = args[:5]
+    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    meter = active_meter()
+    paths = run_paths(store, i)
+    capacity = sum(MappedSegment.record_count(path) for path in paths)
+    sink = PairSink(store.path(i, pairs_name("sm", i)), capacity)
     try:
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
             batch_cost = record_bytes + s_bytes
-            if len(run_paths) == 1:
-                with RRelationFile.open(run_paths[0]) as rel:
+            if len(paths) == 1:
+                with RRelationFile.open(paths[0]) as rel:
                     for batch in rel.iter_object_batches(batch_records):
                         meter.charge(len(batch) * batch_cost, "merge batch")
                         offsets = pmap.offset_many([obj[1] for obj in batch])
                         sink.emit_joined(batch, s_rel.dereference_many(offsets))
                         meter.release(len(batch) * batch_cost)
-            else:
-                streams = [_run_stream(path) for path in run_paths]
+            elif paths:
+                streams = [run_stream(path) for path in paths]
                 try:
                     merged = heapq.merge(*streams, key=lambda o: o.sptr)
-                    for batch in _rebatch(merged, batch_records):
+                    for batch in rebatch(merged, batch_records):
                         meter.charge(len(batch) * batch_cost, "merge batch")
                         offsets = pmap.offset_many([obj[1] for obj in batch])
                         sink.emit_joined(batch, s_rel.dereference_many(offsets))
@@ -456,28 +340,43 @@ def sort_merge_join(
         raise
 
 
-def _run_stream(path: Path):
-    rel = RRelationFile.open(path)
-    try:
-        yield from rel.iter_objects(BATCH_RECORDS)
-    finally:
-        rel.close()
+# ------------------------------------------------------- grace / hybrid hash
+
+def _spill_bucket_groups(
+    store: Store,
+    grouped: Dict[int, Dict[int, List[RObject]]],
+    buckets: int,
+    record_bytes: int,
+    contributor: int,
+    chunk: int | None,
+) -> int:
+    """Write accumulated bucket groups to one spill file per target.
+
+    Shared by the grace and hybrid-hash partition kernels; the files are
+    named by :func:`~repro.parallel.engine.task.bucket_spill_name`, which
+    is also how the probe kernel finds them — producers and consumers
+    agree on artifact names through that one scheme.
+    """
+    flushed = 0
+    for target, bucket_groups in grouped.items():
+        capacity = sum(len(objs) for objs in bucket_groups.values())
+        spill = BucketedRFile.create(
+            store.path(target, bucket_spill_name(target, contributor, chunk)),
+            capacity, buckets, record_bytes, overwrite=True,
+        )
+        try:
+            for bucket in sorted(bucket_groups):
+                spill.append_bucket(bucket, bucket_groups[bucket])
+                flushed += len(bucket_groups[bucket])
+        except BaseException:
+            spill.abort()
+            raise
+        spill.close()
+    grouped.clear()
+    return flushed
 
 
-def _rebatch(iterable: Iterable, size: int):
-    batch: List = []
-    for item in iterable:
-        batch.append(item)
-        if len(batch) >= size:
-            yield batch
-            batch = []
-    if batch:
-        yield batch
-
-
-# -------------------------------------------------------------------- grace
-
-@_instrumented
+@register_kernel
 def grace_partition(
     args: Tuple[str, int, int, int, int, int]
 ) -> int:
@@ -506,24 +405,11 @@ def grace_partition(
     retained = 0
     chunk_id = 0
 
-    def flush_groups(name_for_target) -> int:
+    def flush_groups(chunk: int | None) -> int:
         nonlocal retained
-        flushed = 0
-        for target, bucket_groups in grouped.items():
-            capacity = sum(len(objs) for objs in bucket_groups.values())
-            spill = BucketedRFile.create(
-                store.path(target, name_for_target(target)),
-                capacity, buckets, record_bytes, overwrite=True,
-            )
-            try:
-                for bucket in sorted(bucket_groups):
-                    spill.append_bucket(bucket, bucket_groups[bucket])
-                    flushed += len(bucket_groups[bucket])
-            except BaseException:
-                spill.abort()
-                raise
-            spill.close()
-        grouped.clear()
+        flushed = _spill_bucket_groups(
+            store, grouped, buckets, record_bytes, i, chunk
+        )
         meter.release(retained * record_bytes)
         retained = 0
         return flushed
@@ -539,20 +425,108 @@ def grace_partition(
                 )
                 grouped.setdefault(target, {}).setdefault(bucket, []).append(obj)
             if spill_threshold is not None and retained >= spill_threshold:
-                chunk = chunk_id
-                moved += flush_groups(
-                    lambda target: f"BS{target}_from{i}_c{chunk}"
-                )
+                moved += flush_groups(chunk_id)
                 chunk_id += 1
     if spill_threshold is None:
-        moved += flush_groups(lambda target: f"BS{target}_from{i}")
+        moved += flush_groups(None)
     elif grouped:
-        chunk = chunk_id
-        moved += flush_groups(lambda target: f"BS{target}_from{i}_c{chunk}")
+        moved += flush_groups(chunk_id)
     return moved
 
 
-@_instrumented
+@register_kernel
+def hybrid_hash_partition(
+    args: Tuple[str, int, int, int, int, int, int, int]
+) -> StageOutput:
+    """Hybrid hash partitioning: join resident buckets on the fly.
+
+    Like :func:`grace_partition`, but references hashing to the plan's
+    *resident* buckets (``bucket < resident``) never touch a spill file —
+    they are dereferenced against the target S partition and joined during
+    the scan, exactly the r0-buckets-stay-home structure of the paper's
+    hybrid hash (``joins/hybrid_hash.py``).  Non-resident buckets spill
+    with the *full* bucket count, so the unchanged probe kernel reads
+    them; the resident buckets are simply empty there.  With ``resident
+    == 0`` this degenerates to grace partitioning — the governor's final
+    memory rung.
+    """
+    root, disks, i, s_objects, record_bytes, buckets, resident = args[:7]
+    spill_threshold = args[7] if len(args) > 7 else None
+    batch_records = args[8] if len(args) > 8 else BATCH_RECORDS
+    store = _store(root, disks)
+    pmap = _pmap(s_objects, disks)
+    meter = active_meter()
+    part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    grouped: Dict[int, Dict[int, List[RObject]]] = {}
+    moved = 0
+    retained = 0
+    chunk_id = 0
+    s_rels: Dict[int, object] = {}
+
+    def open_s(target: int):
+        if target not in s_rels:
+            s_rels[target] = store.open_s(target)
+        return s_rels[target]
+
+    def flush_groups(chunk: int | None) -> int:
+        nonlocal retained
+        flushed = _spill_bucket_groups(
+            store, grouped, buckets, record_bytes, i, chunk
+        )
+        meter.release(retained * record_bytes)
+        retained = 0
+        return flushed
+
+    with store.open_r(i) as r_rel:
+        sink = PairSink(store.path(i, pairs_name("hh", i)), len(r_rel))
+        try:
+            for batch in r_rel.iter_object_batches(batch_records):
+                meter.charge(len(batch) * record_bytes, "hybrid bucket groups")
+                located = pmap.locate_many([obj[1] for obj in batch])
+                by_target: Dict[int, Tuple[List[RObject], List[int]]] = {}
+                resident_count = 0
+                for obj, (target, offset) in zip(batch, located):
+                    bucket = order_preserving_bucket(
+                        offset, part_sizes[target], buckets
+                    )
+                    if bucket < resident:
+                        objs, offsets = by_target.setdefault(
+                            target, ([], [])
+                        )
+                        objs.append(obj)
+                        offsets.append(offset)
+                        resident_count += 1
+                    else:
+                        grouped.setdefault(target, {}).setdefault(
+                            bucket, []
+                        ).append(obj)
+                        retained += 1
+                for target, (objs, offsets) in by_target.items():
+                    s_rel = open_s(target)
+                    s_bytes = s_rel.segment.layout.record_bytes
+                    charged = len(objs) * s_bytes
+                    meter.charge(charged, "resident S batch")
+                    sink.emit_joined(objs, s_rel.dereference_many(offsets))
+                    meter.release(charged)
+                meter.release(resident_count * record_bytes)
+                if spill_threshold is not None and retained >= spill_threshold:
+                    moved += flush_groups(chunk_id)
+                    chunk_id += 1
+            if spill_threshold is None:
+                moved += flush_groups(None)
+            elif grouped:
+                moved += flush_groups(chunk_id)
+            result = sink.close()
+        except BaseException:
+            sink.abort()
+            raise
+        finally:
+            for rel in s_rels.values():
+                rel.close()
+    return StageOutput(moved, result)
+
+
+@register_kernel
 def grace_probe(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
@@ -565,12 +539,12 @@ def grace_probe(
     part_size = pmap.partition_size(i)
     inbound: List[BucketedRFile] = []
     for contributor in range(disks):
-        for path in _grace_spill_paths(store, i, contributor):
+        for path in bucket_spill_paths(store, i, contributor):
             inbound.append(BucketedRFile.open(path))
     capacity = sum(len(rel) for rel in inbound)
-    sink: Optional[_PairSink] = None
+    sink = None
     try:
-        sink = _PairSink(store.path(i, pairs_name("probe", i)), capacity)
+        sink = PairSink(store.path(i, pairs_name("probe", i)), capacity)
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
             for bucket in range(buckets):
@@ -597,7 +571,7 @@ def grace_probe(
                 ordered = [
                     obj for chain_objects in table for obj in chain_objects
                 ]
-                for chunk in _rebatch(ordered, batch_records):
+                for chunk in rebatch(ordered, batch_records):
                     meter.charge(len(chunk) * s_bytes, "dereferenced S batch")
                     offsets = pmap.offset_many([obj[1] for obj in chunk])
                     sink.emit_joined(chunk, s_rel.dereference_many(offsets))
@@ -611,24 +585,3 @@ def grace_probe(
     finally:
         for rel in inbound:
             rel.close()
-
-
-def _grace_spill_paths(store: Store, i: int, contributor: int) -> List[Path]:
-    """One contributor's spill files for partition ``i``, chunks included.
-
-    The unchunked base file and any ``_c<n>`` chunks (written when the
-    partition pass ran under a spill threshold) are all valid inputs;
-    chunks are ordered numerically so probe input order is deterministic.
-    """
-    paths: List[Path] = []
-    base = store.path(i, f"BS{i}_from{contributor}")
-    if base.exists():
-        paths.append(base)
-    prefix = f"BS{i}_from{contributor}_c"
-    chunks = [
-        path for path in store.disk_dir(i).glob(f"{prefix}*.seg")
-        if path.name[len(prefix):-len(".seg")].isdigit()
-    ]
-    chunks.sort(key=lambda path: int(path.name[len(prefix):-len(".seg")]))
-    paths.extend(chunks)
-    return paths

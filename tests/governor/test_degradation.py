@@ -22,7 +22,7 @@ from repro.workload import WorkloadSpec, generate_workload
 R_OBJECTS = 300
 TIGHT_MEM = 32 * 1024
 
-ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
 
 
 @pytest.fixture(scope="module")
@@ -56,7 +56,11 @@ class TestBitIdenticalUnderPressure:
         baseline = baselines[algorithm]
         assert result.pair_count == baseline.pair_count
         assert result.checksum == baseline.checksum
-        assert result.pass_checksums == baseline.pass_checksums
+        if algorithm != "hybrid-hash":
+            # Hybrid's deep-degradation rung evicts resident buckets,
+            # moving pairs from the partition pass to the probe pass: the
+            # per-pass split shifts while the totals stay bit-identical.
+            assert result.pass_checksums == baseline.pass_checksums
         assert verify_pairs(workload, result.pairs) == R_OBJECTS
         assert result.degradations_total >= 1
         assert result.governor["admission"] == "degraded"

@@ -18,7 +18,7 @@ from repro.model import MemoryParameters
 from repro.parallel import run_real_join
 from repro.workload import WorkloadSpec, generate_workload
 
-ALGORITHMS = ("nested-loops", "sort-merge", "grace")
+ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +69,61 @@ def test_collected_pairs_match_oracle_multiset(workload, algorithm, tmp_path):
     assert verify_pairs(workload, real.pairs) == workload.r_objects_total
     assert real.pair_count == len(real.pairs)
     assert real.checksum == expected_checksum(workload)
+
+
+class TestHybridHashEquivalence:
+    """The engine's proof algorithm, across the memory matrix and faults.
+
+    The checksum is multiset-invariant, so the resident/spilled split —
+    which differs between the simulator's frame-driven staging and the
+    real backend's bucket-count knob, and shifts again under degradation
+    — can never mask a wrong pair.
+    """
+
+    @pytest.mark.parametrize("fraction", [0.05, 0.2, 0.8])
+    def test_simulator_memory_fractions_match_oracle(
+        self, workload, oracle, fraction
+    ):
+        memory = MemoryParameters.from_fractions(
+            workload.relation_parameters(), fraction, g_bytes=4096
+        )
+        env = JoinEnvironment(workload, memory)
+        sim = make_algorithm("hybrid-hash").run(env, collect_pairs=False)
+        assert sim.pair_count == oracle["count"]
+        assert sim.checksum == oracle["checksum"]
+
+    @pytest.mark.parametrize("resident_buckets", [0, 1, 4, 15])
+    def test_resident_split_never_changes_the_answer(
+        self, workload, oracle, resident_buckets, tmp_path
+    ):
+        real = run_real_join(
+            "hybrid-hash", workload, str(tmp_path / "db"),
+            use_processes=False, collect_pairs=False,
+            resident_buckets=resident_buckets,
+        )
+        assert real.pair_count == oracle["count"]
+        assert real.checksum == oracle["checksum"]
+
+    def test_crashed_workers_still_bit_identical(
+        self, workload, oracle, tmp_path
+    ):
+        from repro.parallel import FaultPlan
+
+        real = run_real_join(
+            "hybrid-hash", workload, str(tmp_path / "db"),
+            use_processes=True, collect_pairs=False, task_timeout=10.0,
+            fault_plan=FaultPlan.crash_every_pass("hybrid-hash", partition=0),
+        )
+        assert real.retries_total >= 2  # one crash recovered per pass
+        assert real.pair_count == oracle["count"]
+        assert real.checksum == oracle["checksum"]
+
+    def test_tight_budget_still_bit_identical(self, workload, oracle, tmp_path):
+        real = run_real_join(
+            "hybrid-hash", workload, str(tmp_path / "db"),
+            use_processes=False, collect_pairs=False,
+            mem_budget=64 * 1024, on_pressure="degrade",
+        )
+        assert real.degradations_total >= 1
+        assert real.pair_count == oracle["count"]
+        assert real.checksum == oracle["checksum"]

@@ -1,0 +1,190 @@
+"""The pass-pipeline engine: plan registry, dispatch edge cases, recovery.
+
+These tests pin the engine's contracts rather than any one algorithm:
+plans are validated declaratively, degenerate geometries (empty
+partitions, a single disk) flow through the same executor path, and a
+stage that faults on every attempt exhausts the retry budget, classifies
+the failure, and leaves the store swept clean.
+"""
+
+import pytest
+
+from repro.joins import verify_pairs
+from repro.parallel import (
+    ALGORITHM_TASKS,
+    FaultPlan,
+    FaultSpec,
+    REAL_ALGORITHMS,
+    RealJoinError,
+    run_real_join,
+)
+from repro.parallel.engine.stages import (
+    ConservationRule,
+    PassPlan,
+    PassPlanError,
+    ScanJoinStage,
+    algorithms,
+    plan_for,
+)
+from repro.workload import WorkloadSpec, generate_workload
+
+
+def _stage(label="scan", kernel="nested_loops_pass0", emits="pairs"):
+    return ScanJoinStage(
+        label=label,
+        kernel=kernel,
+        emits=emits,
+        build_args=lambda ctx, plan, i: (ctx.store_root, ctx.disks, i),
+    )
+
+
+class TestPlanRegistry:
+    def test_every_algorithm_has_a_plan(self):
+        assert set(algorithms()) == set(REAL_ALGORITHMS)
+        for algorithm in REAL_ALGORITHMS:
+            plan = plan_for(algorithm)
+            assert plan is not None and plan.algorithm == algorithm
+            assert plan.stages  # non-empty by construction
+
+    def test_unknown_algorithm_has_no_plan(self):
+        assert plan_for("hash-loops") is None
+
+    def test_fault_coordinates_match_plan_tasks(self):
+        """faults.ALGORITHM_TASKS is static (that module must import
+        without the engine) — this is the consistency pin."""
+        assert set(ALGORITHM_TASKS) == set(algorithms())
+        for algorithm, tasks in ALGORITHM_TASKS.items():
+            assert tasks == plan_for(algorithm).tasks()
+
+    def test_duplicate_registration_rejected(self):
+        from repro.parallel.engine.stages import register_plan
+
+        with pytest.raises(PassPlanError, match="already registered"):
+            register_plan(PassPlan("nested-loops", (_stage(),)))
+
+
+class TestPlanValidation:
+    def test_empty_stages_rejected(self):
+        with pytest.raises(PassPlanError, match="needs stages"):
+            PassPlan("x", ())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(PassPlanError, match="duplicate stage label"):
+            PassPlan("x", (_stage("a"), _stage("a", "nested_loops_pass1")))
+
+    def test_unknown_emits_rejected(self):
+        with pytest.raises(PassPlanError, match="emits"):
+            _stage(emits="bogus")
+
+    def test_conservation_rule_must_reference_known_stages(self):
+        with pytest.raises(PassPlanError, match="unknown stage"):
+            PassPlan(
+                "x",
+                (_stage("a"),),
+                conservation=(
+                    ConservationRule("pairs", (("ghost", "pairs"),)),
+                ),
+            )
+
+    def test_build_args_must_lead_with_store_coordinates(self, tmp_path):
+        """The (store_root, disks, partition) prefix is what lets the
+        engine fan any kernel out by partition; a plan that breaks it is
+        a bug caught at dispatch time, not a worker crash."""
+        workload = generate_workload(
+            WorkloadSpec(r_objects=40, s_objects=40, seed=3), disks=2
+        )
+        bad = PassPlan(
+            "bad-args",
+            (
+                ScanJoinStage(
+                    label="scan",
+                    kernel="nested_loops_pass0",
+                    emits="pairs",
+                    build_args=lambda ctx, plan, i: (ctx.disks, i),
+                ),
+            ),
+        )
+        from repro.governor.predict import JoinPlan
+        from repro.parallel.engine.executor import execute_plan
+
+        with pytest.raises(PassPlanError, match="store_root, disks, partition"):
+            execute_plan(
+                bad, workload, str(tmp_path / "db"), JoinPlan(),
+                use_processes=False,
+            )
+
+
+class TestDegenerateGeometries:
+    @pytest.mark.parametrize("algorithm", sorted(REAL_ALGORITHMS))
+    def test_single_partition(self, algorithm, tmp_path):
+        """disks=1: no redistribution targets, no pool — every plan must
+        degenerate to a local join with the full answer."""
+        workload = generate_workload(
+            WorkloadSpec(r_objects=120, s_objects=120, seed=11), disks=1
+        )
+        result = run_real_join(
+            algorithm, workload, str(tmp_path / algorithm),
+        )
+        assert verify_pairs(workload, result.pairs) == 120
+
+    @pytest.mark.parametrize("algorithm", sorted(REAL_ALGORITHMS))
+    def test_empty_partition(self, algorithm, tmp_path):
+        """More disks than R objects leaves a partition with no records;
+        its stages must still run (and conserve zero) for the barrier to
+        release."""
+        workload = generate_workload(
+            WorkloadSpec(r_objects=3, s_objects=40, seed=13), disks=4
+        )
+        result = run_real_join(
+            algorithm, workload, str(tmp_path / algorithm),
+            use_processes=False,
+        )
+        assert verify_pairs(workload, result.pairs) == 3
+
+
+class TestRetryExhaustion:
+    @pytest.fixture()
+    def workload(self):
+        return generate_workload(
+            WorkloadSpec(r_objects=60, s_objects=60, seed=17), disks=2
+        )
+
+    def test_stage_faulting_every_attempt_exhausts_budget(
+        self, workload, tmp_path
+    ):
+        """Pool attempts, plus the inline fallback, all crash: the engine
+        must give up with a classified RealJoinError naming the stage and
+        the attempt budget — and sweep the store."""
+        root = tmp_path / "db"
+        every_attempt = FaultPlan(
+            [
+                FaultSpec("crash", "grace_partition", 1, attempt=a)
+                for a in range(4)  # 1 + retries pool tries, then inline
+            ]
+        )
+        with pytest.raises(RealJoinError) as info:
+            run_real_join(
+                "grace", workload, str(root), use_processes=False,
+                retries=2, fault_plan=every_attempt,
+            )
+        message = str(info.value)
+        assert "grace partition" in message
+        assert "grace_partition" in message
+        assert "3 attempt(s)" in message
+        assert not root.exists()  # swept and destroyed on failure
+
+    def test_budget_that_survives_one_attempt_recovers(
+        self, workload, tmp_path
+    ):
+        crash_twice = FaultPlan(
+            [
+                FaultSpec("crash", "grace_partition", 1, attempt=0),
+                FaultSpec("crash", "grace_partition", 1, attempt=1),
+            ]
+        )
+        result = run_real_join(
+            "grace", workload, str(tmp_path / "db"), use_processes=False,
+            retries=2, fault_plan=crash_twice,
+        )
+        assert result.retries_total >= 2
+        assert verify_pairs(workload, result.pairs) == 60

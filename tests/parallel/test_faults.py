@@ -86,7 +86,9 @@ class TestFaultPlan:
         plan = FaultPlan(
             [
                 FaultSpec("crash", "grace_probe", 1),
-                FaultSpec("hang", "sort_merge_join", 0, attempt=2, hang_s=9.0),
+                FaultSpec(
+                    "hang", "sort_merge_merge_join", 0, attempt=2, hang_s=9.0
+                ),
             ]
         )
         assert FaultPlan.from_json(plan.to_json()) == plan
@@ -249,7 +251,7 @@ class TestRecoveryObservability:
     def test_stats_document_reports_recovery(self, workload, tmp_path):
         result = run_real_join(
             "sort-merge", workload, str(tmp_path / "db"), use_processes=False,
-            fault_plan=FaultPlan.single("crash", "sort_merge_join", 0),
+            fault_plan=FaultPlan.single("crash", "sort_merge_merge_join", 0),
         )
         document = result.stats_document(workload)
         assert schema_problems(document) == []

@@ -15,7 +15,9 @@ def workload():
 
 
 class TestInlineExecution:
-    @pytest.mark.parametrize("algorithm", ["nested-loops", "sort-merge", "grace"])
+    @pytest.mark.parametrize(
+        "algorithm", ["nested-loops", "sort-merge", "grace", "hybrid-hash"]
+    )
     def test_correct_output(self, workload, algorithm, tmp_path):
         result = run_real_join(
             algorithm, workload, str(tmp_path / "db"), use_processes=False
@@ -41,7 +43,9 @@ class TestInlineExecution:
         result = run_real_join(
             "sort-merge", workload, str(tmp_path / "db"), use_processes=False
         )
-        assert set(result.pass_wall_ms) == {"partition", "sort-merge-join"}
+        assert set(result.pass_wall_ms) == {
+            "partition", "sort-runs", "merge-join"
+        }
 
     def test_small_irun_forces_many_runs_still_correct(self, workload, tmp_path):
         result = run_real_join(
@@ -111,7 +115,8 @@ class TestInlineExecution:
             "sort-merge", workload, str(tmp_path / "db2"), use_processes=False
         )
         assert result.pass_counts["partition"] == 800
-        assert result.pass_counts["sort-merge-join"] == 800
+        assert result.pass_counts["sort-runs"] == 800
+        assert result.pass_counts["merge-join"] == 800
 
     def test_pass_checksums_combine_to_total(self, workload, tmp_path):
         result = run_real_join(
