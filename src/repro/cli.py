@@ -122,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="real-backend store directory (kept after the run) instead "
              "of a throwaway temporary directory",
     )
+    join.add_argument(
+        "--kernels", choices=("scalar", "vector"), default=None,
+        help="stage-kernel implementation: numpy-vectorized inner loops "
+             "(vector, the default when numpy is importable) or the "
+             "per-record scalar path (debugging/equivalence baselines); "
+             "also settable via REPRO_KERNELS",
+    )
 
     model = sub.add_parser("model", help="print an analytical prediction")
     _common_workload_args(model)
@@ -303,6 +310,7 @@ def _cmd_join(args) -> int:
                     disk_budget=disk_budget,
                     on_pressure=args.on_pressure,
                     governor=governor,
+                    kernels=args.kernels,
                 )
             except ResourceExhausted as error:
                 # Classified exhaustion is an orderly refusal, not a crash:
@@ -311,7 +319,8 @@ def _cmd_join(args) -> int:
                 return 3
         pairs = verify_pairs(workload, result.pairs)
         print(f"{args.algorithm}: {pairs:,} pairs verified, "
-              f"{result.wall_ms:,.0f} ms wall clock (real mmap backend)")
+              f"{result.wall_ms:,.0f} ms wall clock (real mmap backend, "
+              f"{result.kernel_mode} kernels)")
         if result.retries_total or result.timeouts_total or result.inline_fallbacks:
             print(
                 f"recovery: {result.retries_total} retries, "

@@ -15,6 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+try:  # pragma: no cover - numpy ships with the toolchain; guarded anyway
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 
 class PointerError(ValueError):
     """Raised for out-of-range virtual pointers."""
@@ -118,6 +123,43 @@ class PointerMap:
                 spill = sptr - boundary
                 append(spill % base if base else spill)
         return out
+
+    # ------------------------------------------------------------- arrays
+    #
+    # The vectorized kernel path: same geometry, computed over whole u64
+    # arrays.  Both branches of the partition split are evaluated on their
+    # masked subsets only, so no discarded lane ever wraps around.
+
+    def locate_array(self, sptrs) -> tuple:
+        """(partitions, offsets) u64 arrays for a batch of pointers."""
+        n = len(sptrs)
+        if n == 0:
+            empty = _np.empty(0, dtype=_np.uint64)
+            return empty, empty.copy()
+        if int(sptrs.max()) >= self.s_objects:
+            raise PointerError(
+                f"pointer outside [0, {self.s_objects}) in batch"
+            )
+        base, rem = self._base, self._remainder
+        boundary = (base + 1) * rem
+        parts = _np.empty(n, dtype=_np.uint64)
+        offs = _np.empty(n, dtype=_np.uint64)
+        small = sptrs < boundary
+        a = sptrs[small]
+        p = a // (base + 1)
+        parts[small] = p
+        offs[small] = a - p * (base + 1)
+        big = ~small
+        if base and big.any():
+            b = sptrs[big] - boundary
+            q = b // base
+            parts[big] = rem + q
+            offs[big] = b - q * base
+        return parts, offs
+
+    def offset_array(self, sptrs):
+        """Local offsets (u64 array) for a batch of pointers."""
+        return self.locate_array(sptrs)[1]
 
     def global_index(self, partition: int, offset: int) -> int:
         """Inverse of :meth:`locate`."""

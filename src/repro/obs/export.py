@@ -298,6 +298,7 @@ def build_real_stats_document(result, workload=None) -> dict:
         "algorithm": result.algorithm,
         "backend": "real-mmap",
         "used_processes": result.used_processes,
+        "kernel_mode": getattr(result, "kernel_mode", "scalar"),
     }
     if workload is not None:
         meta.update(

@@ -62,8 +62,10 @@ from repro.parallel.engine.task import (
     OBS_MARKER,
     PairResult,
     StageOutput,
+    install_kernel_mode,
     metrics_sidecar,
     run_task,
+    sweep_kernel_mode,
 )
 from repro.parallel.faults import (
     FaultPlan,
@@ -120,6 +122,7 @@ def sweep_run_artifacts(store_root: str, store: Store) -> None:
         sidecar.unlink(missing_ok=True)
     sweep_fault_state(root)
     sweep_budgets(root)
+    sweep_kernel_mode(root)
     store.cleanup_orphans()
 
 
@@ -167,6 +170,9 @@ def execute_plan(
     sweep_run_artifacts(store_root, store)
     if worker_mem_budget is not None or disk_budget is not None:
         install_budgets(store_root, worker_mem_budget, disk_budget)
+    # The marker, not an env var, carries the mode: pool workers fork
+    # with a stale environment, and a degradation round may switch it.
+    install_kernel_mode(store_root, plan.kernel_mode)
 
     outcome = ExecutionOutcome(plan=plan)
     recovery: Dict[str, object] = {
@@ -332,6 +338,7 @@ def execute_plan(
                     "runner.degradations_total", 1, algo=algorithm
                 )
                 reset_round()
+                install_kernel_mode(store_root, current.kernel_mode)
         outcome.plan = current
 
         if collect_pairs:

@@ -29,9 +29,15 @@ from __future__ import annotations
 
 import importlib
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple
+
+try:  # pragma: no cover - numpy ships with the toolchain; guarded anyway
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from repro.core.records import RObject
 from repro.governor.budget import load_budgets
@@ -54,10 +60,75 @@ CHECKSUM_MOD = 1 << 61
 #: Presence of this file in the store root switches worker metrics on.
 OBS_MARKER = "metrics.on"
 
+#: The store-root marker carrying the run's kernel mode to the workers.
+#: Pool workers inherit their environment at fork time, so an env var
+#: cannot switch modes mid-run (a degradation round may flip vector →
+#: scalar); a file in the store root follows the same files-only
+#: cross-process protocol as the metrics marker and the budget file.
+KERNEL_MODE_MARKER = "kernels.mode"
+
+KERNEL_MODES = ("scalar", "vector")
+
+#: Environment fallback for direct kernel calls and un-marked stores.
+KERNELS_ENV = "REPRO_KERNELS"
+
 
 def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
     """Where one worker snapshots its registry for the parent to merge."""
     return Path(root) / f"metrics_{task}_{partition}.json"
+
+
+# ------------------------------------------------------------- kernel mode
+
+def vector_kernels_available() -> bool:
+    """Whether the numpy-backed kernel implementations can run here."""
+    try:
+        from repro.parallel import vectorized
+    except Exception:  # pragma: no cover - import damage counts as absent
+        return False
+    return vectorized.HAVE_NUMPY
+
+
+def default_kernel_mode() -> str:
+    """Mode when nothing chose one: env override, else vector if possible."""
+    env = os.environ.get(KERNELS_ENV, "").strip().lower()
+    if env in KERNEL_MODES:
+        return env
+    return "vector" if vector_kernels_available() else "scalar"
+
+
+def resolve_kernel_mode(root: str | Path) -> str:
+    """The mode a kernel should run in for the store at ``root``.
+
+    Marker file first (the executor installs one per round, so a degraded
+    re-plan switches every worker), then the environment, then the
+    default.  A vector request degrades to scalar when numpy is missing —
+    the knob selects an implementation, never breaks a join.
+    """
+    try:
+        text = (
+            Path(root, KERNEL_MODE_MARKER).read_text().strip().lower()
+        )
+    except OSError:
+        text = ""
+    mode = text if text in KERNEL_MODES else default_kernel_mode()
+    if mode == "vector" and not vector_kernels_available():
+        mode = "scalar"
+    return mode
+
+
+def install_kernel_mode(root: str | Path, mode: str) -> None:
+    """Publish the run's kernel mode for the workers (driver-side)."""
+    if mode not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; choices: {KERNEL_MODES}"
+        )
+    Path(root, KERNEL_MODE_MARKER).write_text(mode + "\n")
+
+
+def sweep_kernel_mode(root: str | Path) -> None:
+    """Remove the kernel-mode marker (run teardown)."""
+    Path(root, KERNEL_MODE_MARKER).unlink(missing_ok=True)
 
 
 # ---------------------------------------------------------- kernel registry
@@ -211,6 +282,34 @@ class PairSink:
         self.checksum = (
             self.checksum
             + sum(p[0] * 1_000_003 + p[1] * 7919 + p[3] for p in pairs)
+        ) % CHECKSUM_MOD
+
+    def emit_arrays(self, rid, sid, r_payload, s_value) -> None:
+        """Join matched column arrays positionally and stream the pairs.
+
+        The vector-kernel counterpart of :meth:`emit_joined`: one
+        ``(n, 4)`` u64 block is written into the mapped segment in a
+        single append, and the checksum mix runs as wrapping u64
+        arithmetic — exact, because ``CHECKSUM_MOD`` divides ``2**64``.
+        """
+        n = int(len(rid))
+        if not n:
+            return
+        block = _np.empty((n, 4), dtype="<u8")
+        block[:, 0] = rid
+        block[:, 1] = sid
+        block[:, 2] = r_payload
+        block[:, 3] = s_value
+        self._file.append_packed(memoryview(block).cast("B"))
+        active().count("worker.pairs", n)
+        self.count += n
+        mix = (
+            rid * _np.uint64(1_000_003)
+            + sid * _np.uint64(7919)
+            + s_value
+        )
+        self.checksum = (
+            self.checksum + int(mix.sum(dtype=_np.uint64))
         ) % CHECKSUM_MOD
 
     def close(self) -> PairResult:

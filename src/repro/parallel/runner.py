@@ -77,6 +77,10 @@ class RealJoinResult:
     # governor's full decision record (None on ungoverned runs).
     degradations_total: int = 0
     governor: Optional[dict] = None
+    #: Which stage-kernel implementation produced the result ("vector"
+    #: numpy kernels or "scalar" per-record structs) — the mode of the
+    #: plan that actually ran, after any admission/runtime degradation.
+    kernel_mode: str = "vector"
 
     def stats_document(self, workload: Optional[Workload] = None) -> dict:
         """Render this run as the versioned JSON stats document."""
@@ -108,6 +112,7 @@ def run_real_join(
     max_degradations: int = 8,
     batch_records: Optional[int] = None,
     resident_buckets: int = 4,
+    kernels: Optional[str] = None,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -141,6 +146,12 @@ def run_real_join(
     home — joined during the partition scan instead of spilled; the
     governor's final memory rung shrinks it to zero, at which point
     hybrid degenerates to grace.
+
+    ``kernels`` selects the stage-kernel implementation: ``"vector"``
+    (numpy columnar — the default when numpy is importable) or
+    ``"scalar"`` (the per-record reference path).  Output is
+    bit-identical either way; a vector request silently degrades to
+    scalar on a numpy-less host.
     """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
@@ -160,6 +171,17 @@ def run_real_join(
             f"resident_buckets must satisfy 0 <= resident < buckets: "
             f"{resident_buckets} vs {buckets} buckets"
         )
+    if kernels is None:
+        kernel_mode = engine_task.default_kernel_mode()
+    elif kernels in engine_task.KERNEL_MODES:
+        kernel_mode = kernels
+    else:
+        raise RealJoinError(
+            f"unknown kernel mode {kernels!r}; "
+            f"choices: {engine_task.KERNEL_MODES}"
+        )
+    if kernel_mode == "vector" and not engine_task.vector_kernels_available():
+        kernel_mode = "scalar"
     pass_plan = plan_for(algorithm)
     policy = RetryPolicy(
         retries=retries,
@@ -178,6 +200,7 @@ def run_real_join(
         buckets=buckets,
         tsize=tsize,
         resident_buckets=resident_buckets,
+        kernel_mode=kernel_mode,
     )
     governed = (
         mem_budget is not None or disk_budget is not None or governor is not None
@@ -306,6 +329,7 @@ def run_real_join(
             admission_degradations + outcome.runtime_degradations
         ),
         governor=governor_doc,
+        kernel_mode=outcome.plan.kernel_mode,
     )
 
 

@@ -56,6 +56,7 @@ from repro.parallel.engine.task import (
     pairs_name,
     rebatch,
     register_kernel,
+    resolve_kernel_mode,
     run_name,
     run_paths,
     run_stream,
@@ -83,6 +84,22 @@ __all__ = [
 ]
 
 
+def _vectorized(root: str):
+    """The numpy kernel module when this store runs in vector mode.
+
+    Each registered kernel dispatches through this first: the mode
+    resolves from the store root (marker file → env → default), so one
+    kernel name serves both implementations and the executor, tests, and
+    retried passes never need to know which one ran.  Returns ``None``
+    in scalar mode; the scalar body below is the fallback.
+    """
+    if resolve_kernel_mode(root) == "vector":
+        from repro.parallel import vectorized
+
+        return vectorized
+    return None
+
+
 def _store(root: str, disks: int) -> Store:
     return Store(root, disks)
 
@@ -106,6 +123,9 @@ def nested_loops_pass0(
     The trailing optional arg throttles the batch size — the governor's
     nested-loops degradation knob.
     """
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.nested_loops_pass0(args)
     root, disks, i, s_objects, record_bytes = args[:5]
     batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
@@ -159,6 +179,9 @@ def nested_loops_pass1(
     args: Tuple[str, int, int, int]
 ) -> PairResult:
     """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.nested_loops_pass1(args)
     root, disks, i, s_objects = args[:4]
     batch_records = args[4] if len(args) > 4 else BATCH_RECORDS
     store = _store(root, disks)
@@ -196,6 +219,9 @@ def sort_merge_partition(
     args: Tuple[str, int, int, int, int]
 ) -> int:
     """Passes 0 and 1 for one contributor: write the RS_j_from_i files."""
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.sort_merge_partition(args)
     root, disks, i, s_objects, record_bytes = args[:5]
     batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
@@ -243,6 +269,9 @@ def sort_merge_runs(
     ``irun`` (the governor's sort-merge knob) directly lowers the
     high-water mark at the cost of more runs for the merge stage.
     """
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.sort_merge_runs(args)
     root, disks, i, record_bytes, irun = args[:5]
     batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
@@ -303,6 +332,9 @@ def sort_merge_merge_join(
     skipped entirely — the common case whenever a partition's inbound fits
     one initial run.
     """
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.sort_merge_merge_join(args)
     root, disks, i, s_objects, record_bytes = args[:5]
     batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
     store = _store(root, disks)
@@ -393,6 +425,9 @@ def grace_partition(
     bounding the partition pass at threshold + one batch.  The probe side
     reads base and chunk files alike, so the join output is identical.
     """
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.grace_partition(args)
     root, disks, i, s_objects, record_bytes, buckets = args[:6]
     spill_threshold = args[6] if len(args) > 6 else None
     batch_records = args[7] if len(args) > 7 else BATCH_RECORDS
@@ -450,6 +485,9 @@ def hybrid_hash_partition(
     == 0`` this degenerates to grace partitioning — the governor's final
     memory rung.
     """
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.hybrid_hash_partition(args)
     root, disks, i, s_objects, record_bytes, buckets, resident = args[:7]
     spill_threshold = args[7] if len(args) > 7 else None
     batch_records = args[8] if len(args) > 8 else BATCH_RECORDS
@@ -531,6 +569,9 @@ def grace_probe(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
     """Probe passes for one partition: bucket table, ordered S access."""
+    vec = _vectorized(args[0])
+    if vec is not None:
+        return vec.grace_probe(args)
     root, disks, i, s_objects, buckets, tsize = args[:6]
     batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
     store = _store(root, disks)

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
+
+try:  # pragma: no cover - numpy ships with the toolchain; guarded anyway
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from repro.core.records import RObject, SObject
 
@@ -42,6 +47,25 @@ class RecordLayout:
             self,
             "_record",
             struct.Struct(f"<QQQ{self.record_bytes - _HEADER.size}x"),
+        )
+        # Structured dtype spanning the whole record: the three u64 header
+        # fields by name, itemsize padded to record_bytes — so a zero-copy
+        # ``np.frombuffer`` view over a mapped batch strides records the
+        # same way the Struct does, and ``np.zeros`` of it reproduces the
+        # zero padding bit-for-bit.
+        object.__setattr__(
+            self,
+            "_np_dtype",
+            _np.dtype(
+                {
+                    "names": ("f0", "f1", "f2"),
+                    "formats": ("<u8", "<u8", "<u8"),
+                    "offsets": (0, 8, 16),
+                    "itemsize": self.record_bytes,
+                }
+            )
+            if _np is not None
+            else None,
         )
 
     @property
@@ -112,6 +136,51 @@ class RecordLayout:
     # both; the aliases keep call sites typed.
     pack_r_batch = pack_batch
     pack_s_batch = pack_batch
+
+    # ------------------------------------------------------------- columns
+    #
+    # The vectorized kernel path: records decoded to three contiguous u64
+    # column arrays (header fields only — 24 of the record's bytes; the
+    # padding never leaves the mapping) and encoded back from columns via
+    # one zero-filled structured array, byte-identical to pack_batch.
+
+    @property
+    def np_dtype(self):
+        """The numpy structured dtype spanning one full record."""
+        if self._np_dtype is None:  # pragma: no cover - numpy-less host
+            raise LayoutError("numpy is not available for columnar access")
+        return self._np_dtype
+
+    def decode_columns(
+        self, buffer: bytes | memoryview
+    ) -> Tuple["_np.ndarray", "_np.ndarray", "_np.ndarray"]:
+        """Decode a contiguous run of records into three u64 column copies.
+
+        The columns are compact copies (24/record_bytes of the data), so
+        the caller may release the underlying view immediately — nothing
+        returned here keeps the mapping's buffer exported.
+        """
+        arr = _np.frombuffer(buffer, dtype=self.np_dtype)
+        # .copy(), not ascontiguousarray: a 0- or 1-element strided field
+        # view is already "contiguous", so ascontiguousarray would return
+        # the view itself and keep the mapping's buffer exported past the
+        # caller's release().
+        return (arr["f0"].copy(), arr["f1"].copy(), arr["f2"].copy())
+
+    def pack_columns(self, a, b, c) -> memoryview:
+        """Encode three u64 column arrays into contiguous record bytes.
+
+        ``np.zeros`` of the structured dtype zero-fills the padding, so
+        the output is byte-identical to :meth:`pack_batch` of the same
+        tuples.  Returned as a byte view over the scratch array (the view
+        keeps it alive) so the append path writes it without another
+        copy.
+        """
+        out = _np.zeros(len(a), dtype=self.np_dtype)
+        out["f0"] = a
+        out["f1"] = b
+        out["f2"] = c
+        return memoryview(out).cast("B")
 
     def offset_of(self, index: int) -> int:
         """Byte offset of record ``index`` within the data area."""

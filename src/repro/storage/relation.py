@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import os
 import struct
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple
+
+try:  # pragma: no cover - numpy ships with the toolchain; guarded anyway
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 from repro.core.records import JoinedPair, RObject, SObject
 from repro.obs.registry import active as _metrics
@@ -101,6 +106,36 @@ class RRelationFile(_RelationFile):
             finally:
                 view.release()
 
+    def iter_column_batches(
+        self, batch_records: int = DEFAULT_BATCH_RECORDS
+    ) -> Iterator[Tuple]:
+        """Iterate (rid, sptr, payload) u64 column-array batches.
+
+        The vectorized kernels' inner shape: one dtype view per mapped
+        batch, three compact column copies out, view released before the
+        next step — so the mapping never holds an exported buffer.
+        """
+        decode = self.segment.layout.decode_columns
+        for view in self.segment.iter_batches(batch_records):
+            try:
+                yield decode(view)
+            finally:
+                view.release()
+
+    def append_columns(self, rid, sptr, payload) -> int:
+        """Append records given as three u64 column arrays."""
+        return self.segment.append_batch(
+            self.segment.layout.pack_columns(rid, sptr, payload)
+        )
+
+    def read_columns(self, start: int, count: int) -> Tuple:
+        """Decode ``count`` records at ``start`` into u64 column copies."""
+        view = self.segment.read_batch(start, count)
+        try:
+            return self.segment.layout.decode_columns(view)
+        finally:
+            view.release()
+
     def __iter__(self) -> Iterator[RObject]:
         return self.iter_objects()
 
@@ -170,6 +205,43 @@ class SRelationFile(_RelationFile):
             return [make(unpack_from(view, off * stride)) for off in offsets]
         finally:
             view.release()
+
+    def dereference_columns(self, offsets) -> Tuple:
+        """Vectorized :meth:`dereference_many`: gather (sid, value) columns.
+
+        One dtype view over the whole written area, two fancy-indexed
+        field gathers (8 bytes per record per field — the payload column
+        is not materialized), and the same deref metrics as the scalar
+        path.
+        """
+        if len(offsets) == 0:
+            empty = _np.empty(0, dtype=_np.uint64)
+            return empty, empty.copy()
+        count = len(self.segment)
+        if int(offsets.max()) >= count:
+            raise StorageError(
+                f"pointer offset outside [0, {count}) in "
+                f"{self.segment.path.name}"
+            )
+        metrics = _metrics()
+        if metrics.enabled:
+            kind = self.segment.kind
+            metrics.count("storage.deref.batches", 1, kind=kind)
+            metrics.count("storage.deref.records", len(offsets), kind=kind)
+            metrics.count(
+                "storage.deref.bytes",
+                len(offsets) * self.segment.layout.record_bytes,
+                kind=kind,
+            )
+        view = self.segment.read_batch(0, count)
+        try:
+            arr = _np.frombuffer(view, dtype=self.segment.layout.np_dtype)
+            sid = arr["f0"][offsets]
+            value = arr["f1"][offsets]
+            del arr
+        finally:
+            view.release()
+        return sid, value
 
     def iter_objects(
         self, batch_records: int = DEFAULT_BATCH_RECORDS
@@ -271,8 +343,60 @@ class BucketedRFile(_RelationFile):
         self._directory[bucket] = (start, len(objects))
         self._next_bucket = bucket + 1
 
+    def append_buckets_packed(self, data, counts: Sequence[int]) -> None:
+        """Append pre-packed records for many buckets in one slice write.
+
+        ``data`` holds the records of every bucket back-to-back in
+        ascending bucket order; ``counts[b]`` is bucket ``b``'s record
+        count (zero for absent buckets).  Directory entries land exactly
+        where per-bucket :meth:`append_bucket` calls would have put them —
+        empty buckets keep ``(0, 0)`` — so the published segment is
+        byte-identical to the scalar path's.
+        """
+        if len(counts) > len(self._directory):
+            raise StorageError(
+                f"{len(counts)} bucket counts for a "
+                f"{len(self._directory)}-bucket directory"
+            )
+        total = int(sum(counts))
+        record_bytes = self.segment.layout.record_bytes
+        if total * record_bytes != len(data):
+            raise StorageError(
+                f"bucket counts claim {total} records but the packed blob "
+                f"holds {len(data) // record_bytes}"
+            )
+        if self._next_bucket:
+            raise StorageError(
+                "append_buckets_packed must write a fresh bucketed file"
+            )
+        pos = self.segment.append_batch(data)
+        for bucket, count in enumerate(counts):
+            if count:
+                self._directory[bucket] = (pos, int(count))
+                self._next_bucket = bucket + 1
+            pos += int(count)
+
     def bucket_len(self, bucket: int) -> int:
         return self._directory[bucket][1]
+
+    def read_bucket_columns(self, bucket: int) -> Tuple:
+        """One bucket's records as (rid, sptr, payload) u64 column copies."""
+        start, count = self._directory[bucket]
+        metrics = _metrics()
+        if metrics.enabled and count:
+            kind = self.segment.kind
+            metrics.count("storage.read.batches", 1, kind=kind)
+            metrics.count("storage.read.records", count, kind=kind)
+            metrics.count(
+                "storage.read.bytes",
+                count * self.segment.layout.record_bytes,
+                kind=kind,
+            )
+        view = self.segment.read_batch(start, count)
+        try:
+            return self.segment.layout.decode_columns(view)
+        finally:
+            view.release()
 
     def iter_bucket_batches(
         self, bucket: int, batch_records: int = DEFAULT_BATCH_RECORDS
@@ -356,6 +480,14 @@ class PairsFile(_RelationFile):
             offset += PAIR_RECORD_BYTES
         return self.segment.append_batch(buffer)
 
+    def append_packed(self, data) -> int:
+        """Append an already-packed block of pair records in one write.
+
+        The vectorized sinks build whole ``(n, 4)`` u64 blocks and hand
+        their bytes straight to the mapping — no per-pair struct calls.
+        """
+        return self.segment.append_batch(data)
+
     def iter_pairs(
         self, batch_records: int = DEFAULT_BATCH_RECORDS
     ) -> Iterator[JoinedPair]:
@@ -399,13 +531,32 @@ def read_pairs(
 
 # ---------------------------------------------------------- partition files
 
+def _append_partition(relation: _RelationFile, objects: List) -> None:
+    """Append a whole partition, vectorized when numpy is available.
+
+    Materialization is driver-side setup shared by both kernel modes
+    (never part of a measured kernel), so the fast path is uncondition-
+    al: ``np.asarray`` of the tuple list and one structured-array pack —
+    byte-identical to ``pack_batch`` of the same tuples.
+    """
+    if _np is None or not objects:
+        relation.append_many(objects)
+        return
+    matrix = _np.asarray(objects, dtype=_np.uint64)
+    relation.segment.append_batch(
+        relation.segment.layout.pack_columns(
+            matrix[:, 0], matrix[:, 1], matrix[:, 2]
+        )
+    )
+
+
 def write_r_partition(
     path: str | os.PathLike, objects: List[RObject], record_bytes: int = 128
 ) -> None:
     """Materialize an R partition file."""
     relation = RRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
-        relation.append_many(objects)
+        _append_partition(relation, objects)
     except BaseException:
         relation.abort()
         raise
@@ -418,7 +569,7 @@ def write_s_partition(
     """Materialize an S partition file (objects at their offsets)."""
     relation = SRelationFile.create(path, max(1, len(objects)), record_bytes)
     try:
-        relation.append_many(objects)
+        _append_partition(relation, objects)
     except BaseException:
         relation.abort()
         raise

@@ -69,6 +69,23 @@ class StorageError(RuntimeError):
     """Raised for storage layer failures."""
 
 
+def _pwrite_all(fd: int, data, offset: int) -> None:
+    """Write a whole buffer at ``offset``, resuming on short writes.
+
+    Bulk segment writes go through ``pwrite`` rather than the mapping:
+    the page-cache write path needs no write faults, so a freshly created
+    sparse segment skips the expensive first-fault/block-allocation stall
+    that a store write through the mapping would take (measured ~1.4 ms
+    per segment at paper scale).  ``read``s still go through the mapping
+    — the unified page cache keeps both views coherent.
+    """
+    view = memoryview(data).cast("B")
+    while len(view):
+        written = os.pwrite(fd, view, offset)
+        view = view[written:]
+        offset += written
+
+
 def tmp_segment_path(path: str | os.PathLike) -> Path:
     """The sibling a segment is written to before its atomic publish."""
     path = Path(path)
@@ -94,12 +111,16 @@ class MappedSegment:
     """One memory-mapped segment file of fixed-size records."""
 
     def __init__(
-        self, path: Path, file_obj, mapping: mmap.mmap, layout: RecordLayout,
-        capacity: int, count: int, backing_path: Optional[Path] = None,
-        durable: bool = False,
+        self, path: Path, file_obj, mapping: Optional[mmap.mmap],
+        layout: RecordLayout, capacity: int, count: int,
+        backing_path: Optional[Path] = None, durable: bool = False,
     ) -> None:
         self.path = path
         self._file = file_obj
+        # ``None`` until the first read: freshly *created* segments defer
+        # their mapping, because writes go through pwrite and a created-
+        # written-closed lifecycle (every spill, run, and PAIRS file)
+        # never needs one.  Opened segments map eagerly as before.
         self._map = mapping
         self.layout = layout
         self.capacity = capacity
@@ -111,8 +132,20 @@ class MappedSegment:
         self._backing = backing_path if backing_path is not None else path
         self._pending = self._backing != self.path
         self._durable = durable
-        self._mapped_bytes = len(mapping)
-        _meter().map_bytes(self._mapped_bytes)
+        self._mapped_bytes = len(mapping) if mapping is not None else 0
+        if self._mapped_bytes:
+            _meter().map_bytes(self._mapped_bytes)
+
+    def _mapping(self) -> mmap.mmap:
+        """The mapping, materialized on first read for created segments."""
+        if self._map is None:
+            total = PAGE_SIZE + _round_up(
+                max(1, self.capacity) * self.layout.record_bytes, PAGE_SIZE
+            )
+            self._map = mmap.mmap(self._file.fileno(), total)
+            self._mapped_bytes = total
+            _meter().map_bytes(total)
+        return self._map
 
     # ----------------------------------------------------------- lifecycle
 
@@ -158,11 +191,15 @@ class MappedSegment:
                 pass
         try:
             file_obj.truncate(total)
-            mapping = mmap.mmap(file_obj.fileno(), total)
+            _pwrite_all(
+                file_obj.fileno(),
+                HEADER.pack(MAGIC, record_bytes, capacity, 0),
+                0,
+            )
         except Exception as error:
             file_obj.close()
             tmp.unlink(missing_ok=True)
-            # A full disk (ENOSPC out of ftruncate, ENOMEM out of mmap)
+            # A full disk (ENOSPC out of ftruncate or the header write)
             # surfaces as a classified resource error, not a raw OSError.
             classified = classify_os_error(
                 error, f"creating segment {path.name}"
@@ -170,9 +207,10 @@ class MappedSegment:
             if classified is not None:
                 raise classified from error
             raise
-        mapping[: HEADER.size] = HEADER.pack(MAGIC, record_bytes, capacity, 0)
+        # No eager mmap: the mapping materializes on first read (most
+        # created segments are write-only until re-opened by a reader).
         segment = cls(
-            path, file_obj, mapping, layout, capacity, 0,
+            path, file_obj, None, layout, capacity, 0,
             backing_path=tmp, durable=durable,
         )
         metrics = _metrics()
@@ -262,7 +300,8 @@ class MappedSegment:
     def flush(self) -> None:
         self._check_open()
         self._write_count()
-        self._map.flush()
+        if self._map is not None:
+            self._map.flush()
         _metrics().count("storage.flush", 1, kind=self.kind)
 
     def close(self) -> None:
@@ -282,12 +321,15 @@ class MappedSegment:
             return
         self._write_count()
         if self._pending and self._durable:
-            self._map.flush()
+            if self._map is not None:
+                self._map.flush()
             os.fsync(self._file.fileno())
-        self._map.close()
+        if self._map is not None:
+            self._map.close()
         self._file.close()
         self._closed = True
-        _meter().unmap_bytes(self._mapped_bytes)
+        if self._mapped_bytes:
+            _meter().unmap_bytes(self._mapped_bytes)
         if self._pending:
             os.replace(self._backing, self.path)
             self._pending = False
@@ -302,10 +344,12 @@ class MappedSegment:
         """
         if self._closed:
             return
-        self._map.close()
+        if self._map is not None:
+            self._map.close()
         self._file.close()
         self._closed = True
-        _meter().unmap_bytes(self._mapped_bytes)
+        if self._mapped_bytes:
+            _meter().unmap_bytes(self._mapped_bytes)
         if self._pending:
             self._backing.unlink(missing_ok=True)
             self._pending = False
@@ -335,20 +379,20 @@ class MappedSegment:
                 f"{META_CAPACITY} spare bytes"
             )
         start = HEADER.size
-        self._map[start : start + _META_LEN.size] = _META_LEN.pack(len(data))
-        self._map[
-            start + _META_LEN.size : start + _META_LEN.size + len(data)
-        ] = data
+        _pwrite_all(
+            self._file.fileno(), _META_LEN.pack(len(data)) + data, start
+        )
 
     def read_meta(self) -> bytes:
         """Fetch the application blob (empty if never written)."""
         self._check_open()
         start = HEADER.size
-        (length,) = _META_LEN.unpack_from(self._map, start)
+        mapping = self._mapping()
+        (length,) = _META_LEN.unpack_from(mapping, start)
         if length > META_CAPACITY:
             raise StorageError(f"corrupt meta length {length} in {self.path.name}")
         return bytes(
-            self._map[start + _META_LEN.size : start + _META_LEN.size + length]
+            mapping[start + _META_LEN.size : start + _META_LEN.size + length]
         )
 
     # -------------------------------------------------------------- access
@@ -364,7 +408,9 @@ class MappedSegment:
                 f"record {index} outside [0, {self._count}) in {self.path.name}"
             )
         start = PAGE_SIZE + self.layout.offset_of(index)
-        return bytes(self._map[start : start + self.layout.record_bytes])
+        return bytes(
+            self._mapping()[start : start + self.layout.record_bytes]
+        )
 
     def write_record(self, index: int, data: bytes) -> None:
         """Write one record in place.
@@ -391,7 +437,7 @@ class MappedSegment:
                 f"(got {len(data)})"
             )
         start = PAGE_SIZE + self.layout.offset_of(index)
-        self._map[start : start + self.layout.record_bytes] = data
+        self._mapping()[start : start + self.layout.record_bytes] = data
         if index >= self._count:
             self._count = index + 1
 
@@ -445,7 +491,7 @@ class MappedSegment:
             )
         record_bytes = self.layout.record_bytes
         lo = PAGE_SIZE + start * record_bytes
-        return memoryview(self._map)[lo : lo + count * record_bytes]
+        return memoryview(self._mapping())[lo : lo + count * record_bytes]
 
     def iter_batches(self, batch_records: int = 4096) -> Iterator[memoryview]:
         """Views covering all written records, ``batch_records`` at a time."""
@@ -471,6 +517,9 @@ class MappedSegment:
         """
         self._check_open()
         record_bytes = self.layout.record_bytes
+        # Normalize to a flat byte view: callers hand over bytes, packed
+        # scratch arrays, or (n, k) u64 blocks alike.
+        data = memoryview(data).cast("B")
         nbytes = len(data)
         if nbytes % record_bytes:
             raise StorageError(
@@ -486,7 +535,7 @@ class MappedSegment:
         start = self._count
         if count:
             lo = PAGE_SIZE + start * record_bytes
-            self._map[lo : lo + nbytes] = data
+            _pwrite_all(self._file.fileno(), data, lo)
             self._count = start + count
             metrics = _metrics()
             if metrics.enabled:
@@ -498,9 +547,14 @@ class MappedSegment:
     # ------------------------------------------------------------ internal
 
     def _write_count(self) -> None:
-        if not self._map.closed:
-            self._map[: HEADER.size] = HEADER.pack(
-                MAGIC, self.layout.record_bytes, self.capacity, self._count
+        if not self._file.closed:
+            _pwrite_all(
+                self._file.fileno(),
+                HEADER.pack(
+                    MAGIC, self.layout.record_bytes, self.capacity,
+                    self._count,
+                ),
+                0,
             )
 
     def _check_open(self) -> None:

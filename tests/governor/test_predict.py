@@ -47,7 +47,7 @@ def test_mirrored_constants_match_storage():
 
 class TestLadder:
     def test_nested_loops_halves_batch_to_floor(self):
-        plan = JoinPlan(batch_records=256)
+        plan = JoinPlan(batch_records=256, kernel_mode="scalar")
         plan = plan.degraded("nested-loops")
         assert plan.batch_records == 128
         plan = plan.degraded("nested-loops")
@@ -55,12 +55,31 @@ class TestLadder:
         assert plan.degraded("nested-loops") == plan  # floor: no change
 
     def test_sort_merge_shrinks_runs_before_batches(self):
-        plan = JoinPlan(batch_records=128, irun=128)
+        plan = JoinPlan(batch_records=128, irun=128, kernel_mode="scalar")
         plan = plan.degraded("sort-merge")
         assert (plan.irun, plan.batch_records) == (MIN_IRUN, 128)
         plan = plan.degraded("sort-merge")
         assert plan.batch_records == MIN_BATCH_RECORDS
         assert plan.degraded("sort-merge") == plan
+
+    def test_vector_kernels_are_the_last_memory_rung(self):
+        """Vector buffers are the final thing sacrificed under pressure:
+        once every size knob sits at its floor, one more degradation
+        flips kernel_mode to scalar, and only then is the plan a fixed
+        point."""
+        for algorithm in sorted(REAL_ALGORITHMS):
+            plan = JoinPlan(kernel_mode="vector")
+            for _ in range(64):
+                lowered = plan.degraded(algorithm)
+                if lowered == plan:
+                    break
+                assert plan.kernel_mode == "vector" or (
+                    lowered.kernel_mode == "scalar"
+                )
+                plan = lowered
+            assert plan.kernel_mode == "scalar", algorithm
+            floored = plan.degraded(algorithm)
+            assert floored == plan, algorithm
 
     def test_grace_ladder_order(self):
         plan = JoinPlan(batch_records=128, buckets=16)
