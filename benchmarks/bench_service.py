@@ -1,0 +1,211 @@
+"""Extension: closed-loop load on the multi-tenant join service daemon.
+
+Starts one :class:`~repro.service.server.JoinService` (real worker pool,
+warm stores, shared governor) and drives it with N concurrent clients in
+a closed loop — each client submits a join, waits for the result, thinks
+briefly, and submits the next, cycling through all four algorithms.  The
+sweep over client counts measures how serving throughput and request
+latency respond to concurrency against one shared daemon, with every
+reply checked bit-identical against a direct ``run_real_join`` of the
+same workload.
+
+Appends one entry per invocation to the machine-readable, append-only
+``results/BENCH_service.json`` (schema v1: ``{"schema_version": 1,
+"runs": [...]}``) so the serving-performance trajectory is trackable
+across PRs, and renders ``results/ext_service.txt`` for humans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+import time
+from pathlib import Path
+from threading import Thread
+
+from conftest import RESULTS_DIR, bench_scale
+
+from repro.harness.report import format_table
+from repro.parallel import run_real_join
+from repro.service import JoinService, JoinServiceClient, ServiceConfig, TenantConfig
+from repro.workload import WorkloadSpec, generate_workload
+
+BENCH_PATH = RESULTS_DIR / "BENCH_service.json"
+ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
+CLIENT_COUNTS = (1, 2, 4)
+REQUESTS_PER_CLIENT = 4
+THINK_S = 0.01
+SEED = 96
+DISKS = 4
+
+
+def _load_bench_runs() -> list:
+    try:
+        payload = json.loads(BENCH_PATH.read_text())
+    except (OSError, ValueError):
+        return []
+    if isinstance(payload, dict) and payload.get("schema_version") == 1:
+        runs = payload.get("runs")
+        return runs if isinstance(runs, list) else []
+    return []
+
+
+def _append_bench_run(entry: dict) -> None:
+    runs = _load_bench_runs()
+    runs.append(entry)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_PATH.write_text(
+        json.dumps({"schema_version": 1, "runs": runs}, indent=2) + "\n"
+    )
+
+
+def _percentile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _drive_closed_loop(socket_path: str, clients: int, scale: float) -> dict:
+    """N clients, each REQUESTS_PER_CLIENT joins with think time between."""
+    latencies: list = []
+    replies: list = []
+    errors: list = []
+
+    def client_loop(offset: int) -> None:
+        try:
+            with JoinServiceClient(socket_path) as client:
+                for i in range(REQUESTS_PER_CLIENT):
+                    algorithm = ALGORITHMS[(offset + i) % len(ALGORITHMS)]
+                    reply = client.join(
+                        algorithm,
+                        tenant=f"client-{offset}",
+                        scale=scale,
+                        seed=SEED,
+                        disks=DISKS,
+                    )
+                    latencies.append(reply.request_ms)
+                    replies.append(reply)
+                    time.sleep(THINK_S)
+        except Exception as error:  # surface in the bench, don't hang it
+            errors.append(error)
+
+    started = time.perf_counter()
+    threads = [Thread(target=client_loop, args=(n,)) for n in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    assert not errors, errors
+    total = clients * REQUESTS_PER_CLIENT
+    assert len(replies) == total
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_s": wall_s,
+        "throughput_rps": total / wall_s,
+        "latency_ms": {
+            "p50": _percentile(latencies, 0.50),
+            "p99": _percentile(latencies, 0.99),
+            "mean": statistics.fmean(latencies),
+            "max": max(latencies),
+        },
+        "replies": replies,
+    }
+
+
+def test_service_closed_loop(tmp_path):
+    scale = bench_scale(0.05)
+    root = tmp_path / "svc-root"
+    socket_path = str(tmp_path / "join.sock")
+    service = JoinService(
+        ServiceConfig(
+            root=str(root),
+            socket_path=socket_path,
+            disks=DISKS,
+            max_concurrent=4,
+            queue_limit=64,
+            pool_workers=DISKS,
+        ),
+        TenantConfig.open_default(),
+    )
+    service.start()
+
+    # Ground truth for bit-identity: one direct run per algorithm.
+    workload = generate_workload(
+        WorkloadSpec(
+            r_objects=max(64, int(102_400 * scale)),
+            s_objects=max(64, int(102_400 * scale)),
+            seed=SEED,
+        ),
+        DISKS,
+    )
+    expected = {}
+    for algorithm in ALGORITHMS:
+        direct = run_real_join(
+            algorithm,
+            workload,
+            str(tmp_path / f"direct-{algorithm}"),
+            use_processes=False,
+            collect_pairs=False,
+        )
+        expected[algorithm] = (direct.pair_count, direct.checksum)
+
+    phases = []
+    try:
+        for clients in CLIENT_COUNTS:
+            phase = _drive_closed_loop(socket_path, clients, scale)
+            for reply in phase.pop("replies"):
+                assert (reply.pair_count, reply.checksum) == expected[
+                    reply.algorithm
+                ], reply.algorithm
+            phases.append(phase)
+        document = service.stats_document()
+    finally:
+        service.close()
+
+    rows = [
+        [
+            phase["clients"],
+            phase["requests"],
+            f"{phase['throughput_rps']:.1f}",
+            f"{phase['latency_ms']['p50']:.1f}",
+            f"{phase['latency_ms']['p99']:.1f}",
+            f"{phase['latency_ms']['max']:.1f}",
+        ]
+        for phase in phases
+    ]
+    table = format_table(
+        ["clients", "requests", "req/s", "p50_ms", "p99_ms", "max_ms"], rows
+    )
+    daemon_latency = document["service"]["latency_ms"]
+    summary = (
+        f"daemon totals: {document['service']['requests_total']} requests, "
+        f"p50 {daemon_latency['p50']:.1f} ms, p99 {daemon_latency['p99']:.1f} ms"
+    )
+    print(table)
+    print(summary)
+    (RESULTS_DIR / "ext_service.txt").write_text(table + "\n" + summary + "\n")
+
+    _append_bench_run({
+        "kind": "service-closed-loop",
+        "recorded_unix": int(time.time()),
+        "scale": scale,
+        "disks": DISKS,
+        "pool_workers": DISKS,
+        "max_concurrent": 4,
+        "algorithms": list(ALGORITHMS),
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "think_s": THINK_S,
+        "checksum_ok": True,
+        "phases": phases,
+        "daemon": {
+            "requests_total": document["service"]["requests_total"],
+            "latency_ms": daemon_latency,
+            "queue_depth_peak": document["totals"]["gauges"].get(
+                "service.queue_depth_peak", 0.0
+            ),
+            "tenants": document["service"]["tenants"],
+        },
+    })

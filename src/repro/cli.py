@@ -11,7 +11,9 @@ Commands:
 * ``sensitivity`` — rank machine parameters by cost elasticity;
 * ``crossover``   — find where the cheaper of two algorithms flips;
 * ``report``      — run the full evaluation and emit a markdown report;
-* ``stats``       — validate or model-compare an exported stats document.
+* ``stats``       — validate or model-compare an exported stats document;
+* ``serve``       — run the always-on multi-tenant join service daemon;
+* ``client``      — talk to a running daemon (ping/join/stats/shutdown).
 
 ``join --stats-out FILE`` writes the run's observability document (the
 versioned JSON schema of ``docs/metrics_schema.md``) for either backend.
@@ -195,6 +197,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory fraction for the model side of `compare`",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the always-on multi-tenant join service daemon"
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path to listen on",
+    )
+    serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service root directory (warm stores live under it)",
+    )
+    serve.add_argument("--disks", type=int, default=4)
+    serve.add_argument(
+        "--max-concurrent", type=int, default=2,
+        help="joins executing at once; more wait in the admission queue",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="admission queue depth; arrivals beyond it are rejected",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=None,
+        help="worker pool size (default: --disks)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="run kernels inline in request threads — no worker pool "
+             "(debugging; serving wants the pool)",
+    )
+    serve.add_argument(
+        "--tenants", default=None, metavar="FILE",
+        help="tenant policy JSON (docs/serving.md); default admits "
+             "every tenant under one permissive policy",
+    )
+    serve.add_argument(
+        "--stats-out", default=None, metavar="FILE",
+        help="write the final service stats document here on shutdown",
+    )
+
+    client = sub.add_parser(
+        "client", help="talk to a running join service daemon"
+    )
+    client.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket the daemon listens on",
+    )
+    client.add_argument("action", choices=("ping", "join", "stats", "shutdown"))
+    client.add_argument(
+        "algorithm", nargs="?", default=None,
+        help="algorithm for `join` (the daemon validates the name)",
+    )
+    client.add_argument("--tenant", default=None)
+    client.add_argument("--scale", type=float, default=None)
+    client.add_argument("--seed", type=int, default=None)
+    client.add_argument("--disks", type=int, default=None)
+    client.add_argument("--priority", type=int, default=None)
+    client.add_argument(
+        "--kernels", choices=("scalar", "vector"), default=None
+    )
+    client.add_argument(
+        "--stream-pairs", action="store_true",
+        help="stream the joined pairs back (counted, not printed)",
+    )
+    client.add_argument(
+        "--stats-out", default=None, metavar="FILE",
+        help="join: write the run's stats document; stats: write the "
+             "service document",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="socket timeout for the whole conversation",
+    )
+
     return parser
 
 
@@ -217,6 +292,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "workload": _cmd_workload,
         "stats": _cmd_stats,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }[args.command]
     return handler(args)
 
@@ -528,6 +605,150 @@ def _cmd_stats(args) -> int:
         print(f"{args.path}: cannot compare: {error}", file=sys.stderr)
         return 1
     print(comparison.describe())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import (
+        JoinService,
+        ServiceConfig,
+        ServiceError,
+        TenantConfig,
+        TenantError,
+    )
+
+    try:
+        tenants = (
+            TenantConfig.load(args.tenants)
+            if args.tenants
+            else TenantConfig.open_default()
+        )
+    except TenantError as error:
+        print(f"invalid --tenants: {error}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        root=args.root,
+        socket_path=args.socket,
+        disks=args.disks,
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+        pool_workers=args.pool_workers,
+        use_processes=not args.inline,
+    )
+    service = JoinService(config, tenants)
+    try:
+        service.start()
+    except ServiceError as error:
+        print(f"cannot start join service: {error}", file=sys.stderr)
+        return 2
+    sweep = service.startup_sweep
+    print(
+        f"join service on {args.socket} "
+        f"(root {args.root}, {args.disks} disks, "
+        f"{args.max_concurrent} concurrent, queue {args.queue_limit}); "
+        f"startup sweep removed {sweep['seg_tmp']} tmp segments, "
+        f"{sweep['sidecars']} sidecars, "
+        f"{sweep['control_files']} control files",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    document = service.stats_document()
+    latency = document["service"]["latency_ms"]
+    print(
+        f"served {document['service']['requests_total']} requests; "
+        f"latency p50 {latency['p50']:,.1f} ms, p99 {latency['p99']:,.1f} ms"
+    )
+    if args.stats_out:
+        from repro.obs import write_stats_document
+
+        write_stats_document(args.stats_out, document)
+        print(f"service stats document written to {args.stats_out}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.service import ClientError, JoinServiceClient
+
+    if args.action == "join" and not args.algorithm:
+        print("client join needs an algorithm", file=sys.stderr)
+        return 2
+    try:
+        with JoinServiceClient(args.socket, timeout=args.timeout) as client:
+            if args.action == "ping":
+                pong = client.ping()
+                print(
+                    f"daemon up {pong['uptime_s']:,.1f}s, serving "
+                    + ", ".join(pong["algorithms"])
+                )
+                return 0
+            if args.action == "shutdown":
+                client.shutdown()
+                print("daemon asked to shut down")
+                return 0
+            if args.action == "stats":
+                document = client.stats()
+                service = document["service"]
+                latency = service["latency_ms"]
+                print(
+                    f"{service['requests_total']} requests, "
+                    f"{service['active_requests']} active, "
+                    f"queue depth {service['queue_depth']}; "
+                    f"latency p50 {latency['p50']:,.1f} ms, "
+                    f"p99 {latency['p99']:,.1f} ms"
+                )
+                for name, entry in sorted(service["tenants"].items()):
+                    print(
+                        f"  tenant {name}: {entry['admitted']} admitted, "
+                        f"{entry['queued']} queued, "
+                        f"{entry['rejected']} rejected, "
+                        f"{entry['degraded']} degraded"
+                    )
+                if args.stats_out:
+                    from repro.obs import write_stats_document
+
+                    write_stats_document(args.stats_out, document)
+                    print(f"service stats document written to {args.stats_out}")
+                return 0
+            reply = client.join(
+                args.algorithm,
+                tenant=args.tenant,
+                scale=args.scale,
+                seed=args.seed,
+                disks=args.disks,
+                priority=args.priority,
+                kernels=args.kernels,
+                stream_pairs=args.stream_pairs,
+                with_stats=bool(args.stats_out),
+                # Count the streamed pairs without holding them all.
+                on_pairs=(lambda batch: None) if args.stream_pairs else None,
+            )
+    except ClientError as error:
+        print(f"join service: {error}", file=sys.stderr)
+        return 3 if error.code in ("rejected", "exhausted") else 1
+    line = (
+        f"{reply.algorithm} for tenant {reply.tenant}: "
+        f"{reply.pair_count:,} pairs, checksum {reply.checksum}, "
+        f"{reply.wall_ms:,.0f} ms join / {reply.request_ms:,.0f} ms "
+        f"request ({reply.kernel_mode} kernels"
+    )
+    if reply.reused_store:
+        line += ", warm store"
+    if reply.admission:
+        line += f", admission {reply.admission}"
+    line += ")"
+    print(line)
+    if args.stream_pairs:
+        print(f"streamed {reply.streamed_pairs:,} pairs")
+    if args.stats_out and reply.stats_document is not None:
+        from repro.obs import write_stats_document
+
+        write_stats_document(args.stats_out, reply.stats_document)
+        print(f"stats document written to {args.stats_out}")
     return 0
 
 

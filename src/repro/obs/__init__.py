@@ -26,8 +26,10 @@ from repro.obs.compare import (
 )
 from repro.obs.export import (
     SCHEMA_VERSION,
+    SERVICE_LATENCY_METRIC,
     StatsSchemaError,
     build_real_stats_document,
+    build_service_stats_document,
     build_sim_stats_document,
     load_stats_document,
     schema_problems,
@@ -58,10 +60,12 @@ __all__ = [
     "NullRegistry",
     "PassComparison",
     "SCHEMA_VERSION",
+    "SERVICE_LATENCY_METRIC",
     "StatsSchemaError",
     "activate",
     "active",
     "build_real_stats_document",
+    "build_service_stats_document",
     "build_sim_stats_document",
     "collecting",
     "compare_with_model",

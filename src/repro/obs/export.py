@@ -28,7 +28,12 @@ from repro.obs.registry import MetricsRegistry, parse_metric_key
 #: simulator has no stage taxonomy), per-pass labels come from the
 #: registered pass plans (sort-merge is now partition / sort-runs /
 #: merge-join), and stage spans are named ``stage`` rather than ``pass``.
-SCHEMA_VERSION = 3
+#: Version 4 adds the optional top-level ``service`` section (the join
+#: daemon's serving totals: request-latency percentiles, queue depth,
+#: per-tenant admission counts, the startup orphan sweep) plus the
+#: ``service.*`` counter namespace; join-run documents are otherwise
+#: unchanged from v3.
+SCHEMA_VERSION = 4
 DOCUMENT_KIND = "repro-join-stats"
 
 #: Spill segment kinds — temporaries redistributed between partitions, as
@@ -113,6 +118,7 @@ def schema_problems(document: object) -> List[str]:
         elif any(not isinstance(v, (int, float)) for v in recovery.values()):
             problems.append("totals.recovery values must be numbers")
     problems.extend(_governor_problems(totals.get("governor")))
+    problems.extend(_service_problems(document.get("service")))
     for label, entry in document["per_pass"].items():
         if not isinstance(entry, dict) or not isinstance(
             entry.get("wall_ms"), (int, float)
@@ -166,6 +172,53 @@ def _governor_problems(governor: object) -> List[str]:
                   "plan"):
         if not isinstance(governor.get(field), Mapping):
             problems.append(f"totals.governor.{field} must be an object")
+    return problems
+
+
+def _service_problems(service: object) -> List[str]:
+    """Schema problems in an optional top-level ``service`` section.
+
+    Present only on documents exported by the join-service daemon; when
+    present it must carry the serving totals the operator guide documents
+    (``docs/serving.md``): latency percentiles, queue state, per-tenant
+    admission counts, and the startup sweep record.
+    """
+    if service is None:
+        return []
+    if not isinstance(service, Mapping):
+        return ["service must be an object"]
+    problems: List[str] = []
+    for field in ("requests_total", "queue_depth", "active_requests"):
+        if not isinstance(service.get(field), (int, float)):
+            problems.append(f"service.{field} must be a number")
+    latency = service.get("latency_ms")
+    if not isinstance(latency, Mapping):
+        problems.append("service.latency_ms must be an object")
+    else:
+        for field in ("p50", "p99", "mean", "max", "count"):
+            if not isinstance(latency.get(field), (int, float)):
+                problems.append(f"service.latency_ms.{field} must be a number")
+    tenants = service.get("tenants")
+    if not isinstance(tenants, Mapping):
+        problems.append("service.tenants must be an object")
+    else:
+        for name, entry in tenants.items():
+            if not isinstance(entry, Mapping):
+                problems.append(f"service.tenants[{name!r}] must be an object")
+                continue
+            for field in ("admitted", "queued", "rejected", "degraded"):
+                if not isinstance(entry.get(field), (int, float)):
+                    problems.append(
+                        f"service.tenants[{name!r}].{field} must be a number"
+                    )
+    sweep = service.get("startup_sweep")
+    if sweep is not None and (
+        not isinstance(sweep, Mapping)
+        or any(not isinstance(v, (int, float)) for v in sweep.values())
+    ):
+        problems.append(
+            "service.startup_sweep must be an object of numeric counts"
+        )
     return problems
 
 
@@ -401,6 +454,82 @@ def build_sim_stats_document(result, workload=None) -> dict:
         "per_worker": per_worker,
         "per_segment": {},
         "spans": [],
+    }
+
+
+#: The daemon's request-latency histogram lives under this counter-family
+#: name in its registry; the service document summarizes it as percentiles.
+SERVICE_LATENCY_METRIC = "service.request_ms"
+
+
+def build_service_stats_document(
+    registry: MetricsRegistry,
+    *,
+    tenants: Mapping[str, Mapping],
+    queue_depth: int = 0,
+    active_requests: int = 0,
+    startup_sweep: Optional[Mapping[str, int]] = None,
+    uptime_s: float = 0.0,
+    meta: Optional[Mapping] = None,
+) -> dict:
+    """The stats document for one join-service daemon's lifetime so far.
+
+    ``registry`` is the daemon's own :class:`MetricsRegistry` (the
+    ``service.*`` counters and the request-latency histogram); ``tenants``
+    maps tenant name → admission counts.  Join-run sections (``per_pass``
+    etc.) are empty — each served join exports its *own* v4 run document;
+    this one describes the serving layer above them.
+    """
+    latency = registry.histograms.get(SERVICE_LATENCY_METRIC)
+    latency_doc = {
+        "p50": latency.percentile(0.50) if latency else 0.0,
+        "p99": latency.percentile(0.99) if latency else 0.0,
+        "mean": latency.mean if latency else 0.0,
+        "max": (latency.max or 0.0) if latency else 0.0,
+        "count": latency.count if latency else 0,
+    }
+    requests_total = int(
+        sum(registry.counters_named("service.requests_total").values())
+    )
+    document_meta = {"algorithm": "service", "backend": "join-service"}
+    if meta:
+        document_meta.update(meta)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": DOCUMENT_KIND,
+        "meta": document_meta,
+        "totals": {
+            "wall_ms": uptime_s * 1000.0,
+            "counters": dict(registry.counters),
+            "gauges": dict(registry.gauges),
+            "histograms": {
+                k: h.snapshot() for k, h in registry.histograms.items()
+            },
+        },
+        "service": {
+            "requests_total": requests_total,
+            "queue_depth": int(queue_depth),
+            "active_requests": int(active_requests),
+            "latency_ms": latency_doc,
+            "tenants": {
+                name: {
+                    "admitted": int(entry.get("admitted", 0)),
+                    "queued": int(entry.get("queued", 0)),
+                    "rejected": int(entry.get("rejected", 0)),
+                    "degraded": int(entry.get("degraded", 0)),
+                }
+                for name, entry in sorted(tenants.items())
+            },
+            **(
+                {"startup_sweep": {k: int(v) for k, v in startup_sweep.items()}}
+                if startup_sweep is not None
+                else {}
+            ),
+        },
+        "per_pass": {},
+        "per_worker": {},
+        "per_segment": {},
+        "spans": list(registry.spans),
     }
 
 

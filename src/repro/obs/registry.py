@@ -29,6 +29,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -95,6 +96,33 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        The true min/max are tracked exactly, so the estimate is clamped
+        into ``[min, max]``; within a bucket the upper boundary is
+        reported (a conservative latency estimate, the convention
+        monitoring systems use for fixed-bucket histograms).
+        """
+        if not 0 < q <= 1:
+            raise MetricsError(f"percentile q must be in (0, 1]: {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if cumulative >= target:
+                if i >= len(self.bounds):
+                    return self.max if self.max is not None else 0.0
+                value = self.bounds[i]
+                if self.max is not None:
+                    value = min(value, self.max)
+                if self.min is not None:
+                    value = max(value, self.min)
+                return value
+        return self.max if self.max is not None else 0.0
 
     def merge(self, other: "Histogram") -> None:
         if self.bounds != other.bounds:
@@ -271,23 +299,42 @@ class NullRegistry(MetricsRegistry):
 
 
 _NULL = NullRegistry()
-_ACTIVE: List[MetricsRegistry] = []
+
+
+class _ActiveStacks(threading.local):
+    """Per-thread activation stacks.
+
+    The join-service daemon executes several plans concurrently, one per
+    request thread, each under its own driver registry; a process-global
+    stack would cross-attribute their counters (and ``deactivate`` would
+    pop a sibling's registry).  Thread-locality keeps the old single-
+    threaded semantics — workers are separate processes and never see
+    another thread's stack anyway.
+    """
+
+    def __init__(self) -> None:
+        self.stack: List[MetricsRegistry] = []
+
+
+_ACTIVE = _ActiveStacks()
 
 
 def active() -> MetricsRegistry:
     """The registry instrumented code should record into right now."""
-    return _ACTIVE[-1] if _ACTIVE else _NULL
+    stack = _ACTIVE.stack
+    return stack[-1] if stack else _NULL
 
 
 def activate(registry: MetricsRegistry) -> MetricsRegistry:
-    """Push a registry; instrumentation in this process records into it."""
-    _ACTIVE.append(registry)
+    """Push a registry; instrumentation in this thread records into it."""
+    _ACTIVE.stack.append(registry)
     return registry
 
 
 def deactivate() -> Optional[MetricsRegistry]:
     """Pop the innermost active registry (no-op when none is active)."""
-    return _ACTIVE.pop() if _ACTIVE else None
+    stack = _ACTIVE.stack
+    return stack.pop() if stack else None
 
 
 class collecting:

@@ -104,6 +104,11 @@ class ExecutionOutcome:
     runtime_degradations: int = 0
     resource_errors: Dict[str, int] = field(default_factory=dict)
     disk_peak_bytes: int = 0
+    #: The published PAIRS segments (count, checksum, path per worker).
+    #: Paths are only live while the store is (``keep_store=True``) — the
+    #: join-service daemon streams them to clients straight from the
+    #: mapped segments instead of materializing ``pairs``.
+    pair_files: List[PairResult] = field(default_factory=list)
 
 
 def sweep_run_artifacts(store_root: str, store: Store) -> None:
@@ -144,6 +149,7 @@ def execute_plan(
     governed: bool = False,
     worker_mem_budget: Optional[int] = None,
     disk_budget: Optional[int] = None,
+    materialize: bool = True,
 ) -> ExecutionOutcome:
     """Run every stage of ``pass_plan`` across all partitions.
 
@@ -152,6 +158,13 @@ def execute_plan(
     store" to "the store is swept" — including descending the ladder
     further when a runtime :class:`ResourceExhausted` proves the
     admission estimate optimistic.
+
+    ``materialize=False`` promises the store already holds this exact
+    workload's R/S partitions (a *warm* store kept by a previous
+    ``keep_store=True`` run) and skips rewriting them — the join-service
+    daemon's per-request saving.  Stale temps from the previous run are
+    cleared so glob-driven consumers (run files, spill chunks) never see
+    another plan's artifacts.
     """
     policy = policy or RetryPolicy()
     algorithm = pass_plan.algorithm
@@ -301,7 +314,17 @@ def execute_plan(
         if collect_metrics:
             (Path(store_root) / OBS_MARKER).touch()
             driver_registry = activate(MetricsRegistry())
-        store.materialize(workload)
+        if materialize:
+            store.materialize(workload)
+        else:
+            for disk in range(disks):
+                for name in ("R", "S"):
+                    if not store.path(disk, name).exists():
+                        raise RealJoinError(
+                            f"materialize=False but {store.path(disk, name)} "
+                            "is missing — the store is not warm"
+                        )
+            store.cleanup_temps()
         sample_disk()
         if fault_plan is not None:
             fault_plan.install(store_root)
@@ -371,6 +394,7 @@ def execute_plan(
     outcome.checksum = (
         sum(result.checksum for result in pair_results) % CHECKSUM_MOD
     )
+    outcome.pair_files = list(pair_results)
     outcome.driver_metrics = (
         driver_registry.snapshot() if driver_registry is not None else None
     )

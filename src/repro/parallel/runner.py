@@ -58,6 +58,11 @@ class RealJoinResult:
     checksum: int
     wall_ms: float
     pairs: Optional[List[JoinedPair]] = None
+    #: The published PAIRS segments as (count, checksum, path) tuples.
+    #: Paths outlive the run only under ``keep_store=True``; the join
+    #: service streams client deliveries straight from these mapped
+    #: segments instead of asking for ``pairs``.
+    pair_files: List = field(default_factory=list)
     pass_wall_ms: Dict[str, float] = field(default_factory=dict)
     pass_counts: Dict[str, int] = field(default_factory=dict)
     pass_checksums: Dict[str, int] = field(default_factory=dict)
@@ -113,6 +118,9 @@ def run_real_join(
     batch_records: Optional[int] = None,
     resident_buckets: int = 4,
     kernels: Optional[str] = None,
+    reuse_store: bool = False,
+    tenant: Optional[str] = None,
+    priority: int = 0,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -152,6 +160,14 @@ def run_real_join(
     ``"scalar"`` (the per-record reference path).  Output is
     bit-identical either way; a vector request silently degrades to
     scalar on a numpy-less host.
+
+    ``reuse_store`` promises ``store_root`` already holds this exact
+    workload (a warm store a previous ``keep_store=True`` run left
+    behind) and skips re-materializing R/S — the join-service daemon's
+    per-request saving.  ``tenant`` / ``priority`` flow to the shared
+    ``governor``'s admission queue (higher priority wins a freed slot)
+    and into its per-tenant accounting; both are inert without a
+    governor.
     """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
@@ -240,7 +256,9 @@ def run_real_join(
 
     ticket = None
     if governor is not None:
-        ticket = governor.admit(on_pressure, deadline_s)
+        ticket = governor.admit(
+            on_pressure, deadline_s, tenant=tenant, priority=priority
+        )
         if ticket.decision == "queued":
             admission = "queued"
 
@@ -263,6 +281,7 @@ def run_real_join(
             governed=governed,
             worker_mem_budget=worker_budget,
             disk_budget=disk_budget,
+            materialize=not reuse_store,
         )
     finally:
         if ticket is not None:
@@ -314,6 +333,7 @@ def run_real_join(
         checksum=outcome.checksum,
         wall_ms=wall_ms,
         pairs=outcome.pairs,
+        pair_files=outcome.pair_files,
         pass_wall_ms=outcome.pass_wall_ms,
         pass_counts=outcome.pass_counts,
         pass_checksums=outcome.pass_checksums,

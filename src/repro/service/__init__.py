@@ -1,0 +1,54 @@
+"""The multi-tenant join service: an always-on daemon over the runner.
+
+The paper's joins are one-shot batch runs; the ROADMAP's north star is a
+system serving heavy traffic.  This package is the bridge:
+:class:`~repro.service.server.JoinService` wraps the runner facade in a
+long-lived daemon — a persistent worker pool, warm mmap-backed stores
+reused across requests, per-tenant budgets and priorities feeding the
+governor's bounded admission queue, and a thin length-prefixed-JSON
+protocol over a unix socket with streaming pair delivery straight from
+the mapped PAIRS segments.
+
+Layering: ``protocol`` (framing, depends on nothing), ``tenants``
+(policy file), ``server`` (the daemon, over ``repro.parallel`` /
+``repro.governor`` / ``repro.obs``), ``client`` (the caller side, over
+``protocol`` only — a client needs no storage or numpy).
+
+Operator guide: ``docs/serving.md``.
+"""
+
+from repro.service.client import ClientError, JoinReply, JoinServiceClient
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.server import (
+    JoinService,
+    ServiceConfig,
+    ServiceError,
+    sweep_service_root,
+)
+from repro.service.tenants import (
+    TenantConfig,
+    TenantError,
+    TenantPolicy,
+)
+
+__all__ = [
+    "ClientError",
+    "JoinReply",
+    "JoinService",
+    "JoinServiceClient",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServiceConfig",
+    "ServiceError",
+    "TenantConfig",
+    "TenantError",
+    "TenantPolicy",
+    "recv_frame",
+    "send_frame",
+    "sweep_service_root",
+]

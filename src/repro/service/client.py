@@ -1,0 +1,202 @@
+"""The caller side of the join service: a thin blocking client.
+
+:class:`JoinServiceClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.service.protocol` over a unix socket and nothing else — it
+imports no storage, engine or numpy code, so any process on the host can
+submit joins to a running daemon.  One client holds one connection;
+requests on it are sequential (the daemon itself interleaves *across*
+connections, one thread each).
+
+``join`` returns a :class:`JoinReply`; with ``stream_pairs=True`` the
+reply's ``pairs`` accumulates the streamed batches (or flow through the
+caller's ``on_pairs`` callback instead, for joins too big to hold).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.service.protocol import ProtocolError, recv_frame, send_frame
+
+
+class ClientError(RuntimeError):
+    """The daemon refused the request or the conversation broke down."""
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class JoinReply:
+    """One join's outcome as reported over the wire."""
+
+    request_id: str
+    tenant: str
+    algorithm: str
+    pair_count: int
+    checksum: int
+    wall_ms: float
+    request_ms: float
+    kernel_mode: str
+    streamed_pairs: int = 0
+    reused_store: bool = False
+    admission: Optional[str] = None
+    queued_ms: float = 0.0
+    degradations: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    inline_fallbacks: int = 0
+    stats_document: Optional[dict] = None
+    pairs: List[tuple] = field(default_factory=list)
+
+
+class JoinServiceClient:
+    """``with JoinServiceClient(socket_path) as client: client.join(...)``."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(socket_path)
+        except OSError as error:
+            self._sock.close()
+            raise ClientError(
+                f"cannot connect to join service at {socket_path}: {error}"
+            )
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "JoinServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- ops
+
+    def ping(self) -> dict:
+        """Round-trip liveness: the daemon's uptime and algorithm list."""
+        send_frame(self._sock, {"op": "ping"})
+        return self._expect("pong")
+
+    def stats(self) -> dict:
+        """The daemon's current schema-v4 service stats document."""
+        send_frame(self._sock, {"op": "stats"})
+        return self._expect("stats")["document"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving and exit its accept loop."""
+        send_frame(self._sock, {"op": "shutdown"})
+        self._expect("bye")
+
+    def join(
+        self,
+        algorithm: str,
+        *,
+        tenant: Optional[str] = None,
+        scale: Optional[float] = None,
+        seed: Optional[int] = None,
+        disks: Optional[int] = None,
+        distribution: Optional[str] = None,
+        kernels: Optional[str] = None,
+        priority: Optional[int] = None,
+        stream_pairs: bool = False,
+        with_stats: bool = False,
+        on_pairs: Optional[Callable[[List[tuple]], None]] = None,
+    ) -> JoinReply:
+        """Run one join; block until its result frame arrives.
+
+        With ``stream_pairs``, pair batches arrive before the result;
+        they accumulate on the reply unless ``on_pairs`` consumes them.
+        """
+        request = {"op": "join", "algorithm": algorithm}
+        for key, value in (
+            ("tenant", tenant),
+            ("scale", scale),
+            ("seed", seed),
+            ("disks", disks),
+            ("distribution", distribution),
+            ("kernels", kernels),
+            ("priority", priority),
+        ):
+            if value is not None:
+                request[key] = value
+        if stream_pairs:
+            request["stream_pairs"] = True
+        if with_stats:
+            request["with_stats"] = True
+        started = time.perf_counter()
+        send_frame(self._sock, request)
+        accepted = self._expect("accepted")
+        pairs: List[tuple] = []
+        while True:
+            frame = self._recv()
+            kind = frame.get("kind")
+            if kind == "pairs":
+                batch = [tuple(p) for p in frame["pairs"]]
+                if on_pairs is not None:
+                    on_pairs(batch)
+                else:
+                    pairs.extend(batch)
+            elif kind == "result":
+                return JoinReply(
+                    request_id=frame.get("request_id", accepted["request_id"]),
+                    tenant=frame["tenant"],
+                    algorithm=frame["algorithm"],
+                    pair_count=frame["pair_count"],
+                    checksum=frame["checksum"],
+                    wall_ms=frame["wall_ms"],
+                    request_ms=(time.perf_counter() - started) * 1000.0,
+                    kernel_mode=frame["kernel_mode"],
+                    streamed_pairs=frame.get("streamed_pairs", 0),
+                    reused_store=frame.get("reused_store", False),
+                    admission=frame.get("admission"),
+                    queued_ms=frame.get("queued_ms", 0.0),
+                    degradations=frame.get("degradations", 0),
+                    retries=frame.get("retries", 0),
+                    timeouts=frame.get("timeouts", 0),
+                    inline_fallbacks=frame.get("inline_fallbacks", 0),
+                    stats_document=frame.get("stats_document"),
+                    pairs=pairs,
+                )
+            elif kind == "error":
+                raise ClientError(
+                    frame.get("error", "join failed"), code=frame.get("code")
+                )
+            else:
+                raise ClientError(
+                    f"unexpected frame kind {kind!r} while awaiting result"
+                )
+
+    # -------------------------------------------------------------- plumbing
+
+    def _recv(self) -> dict:
+        try:
+            frame = recv_frame(self._sock)
+        except (ProtocolError, OSError) as error:
+            raise ClientError(f"conversation with the daemon broke: {error}")
+        if frame is None:
+            raise ClientError("daemon closed the connection mid-conversation")
+        return frame
+
+    def _expect(self, kind: str) -> dict:
+        frame = self._recv()
+        if frame.get("kind") == "error":
+            raise ClientError(
+                frame.get("error", "request refused"), code=frame.get("code")
+            )
+        if frame.get("kind") != kind:
+            raise ClientError(
+                f"expected a {kind!r} frame, got {frame.get('kind')!r}"
+            )
+        return frame

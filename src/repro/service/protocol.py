@@ -1,0 +1,91 @@
+"""Length-prefixed JSON framing for the join-service socket protocol.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  The framing is symmetric —
+requests and responses use the same wire shape — and deliberately dumb:
+no negotiation, no compression, no partial frames.  A join's pair output
+is the only high-volume payload, and it flows as a sequence of bounded
+``pairs`` frames (each a few thousand 4-tuples) so neither side ever
+holds a whole join result in one buffer.
+
+The full message vocabulary (ops, response kinds, error codes) is
+specified in ``docs/serving.md``; this module only knows bytes and JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: Refuse frames larger than this on both sides: a length prefix beyond
+#: it means a corrupt stream or a non-protocol peer, not a real message.
+#: (A 4096-pair batch frame is ~100 KiB; 64 MiB is three orders of
+#: margin.)
+MAX_FRAME_BYTES = 64 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing contract."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and write one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF *between* frames.
+
+    EOF mid-frame (a peer that died while sending) is a
+    :class:`ProtocolError`, as is a non-object payload or a length
+    beyond :data:`MAX_FRAME_BYTES`.
+    """
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}) — corrupt stream?"
+        )
+    payload = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload is {type(message).__name__}, expected an object"
+        )
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, eof_ok: bool
+) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or ``None`` on immediate EOF (if legal)."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError(
+                f"peer closed the connection mid-frame "
+                f"({n - remaining}/{n} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""

@@ -1,0 +1,667 @@
+"""The join-service daemon: an always-on, multi-tenant runner facade.
+
+One :class:`JoinService` owns what a per-run invocation of
+``run_real_join`` would otherwise create and destroy every time:
+
+* a **persistent worker pool** — pool processes stay warm across
+  requests (workers are stateless; they open stores by path per task),
+  so a request pays dispatch, not fork+import;
+* **warm stores** — each distinct workload signature gets a store
+  directory that survives between requests (``keep_store=True`` +
+  ``reuse_store=True``), so R/S segments are materialized once and the
+  OS page cache stays hot across requests that join the same relations;
+* a **shared governor** — the bounded admission queue, extended with the
+  tenant policy table's per-tenant budgets, priorities and concurrency
+  caps (``docs/serving.md``);
+* the **service registry** — ``service.*`` counters and the request
+  latency histogram that become the schema-v4 ``service`` section.
+
+Requests arrive over a unix socket as length-prefixed JSON frames
+(:mod:`repro.service.protocol`); pair output streams back in bounded
+batches read straight from the run's mapped PAIRS segments, never
+materialized whole on either side.
+
+On startup — before the socket accepts anything — the daemon sweeps the
+whole service root for orphans of dead predecessors: unpublished
+``*.seg.tmp`` segments (flock-probed, so a live writer's tmp survives),
+metrics sidecars/markers, fault plans and budget files.  A join run
+sweeps its own store, but only *inside* a run; a daemon that crashed
+mid-request leaves debris no future run would touch, hence the
+service-level sweep (:func:`sweep_service_root`), logged into the stats
+document's ``service.startup_sweep``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.governor.budget import GOVERNOR_FILE
+from repro.governor.errors import ResourceExhausted
+from repro.governor.governor import ResourceGovernor
+from repro.obs.export import build_service_stats_document
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.engine.executor import RealJoinError
+from repro.parallel.engine.task import (
+    KERNEL_MODE_MARKER,
+    KERNEL_MODES,
+    OBS_MARKER,
+)
+from repro.parallel.faults import FAULTS_FILE
+from repro.parallel.runner import REAL_ALGORITHMS, run_real_join
+from repro.service.protocol import ProtocolError, recv_frame, send_frame
+from repro.service.tenants import TenantConfig, TenantError, TenantPolicy
+from repro.storage.relation import iter_pairs_file
+from repro.storage.store import Store, _tmp_writer_alive
+from repro.workload.generator import Workload, WorkloadSpec, generate_workload
+
+
+class ServiceError(RuntimeError):
+    """The daemon cannot start or serve (not a per-request failure)."""
+
+
+#: Control files a dead run may leave in a store root; all run-scoped.
+_CONTROL_FILES = (OBS_MARKER, KERNEL_MODE_MARKER, FAULTS_FILE, GOVERNOR_FILE)
+
+
+def sweep_service_root(root: str | Path) -> Dict[str, int]:
+    """Sweep every store under ``root`` for a dead predecessor's debris.
+
+    Returns what was removed, by category: ``seg_tmp`` (unpublished
+    segments whose writer no longer holds its create-time flock),
+    ``sidecars`` (worker metrics snapshots), and ``control_files``
+    (metrics/kernel-mode markers, fault plans and attempt counters,
+    budget files).  Published ``*.seg`` data — warm R/S partitions — is
+    deliberately left in place: that is the daemon's cache, not debris.
+    """
+    root = Path(root)
+    counts = {"seg_tmp": 0, "sidecars": 0, "control_files": 0}
+    if not root.exists():
+        return counts
+    for path in root.rglob("*.seg.tmp"):
+        if _tmp_writer_alive(path):
+            continue
+        path.unlink(missing_ok=True)
+        counts["seg_tmp"] += 1
+    for path in root.rglob("metrics_*.json"):
+        path.unlink(missing_ok=True)
+        counts["sidecars"] += 1
+    for name in _CONTROL_FILES:
+        for path in root.rglob(name):
+            path.unlink(missing_ok=True)
+            counts["control_files"] += 1
+    for path in root.rglob("fault_attempt_*"):
+        path.unlink(missing_ok=True)
+        counts["control_files"] += 1
+    return counts
+
+
+@dataclass
+class ServiceConfig:
+    """Everything a :class:`JoinService` needs beyond the tenant table."""
+
+    root: str
+    socket_path: str
+    disks: int = 4
+    max_concurrent: int = 2
+    queue_limit: int = 8
+    pool_workers: Optional[int] = None
+    #: ``False`` runs kernels inline in the request threads — no pool at
+    #: all.  Meant for tests and single-shot debugging, not serving.
+    use_processes: bool = True
+    collect_metrics: bool = True
+    #: Pairs per streamed ``pairs`` frame.
+    stream_batch: int = 4096
+    #: Default workload geometry for requests that do not override it.
+    default_scale: float = 0.05
+    default_seed: int = 96
+
+
+@dataclass
+class _StoreEntry:
+    """One warm store directory for one workload signature."""
+
+    path: Path
+    busy: bool = False
+    materialized: bool = False
+
+
+@dataclass
+class _Caches:
+    """Workloads and warm stores, keyed by workload signature."""
+
+    workloads: Dict[str, Workload] = field(default_factory=dict)
+    stores: Dict[str, List[_StoreEntry]] = field(default_factory=dict)
+
+
+class JoinService:
+    """The daemon.  ``start()`` it, ``serve_forever()`` or poll, ``close()``."""
+
+    def __init__(
+        self, config: ServiceConfig, tenants: Optional[TenantConfig] = None
+    ) -> None:
+        self.config = config
+        self.tenants = tenants if tenants is not None else TenantConfig.open_default()
+        self.governor = ResourceGovernor(
+            max_concurrent=config.max_concurrent,
+            queue_limit=config.queue_limit,
+            tenant_limits=self.tenants.tenant_limits(),
+        )
+        self.registry = MetricsRegistry()
+        self.startup_sweep: Dict[str, int] = {}
+        self._metrics_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        self._caches = _Caches()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_cond = threading.Condition()
+        self._pool_users = 0
+        self._pool_recycles = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._shutdown = threading.Event()
+        self._started = False
+        self._started_at = 0.0
+        self._active_requests = 0
+        self._requests_seen = 0
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Sweep orphans, warm the pool, bind the socket, start accepting."""
+        if self._started:
+            raise ServiceError("service already started")
+        config = self.config
+        root = Path(config.root)
+        root.mkdir(parents=True, exist_ok=True)
+        self.startup_sweep = sweep_service_root(root)
+        with self._metrics_lock:
+            for kind, n in self.startup_sweep.items():
+                self.registry.count("service.swept_total", n, kind=kind)
+        if config.use_processes:
+            workers = config.pool_workers or config.disks
+            self._pool = multiprocessing.Pool(processes=workers)
+        socket_path = Path(config.socket_path)
+        socket_path.parent.mkdir(parents=True, exist_ok=True)
+        socket_path.unlink(missing_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(str(socket_path))
+        except OSError as error:
+            listener.close()
+            raise ServiceError(
+                f"cannot bind service socket {socket_path}: {error}"
+            )
+        listener.listen(16)
+        self._listener = listener
+        self._started = True
+        self._started_at = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="join-service-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until someone shuts the daemon down."""
+        if not self._started:
+            self.start()
+        self._shutdown.wait()
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting, drain request threads, retire the pool."""
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        for thread in list(self._conn_threads):
+            thread.join(timeout=30)
+        self._conn_threads.clear()
+        with self._pool_cond:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        Path(self.config.socket_path).unlink(missing_ok=True)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at if self._started else 0.0
+
+    # ----------------------------------------------------------------- serving
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._shutdown.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break  # listener closed — shutdown
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="join-service-conn", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    request = recv_frame(conn)
+                except ProtocolError as error:
+                    self._count("service.protocol_errors_total")
+                    try:
+                        send_frame(conn, _error("bad-frame", str(error)))
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return  # clean EOF
+                if not self._dispatch(conn, request):
+                    return
+        except OSError:
+            pass  # peer vanished mid-reply; nothing to tell it
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, conn: socket.socket, request: dict) -> bool:
+        """Handle one request frame; False ends the connection."""
+        op = request.get("op")
+        if op == "ping":
+            send_frame(conn, {
+                "kind": "pong",
+                "uptime_s": self.uptime_s,
+                "algorithms": sorted(REAL_ALGORITHMS),
+            })
+            return True
+        if op == "stats":
+            send_frame(conn, {"kind": "stats", "document": self.stats_document()})
+            return True
+        if op == "shutdown":
+            send_frame(conn, {"kind": "bye"})
+            self._shutdown.set()
+            # Unblock serve_forever()/the accept loop right away.
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            return False
+        if op == "join":
+            self._handle_join(conn, request)
+            return True
+        send_frame(conn, _error("bad-request", f"unknown op {op!r}"))
+        return True
+
+    # -------------------------------------------------------------------- join
+
+    def _handle_join(self, conn: socket.socket, request: dict) -> None:
+        started = time.perf_counter()
+        try:
+            algorithm, spec_args, policy, priority = self._validate(request)
+        except TenantError as error:
+            self._note_rejection(request.get("tenant"))
+            send_frame(conn, _error("unknown-tenant", str(error)))
+            return
+        except ServiceError as error:
+            self._count("service.bad_requests_total")
+            send_frame(conn, _error("bad-request", str(error)))
+            return
+        request_id = self._next_request_id()
+        self._count(
+            "service.requests_total", tenant=policy.name, algo=algorithm
+        )
+        send_frame(conn, {
+            "kind": "accepted",
+            "request_id": request_id,
+            "tenant": policy.name,
+            "algorithm": algorithm,
+        })
+        workload, signature = self._workload_for(spec_args)
+        with self._metrics_lock:
+            self._active_requests += 1
+            self.registry.gauge(
+                "service.queue_depth_peak",
+                float(max(
+                    self.governor.snapshot()["waiting"],
+                    self.registry.gauges.get("service.queue_depth_peak", 0.0),
+                )),
+            )
+        def finish(frame: dict) -> None:
+            # Latency is observed *before* the terminal frame goes out, so
+            # a stats request issued the instant a client sees its result
+            # already counts this request.
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            frame.setdefault("request_ms", elapsed_ms)
+            with self._metrics_lock:
+                self.registry.observe("service.request_ms", elapsed_ms)
+                self.registry.observe(
+                    "service.request_ms", elapsed_ms, tenant=policy.name
+                )
+            send_frame(conn, frame)
+
+        try:
+            with self._lease_store(signature) as entry:
+                result, reused = self._execute(
+                    algorithm, workload, entry, policy, priority, request
+                )
+                self.governor.note_degraded(
+                    policy.name, result.degradations_total
+                )
+                finish(self._stream_result(
+                    conn, request, request_id, policy, result, entry, reused
+                ))
+        except ResourceExhausted as error:
+            self._count(
+                "service.exhausted_total",
+                tenant=policy.name, resource=error.resource,
+            )
+            finish(_error(
+                "rejected" if error.resource == "admission" else "exhausted",
+                error.describe(),
+                request_id=request_id,
+            ))
+        except RealJoinError as error:
+            self._count("service.failed_total", tenant=policy.name)
+            self._recycle_pool()
+            finish(_error("failed", str(error), request_id=request_id))
+        finally:
+            with self._metrics_lock:
+                self._active_requests -= 1
+
+    def _validate(self, request: dict):
+        algorithm = request.get("algorithm")
+        if algorithm not in REAL_ALGORITHMS:
+            raise ServiceError(
+                f"unknown algorithm {algorithm!r}; "
+                f"choices: {sorted(REAL_ALGORITHMS)}"
+            )
+        policy = self.tenants.resolve(request.get("tenant"))
+        priority = request.get("priority")
+        if priority is None:
+            priority = policy.priority
+        elif not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError("priority must be an integer")
+        else:
+            # A request may lower its own priority (batch work marking
+            # itself preemptible) but never raise it above its tenant's.
+            priority = min(priority, policy.priority)
+        scale = request.get("scale", self.config.default_scale)
+        if not isinstance(scale, (int, float)) or scale <= 0:
+            raise ServiceError(f"scale must be a positive number: {scale!r}")
+        seed = request.get("seed", self.config.default_seed)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ServiceError(f"seed must be an integer: {seed!r}")
+        disks = request.get("disks", self.config.disks)
+        if not isinstance(disks, int) or isinstance(disks, bool) or disks < 1:
+            raise ServiceError(f"disks must be a positive integer: {disks!r}")
+        kernels = request.get("kernels")
+        if kernels is not None and kernels not in KERNEL_MODES:
+            raise ServiceError(
+                f"unknown kernel mode {kernels!r}; choices: {KERNEL_MODES}"
+            )
+        distribution = request.get("distribution", "uniform")
+        if not isinstance(distribution, str):
+            raise ServiceError("distribution must be a string")
+        spec_args = {
+            "scale": float(scale),
+            "seed": seed,
+            "disks": disks,
+            "distribution": distribution,
+        }
+        return algorithm, spec_args, policy, priority
+
+    def _workload_for(self, spec_args: dict):
+        signature = "wl-" + hashlib.sha1(
+            json.dumps(spec_args, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        with self._cache_lock:
+            workload = self._caches.workloads.get(signature)
+        if workload is None:
+            objects = max(64, int(102_400 * spec_args["scale"]))
+            spec = WorkloadSpec(
+                r_objects=objects,
+                s_objects=objects,
+                distribution=spec_args["distribution"],
+                seed=spec_args["seed"],
+            )
+            workload = generate_workload(spec, spec_args["disks"])
+            with self._cache_lock:
+                self._caches.workloads.setdefault(signature, workload)
+        return workload, signature
+
+    @contextmanager
+    def _lease_store(self, signature: str):
+        """Exclusive use of one warm store directory for ``signature``.
+
+        Concurrent requests for the same workload each get their own
+        store (created on demand), so no two runs ever share control
+        files or temps; a store freed by one request is the next one's
+        warm start.
+        """
+        with self._cache_lock:
+            entries = self._caches.stores.setdefault(signature, [])
+            entry = next((e for e in entries if not e.busy), None)
+            if entry is None:
+                entry = _StoreEntry(
+                    path=Path(self.config.root)
+                    / "stores"
+                    / f"{signature}-{len(entries)}"
+                )
+                entries.append(entry)
+            entry.busy = True
+        try:
+            yield entry
+        finally:
+            with self._cache_lock:
+                entry.busy = False
+
+    def _execute(self, algorithm, workload, entry, policy: TenantPolicy,
+                 priority: int, request: dict):
+        reused = entry.materialized
+        if reused:
+            self._count("service.store_reuses_total")
+        with self._borrow_pool() as pool:
+            result = run_real_join(
+                algorithm,
+                workload,
+                str(entry.path),
+                use_processes=self.config.use_processes,
+                pool=pool,
+                keep_store=True,
+                reuse_store=reused,
+                collect_pairs=False,
+                collect_metrics=self.config.collect_metrics,
+                mem_budget=policy.mem_budget_bytes,
+                disk_budget=policy.disk_budget_bytes,
+                on_pressure=policy.on_pressure,
+                governor=self.governor,
+                deadline_s=policy.deadline_s,
+                tenant=policy.name,
+                priority=priority,
+                kernels=request.get("kernels"),
+            )
+        entry.materialized = True
+        if result.timeouts_total:
+            # A timed-out task leaves the shared pool with an abandoned
+            # worker; retire it before the next request inherits the mess.
+            self._recycle_pool()
+        return result, reused
+
+    @contextmanager
+    def _borrow_pool(self):
+        if not self.config.use_processes:
+            yield None
+            return
+        with self._pool_cond:
+            while self._pool is None and not self._shutdown.is_set():
+                self._pool_cond.wait(timeout=1)
+            if self._pool is None:
+                raise RealJoinError("service is shutting down")
+            pool = self._pool
+            self._pool_users += 1
+        try:
+            yield pool
+        finally:
+            with self._pool_cond:
+                self._pool_users -= 1
+                self._pool_cond.notify_all()
+
+    def _recycle_pool(self) -> None:
+        """Replace the shared pool once no request is borrowing it."""
+        if not self.config.use_processes or self._shutdown.is_set():
+            return
+        with self._pool_cond:
+            dirty, self._pool = self._pool, None
+            while self._pool_users > 0:
+                self._pool_cond.wait(timeout=1)
+            if dirty is not None:
+                dirty.terminate()
+                dirty.join()
+            workers = self.config.pool_workers or self.config.disks
+            self._pool = multiprocessing.Pool(processes=workers)
+            self._pool_recycles += 1
+            self._pool_cond.notify_all()
+        self._count("service.pool_recycles_total")
+
+    def _stream_result(self, conn, request, request_id, policy,
+                       result, entry, reused: bool) -> dict:
+        """Stream pair frames (if asked); return the final result frame."""
+        stream = bool(request.get("stream_pairs"))
+        streamed = 0
+        if stream:
+            batch_size = self.config.stream_batch
+            batch: List[list] = []
+            for pair_file in result.pair_files:
+                for pair in iter_pairs_file(pair_file.path, batch_size):
+                    batch.append(list(pair))
+                    if len(batch) >= batch_size:
+                        send_frame(conn, {
+                            "kind": "pairs",
+                            "request_id": request_id,
+                            "count": len(batch),
+                            "pairs": batch,
+                        })
+                        streamed += len(batch)
+                        batch = []
+            if batch:
+                send_frame(conn, {
+                    "kind": "pairs",
+                    "request_id": request_id,
+                    "count": len(batch),
+                    "pairs": batch,
+                })
+                streamed += len(batch)
+        # The streamed segments are spent; drop every temp so the warm
+        # store holds only R/S for the next lease.
+        self._sweep_temps(entry, result)
+        governor_doc = result.governor or {}
+        self._count("service.pairs_total", result.pair_count,
+                    algo=result.algorithm)
+        return {
+            "kind": "result",
+            "request_id": request_id,
+            "tenant": policy.name,
+            "algorithm": result.algorithm,
+            "pair_count": result.pair_count,
+            "checksum": result.checksum,
+            "wall_ms": result.wall_ms,
+            "kernel_mode": result.kernel_mode,
+            "streamed_pairs": streamed,
+            "reused_store": reused,
+            "admission": governor_doc.get("admission"),
+            "queued_ms": governor_doc.get("queued_ms", 0.0),
+            "degradations": result.degradations_total,
+            "retries": result.retries_total,
+            "timeouts": result.timeouts_total,
+            "inline_fallbacks": result.inline_fallbacks,
+            **(
+                {"stats_document": result.stats_document()}
+                if request.get("with_stats")
+                else {}
+            ),
+        }
+
+    def _sweep_temps(self, entry: _StoreEntry, result) -> None:
+        for pair_file in result.pair_files:
+            Path(pair_file.path).unlink(missing_ok=True)
+        try:
+            disks = sum(
+                1 for p in entry.path.glob("disk*") if p.is_dir()
+            )
+            if disks:
+                Store(entry.path, disks).cleanup_temps()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------- stats
+
+    def _count(self, name: str, value: float = 1, **labels) -> None:
+        with self._metrics_lock:
+            self.registry.count(name, value, **labels)
+
+    def _note_rejection(self, tenant: Optional[str]) -> None:
+        self.governor.note_rejected(tenant if isinstance(tenant, str) else None)
+        self._count("service.unknown_tenant_total")
+
+    def _next_request_id(self) -> str:
+        with self._metrics_lock:
+            self._requests_seen += 1
+            return f"r{self._requests_seen}-{os.getpid()}"
+
+    def stats_document(self) -> dict:
+        """The schema-v4 service stats document, as of right now."""
+        governor_snapshot = self.governor.snapshot()
+        tenants = governor_snapshot["tenants"]
+        # Configured-but-idle tenants still appear, with zero counts.
+        for name in self.tenants.tenants:
+            tenants.setdefault(
+                name,
+                {"admitted": 0, "queued": 0, "rejected": 0, "degraded": 0},
+            )
+        with self._metrics_lock:
+            registry = MetricsRegistry.from_snapshot(self.registry.snapshot())
+            active_requests = self._active_requests
+        return build_service_stats_document(
+            registry,
+            tenants=tenants,
+            queue_depth=governor_snapshot["waiting"],
+            active_requests=active_requests,
+            startup_sweep=self.startup_sweep,
+            uptime_s=self.uptime_s,
+            meta={
+                "socket": str(self.config.socket_path),
+                "disks": self.config.disks,
+                "max_concurrent": self.config.max_concurrent,
+                "queue_limit": self.config.queue_limit,
+                "use_processes": self.config.use_processes,
+                "pool_recycles": self._pool_recycles,
+                "strict_tenants": self.tenants.strict,
+            },
+        )
+
+
+def _error(code: str, message: str, **extra) -> dict:
+    return {"kind": "error", "code": code, "error": message, **extra}

@@ -1,0 +1,198 @@
+"""Multi-tenant admission: priorities, per-tenant caps, accounting."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.governor import AdmissionRejected, ResourceGovernor
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestPriorityOrdering:
+    def test_higher_priority_waiter_wins_the_freed_slot(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        holder = governor.admit()
+        order = []
+        started = threading.Barrier(3)
+
+        def contender(name, priority, delay):
+            started.wait()
+            time.sleep(delay)  # deterministic queue arrival order
+            with governor.admit("queue", tenant=name, priority=priority):
+                order.append(name)
+                time.sleep(0.02)
+
+        threads = [
+            threading.Thread(target=contender, args=("low", 0, 0.0)),
+            threading.Thread(target=contender, args=("high", 10, 0.05)),
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait()
+        # Both contenders must be queued before the slot frees.
+        assert _wait_until(
+            lambda: governor.snapshot()["waiting"] == 2
+        )
+        holder.release()
+        for thread in threads:
+            thread.join()
+        # "high" arrived later but outranks "low" for the freed slot.
+        assert order == ["high", "low"]
+
+    def test_fifo_within_one_priority(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        holder = governor.admit()
+        order = []
+        arrived = []
+
+        def contender(name):
+            arrived.append(name)
+            with governor.admit("queue", tenant=name, priority=0):
+                order.append(name)
+                time.sleep(0.01)
+
+        threads = []
+        for name in ("first", "second", "third"):
+            thread = threading.Thread(target=contender, args=(name,))
+            thread.start()
+            # Serialize arrivals so FIFO order is well-defined.
+            assert _wait_until(
+                lambda n=len(threads) + 1: governor.snapshot()["waiting"] == n
+            )
+            threads.append(thread)
+        holder.release()
+        for thread in threads:
+            thread.join()
+        assert order == arrived
+
+    def test_new_arrival_cannot_overtake_equal_priority_waiter(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        holder = governor.admit()
+        waiter_admitted = threading.Event()
+
+        def waiter():
+            with governor.admit("queue", tenant="patient", priority=0):
+                waiter_admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert _wait_until(lambda: governor.snapshot()["waiting"] == 1)
+        holder.release()
+        # The slot is now logically the waiter's; an immediate same-
+        # priority arrival in fail mode must not steal it.
+        thread.join()
+        assert waiter_admitted.is_set()
+
+
+class TestTenantCaps:
+    def test_tenant_cap_holds_below_global_capacity(self):
+        governor = ResourceGovernor(
+            max_concurrent=4, tenant_limits={"capped": 1}
+        )
+        first = governor.admit(tenant="capped")
+        with pytest.raises(AdmissionRejected):
+            governor.admit("fail", tenant="capped")
+        # Other tenants are unaffected by the cap.
+        other = governor.admit("fail", tenant="free")
+        first.release()
+        governor.admit("fail", tenant="capped").release()
+        other.release()
+
+    def test_capped_head_does_not_wedge_the_queue(self):
+        governor = ResourceGovernor(
+            max_concurrent=2, tenant_limits={"capped": 1}
+        )
+        capped_running = governor.admit(tenant="capped")
+        filler = governor.admit(tenant="free")
+        admitted = []
+
+        def contender(name, tenant, priority):
+            with governor.admit("queue", tenant=tenant, priority=priority):
+                admitted.append(name)
+                time.sleep(0.02)
+
+        # The capped tenant queues first *and* at higher priority; the
+        # free tenant behind it must still get the freed slot.
+        capped_thread = threading.Thread(
+            target=contender, args=("capped-2", "capped", 10)
+        )
+        capped_thread.start()
+        assert _wait_until(lambda: governor.snapshot()["waiting"] == 1)
+        free_thread = threading.Thread(
+            target=contender, args=("free-2", "free", 0)
+        )
+        free_thread.start()
+        assert _wait_until(lambda: governor.snapshot()["waiting"] == 2)
+
+        filler.release()  # frees a global slot; "capped" is still at cap
+        assert _wait_until(lambda: "free-2" in admitted)
+        capped_running.release()  # now the capped waiter can go
+        capped_thread.join()
+        free_thread.join()
+        assert set(admitted) == {"capped-2", "free-2"}
+
+    def test_constructor_rejects_silly_limits(self):
+        with pytest.raises(ValueError):
+            ResourceGovernor(tenant_limits={"t": 0})
+
+
+class TestTenantAccounting:
+    def test_admitted_and_queued_counts(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        with governor.admit(tenant="a"):
+            pass
+        holder = governor.admit(tenant="a")
+
+        def queued():
+            with governor.admit("queue", tenant="b"):
+                pass
+
+        thread = threading.Thread(target=queued)
+        thread.start()
+        assert _wait_until(lambda: governor.snapshot()["waiting"] == 1)
+        holder.release()
+        thread.join()
+        tenants = governor.snapshot()["tenants"]
+        assert tenants["a"] == {
+            "admitted": 2, "queued": 0, "rejected": 0, "degraded": 0,
+        }
+        assert tenants["b"]["admitted"] == 1
+        assert tenants["b"]["queued"] == 1
+
+    def test_rejection_counts_per_tenant(self):
+        governor = ResourceGovernor(max_concurrent=1)
+        with governor.admit(tenant="a"):
+            with pytest.raises(AdmissionRejected):
+                governor.admit("fail", tenant="b")
+        assert governor.snapshot()["tenants"]["b"]["rejected"] == 1
+
+    def test_note_degraded_and_note_rejected(self):
+        governor = ResourceGovernor()
+        governor.note_degraded("t", 3)
+        governor.note_degraded("t", 0)  # no-op
+        governor.note_degraded(None, 5)  # anonymous: dropped
+        governor.note_rejected("t")
+        governor.note_rejected(None)  # counted globally only
+        snapshot = governor.snapshot()
+        assert snapshot["tenants"]["t"]["degraded"] == 3
+        assert snapshot["tenants"]["t"]["rejected"] == 1
+        assert snapshot["rejected_total"] == 2
+
+    def test_anonymous_admissions_keep_old_semantics(self):
+        governor = ResourceGovernor(max_concurrent=2)
+        with governor.admit() as ticket:
+            assert ticket.decision == "admitted"
+        snapshot = governor.snapshot()
+        assert snapshot["tenants"] == {}
+        assert snapshot["admitted_total"] == 1

@@ -1,0 +1,99 @@
+"""Framing unit tests: the wire contract of the join-service protocol."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_round_trip_one_frame(pair):
+    a, b = pair
+    message = {"op": "join", "algorithm": "grace", "n": 42, "nested": {"x": [1, 2]}}
+    send_frame(a, message)
+    assert recv_frame(b) == message
+
+
+def test_round_trip_many_frames_in_order(pair):
+    a, b = pair
+    for i in range(20):
+        send_frame(a, {"seq": i})
+    for i in range(20):
+        assert recv_frame(b) == {"seq": i}
+
+
+def test_clean_eof_between_frames_is_none(pair):
+    a, b = pair
+    send_frame(a, {"last": True})
+    a.close()
+    assert recv_frame(b) == {"last": True}
+    assert recv_frame(b) is None
+
+
+def test_eof_mid_frame_is_a_protocol_error(pair):
+    a, b = pair
+    # A length prefix promising 100 bytes, then death after 3.
+    a.sendall(struct.pack(">I", 100) + b"abc")
+    a.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        recv_frame(b)
+
+
+def test_oversized_length_prefix_is_refused(pair):
+    a, b = pair
+    a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="corrupt"):
+        recv_frame(b)
+
+
+def test_non_json_payload_is_a_protocol_error(pair):
+    a, b = pair
+    payload = b"\xff\xfe not json"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        recv_frame(b)
+
+
+def test_non_object_payload_is_a_protocol_error(pair):
+    a, b = pair
+    payload = b"[1, 2, 3]"
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    with pytest.raises(ProtocolError, match="expected an object"):
+        recv_frame(b)
+
+
+def test_oversized_outgoing_frame_is_refused(pair):
+    a, _ = pair
+    with pytest.raises(ProtocolError, match="exceeds"):
+        send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+def test_large_frame_survives_chunked_delivery(pair):
+    a, b = pair
+    message = {"blob": "y" * 300_000}  # far beyond one recv() chunk
+
+    # sendall on a socketpair can block against an unread peer buffer, so
+    # feed from a thread while the other end drains.
+    sender = threading.Thread(target=send_frame, args=(a, message))
+    sender.start()
+    try:
+        assert recv_frame(b) == message
+    finally:
+        sender.join()

@@ -1,0 +1,322 @@
+"""End-to-end join-service daemon tests: one process, real sockets.
+
+Most tests run the daemon inline (``use_processes=False``) so four-
+algorithm coverage stays fast; one test exercises the real shared
+worker pool.  Every join the daemon serves is compared bit-identically
+(pair count + checksum) against a direct ``run_real_join`` of the same
+workload — the service must be a transport, never a transformation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.export import validate_stats_document
+from repro.parallel.runner import REAL_ALGORITHMS, run_real_join
+from repro.service import (
+    ClientError,
+    JoinService,
+    JoinServiceClient,
+    ServiceConfig,
+    TenantConfig,
+)
+from repro.workload.generator import WorkloadSpec, generate_workload
+
+SCALE = 0.01  # -> 1,024 objects after the service's max(64, 102_400 * scale)
+SEED = 23
+DISKS = 2
+
+
+def direct_result(algorithm, tmp_path, *, mem_budget=None, collect_pairs=False):
+    """What the daemon's answer must match: a solo run of the same workload."""
+    workload = generate_workload(
+        WorkloadSpec(
+            r_objects=int(102_400 * SCALE),
+            s_objects=int(102_400 * SCALE),
+            seed=SEED,
+        ),
+        DISKS,
+    )
+    return run_real_join(
+        algorithm,
+        workload,
+        str(tmp_path / f"direct-{algorithm}"),
+        use_processes=False,
+        collect_pairs=collect_pairs,
+        mem_budget=mem_budget,
+    )
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    services = []
+
+    def build(tenants=None, **overrides):
+        overrides.setdefault("use_processes", False)
+        config = ServiceConfig(
+            root=str(tmp_path / "svc-root"),
+            socket_path=str(tmp_path / "join.sock"),
+            disks=DISKS,
+            **overrides,
+        )
+        service = JoinService(config, tenants)
+        service.start()
+        services.append(service)
+        return service
+
+    yield build
+    for service in services:
+        service.close()
+
+
+def join_args(**extra):
+    return {"scale": SCALE, "seed": SEED, "disks": DISKS, **extra}
+
+
+# ------------------------------------------------------- serving correctness
+
+def test_all_algorithms_bit_identical_to_direct_runs(make_service, tmp_path):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        for algorithm in sorted(REAL_ALGORITHMS):
+            reply = client.join(algorithm, **join_args())
+            direct = direct_result(algorithm, tmp_path)
+            assert reply.pair_count == direct.pair_count, algorithm
+            assert reply.checksum == direct.checksum, algorithm
+
+
+def test_streamed_pairs_match_collected_pairs(make_service, tmp_path):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        reply = client.join("grace", stream_pairs=True, **join_args())
+    assert reply.streamed_pairs == reply.pair_count
+    direct = direct_result("grace", tmp_path, collect_pairs=True)
+    assert sorted(reply.pairs) == sorted(tuple(p) for p in direct.pairs)
+
+
+def test_second_request_reuses_the_warm_store(make_service):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        cold = client.join("hybrid-hash", **join_args())
+        warm = client.join("nested-loops", **join_args())  # same workload
+    assert not cold.reused_store
+    assert warm.reused_store
+    assert warm.pair_count == cold.pair_count
+    assert warm.checksum == cold.checksum
+    assert service.registry.counters["service.store_reuses_total"] == 1
+
+
+def test_shared_worker_pool_serves_bit_identically(make_service, tmp_path):
+    service = make_service(use_processes=True, pool_workers=2)
+    with JoinServiceClient(service.config.socket_path) as client:
+        first = client.join("sort-merge", **join_args())
+        second = client.join("grace", **join_args())
+    direct = direct_result("sort-merge", tmp_path)
+    assert first.pair_count == direct.pair_count
+    assert first.checksum == direct.checksum
+    assert second.checksum == direct.checksum  # same workload, same output
+    assert second.reused_store
+
+
+# --------------------------------------------------- multi-tenant admission
+
+def test_concurrent_tenants_under_shared_budget_stay_bit_identical(
+    make_service, tmp_path
+):
+    """Satellite: two tenants at once, one degraded, neither corrupted."""
+    tenants = TenantConfig.parse({
+        "tenants": {
+            "fast": {"priority": 10},
+            # A budget small enough to force the plan down the ladder.
+            "slow": {"priority": 0, "mem_budget": "64K"},
+        },
+    })
+    service = make_service(tenants, max_concurrent=1)
+    solo = direct_result("hybrid-hash", tmp_path)
+    degraded_solo = direct_result(
+        "hybrid-hash", tmp_path / "degraded", mem_budget=64 << 10
+    )
+    assert degraded_solo.degradations_total > 0  # the budget really bites
+
+    replies = {}
+    barrier = threading.Barrier(2)
+
+    def submit(tenant):
+        with JoinServiceClient(service.config.socket_path) as client:
+            barrier.wait()
+            replies[tenant] = client.join(
+                "hybrid-hash", tenant=tenant, **join_args()
+            )
+
+    threads = [
+        threading.Thread(target=submit, args=(name,))
+        for name in ("fast", "slow")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for tenant, reply in replies.items():
+        assert reply.pair_count == solo.pair_count, tenant
+        assert reply.checksum == solo.checksum, tenant
+    assert replies["slow"].degradations == degraded_solo.degradations_total
+    assert replies["fast"].degradations == 0
+
+    tenants_doc = service.stats_document()["service"]["tenants"]
+    assert tenants_doc["fast"]["admitted"] == 1
+    assert tenants_doc["slow"]["admitted"] == 1
+    assert tenants_doc["slow"]["degraded"] == degraded_solo.degradations_total
+    # With one slot, whoever arrived second waited for the first.
+    queued = sum(t["queued"] for t in tenants_doc.values())
+    assert queued <= 1
+
+
+def test_saturated_governor_rejects_fail_mode_tenant(make_service):
+    tenants = TenantConfig.parse({
+        "tenants": {"impatient": {"on_pressure": "fail"}},
+    })
+    service = make_service(tenants, max_concurrent=1)
+    holder = service.governor.admit(tenant="elsewhere")
+    try:
+        with JoinServiceClient(service.config.socket_path) as client:
+            with pytest.raises(ClientError) as excinfo:
+                client.join("grace", tenant="impatient", **join_args())
+        assert excinfo.value.code == "rejected"
+    finally:
+        holder.release()
+    tenants_doc = service.stats_document()["service"]["tenants"]
+    assert tenants_doc["impatient"]["rejected"] == 1
+
+
+def test_strict_tenant_config_rejects_strangers(make_service):
+    tenants = TenantConfig.parse({
+        "tenants": {"known": {}},
+        "strict": True,
+    })
+    service = make_service(tenants)
+    with JoinServiceClient(service.config.socket_path) as client:
+        with pytest.raises(ClientError) as excinfo:
+            client.join("grace", tenant="stranger", **join_args())
+        assert excinfo.value.code == "unknown-tenant"
+        # The same connection still serves a legitimate tenant.
+        reply = client.join("grace", tenant="known", **join_args())
+        assert reply.pair_count > 0
+
+
+def test_unknown_algorithm_is_a_bad_request(make_service):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        with pytest.raises(ClientError) as excinfo:
+            client.join("quantum-join", **join_args())
+        assert excinfo.value.code == "bad-request"
+
+
+# ------------------------------------------------------------ startup sweep
+
+def test_startup_sweep_removes_orphans_but_keeps_warm_segments(tmp_path):
+    root = tmp_path / "svc-root"
+    store = root / "stores" / "wl-dead" / "disk0"
+    store.mkdir(parents=True)
+    (store / "R.seg").write_bytes(b"warm data, not debris")
+    (store / "RP_3.seg.tmp").write_bytes(b"dead writer's tmp")
+    (store / "metrics_probe_0.json").write_text("{}")
+    (root / "stores" / "wl-dead" / "faults.json").write_text("{}")
+    (root / "stores" / "wl-dead" / "metrics.on").write_text("")
+    (root / "stores" / "wl-dead" / "fault_attempt_scan_0").write_text("2")
+
+    service = JoinService(ServiceConfig(
+        root=str(root),
+        socket_path=str(tmp_path / "join.sock"),
+        disks=DISKS,
+        use_processes=False,
+    ))
+    service.start()
+    try:
+        assert service.startup_sweep == {
+            "seg_tmp": 1, "sidecars": 1, "control_files": 3,
+        }
+        assert (store / "R.seg").exists()  # the daemon's cache survives
+        assert not (store / "RP_3.seg.tmp").exists()
+        assert not (store / "metrics_probe_0.json").exists()
+        # The sweep is logged into the stats document.
+        document = service.stats_document()
+        assert document["service"]["startup_sweep"] == service.startup_sweep
+    finally:
+        service.close()
+
+
+# ------------------------------------------------------ stats doc & shutdown
+
+def test_stats_document_is_valid_v4_with_latency(make_service):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        client.join("grace", **join_args())
+        client.join("sort-merge", **join_args())
+        document = client.stats()
+    validate_stats_document(document)
+    assert document["schema_version"] == 4
+    assert document["meta"]["backend"] == "join-service"
+    section = document["service"]
+    assert section["requests_total"] == 2
+    assert section["latency_ms"]["count"] == 2
+    assert section["latency_ms"]["p50"] > 0
+    assert section["latency_ms"]["p99"] >= section["latency_ms"]["p50"]
+    assert section["latency_ms"]["max"] >= section["latency_ms"]["p99"]
+
+
+def test_join_reply_can_carry_the_run_stats_document(make_service):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        reply = client.join("hybrid-hash", with_stats=True, **join_args())
+    assert reply.stats_document is not None
+    validate_stats_document(reply.stats_document)
+    assert reply.stats_document["meta"]["algorithm"] == "hybrid-hash"
+
+
+def test_ping_reports_the_algorithm_menu(make_service):
+    service = make_service()
+    with JoinServiceClient(service.config.socket_path) as client:
+        pong = client.ping()
+    assert pong["algorithms"] == sorted(REAL_ALGORITHMS)
+    assert pong["uptime_s"] >= 0
+
+
+def test_client_shutdown_stops_the_daemon_cleanly(make_service, tmp_path):
+    service = make_service()
+    socket_path = tmp_path / "join.sock"
+    with JoinServiceClient(str(socket_path)) as client:
+        client.join("grace", **join_args())
+        client.shutdown()
+    service.close()
+    assert not socket_path.exists()
+    # No unpublished segments or run debris left anywhere in the root.
+    root = tmp_path / "svc-root"
+    assert list(root.rglob("*.seg.tmp")) == []
+    assert list(root.rglob("metrics_*.json")) == []
+    leftovers = {p.stem.split("_")[0] for p in root.rglob("*.seg")}
+    assert leftovers <= {"R", "S"}  # warm base relations only
+
+
+def test_connection_survives_a_protocol_error_frame(make_service):
+    import socket as socketlib
+    import struct
+
+    service = make_service()
+    raw = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    raw.connect(service.config.socket_path)
+    try:
+        payload = b"[]"  # an array, not an object
+        raw.sendall(struct.pack(">I", len(payload)) + payload)
+        from repro.service.protocol import recv_frame
+
+        frame = recv_frame(raw)
+        assert frame["kind"] == "error"
+        assert frame["code"] == "bad-frame"
+    finally:
+        raw.close()
+    # The daemon is still serving.
+    with JoinServiceClient(service.config.socket_path) as client:
+        assert client.ping()["algorithms"]

@@ -1,0 +1,124 @@
+"""Tenant policy config: parsing, inheritance, resolution, strictness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.tenants import (
+    TenantConfig,
+    TenantError,
+    TenantPolicy,
+    parse_budget,
+)
+
+
+# ------------------------------------------------------------- parse_budget
+
+def test_parse_budget_accepts_bytes_and_suffixes():
+    assert parse_budget(None, "f") is None
+    assert parse_budget(4096, "f") == 4096
+    assert parse_budget("256K", "f") == 256 * 1024
+    assert parse_budget("2M", "f") == 2 * 1024 * 1024
+    assert parse_budget("1G", "f") == 1 << 30
+    assert parse_budget(" 64m ", "f") == 64 << 20  # whitespace + lowercase
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "12Q", -1, 0, True, 1.5, []])
+def test_parse_budget_rejects_garbage(bad):
+    with pytest.raises(TenantError):
+        parse_budget(bad, "f")
+
+
+# ------------------------------------------------------------------ parsing
+
+def test_parse_full_config():
+    config = TenantConfig.parse({
+        "default": {"priority": 1, "mem_budget": "64M"},
+        "tenants": {
+            "interactive": {"priority": 10, "max_concurrent": 2},
+            "batch": {"on_pressure": "queue", "deadline_s": 30},
+        },
+        "strict": False,
+    })
+    interactive = config.resolve("interactive")
+    assert interactive.priority == 10
+    assert interactive.max_concurrent == 2
+    # Listed tenants inherit unset fields from the default policy.
+    assert interactive.mem_budget_bytes == 64 << 20
+    batch = config.resolve("batch")
+    assert batch.priority == 1  # inherited
+    assert batch.on_pressure == "queue"
+    assert batch.deadline_s == 30.0
+
+
+def test_unknown_tenant_falls_back_to_default_renamed():
+    config = TenantConfig.parse({"default": {"mem_budget": 4096}})
+    policy = config.resolve("walk-in")
+    assert policy.name == "walk-in"  # accounting stays per-tenant
+    assert policy.mem_budget_bytes == 4096
+
+
+def test_strict_config_rejects_unknown_tenants():
+    config = TenantConfig.parse({
+        "tenants": {"known": {}},
+        "strict": True,
+    })
+    assert config.resolve("known").name == "known"
+    with pytest.raises(TenantError, match="strict"):
+        config.resolve("stranger")
+
+
+def test_none_tenant_resolves_to_the_default_policy():
+    config = TenantConfig.open_default()
+    assert config.resolve(None).name == "default"
+
+
+@pytest.mark.parametrize("raw, match", [
+    ({"bogus": 1}, "unknown top-level"),
+    ({"default": {"nope": 1}}, "unknown fields"),
+    ({"default": {"priority": "high"}}, "priority must be"),
+    ({"default": {"on_pressure": "panic"}}, "on_pressure"),
+    ({"default": {"max_concurrent": 0}}, "max_concurrent"),
+    ({"default": {"deadline_s": -1}}, "deadline_s"),
+    ({"tenants": {"t": 5}}, "must be an object"),
+    ({"strict": "yes"}, "'strict' must be a boolean"),
+    ([], "must be an object"),
+])
+def test_invalid_configs_are_rejected(raw, match):
+    with pytest.raises(TenantError, match=match):
+        TenantConfig.parse(raw)
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "tenants.json"
+    path.write_text(json.dumps({"tenants": {"a": {"priority": 3}}}))
+    config = TenantConfig.load(path)
+    assert config.resolve("a").priority == 3
+    with pytest.raises(TenantError, match="cannot read"):
+        TenantConfig.load(tmp_path / "absent.json")
+    (tmp_path / "broken.json").write_text("{nope")
+    with pytest.raises(TenantError, match="not valid JSON"):
+        TenantConfig.load(tmp_path / "broken.json")
+
+
+def test_tenant_limits_only_lists_capped_tenants():
+    config = TenantConfig.parse({
+        "tenants": {
+            "capped": {"max_concurrent": 1},
+            "free": {"priority": 5},
+        },
+    })
+    assert config.tenant_limits() == {"capped": 1}
+
+
+def test_policy_as_dict_round_trips_fields():
+    policy = TenantPolicy(
+        name="t", priority=2, mem_budget_bytes=1024, on_pressure="fail"
+    )
+    doc = policy.as_dict()
+    assert doc["name"] == "t"
+    assert doc["priority"] == 2
+    assert doc["mem_budget_bytes"] == 1024
+    assert doc["on_pressure"] == "fail"
