@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import sys
 import tempfile
 from typing import Optional, Sequence
@@ -37,7 +38,13 @@ from repro.harness.figures import all_figures, figure_1a, figure_1b, figure_5a, 
 from repro.harness.report import format_table, shape_summary
 from repro.joins import JoinEnvironment, make_algorithm, verify_pairs
 from repro.model import MemoryParameters
-from repro.workload import WorkloadSpec, generate_workload
+from repro.workload import (
+    DISTRIBUTIONS,
+    DistributionError,
+    WorkloadSpec,
+    generate_workload,
+    validate_distribution_args,
+)
 
 FIGURE_BUILDERS = {
     "1a": lambda args: figure_1a(),
@@ -131,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
              "per-record scalar path (debugging/equivalence baselines); "
              "also settable via REPRO_KERNELS",
     )
+    join.add_argument(
+        "--rebalance", choices=("off", "auto", "on"), default="auto",
+        help="real-backend per-partition size rebalancing: shard "
+             "oversized partitions into parallel sub-tasks when skewed "
+             "(auto, the default), always (on), or never (off); join "
+             "output is bit-identical in every mode",
+    )
 
     model = sub.add_parser("model", help="print an analytical prediction")
     _common_workload_args(model)
@@ -172,10 +186,6 @@ def build_parser() -> argparse.ArgumentParser:
     _common_workload_args(workload)
     workload.add_argument("action", choices=("save", "info"))
     workload.add_argument("path", help="the .npz workload file")
-    workload.add_argument(
-        "--distribution", default="uniform",
-        help="pointer distribution (uniform/permutation/zipf/...)",
-    )
 
     report = sub.add_parser(
         "report", help="run the full evaluation and emit a markdown report"
@@ -277,10 +287,56 @@ def _common_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05)
     parser.add_argument("--disks", type=int, default=4)
     parser.add_argument("--seed", type=int, default=96)
+    parser.add_argument(
+        "--distribution", choices=sorted(DISTRIBUTIONS), default="uniform",
+        help="pointer distribution of the generated workload",
+    )
+    parser.add_argument(
+        "--dist-arg", action="append", default=[], metavar="KEY=VALUE",
+        help="distribution parameter (repeatable), e.g. --dist-arg theta=1 "
+             "for zipf; unknown keys are rejected at parse time",
+    )
+
+
+def _distribution_args(args) -> dict:
+    """Parse and validate ``--dist-arg`` pairs against ``--distribution``.
+
+    Raises :class:`DistributionError` on a malformed pair or a key the
+    chosen distribution does not accept — callers surface it *before*
+    any store or workload is materialized.
+    """
+    parsed: dict = {}
+    for item in getattr(args, "dist_arg", None) or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key or not raw:
+            raise DistributionError(
+                f"invalid --dist-arg {item!r} (expected KEY=VALUE)"
+            )
+        try:
+            value: float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise DistributionError(
+                    f"invalid --dist-arg value {raw!r} for {key!r} "
+                    "(expected a number)"
+                )
+        parsed[key] = value
+    validate_distribution_args(args.distribution, parsed)
+    return parsed
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if hasattr(args, "distribution"):
+        # Fail malformed/unknown distribution arguments at parse time,
+        # before any workload or store is materialized.
+        try:
+            args.distribution_args = _distribution_args(args)
+        except DistributionError as error:
+            parser.error(str(error))
     handler = {
         "figures": _cmd_figures,
         "join": _cmd_join,
@@ -299,10 +355,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _workload(args):
-    return generate_workload(
-        WorkloadSpec.paper_validation(scale=args.scale, seed=args.seed),
-        args.disks,
-    )
+    spec = WorkloadSpec.paper_validation(scale=args.scale, seed=args.seed)
+    distribution = getattr(args, "distribution", "uniform")
+    distribution_args = getattr(args, "distribution_args", {})
+    if distribution != "uniform" or distribution_args:
+        spec = dataclasses.replace(
+            spec,
+            distribution=distribution,
+            distribution_args=distribution_args,
+        )
+    return generate_workload(spec, args.disks)
 
 
 _SIZE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
@@ -388,6 +450,7 @@ def _cmd_join(args) -> int:
                     on_pressure=args.on_pressure,
                     governor=governor,
                     kernels=args.kernels,
+                    rebalance=args.rebalance,
                 )
             except ResourceExhausted as error:
                 # Classified exhaustion is an orderly refusal, not a crash:
@@ -535,6 +598,7 @@ def _cmd_workload(args) -> int:
             r_objects=max(64, int(102_400 * args.scale)),
             s_objects=max(64, int(102_400 * args.scale)),
             distribution=args.distribution,
+            distribution_args=args.distribution_args,
             seed=args.seed,
         )
         workload = generate_workload(spec, args.disks)

@@ -66,6 +66,14 @@ MAX_BUCKETS = 248
 #: mis-estimate into a runtime degradation round.
 FIT_MARGIN = 0.75
 
+#: Mirror of :data:`repro.parallel.engine.rebalance.REBALANCE_RATIO`
+#: (not imported — that module pulls in the storage layer).  With
+#: rebalancing active the executor splits any partition whose share
+#: exceeds this multiple of the mean into proportional shards, so the
+#: worst *task* the shardable stage kinds run is capped near
+#: ``mean x ratio`` no matter how skewed the partition-level split is.
+REBALANCE_SKEW_CAP = 1.5
+
 
 def _pass_plan(algorithm: str):
     """The registered PassPlan for ``algorithm`` (lazy, cycle-free)."""
@@ -101,6 +109,11 @@ class JoinPlan:
     #: bit-identical either way; the vector multi-run merge holds one
     #: chunk per run, so dropping to scalar is the ladder's last rung.
     kernel_mode: str = "vector"
+    #: Per-partition size rebalancing in the executor: ``"off"`` (never
+    #: shard), ``"auto"`` (shard when the partition-size ratio crosses
+    #: the executor's threshold), ``"on"`` (force-shard every non-empty
+    #: partition of the shardable stages — the bit-identity proof mode).
+    rebalance: str = "auto"
 
     def effective_resident_buckets(self) -> int:
         return max(0, min(self.resident_buckets, self.buckets - 1))
@@ -114,6 +127,7 @@ class JoinPlan:
             "spill_threshold": self.spill_threshold,
             "resident_buckets": self.resident_buckets,
             "kernel_mode": self.kernel_mode,
+            "rebalance": self.rebalance,
         }
 
     def degraded(self, algorithm: str, resource: str = "memory") -> "JoinPlan":
@@ -135,6 +149,14 @@ class JoinPlan:
                 return self._with_batch(self.batch_records // 2)
             return self
         pass_plan = _pass_plan(algorithm)
+        if self.rebalance == "off" and any(
+            stage.rebalance is not None for stage in pass_plan.stages
+        ):
+            # Free rung: splitting a skew-bloated partition into shards
+            # caps the worst task's inbound (and so its retained buffer)
+            # without shrinking any knob.  Never fires for default plans,
+            # which already start at "auto".
+            return replace(self, rebalance="auto")
         buffered = any(
             getattr(stage, "buffered", False) for stage in pass_plan.stages
         )
@@ -256,6 +278,18 @@ def predict_footprint(
     # Worst-partition inbound for the redistribution algorithms: the
     # barrier makes the most-skewed partition gate every pass.
     inbound = max(1.0, geometry.rs_i * relations.skew)
+    # With rebalancing active the executor shards any partition whose
+    # inbound exceeds REBALANCE_SKEW_CAP x the mean, so the worst *task*
+    # of the shardable record/key stages sees a capped share.  Disk
+    # totals and run counts are unchanged — sharding moves work, not
+    # bytes.  Probe stages keep the raw skew: bucket shards bound task
+    # *counts*, but the single worst bucket's table is indivisible.
+    skew_eff = (
+        min(relations.skew, REBALANCE_SKEW_CAP)
+        if plan.rebalance != "off"
+        else relations.skew
+    )
+    inbound_balanced = max(1.0, geometry.rs_i * skew_eff)
     batch = max(1, min(plan.batch_records, math.ceil(r_i)))
     per_pass: Dict[str, float] = {}
     details: Dict[str, float] = {}
@@ -322,7 +356,7 @@ def predict_footprint(
             n_runs = max(1, math.ceil(inbound / irun_eff))
             # Run building holds at most irun + one trailing batch before
             # a flush.
-            per_pass[stage.label] = min(inbound, irun_eff + batch) * r
+            per_pass[stage.label] = min(inbound_balanced, irun_eff + batch) * r
             spill_bytes += disks * (
                 _segment_bytes(inbound, r) + (n_runs - 1) * PAGE_SIZE
             )
@@ -333,7 +367,7 @@ def predict_footprint(
             # merged stream re-batches against *inbound* (which skew can
             # push past r_i), so its batch clamp must use inbound.
             merge_batch = max(
-                1, min(plan.batch_records, math.ceil(inbound))
+                1, min(plan.batch_records, math.ceil(inbound_balanced))
             )
             per_pass[stage.label] = merge_batch * (r + s)
             n_runs = details.get("merge_runs", 1.0)

@@ -56,6 +56,7 @@ from repro.governor.errors import ResourceExhausted
 from repro.governor.predict import JoinPlan
 from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
+from repro.parallel.engine.rebalance import plan_stage_rebalance
 from repro.parallel.engine.stages import PassPlan, Stage, StageContext
 from repro.parallel.engine.task import (
     CHECKSUM_MOD,
@@ -64,8 +65,10 @@ from repro.parallel.engine.task import (
     StageOutput,
     install_kernel_mode,
     metrics_sidecar,
+    run_paths,
     run_task,
     sweep_kernel_mode,
+    task_slot,
 )
 from repro.parallel.faults import (
     FaultPlan,
@@ -98,9 +101,12 @@ class ExecutionOutcome:
     pass_counts: Dict[str, int] = field(default_factory=dict)
     pass_checksums: Dict[str, int] = field(default_factory=dict)
     pass_kinds: Dict[str, str] = field(default_factory=dict)
-    worker_metrics: Dict[str, Dict[int, dict]] = field(default_factory=dict)
+    worker_metrics: Dict[str, Dict[object, dict]] = field(default_factory=dict)
     driver_metrics: Optional[dict] = None
     recovery: Dict[str, object] = field(default_factory=dict)
+    #: Per-stage rebalance decisions (axis, splits, moved records,
+    #: pre/post max-partition ratio) for the run's *final* round.
+    rebalance: Dict[str, dict] = field(default_factory=dict)
     runtime_degradations: int = 0
     resource_errors: Dict[str, int] = field(default_factory=dict)
     disk_peak_bytes: int = 0
@@ -129,6 +135,49 @@ def sweep_run_artifacts(store_root: str, store: Store) -> None:
     sweep_budgets(root)
     sweep_kernel_mode(root)
     store.cleanup_orphans()
+
+
+def plan_stage_units(
+    store: Store,
+    ctx: StageContext,
+    stage: Stage,
+    plan: JoinPlan,
+    outcome: "ExecutionOutcome",
+) -> List[tuple]:
+    """One ``(slot, kernel_args)`` dispatch unit per task of ``stage``.
+
+    The default is one unit per partition.  For a rebalance-capable
+    stage under a plan whose ``rebalance`` mode allows it, the inbound
+    sizes are measured (cheap header/directory reads of the previous
+    barrier's published artifacts) and oversized partitions split into
+    shard units along the stage's axis; the decision lands in
+    ``outcome.rebalance[stage.label]``.
+    """
+    mode = getattr(plan, "rebalance", "off") or "off"
+    decision = None
+    if stage.rebalance is not None and mode != "off":
+        decision = plan_stage_rebalance(
+            store, stage, ctx.disks, mode, plan.buckets
+        )
+    units: List[tuple] = []
+    for partition in range(ctx.disks):
+        args = stage.args_for(ctx, plan, partition)
+        shards = decision.shards[partition] if decision is not None else None
+        if not shards:
+            units.append((partition, args))
+            continue
+        if stage.kind == "sort-run":
+            # Sharded run cutters must not sweep stale runs themselves —
+            # a late-starting shard would delete a sibling's freshly
+            # published run.  The driver clears the partition's stale
+            # runs once, before any shard is dispatched.
+            for stale in run_paths(store, partition):
+                stale.unlink(missing_ok=True)
+        for shard in shards:
+            units.append((task_slot(partition, shard), args + (shard,)))
+    if decision is not None:
+        outcome.rebalance[stage.label] = decision.report()
+    return units
 
 
 def execute_plan(
@@ -207,15 +256,15 @@ def execute_plan(
                 outcome.disk_peak_bytes, store_usage_bytes(store_root)
             )
 
-    def harvest_metrics(stage: Stage) -> None:
+    def harvest_metrics(stage: Stage, slots: Sequence) -> None:
         """Merge the stage's worker registry sidecars into the outcome."""
         if not collect_metrics:
             return
-        snapshots: Dict[int, dict] = {}
-        for partition in range(disks):
-            sidecar = metrics_sidecar(store_root, stage.kernel, partition)
+        snapshots: Dict[object, dict] = {}
+        for slot in slots:
+            sidecar = metrics_sidecar(store_root, stage.kernel, slot)
             if sidecar.exists():
-                snapshots[partition] = json.loads(sidecar.read_text())
+                snapshots[slot] = json.loads(sidecar.read_text())
                 sidecar.unlink()
         outcome.worker_metrics[stage.label] = snapshots
 
@@ -247,16 +296,13 @@ def execute_plan(
                 )
 
     def run_stage(stage: Stage, current: JoinPlan) -> None:
-        arg_list = [
-            stage.args_for(ctx, current, partition)
-            for partition in range(disks)
-        ]
+        units = plan_stage_units(store, ctx, stage, current, outcome)
         with span("stage", algo=algorithm, label=stage.label, kind=stage.kind):
             results = _dispatch_stage(
-                pool, stage, arg_list, outcome.pass_wall_ms,
+                pool, stage, units, outcome.pass_wall_ms,
                 policy, store_root, algorithm, recovery,
             )
-        harvest_metrics(stage)
+        harvest_metrics(stage, [slot for slot, _args in units])
         sample_disk()
         moved = 0
         stage_pairs: List[PairResult] = []
@@ -302,6 +348,7 @@ def execute_plan(
         outcome.pass_checksums.clear()
         outcome.pass_kinds.clear()
         outcome.worker_metrics.clear()
+        outcome.rebalance.clear()
         pair_results.clear()
         stage_totals.clear()
         checked_rules.clear()
@@ -404,29 +451,31 @@ def execute_plan(
 def _dispatch_stage(
     pool,
     stage: Stage,
-    arg_list: Sequence[tuple],
+    units: Sequence[tuple],
     pass_wall: Dict[str, float],
     policy: RetryPolicy,
     store_root: str,
     algorithm: str,
     recovery: dict,
 ) -> list:
-    """Dispatch one stage to all partitions, retrying failed tasks.
+    """Dispatch one stage's units (tasks), retrying failed ones.
 
-    Every task gets ``1 + policy.retries`` attempts (plus one optional
-    inline-fallback attempt in the parent).  Between rounds the
-    dispatcher backs off exponentially.  Retrying is safe because kernel
-    outputs are only published by atomic rename and re-created with
-    overwrite, so a failed attempt's partial work is invisible to its
-    retry.
+    ``units`` is the ``(slot, kernel_args)`` list from
+    :func:`plan_stage_units` — one per partition, or one per shard where
+    the rebalancer split a partition.  Every task gets ``1 +
+    policy.retries`` attempts (plus one optional inline-fallback attempt
+    in the parent).  Between rounds the dispatcher backs off
+    exponentially.  Retrying is safe because kernel outputs are only
+    published by atomic rename and re-created with overwrite, so a
+    failed attempt's partial work is invisible to its retry.
 
     Classified :class:`ResourceExhausted` failures are *not* retried —
     under the same plan the same budget trips deterministically — they
     propagate to the executor's degradation loop instead.
     """
     started = time.perf_counter()
-    results: list = [None] * len(arg_list)
-    pending = list(range(len(arg_list)))
+    results: list = [None] * len(units)
+    pending = list(range(len(units)))
     errors: List[BaseException] = []
     labels = {"algo": algorithm, "pass": stage.label}
     for attempt in range(policy.retries + 1):
@@ -439,22 +488,22 @@ def _dispatch_stage(
                 min(policy.backoff_s * (2 ** (attempt - 1)), _BACKOFF_CAP_S)
             )
         pending = _run_round(
-            pool, stage, arg_list, pending, results,
+            pool, stage, units, pending, results,
             policy, store_root, recovery, errors, labels,
         )
     if pending and pool is not None and policy.fallback_inline:
-        # Graceful degradation: the pool could not finish these partitions
+        # Graceful degradation: the pool could not finish these tasks
         # within budget (it may be unrecoverable); run them in-process.
         recovery["inline_fallbacks"] += len(pending)
         active().count("runner.inline_fallbacks_total", len(pending), **labels)
         pending = _run_round(
-            None, stage, arg_list, pending, results,
+            None, stage, units, pending, results,
             policy, store_root, recovery, errors, labels,
         )
     if pending:
-        partitions = [arg_list[idx][2] for idx in pending]
+        slots = [units[idx][0] for idx in pending]
         raise RealJoinError(
-            f"{algorithm} {stage.label}: partitions {partitions} failed "
+            f"{algorithm} {stage.label}: tasks {slots} failed "
             f"{stage.kernel} after {policy.retries + 1} attempt(s)"
         ) from (errors[-1] if errors else None)
     pass_wall[stage.label] = (time.perf_counter() - started) * 1000.0
@@ -464,7 +513,7 @@ def _dispatch_stage(
 def _run_round(
     pool,
     stage: Stage,
-    arg_list: Sequence[tuple],
+    units: Sequence[tuple],
     indices: List[int],
     results: list,
     policy: RetryPolicy,
@@ -487,13 +536,13 @@ def _run_round(
         # A dead attempt may have left a sidecar snapshotted before its
         # fault fired (or a stale one from a previous run); drop it so
         # the harvest only ever sees the attempt that actually finished.
-        metrics_sidecar(store_root, task, arg_list[idx][2]).unlink(
+        metrics_sidecar(store_root, task, units[idx][0]).unlink(
             missing_ok=True
         )
     still: List[int] = []
     if pool is not None:
         futures = [
-            (idx, pool.apply_async(run_task, ((task, arg_list[idx]),)))
+            (idx, pool.apply_async(run_task, ((task, units[idx][1]),)))
             for idx in indices
         ]
         resource_error: Optional[ResourceExhausted] = None
@@ -509,7 +558,7 @@ def _run_round(
                 active().count("runner.timeouts_total", 1, **labels)
                 errors.append(
                     TimeoutError(
-                        f"{task} partition {arg_list[idx][2]} exceeded "
+                        f"{task} task {units[idx][0]} exceeded "
                         f"{policy.task_timeout}s"
                     )
                 )
@@ -526,7 +575,7 @@ def _run_round(
     else:
         for idx in indices:
             try:
-                results[idx] = run_task((task, arg_list[idx]))
+                results[idx] = run_task((task, units[idx][1]))
             except ResourceExhausted:
                 raise
             except InjectedHang as error:

@@ -48,6 +48,7 @@ NESTED_LOOPS = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.s_objects,
                 plan.batch_records,
             ),
+            rebalance="records",
         ),
     ),
     conservation=(
@@ -78,6 +79,7 @@ SORT_MERGE = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.r_bytes, plan.irun,
                 plan.batch_records,
             ),
+            rebalance="records",
         ),
         MergeStage(
             label="merge-join",
@@ -87,6 +89,7 @@ SORT_MERGE = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.s_objects, ctx.r_bytes,
                 plan.batch_records,
             ),
+            rebalance="keys",
         ),
     ),
     conservation=(
@@ -125,6 +128,7 @@ GRACE = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.s_objects, plan.buckets,
                 plan.tsize, plan.batch_records,
             ),
+            rebalance="buckets",
         ),
     ),
     conservation=(
@@ -160,6 +164,7 @@ HYBRID_HASH = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.s_objects, plan.buckets,
                 plan.tsize, plan.batch_records,
             ),
+            rebalance="buckets",
         ),
     ),
     conservation=(

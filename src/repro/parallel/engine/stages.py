@@ -39,6 +39,13 @@ from typing import Callable, ClassVar, Dict, Optional, Tuple, Union
 #: PairResult; ``"both"`` — a (moved, PairResult) StageOutput.
 EMIT_KINDS = ("moved", "pairs", "both")
 
+#: Axes the executor's rebalancer can split a stage's work along.
+#: ``"records"`` — positional record ranges over the stage's inbound
+#: files; ``"keys"`` — sorted-pointer key ranges (equal-depth over a
+#: sampled key CDF); ``"buckets"`` — contiguous hash-bucket ranges
+#: (equal-depth over the exact per-bucket histogram).
+REBALANCE_AXES = ("records", "keys", "buckets")
+
 
 class PassPlanError(ValueError):
     """Raised for malformed pass plans or stage wiring."""
@@ -76,12 +83,22 @@ class Stage:
     kernel: str
     emits: str
     build_args: Callable = field(compare=False)
+    #: The axis the executor may split this stage's per-partition work
+    #: along when the inbound sizes are skewed (None — not splittable;
+    #: the stage's kernel must understand the attached
+    #: :class:`~repro.parallel.engine.task.Shard` for its axis).
+    rebalance: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.emits not in EMIT_KINDS:
             raise PassPlanError(
                 f"stage {self.label!r} emits {self.emits!r}; "
                 f"choices: {EMIT_KINDS}"
+            )
+        if self.rebalance is not None and self.rebalance not in REBALANCE_AXES:
+            raise PassPlanError(
+                f"stage {self.label!r} rebalances along "
+                f"{self.rebalance!r}; choices: {REBALANCE_AXES}"
             )
 
     def args_for(self, ctx: StageContext, plan, partition: int) -> tuple:

@@ -73,9 +73,52 @@ KERNEL_MODES = ("scalar", "vector")
 KERNELS_ENV = "REPRO_KERNELS"
 
 
-def metrics_sidecar(root: str | Path, task: str, partition: int) -> Path:
-    """Where one worker snapshots its registry for the parent to merge."""
-    return Path(root) / f"metrics_{task}_{partition}.json"
+def metrics_sidecar(root: str | Path, task: str, slot: int | str) -> Path:
+    """Where one worker snapshots its registry for the parent to merge.
+
+    ``slot`` is the partition index for an ordinary task, or the string
+    ``"{partition}s{shard}"`` when the rebalancer split the partition's
+    work across shard tasks (each shard snapshots its own sidecar).
+    """
+    return Path(root) / f"metrics_{task}_{slot}.json"
+
+
+# ---------------------------------------------------------------- sharding
+
+class Shard(NamedTuple):
+    """One slice of a rebalanced task's input, attached by the executor.
+
+    ``index``/``count`` place the shard among its siblings for the same
+    partition; ``lo``/``hi`` bound the half-open input range along the
+    stage's declared axis (record positions, sorted pointer keys, or
+    bucket numbers — the kernel knows which).  The executor appends the
+    shard as the *last* element of the kernel argument tuple so the
+    ``(store_root, disks, partition)`` prefix every kernel and fault
+    coordinate relies on is untouched.
+    """
+
+    index: int
+    count: int
+    lo: int
+    hi: int
+
+
+#: Run-id namespace per shard: sorted runs cut by shard ``k`` are numbered
+#: ``k * RUN_SHARD_STRIDE + local_id`` so the numeric run-id sort used by
+#: :func:`run_paths` yields shard order, then cut order — i.e. exactly the
+#: concatenated inbound order an unsharded sort-run pass would produce.
+RUN_SHARD_STRIDE = 1 << 20
+
+
+def shard_of(args) -> Shard | None:
+    """The shard attached to a kernel argument tuple, if any."""
+    tail = args[-1] if len(args) > 3 else None
+    return tail if isinstance(tail, Shard) else None
+
+
+def task_slot(partition: int, shard: Shard | None) -> int | str:
+    """The sidecar/label slot for a task: partition, or partition+shard."""
+    return partition if shard is None else f"{partition}s{shard.index}"
 
 
 # ------------------------------------------------------------- kernel mode
@@ -193,9 +236,15 @@ def _governed(func: Callable, task: str, args, root, partition):
 
     The fault hook fires first — before any registry or file handle is
     acquired — because a real crash would also strike before the task
-    produced anything.
+    produced anything.  When the rebalancer split a partition into
+    shards, only shard 0 consults the fault plan: fault coordinates are
+    ``(task, partition, attempt)`` and must keep firing exactly once per
+    attempt regardless of how the work was sliced.
     """
-    maybe_inject(root, task, partition)
+    shard = shard_of(args)
+    slot = task_slot(partition, shard)
+    if shard is None or shard.index == 0:
+        maybe_inject(root, task, partition)
     budgets = load_budgets(root)
     metrics_on = Path(root, OBS_MARKER).exists()
     if budgets is None and not metrics_on:
@@ -208,12 +257,12 @@ def _governed(func: Callable, task: str, args, root, partition):
         registry = activate(MetricsRegistry())
         started = time.perf_counter()
         try:
-            with span("task", task=task, worker=partition):
+            with span("task", task=task, worker=slot):
                 result = func(args)
         finally:
             deactivate()
         wall_ms = (time.perf_counter() - started) * 1000.0
-        labels = {"task": task, "worker": partition}
+        labels = {"task": task, "worker": slot}
         registry.gauge("worker.wall_ms", wall_ms, **labels)
         registry.gauge(
             "worker.mem_high_water_bytes",
@@ -227,7 +276,7 @@ def _governed(func: Callable, task: str, args, root, partition):
         if rss is not None:
             registry.gauge("worker.rss_max_bytes", float(rss), **labels)
         registry.count("worker.tasks", 1, task=task)
-        metrics_sidecar(root, task, partition).write_text(
+        metrics_sidecar(root, task, slot).write_text(
             json.dumps(registry.snapshot())
         )
         return result
@@ -324,9 +373,26 @@ class PairSink:
 
 # -------------------------------------------------- artifact naming scheme
 
-def pairs_name(label: str, partition: int) -> str:
-    """The PAIRS segment written by one worker of one pass."""
-    return f"PAIRS_{label}_{partition}"
+def pairs_name(label: str, partition: int, shard: Shard | None = None) -> str:
+    """The PAIRS segment written by one worker of one pass.
+
+    Shard tasks publish disjoint segments (``_s<k>`` suffix) so sibling
+    shards of one partition never race on a name; the executor collects
+    every segment, and the order-independent checksum makes the union
+    bit-identical to the unsharded single segment.
+    """
+    base = f"PAIRS_{label}_{partition}"
+    return base if shard is None else f"{base}_s{shard.index}"
+
+
+def rs_name(target: int, contributor: int) -> str:
+    """One contributor's range-partitioned spill for the sort-merge plan."""
+    return f"RS{target}_from{contributor}"
+
+
+def nl_spill_name(owner: int, partner: int) -> str:
+    """Nested loops' pass-0 spill of ``owner``'s references to ``partner``."""
+    return f"RP{owner}_{partner}"
 
 
 def run_name(partition: int, run_id: int) -> str:
@@ -401,3 +467,20 @@ def run_stream(path: Path) -> Iterator[RObject]:
         yield from rel.iter_objects(BATCH_RECORDS)
     finally:
         rel.close()
+
+
+def run_lower_bound(rel: RRelationFile, key: int) -> int:
+    """Index of the first record in a sorted run with ``sptr >= key``.
+
+    Binary search over the mapped records — O(log n) point reads — so a
+    key-range shard starts reading at its own range instead of scanning
+    (and discarding) the prefix owned by lower shards.
+    """
+    lo, hi = 0, len(rel)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rel.get(mid).sptr < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

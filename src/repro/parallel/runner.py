@@ -37,6 +37,7 @@ from repro.parallel.engine.executor import (
     RealJoinError,
     execute_plan,
 )
+from repro.parallel.engine.rebalance import validate_rebalance_mode
 from repro.parallel.engine.stages import algorithms as registered_algorithms
 from repro.parallel.engine.stages import plan_for
 from repro.parallel.faults import FaultPlan, RetryPolicy
@@ -86,6 +87,11 @@ class RealJoinResult:
     #: numpy kernels or "scalar" per-record structs) — the mode of the
     #: plan that actually ran, after any admission/runtime degradation.
     kernel_mode: str = "vector"
+    #: Per-stage rebalance decisions from the executor's final round:
+    #: stage label -> {axis, splits, tasks, moved_records, pre_ratio,
+    #: post_ratio}.  Empty when the plan ran with ``rebalance="off"`` or
+    #: no stage is rebalance-capable.
+    rebalance: Dict[str, dict] = field(default_factory=dict)
 
     def stats_document(self, workload: Optional[Workload] = None) -> dict:
         """Render this run as the versioned JSON stats document."""
@@ -121,6 +127,7 @@ def run_real_join(
     reuse_store: bool = False,
     tenant: Optional[str] = None,
     priority: int = 0,
+    rebalance: str = "auto",
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -161,6 +168,13 @@ def run_real_join(
     bit-identical either way; a vector request silently degrades to
     scalar on a numpy-less host.
 
+    ``rebalance`` selects per-partition size rebalancing in the executor:
+    ``"auto"`` (the default) shards a stage's oversized partitions into
+    parallel sub-tasks only when the partition-size ratio crosses the
+    executor's threshold, ``"on"`` force-shards every non-empty partition
+    of the shardable stages, ``"off"`` never shards.  Join output is
+    bit-identical in every mode.
+
     ``reuse_store`` promises ``store_root`` already holds this exact
     workload (a warm store a previous ``keep_store=True`` run left
     behind) and skips re-materializing R/S — the join-service daemon's
@@ -198,6 +212,7 @@ def run_real_join(
         )
     if kernel_mode == "vector" and not engine_task.vector_kernels_available():
         kernel_mode = "scalar"
+    validate_rebalance_mode(rebalance)
     pass_plan = plan_for(algorithm)
     policy = RetryPolicy(
         retries=retries,
@@ -217,6 +232,7 @@ def run_real_join(
         tsize=tsize,
         resident_buckets=resident_buckets,
         kernel_mode=kernel_mode,
+        rebalance=rebalance,
     )
     governed = (
         mem_budget is not None or disk_budget is not None or governor is not None
@@ -350,6 +366,7 @@ def run_real_join(
         ),
         governor=governor_doc,
         kernel_mode=outcome.plan.kernel_mode,
+        rebalance=dict(outcome.rebalance),
     )
 
 

@@ -47,14 +47,19 @@ from repro.governor.watchdog import active_meter
 from repro.obs.registry import active as _metrics
 from repro.parallel.engine.task import (
     BATCH_RECORDS,
+    RUN_SHARD_STRIDE,
     PairResult,
     PairSink,
     StageOutput,
     bucket_spill_name,
     bucket_spill_paths,
+    nl_spill_name,
     pairs_name,
+    rs_name,
+    run_lower_bound,
     run_name,
     run_paths,
+    shard_of,
 )
 from repro.storage.relation import BucketedRFile, RRelationFile
 from repro.storage.segment import MappedSegment
@@ -109,7 +114,7 @@ def nested_loops_pass0(args: Tuple[str, int, int, int, int]) -> PairResult:
         sink = PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
-                store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)),
+                store.path(i, nl_spill_name(i, j)), max(1, len(r_rel)),
                 record_bytes, overwrite=True,
             )
             for j in range(disks)
@@ -147,26 +152,32 @@ def nested_loops_pass0(args: Tuple[str, int, int, int, int]) -> PairResult:
 
 def nested_loops_pass1(args: Tuple[str, int, int, int]) -> PairResult:
     """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
-    root, disks, i, s_objects = args[:4]
-    batch_records = args[4] if len(args) > 4 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects = core[:4]
+    batch_records = core[4] if len(core) > 4 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
-    spill_paths = [
-        store.path(i, f"RP{i}_{_phase_partner(i, t, disks)}")
-        for t in range(1, disks)
-    ]
-    capacity = sum(MappedSegment.record_count(path) for path in spill_paths)
-    sink = PairSink(store.path(i, pairs_name("p1", i)), capacity)
+    partners = [_phase_partner(i, t, disks) for t in range(1, disks)]
+    spill_paths = [store.path(i, nl_spill_name(i, j)) for j in partners]
+    counts = [MappedSegment.record_count(path) for path in spill_paths]
+    total = sum(counts)
+    lo, hi = (0, total) if shard is None else (shard.lo, min(shard.hi, total))
+    sink = PairSink(store.path(i, pairs_name("p1", i, shard)), hi - lo)
+    base = 0
     try:
-        for t in range(1, disks):
-            j = _phase_partner(i, t, disks)
-            with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
-                    store.open_s(j) as s_rel:
+        for j, path, count in zip(partners, spill_paths, counts):
+            start = max(0, lo - base)
+            stop = min(count, hi - base)
+            base += count
+            if shard is not None and start >= stop:
+                continue
+            with RRelationFile.open(path) as spill, store.open_s(j) as s_rel:
                 r_bytes = spill.segment.layout.record_bytes
                 s_bytes = s_rel.segment.layout.record_bytes
                 for rid, sptr, payload in spill.iter_column_batches(
-                    batch_records
+                    batch_records, start, stop
                 ):
                     charged = len(rid) * (r_bytes + s_bytes)
                     meter.charge(charged, "nested-loops spill batch")
@@ -193,7 +204,7 @@ def sort_merge_partition(args: Tuple[str, int, int, int, int]) -> int:
     with store.open_r(i) as r_rel:
         outputs = {
             j: RRelationFile.create(
-                store.path(j, f"RS{j}_from{i}"), max(1, len(r_rel)),
+                store.path(j, rs_name(j, i)), max(1, len(r_rel)),
                 record_bytes, overwrite=True,
             )
             for j in range(disks)
@@ -262,13 +273,19 @@ class _ColumnBuffer:
 
 def sort_merge_runs(args: Tuple[str, int, int, int, int]) -> int:
     """Cut one partition's inbound RS files into sorted runs on disk."""
-    root, disks, i, record_bytes, irun = args[:5]
-    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, record_bytes, irun = core[:5]
+    batch_records = core[5] if len(core) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     meter = active_meter()
     irun = max(1, irun)
-    for stale in run_paths(store, i):
-        stale.unlink(missing_ok=True)
+    # Sharded cutters must not sweep stale runs (they would race each
+    # other); the executor pre-cleans the partition before dispatch.
+    if shard is None:
+        for stale in run_paths(store, i):
+            stale.unlink(missing_ok=True)
+    run_base = 0 if shard is None else shard.index * RUN_SHARD_STRIDE
     buffer = _ColumnBuffer()
     run_id = 0
     inbound = 0
@@ -280,8 +297,8 @@ def sort_merge_runs(args: Tuple[str, int, int, int, int]) -> int:
         rid, sptr, payload = buffer.take(count)
         order = np.argsort(sptr, kind="stable")
         rel = RRelationFile.create(
-            store.path(i, run_name(i, run_id)), count, record_bytes,
-            overwrite=True,
+            store.path(i, run_name(i, run_base + run_id)), count,
+            record_bytes, overwrite=True,
         )
         try:
             rel.append_columns(rid[order], sptr[order], payload[order])
@@ -292,9 +309,21 @@ def sort_merge_runs(args: Tuple[str, int, int, int, int]) -> int:
         run_id += 1
         meter.release(count * record_bytes)
 
+    lo = 0 if shard is None else shard.lo
+    hi = None if shard is None else shard.hi
+    base = 0
     for contributor in range(disks):
-        with RRelationFile.open(store.path(i, f"RS{i}_from{contributor}")) as rel:
-            for rid, sptr, payload in rel.iter_column_batches(batch_records):
+        path = store.path(i, rs_name(i, contributor))
+        count = MappedSegment.record_count(path)
+        start = max(0, lo - base)
+        stop = count if hi is None else min(count, hi - base)
+        base += count
+        if shard is not None and start >= stop:
+            continue
+        with RRelationFile.open(path) as rel:
+            for rid, sptr, payload in rel.iter_column_batches(
+                batch_records, start, stop
+            ):
                 inbound += len(rid)
                 meter.charge(len(rid) * record_bytes, "sort-run buffer")
                 buffer.extend(rid, sptr, payload)
@@ -311,13 +340,30 @@ class _RunCursor:
     this run is the tie on the merge bound); the file side is read with
     :meth:`RRelationFile.read_columns` so memory stays bounded by the
     chunk size, not the run length.
+
+    With a key range ``[klo, khi)`` (the ``keys`` rebalance axis) each
+    loaded chunk is masked to the range; because runs are sptr-sorted,
+    once a chunk's tail reaches ``khi`` the rest of the file is out of
+    range and the cursor reports exhausted.
     """
 
-    def __init__(self, rel: RRelationFile) -> None:
+    def __init__(
+        self,
+        rel: RRelationFile,
+        klo: int | None = None,
+        khi: int | None = None,
+    ) -> None:
         self.rel = rel
         self.length = len(rel)
         self.pos = 0  # file records loaded so far
+        self.klo = klo
+        self.khi = khi
+        self.range_done = False  # key range exhausted before file end
         self.rid = self.sptr = self.payload = None
+        if klo is not None:
+            # Seek past lower shards' records instead of reading and
+            # masking them away chunk by chunk.
+            self.pos = run_lower_bound(rel, klo)
 
     @property
     def buffered(self) -> int:
@@ -325,28 +371,39 @@ class _RunCursor:
 
     @property
     def file_exhausted(self) -> bool:
-        return self.pos >= self.length
+        return self.range_done or self.pos >= self.length
 
     def load(self, chunk_records: int, meter, record_bytes: int) -> int:
-        n = min(chunk_records, self.length - self.pos)
-        if n <= 0:
-            return 0
-        rid, sptr, payload = self.rel.read_columns(self.pos, n)
-        metrics = _metrics()
-        if metrics.enabled:
-            kind = self.rel.segment.kind
-            metrics.count("storage.read.batches", 1, kind=kind)
-            metrics.count("storage.read.records", n, kind=kind)
-            metrics.count("storage.read.bytes", n * record_bytes, kind=kind)
-        if self.buffered:
-            self.rid = np.concatenate([self.rid, rid])
-            self.sptr = np.concatenate([self.sptr, sptr])
-            self.payload = np.concatenate([self.payload, payload])
-        else:
-            self.rid, self.sptr, self.payload = rid, sptr, payload
-        self.pos += n
-        meter.charge(n * record_bytes, "merge run chunk")
-        return n
+        delivered = 0
+        while not delivered and not self.file_exhausted:
+            n = min(chunk_records, self.length - self.pos)
+            rid, sptr, payload = self.rel.read_columns(self.pos, n)
+            self.pos += n
+            metrics = _metrics()
+            if metrics.enabled:
+                kind = self.rel.segment.kind
+                metrics.count("storage.read.batches", 1, kind=kind)
+                metrics.count("storage.read.records", n, kind=kind)
+                metrics.count("storage.read.bytes", n * record_bytes, kind=kind)
+            if self.klo is not None:
+                if int(sptr[-1]) >= self.khi:
+                    self.range_done = True
+                keep = (sptr >= np.uint64(self.klo)) & (
+                    sptr < np.uint64(self.khi)
+                )
+                if not keep.all():
+                    rid, sptr, payload = rid[keep], sptr[keep], payload[keep]
+                if not len(rid):
+                    continue
+            if self.buffered:
+                self.rid = np.concatenate([self.rid, rid])
+                self.sptr = np.concatenate([self.sptr, sptr])
+                self.payload = np.concatenate([self.payload, payload])
+            else:
+                self.rid, self.sptr, self.payload = rid, sptr, payload
+            meter.charge(len(rid) * record_bytes, "merge run chunk")
+            delivered = len(rid)
+        return delivered
 
     def take(self, n: int) -> tuple:
         out = (self.rid[:n], self.sptr[:n], self.payload[:n])
@@ -368,14 +425,16 @@ def sort_merge_merge_join(args: Tuple[str, int, int, int, int]) -> PairResult:
     one stable argsort of those slices (concatenated in run order)
     reproduces ``heapq.merge``'s output order exactly, ties included.
     """
-    root, disks, i, s_objects, record_bytes = args[:5]
-    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects, record_bytes = core[:5]
+    batch_records = core[5] if len(core) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     paths = run_paths(store, i)
     capacity = sum(MappedSegment.record_count(path) for path in paths)
-    sink = PairSink(store.path(i, pairs_name("sm", i)), capacity)
+    sink = PairSink(store.path(i, pairs_name("sm", i, shard)), capacity)
     try:
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
@@ -387,7 +446,20 @@ def sort_merge_merge_join(args: Tuple[str, int, int, int, int]) -> PairResult:
                 )
                 sink.emit_arrays(rid, sid, payload, value)
 
-            if len(paths) == 1:
+            if shard is not None and paths:
+                cursors = [
+                    _RunCursor(RRelationFile.open(path), shard.lo, shard.hi)
+                    for path in paths
+                ]
+                try:
+                    _merge_runs(
+                        cursors, batch_records, record_bytes, s_bytes,
+                        meter, emit,
+                    )
+                finally:
+                    for cursor in cursors:
+                        cursor.rel.close()
+            elif len(paths) == 1:
                 with RRelationFile.open(paths[0]) as rel:
                     for rid, sptr, payload in rel.iter_column_batches(
                         batch_records
@@ -647,12 +719,16 @@ def grace_probe(args: Tuple[str, int, int, int, int, int]) -> PairResult:
     refining chain: chains fill in inbound order and flatten in chain
     order, which is exactly the sorted-by-chain permutation.
     """
-    root, disks, i, s_objects, buckets, tsize = args[:6]
-    batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects, buckets, tsize = core[:6]
+    batch_records = core[6] if len(core) > 6 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     part_size = pmap.partition_size(i)
+    bucket_lo = 0 if shard is None else shard.lo
+    bucket_hi = buckets if shard is None else min(shard.hi, buckets)
     inbound: List[BucketedRFile] = []
     for contributor in range(disks):
         for path in bucket_spill_paths(store, i, contributor):
@@ -660,10 +736,10 @@ def grace_probe(args: Tuple[str, int, int, int, int, int]) -> PairResult:
     capacity = sum(len(rel) for rel in inbound)
     sink = None
     try:
-        sink = PairSink(store.path(i, pairs_name("probe", i)), capacity)
+        sink = PairSink(store.path(i, pairs_name("probe", i, shard)), capacity)
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
-            for bucket in range(buckets):
+            for bucket in range(bucket_lo, bucket_hi):
                 chunks: List[tuple] = []
                 bucket_charged = 0
                 for rel in inbound:

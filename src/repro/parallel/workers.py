@@ -47,19 +47,24 @@ from repro.parallel.engine.task import (
     BATCH_RECORDS,
     CHECKSUM_MOD,
     OBS_MARKER,
+    RUN_SHARD_STRIDE,
     PairResult,
     PairSink,
     StageOutput,
     bucket_spill_name,
     bucket_spill_paths,
     metrics_sidecar,
+    nl_spill_name,
     pairs_name,
     rebatch,
     register_kernel,
     resolve_kernel_mode,
+    rs_name,
+    run_lower_bound,
     run_name,
     run_paths,
     run_stream,
+    shard_of,
 )
 from repro.storage.relation import BucketedRFile, RRelationFile
 from repro.storage.segment import MappedSegment
@@ -136,7 +141,7 @@ def nested_loops_pass0(
         sink = PairSink(store.path(i, pairs_name("p0", i)), len(r_rel))
         spill = {
             j: RRelationFile.create(
-                store.path(i, f"RP{i}_{j}"), max(1, len(r_rel)),
+                store.path(i, nl_spill_name(i, j)), max(1, len(r_rel)),
                 record_bytes, overwrite=True,
             )
             for j in range(disks)
@@ -178,29 +183,44 @@ def nested_loops_pass0(
 def nested_loops_pass1(
     args: Tuple[str, int, int, int]
 ) -> PairResult:
-    """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition."""
+    """Phases t = 1..D-1: join RP_i,offset(i,t) against that S partition.
+
+    Rebalance axis ``records``: a trailing :class:`Shard` restricts the
+    kernel to the record range ``[lo, hi)`` of the phase spill files
+    concatenated in phase order — every shard walks the same file list
+    with the same global indexing, so the shard union is exactly the
+    unsharded scan.
+    """
     vec = _vectorized(args[0])
     if vec is not None:
         return vec.nested_loops_pass1(args)
-    root, disks, i, s_objects = args[:4]
-    batch_records = args[4] if len(args) > 4 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects = core[:4]
+    batch_records = core[4] if len(core) > 4 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
-    spill_paths = [
-        store.path(i, f"RP{i}_{_phase_partner(i, t, disks)}")
-        for t in range(1, disks)
-    ]
-    capacity = sum(MappedSegment.record_count(path) for path in spill_paths)
-    sink = PairSink(store.path(i, pairs_name("p1", i)), capacity)
+    partners = [_phase_partner(i, t, disks) for t in range(1, disks)]
+    spill_paths = [store.path(i, nl_spill_name(i, j)) for j in partners]
+    counts = [MappedSegment.record_count(path) for path in spill_paths]
+    total = sum(counts)
+    lo, hi = (0, total) if shard is None else (shard.lo, min(shard.hi, total))
+    sink = PairSink(store.path(i, pairs_name("p1", i, shard)), hi - lo)
+    base = 0
     try:
-        for t in range(1, disks):
-            j = _phase_partner(i, t, disks)
-            with RRelationFile.open(store.path(i, f"RP{i}_{j}")) as spill, \
-                    store.open_s(j) as s_rel:
+        for j, path, count in zip(partners, spill_paths, counts):
+            start = max(0, lo - base)
+            stop = min(count, hi - base)
+            base += count
+            if shard is not None and start >= stop:
+                continue
+            with RRelationFile.open(path) as spill, store.open_s(j) as s_rel:
                 r_bytes = spill.segment.layout.record_bytes
                 s_bytes = s_rel.segment.layout.record_bytes
-                for batch in spill.iter_object_batches(batch_records):
+                for batch in spill.iter_object_batches(
+                    batch_records, start, stop
+                ):
                     charged = len(batch) * (r_bytes + s_bytes)
                     meter.charge(charged, "nested-loops spill batch")
                     offsets = pmap.offset_many([obj[1] for obj in batch])
@@ -230,7 +250,7 @@ def sort_merge_partition(
     with store.open_r(i) as r_rel:
         outputs = {
             j: RRelationFile.create(
-                store.path(j, f"RS{j}_from{i}"), max(1, len(r_rel)),
+                store.path(j, rs_name(j, i)), max(1, len(r_rel)),
                 record_bytes, overwrite=True,
             )
             for j in range(disks)
@@ -272,17 +292,26 @@ def sort_merge_runs(
     vec = _vectorized(args[0])
     if vec is not None:
         return vec.sort_merge_runs(args)
-    root, disks, i, record_bytes, irun = args[:5]
-    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, record_bytes, irun = core[:5]
+    batch_records = core[5] if len(core) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     meter = active_meter()
     irun = max(1, irun)
     # Stale runs are poison: the merge stage discovers runs by glob, so
     # leftovers from a previous attempt or plan (including torn-write
     # garbage at a run's final path) must be gone before this attempt
-    # cuts its own.
-    for stale in run_paths(store, i):
-        stale.unlink(missing_ok=True)
+    # cuts its own.  Sharded cutters must NOT sweep — they would race
+    # each other's fresh runs; the executor pre-cleans the partition
+    # once before dispatching the shard tasks.
+    if shard is None:
+        for stale in run_paths(store, i):
+            stale.unlink(missing_ok=True)
+    # Shards namespace their run ids so every shard writes disjoint run
+    # files; numeric sort over the combined ids reproduces shard order
+    # then local order, i.e. the concatenated inbound order.
+    run_base = 0 if shard is None else shard.index * RUN_SHARD_STRIDE
     buffer: List[RObject] = []
     run_id = 0
     inbound = 0
@@ -293,8 +322,8 @@ def sort_merge_runs(
             return
         buffer.sort(key=lambda obj: obj.sptr)
         rel = RRelationFile.create(
-            store.path(i, run_name(i, run_id)), len(buffer), record_bytes,
-            overwrite=True,
+            store.path(i, run_name(i, run_base + run_id)), len(buffer),
+            record_bytes, overwrite=True,
         )
         try:
             rel.append_many(buffer)
@@ -306,9 +335,19 @@ def sort_merge_runs(
         meter.release(len(buffer) * record_bytes)
         buffer.clear()
 
+    lo = 0 if shard is None else shard.lo
+    hi = None if shard is None else shard.hi
+    base = 0
     for contributor in range(disks):
-        with RRelationFile.open(store.path(i, f"RS{i}_from{contributor}")) as rel:
-            for batch in rel.iter_object_batches(batch_records):
+        path = store.path(i, rs_name(i, contributor))
+        count = MappedSegment.record_count(path)
+        start = max(0, lo - base)
+        stop = count if hi is None else min(count, hi - base)
+        base += count
+        if shard is not None and start >= stop:
+            continue
+        with RRelationFile.open(path) as rel:
+            for batch in rel.iter_object_batches(batch_records, start, stop):
                 inbound += len(batch)
                 meter.charge(len(batch) * record_bytes, "sort-run buffer")
                 buffer.extend(batch)
@@ -321,6 +360,25 @@ def sort_merge_runs(
     return inbound
 
 
+def _clipped_run_stream(path, klo: int, khi: int, batch_records: int):
+    """Stream a sorted run's records with ``sptr`` in ``[klo, khi)``.
+
+    Binary-seeks to the range start and stops at the first record past
+    it, so a key-range shard's cost is proportional to its own range —
+    never to the prefix owned by lower shards.
+    """
+    rel = RRelationFile.open(path)
+    try:
+        start = run_lower_bound(rel, klo)
+        for batch in rel.iter_object_batches(batch_records, start):
+            for obj in batch:
+                if obj.sptr >= khi:
+                    return
+                yield obj
+    finally:
+        rel.close()
+
+
 @register_kernel
 def sort_merge_merge_join(
     args: Tuple[str, int, int, int, int]
@@ -331,23 +389,51 @@ def sort_merge_merge_join(
     the per-record merge machinery (generator hops + key calls) is
     skipped entirely — the common case whenever a partition's inbound fits
     one initial run.
+
+    Rebalance axis ``keys``: a trailing :class:`Shard` carries an sptr
+    key range ``[lo, hi)``.  Each shard merges *all* runs clipped to its
+    range; the ranges tile the key space, so the shard union is the full
+    merge (runs are sorted, so clipping preserves merge order).
     """
     vec = _vectorized(args[0])
     if vec is not None:
         return vec.sort_merge_merge_join(args)
-    root, disks, i, s_objects, record_bytes = args[:5]
-    batch_records = args[5] if len(args) > 5 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects, record_bytes = core[:5]
+    batch_records = core[5] if len(core) > 5 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     paths = run_paths(store, i)
     capacity = sum(MappedSegment.record_count(path) for path in paths)
-    sink = PairSink(store.path(i, pairs_name("sm", i)), capacity)
+    sink = PairSink(store.path(i, pairs_name("sm", i, shard)), capacity)
     try:
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
             batch_cost = record_bytes + s_bytes
-            if len(paths) == 1:
+            if shard is not None and paths:
+                streams = [
+                    _clipped_run_stream(
+                        path, shard.lo, shard.hi, batch_records
+                    )
+                    for path in paths
+                ]
+                try:
+                    merged = (
+                        streams[0]
+                        if len(streams) == 1
+                        else heapq.merge(*streams, key=lambda o: o.sptr)
+                    )
+                    for batch in rebatch(merged, batch_records):
+                        meter.charge(len(batch) * batch_cost, "merge batch")
+                        offsets = pmap.offset_many([obj[1] for obj in batch])
+                        sink.emit_joined(batch, s_rel.dereference_many(offsets))
+                        meter.release(len(batch) * batch_cost)
+                finally:
+                    for stream in streams:
+                        stream.close()
+            elif len(paths) == 1:
                 with RRelationFile.open(paths[0]) as rel:
                     for batch in rel.iter_object_batches(batch_records):
                         meter.charge(len(batch) * batch_cost, "merge batch")
@@ -568,16 +654,26 @@ def hybrid_hash_partition(
 def grace_probe(
     args: Tuple[str, int, int, int, int, int]
 ) -> PairResult:
-    """Probe passes for one partition: bucket table, ordered S access."""
+    """Probe passes for one partition: bucket table, ordered S access.
+
+    Rebalance axis ``buckets``: a trailing :class:`Shard` restricts the
+    probe to the contiguous bucket range ``[lo, hi)``.  Buckets are
+    independent units of work, so the shard union probes exactly the
+    unsharded bucket sequence.
+    """
     vec = _vectorized(args[0])
     if vec is not None:
         return vec.grace_probe(args)
-    root, disks, i, s_objects, buckets, tsize = args[:6]
-    batch_records = args[6] if len(args) > 6 else BATCH_RECORDS
+    shard = shard_of(args)
+    core = args[:-1] if shard is not None else args
+    root, disks, i, s_objects, buckets, tsize = core[:6]
+    batch_records = core[6] if len(core) > 6 else BATCH_RECORDS
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     part_size = pmap.partition_size(i)
+    bucket_lo = 0 if shard is None else shard.lo
+    bucket_hi = buckets if shard is None else min(shard.hi, buckets)
     inbound: List[BucketedRFile] = []
     for contributor in range(disks):
         for path in bucket_spill_paths(store, i, contributor):
@@ -585,10 +681,10 @@ def grace_probe(
     capacity = sum(len(rel) for rel in inbound)
     sink = None
     try:
-        sink = PairSink(store.path(i, pairs_name("probe", i)), capacity)
+        sink = PairSink(store.path(i, pairs_name("probe", i, shard)), capacity)
         with store.open_s(i) as s_rel:
             s_bytes = s_rel.segment.layout.record_bytes
-            for bucket in range(buckets):
+            for bucket in range(bucket_lo, bucket_hi):
                 table: List[List[RObject]] = [[] for _ in range(tsize)]
                 bucket_charged = 0
                 for rel in inbound:

@@ -96,27 +96,39 @@ class RRelationFile(_RelationFile):
                 view.release()
 
     def iter_object_batches(
-        self, batch_records: int = DEFAULT_BATCH_RECORDS
+        self,
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[List[RObject]]:
-        """Iterate objects in decoded batches (the workers' inner shape)."""
+        """Iterate objects in decoded batches (the workers' inner shape).
+
+        ``start``/``stop`` bound the record range (a rebalance shard's
+        slice); defaults cover the whole relation.
+        """
         unpack = self.segment.layout.unpack_r_batch
-        for view in self.segment.iter_batches(batch_records):
+        for view in self.segment.iter_batches(batch_records, start, stop):
             try:
                 yield unpack(view)
             finally:
                 view.release()
 
     def iter_column_batches(
-        self, batch_records: int = DEFAULT_BATCH_RECORDS
+        self,
+        batch_records: int = DEFAULT_BATCH_RECORDS,
+        start: int = 0,
+        stop: int | None = None,
     ) -> Iterator[Tuple]:
         """Iterate (rid, sptr, payload) u64 column-array batches.
 
         The vectorized kernels' inner shape: one dtype view per mapped
         batch, three compact column copies out, view released before the
         next step — so the mapping never holds an exported buffer.
+        ``start``/``stop`` bound the record range as in
+        :meth:`iter_object_batches`.
         """
         decode = self.segment.layout.decode_columns
-        for view in self.segment.iter_batches(batch_records):
+        for view in self.segment.iter_batches(batch_records, start, stop):
             try:
                 yield decode(view)
             finally:

@@ -493,12 +493,23 @@ class MappedSegment:
         lo = PAGE_SIZE + start * record_bytes
         return memoryview(self._mapping())[lo : lo + count * record_bytes]
 
-    def iter_batches(self, batch_records: int = 4096) -> Iterator[memoryview]:
-        """Views covering all written records, ``batch_records`` at a time."""
+    def iter_batches(
+        self,
+        batch_records: int = 4096,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> Iterator[memoryview]:
+        """Views covering records ``[start, stop)``, ``batch_records`` at a time.
+
+        Defaults cover every written record; a narrower window is the
+        executor rebalancer's record-range shard shape.
+        """
         if batch_records <= 0:
             raise StorageError(f"batch size must be positive: {batch_records}")
-        for start in range(0, self._count, batch_records):
-            count = min(batch_records, self._count - start)
+        stop = self._count if stop is None else min(stop, self._count)
+        start = max(0, start)
+        for start in range(start, stop, batch_records):
+            count = min(batch_records, stop - start)
             metrics = _metrics()
             if metrics.enabled:
                 metrics.count("storage.read.batches", 1, kind=self.kind)

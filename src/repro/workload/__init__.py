@@ -4,10 +4,12 @@ from repro.workload.distributions import (
     DISTRIBUTIONS,
     DistributionError,
     clustered_pointers,
+    distribution_arg_names,
     partition_hot_pointers,
     permutation_pointers,
     sampler,
     uniform_pointers,
+    validate_distribution_args,
     zipf_pointers,
 )
 from repro.workload.generator import Workload, WorkloadSpec, generate_workload
@@ -20,6 +22,7 @@ __all__ = [
     "WorkloadIOError",
     "WorkloadSpec",
     "clustered_pointers",
+    "distribution_arg_names",
     "generate_workload",
     "load_workload",
     "save_workload",
@@ -27,5 +30,6 @@ __all__ = [
     "permutation_pointers",
     "sampler",
     "uniform_pointers",
+    "validate_distribution_args",
     "zipf_pointers",
 ]

@@ -8,8 +8,11 @@ sensitivity.
 
 from __future__ import annotations
 
+import inspect
+import math
 import random
-from typing import Callable, List
+from functools import lru_cache
+from typing import Callable, List, Mapping
 
 Sampler = Callable[[random.Random, int, int], List[int]]
 
@@ -37,6 +40,27 @@ def permutation_pointers(rng: random.Random, count: int, s_objects: int) -> List
     return pointers
 
 
+@lru_cache(maxsize=16)
+def zipf_cumulative_weights(s_objects: int, theta: float) -> tuple[float, ...]:
+    """Cumulative Zipf weights for ``rng.choices(cum_weights=...)``.
+
+    Cached per (|S|, theta) so repeated sampling does not rebuild the
+    O(|S|) weight list on every call.  ``rank ** theta`` overflows for
+    large exponents; the log-space form underflows to 0.0 instead, which
+    is the correct limit (rank 1 keeps weight 1.0, the tail vanishes).
+    """
+    total = 0.0
+    cumulative: List[float] = []
+    for rank in range(1, s_objects + 1):
+        try:
+            weight = 1.0 / rank**theta
+        except OverflowError:
+            weight = math.exp(-theta * math.log(rank))
+        total += weight
+        cumulative.append(total)
+    return tuple(cumulative)
+
+
 def zipf_pointers(
     rng: random.Random, count: int, s_objects: int, theta: float = 1.0
 ) -> List[int]:
@@ -47,10 +71,12 @@ def zipf_pointers(
     shuffle so popularity skew does not accidentally become *partition*
     skew.
     """
+    if not isinstance(theta, (int, float)) or not math.isfinite(theta):
+        raise DistributionError("zipf exponent must be a finite number")
     if theta < 0:
         raise DistributionError("zipf exponent must be non-negative")
-    weights = [1.0 / (rank**theta) for rank in range(1, s_objects + 1)]
-    ranks = rng.choices(range(s_objects), weights=weights, k=count)
+    cum_weights = zipf_cumulative_weights(s_objects, float(theta))
+    ranks = rng.choices(range(s_objects), cum_weights=cum_weights, k=count)
     # Scatter ranks across S: multiply by an odd stride modulo |S|.
     stride = _coprime_stride(s_objects)
     return [(rank * stride + 1) % s_objects for rank in ranks]
@@ -101,6 +127,11 @@ def clustered_pointers(
     return pointers
 
 
+# The whole point of clustered references is that R's *order* carries the
+# locality; the generator must not shuffle it away.
+clustered_pointers.order_matters = True
+
+
 def _coprime_stride(n: int) -> int:
     """A multiplicative stride coprime with n (for rank scattering)."""
     import math
@@ -128,3 +159,25 @@ def sampler(name: str) -> Sampler:
         raise DistributionError(
             f"unknown distribution {name!r}; choices: {sorted(DISTRIBUTIONS)}"
         ) from None
+
+
+def distribution_arg_names(name: str) -> List[str]:
+    """The keyword parameters a distribution accepts beyond (rng, count, |S|)."""
+    return list(inspect.signature(sampler(name)).parameters)[3:]
+
+
+def validate_distribution_args(name: str, args: Mapping[str, object]) -> None:
+    """Reject unknown ``distribution_args`` before any work is done.
+
+    Raises :class:`DistributionError` naming the offending keys and the
+    accepted ones, so callers (the CLI in particular) can fail before a
+    store is created.
+    """
+    allowed = distribution_arg_names(name)
+    unknown = sorted(set(args) - set(allowed))
+    if unknown:
+        accepted = ", ".join(allowed) if allowed else "none"
+        raise DistributionError(
+            f"distribution {name!r} does not accept {unknown}; "
+            f"accepted args: {accepted}"
+        )

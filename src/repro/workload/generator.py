@@ -121,8 +121,11 @@ def generate_workload(spec: WorkloadSpec, disks: int) -> Workload:
         for i, ptr in enumerate(pointers)
     ]
     # Shuffle before splitting so positional partitioning is random
-    # assignment, matching the paper's "randomly distributed" premise.
-    rng.shuffle(r_objects)
+    # assignment, matching the paper's "randomly distributed" premise —
+    # unless the sampler declares that R's order is part of the
+    # distribution (clustered runs would be destroyed by a shuffle).
+    if not getattr(sample, "order_matters", False):
+        rng.shuffle(r_objects)
 
     return Workload(
         spec=spec,
