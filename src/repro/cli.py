@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
              "also settable via REPRO_KERNELS",
     )
     join.add_argument(
+        "--resume", action="store_true",
+        help="real backend: resume from the store's pass-level checkpoint "
+             "manifest (requires --store); completed, checksum-verified "
+             "passes are replayed instead of recomputed, and the output "
+             "is bit-identical to an uninterrupted run",
+    )
+    join.add_argument(
         "--rebalance", choices=("off", "auto", "on"), default="auto",
         help="real-backend per-partition size rebalancing: shard "
              "oversized partitions into parallel sub-tasks when skewed "
@@ -196,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write to a file instead of stdout")
     report.add_argument("--no-comparison", action="store_true",
                         help="skip the algorithm-comparison section")
+
+    scrub = sub.add_parser(
+        "scrub", help="payload-checksum verify every segment in a store"
+    )
+    scrub.add_argument("store", help="store directory (disk*/ subdirs)")
+    scrub.add_argument(
+        "--disks", type=int, default=None,
+        help="disk directories to scan (default: count the disk* subdirs)",
+    )
+    scrub.add_argument(
+        "--remove", action="store_true",
+        help="delete segments that fail verification (default: report only)",
+    )
 
     stats = sub.add_parser(
         "stats", help="validate or model-compare an exported stats document"
@@ -347,6 +367,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "crossover": _cmd_crossover,
         "report": _cmd_report,
         "workload": _cmd_workload,
+        "scrub": _cmd_scrub,
         "stats": _cmd_stats,
         "serve": _cmd_serve,
         "client": _cmd_client,
@@ -397,6 +418,10 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_join(args) -> int:
+    if args.resume and not args.real:
+        print("--resume only applies to the real backend (--real)",
+              file=sys.stderr)
+        return 2
     workload = _workload(args)
     if args.real:
         from repro.parallel import (
@@ -434,6 +459,13 @@ def _cmd_join(args) -> int:
             ResourceGovernor(max_concurrent=args.max_concurrent)
             if args.max_concurrent is not None else None
         )
+        if args.resume and not args.store:
+            print(
+                "--resume needs --store: the checkpoint manifest lives in "
+                "the store a previous run kept",
+                file=sys.stderr,
+            )
+            return 2
         with contextlib.ExitStack() as stack:
             root = args.store or stack.enter_context(
                 tempfile.TemporaryDirectory()
@@ -442,6 +474,7 @@ def _cmd_join(args) -> int:
                 result = run_real_join(
                     args.algorithm, workload, root,
                     keep_store=bool(args.store),
+                    resume=args.resume,
                     retries=args.retries,
                     task_timeout=args.task_timeout,
                     fault_plan=fault_plan,
@@ -466,6 +499,25 @@ def _cmd_join(args) -> int:
                 f"recovery: {result.retries_total} retries, "
                 f"{result.timeouts_total} timeouts, "
                 f"{result.inline_fallbacks} inline fallbacks"
+            )
+        resume_doc = result.resume or {}
+        if resume_doc.get("requested"):
+            if resume_doc.get("resumed"):
+                print(
+                    f"resume: skipped {resume_doc.get('passes_skipped', 0)} "
+                    f"checkpointed pass(es) from a manifest "
+                    f"{resume_doc.get('manifest_age_s', 0.0):,.1f} s old"
+                )
+            else:
+                print(
+                    "resume: started fresh "
+                    f"({resume_doc.get('reason') or 'no usable checkpoint'})"
+                )
+        integrity_doc = result.integrity or {}
+        if integrity_doc.get("scrub_failures"):
+            print(
+                f"integrity: {integrity_doc['scrub_failures']} segment(s) "
+                "failed their payload scrub and were recomputed"
             )
         if result.governor is not None:
             gov = result.governor
@@ -672,6 +724,37 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_scrub(args) -> int:
+    from pathlib import Path
+
+    from repro.storage.store import Store
+
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"not a store directory: {root}", file=sys.stderr)
+        return 2
+    disks = args.disks
+    if disks is None:
+        disks = sum(
+            1 for p in root.glob("disk*")
+            if p.is_dir() and p.name[4:].isdigit()
+        )
+    if disks < 1:
+        print(f"no disk* directories under {root}", file=sys.stderr)
+        return 2
+    report = Store(root, disks).scrub(remove=args.remove)
+    print(
+        f"scrubbed {root} ({disks} disks): {report['scanned']} segments, "
+        f"{report['verified']} verified, {report['legacy']} legacy "
+        f"(no checksum footer), {len(report['failed'])} failed"
+    )
+    for failure in report["failed"]:
+        print(f"  CORRUPT {failure['path']}: {failure['problem']}")
+    for removed in report["removed"]:
+        print(f"  removed {removed}")
+    return 1 if report["failed"] else 0
+
+
 def _cmd_serve(args) -> int:
     from repro.service import (
         JoinService,
@@ -705,6 +788,20 @@ def _cmd_serve(args) -> int:
     except ServiceError as error:
         print(f"cannot start join service: {error}", file=sys.stderr)
         return 2
+    # SIGTERM/SIGINT begin a graceful drain: stop accepting, let every
+    # in-flight request deliver its terminal frame, then exit cleanly
+    # (serve_forever unblocks and close() joins the request threads).
+    def _drain(signum, frame):
+        print(
+            f"signal {signum}: draining in-flight requests, then exiting",
+            flush=True,
+        )
+        service.request_shutdown()
+
+    import signal as _signal
+
+    _signal.signal(_signal.SIGTERM, _drain)
+    _signal.signal(_signal.SIGINT, _drain)
     sweep = service.startup_sweep
     print(
         f"join service on {args.socket} "
@@ -712,9 +809,17 @@ def _cmd_serve(args) -> int:
         f"{args.max_concurrent} concurrent, queue {args.queue_limit}); "
         f"startup sweep removed {sweep['seg_tmp']} tmp segments, "
         f"{sweep['sidecars']} sidecars, "
-        f"{sweep['control_files']} control files",
+        f"{sweep['control_files']} control files; "
+        f"scrub verified {sweep['scrubbed']} warm segments, "
+        f"removed {sweep['corrupt']} corrupt, evicted {sweep['evicted']}",
         flush=True,
     )
+    if service.interrupted_requests:
+        print(
+            f"journal holds {len(service.interrupted_requests)} interrupted "
+            "request(s); their retries will resume from checkpoints",
+            flush=True,
+        )
     try:
         service.serve_forever()
     except KeyboardInterrupt:

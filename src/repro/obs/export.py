@@ -37,7 +37,14 @@ from repro.obs.registry import MetricsRegistry, parse_metric_key
 #: may carry a ``rebalance`` block (the executor's per-partition
 #: sharding decision), per-worker ids may be shard slots (``"2s1"``),
 #: and ``meta.skew`` reports the workload's measured partition skew.
-SCHEMA_VERSION = 4
+#: Version 5 adds two durability sections to real-backend totals:
+#: ``totals.integrity`` (segments fully scrubbed, scrub failures, and
+#: payload-checksum verification counts from the ``storage.integrity.*``
+#: counter family) and ``totals.resume`` (whether the run replayed a
+#: pass-level checkpoint manifest, how many passes it skipped, the
+#: manifest's age, and why a requested resume was declined).  Both are
+#: optional — the simulator and the service document carry neither.
+SCHEMA_VERSION = 5
 DOCUMENT_KIND = "repro-join-stats"
 
 #: Spill segment kinds — temporaries redistributed between partitions, as
@@ -122,6 +129,8 @@ def schema_problems(document: object) -> List[str]:
         elif any(not isinstance(v, (int, float)) for v in recovery.values()):
             problems.append("totals.recovery values must be numbers")
     problems.extend(_governor_problems(totals.get("governor")))
+    problems.extend(_integrity_problems(totals.get("integrity")))
+    problems.extend(_resume_problems(totals.get("resume")))
     problems.extend(_service_problems(document.get("service")))
     for label, entry in document["per_pass"].items():
         if not isinstance(entry, dict) or not isinstance(
@@ -198,6 +207,53 @@ def _governor_problems(governor: object) -> List[str]:
                   "plan"):
         if not isinstance(governor.get(field), Mapping):
             problems.append(f"totals.governor.{field} must be an object")
+    return problems
+
+
+def _integrity_problems(integrity: object) -> List[str]:
+    """Schema problems in an optional ``totals.integrity`` section.
+
+    Present on real-backend documents (v5+): the run's payload-checksum
+    accounting — segments fully scrubbed during resume validation, scrub
+    failures encountered, and how many open-time payload verifications
+    ran (split into fresh hashes and memoized re-opens).
+    """
+    if integrity is None:
+        return []
+    if not isinstance(integrity, Mapping):
+        return ["totals.integrity must be an object"]
+    problems: List[str] = []
+    for field in ("segments_scrubbed", "scrub_failures",
+                  "checksum_verified", "checksum_cached"):
+        if not isinstance(integrity.get(field), (int, float)):
+            problems.append(f"totals.integrity.{field} must be a number")
+    return problems
+
+
+def _resume_problems(resume: object) -> List[str]:
+    """Schema problems in an optional ``totals.resume`` section.
+
+    Present on real-backend documents (v5+): whether the run was asked
+    to resume from a pass-level checkpoint manifest, whether it did, how
+    many completed passes the manifest let it skip, the manifest's age,
+    and — for declined or truncated resumes — the reason.
+    """
+    if resume is None:
+        return []
+    if not isinstance(resume, Mapping):
+        return ["totals.resume must be an object"]
+    problems: List[str] = []
+    for field in ("requested", "resumed"):
+        if not isinstance(resume.get(field), bool):
+            problems.append(f"totals.resume.{field} must be a boolean")
+    if not isinstance(resume.get("passes_skipped"), (int, float)):
+        problems.append("totals.resume.passes_skipped must be a number")
+    age = resume.get("manifest_age_s")
+    if age is not None and not isinstance(age, (int, float)):
+        problems.append("totals.resume.manifest_age_s must be a number or null")
+    reason = resume.get("reason")
+    if reason is not None and not isinstance(reason, str):
+        problems.append("totals.resume.reason must be a string or null")
     return problems
 
 
@@ -379,6 +435,26 @@ def build_real_stats_document(result, workload=None) -> dict:
     if driver_metrics:
         totals_registry.merge(driver_metrics)
 
+    integrity = getattr(result, "integrity", None) or {}
+    resume = getattr(result, "resume", None) or {}
+    integrity_doc = {
+        "segments_scrubbed": int(integrity.get("segments_scrubbed", 0)),
+        "scrub_failures": int(integrity.get("scrub_failures", 0)),
+        "checksum_verified": int(sum(
+            totals_registry.counters_named("storage.integrity.verify").values()
+        )),
+        "checksum_cached": int(sum(
+            totals_registry.counters_named("storage.integrity.cached").values()
+        )),
+    }
+    resume_doc = {
+        "requested": bool(resume.get("requested", False)),
+        "resumed": bool(resume.get("resumed", False)),
+        "passes_skipped": int(resume.get("passes_skipped", 0)),
+        "manifest_age_s": resume.get("manifest_age_s"),
+        "reason": resume.get("reason"),
+    }
+
     spec = getattr(workload, "spec", None)
     governor = getattr(result, "governor", None)
     meta = {
@@ -415,6 +491,8 @@ def build_real_stats_document(result, workload=None) -> dict:
                     getattr(result, "inline_fallbacks", 0)
                 ),
             },
+            "integrity": integrity_doc,
+            "resume": resume_doc,
             **({"governor": governor} if governor is not None else {}),
         },
         "per_pass": per_pass,

@@ -56,6 +56,13 @@ from repro.governor.errors import ResourceExhausted
 from repro.governor.predict import JoinPlan
 from repro.obs.registry import MetricsRegistry, activate, active, deactivate
 from repro.obs.spans import span
+from repro.parallel.engine.checkpoint import (
+    CheckpointWriter,
+    discard_manifest,
+    load_manifest,
+    validate_manifest,
+    workload_signature,
+)
 from repro.parallel.engine.rebalance import plan_stage_rebalance
 from repro.parallel.engine.stages import PassPlan, Stage, StageContext
 from repro.parallel.engine.task import (
@@ -110,6 +117,13 @@ class ExecutionOutcome:
     runtime_degradations: int = 0
     resource_errors: Dict[str, int] = field(default_factory=dict)
     disk_peak_bytes: int = 0
+    #: Resume accounting (stats ``totals.resume``): whether a checkpoint
+    #: manifest was replayed, how many completed passes it skipped, and
+    #: how old it was; ``reason`` explains a declined resume.
+    resume: Dict[str, object] = field(default_factory=dict)
+    #: Integrity accounting (stats ``totals.integrity``): segments fully
+    #: scrubbed (resume validation) and scrub failures encountered.
+    integrity: Dict[str, int] = field(default_factory=dict)
     #: The published PAIRS segments (count, checksum, path per worker).
     #: Paths are only live while the store is (``keep_store=True``) — the
     #: join-service daemon streams them to clients straight from the
@@ -199,6 +213,7 @@ def execute_plan(
     worker_mem_budget: Optional[int] = None,
     disk_budget: Optional[int] = None,
     materialize: bool = True,
+    resume: bool = False,
 ) -> ExecutionOutcome:
     """Run every stage of ``pass_plan`` across all partitions.
 
@@ -230,13 +245,64 @@ def execute_plan(
     # run are safe to sweep (live tmps are flock-protected regardless).
     store = Store(store_root, disks, clean_orphans=True)
     sweep_run_artifacts(store_root, store)
+
+    # ---------------------------------------------------------- checkpoint
+    # Resolve the resume request against the store's manifest before
+    # anything is (re)materialized: a valid manifest proves the store
+    # warm and hands back the completed stages; anything less falls
+    # back to a fresh run — resume is an optimization, never a risk.
+    signature = workload_signature(workload)
+    resume_state = None
+    resume_problem: Optional[str] = None
+    scrub_failures = 0
+    if resume:
+        manifest = load_manifest(store_root)
+        if manifest is None:
+            resume_problem = "no checkpoint manifest in the store"
+        else:
+            resume_state, resume_problem, scrub_failures = validate_manifest(
+                manifest, store, algorithm, signature,
+                [stage.label for stage in pass_plan.stages],
+            )
+    if resume_state is None:
+        # Fresh run (or declined resume): a stale manifest must not
+        # describe the new run's artifacts.
+        discard_manifest(store_root)
+    else:
+        # The recorded stages ran under the manifest's (possibly
+        # degraded) plan; resuming under the caller's knobs instead
+        # would break bit-identity with the uninterrupted run.
+        plan = JoinPlan(**resume_state.plan)
+    outcome = ExecutionOutcome(plan=plan)
+    outcome.integrity = {
+        "segments_scrubbed": (
+            resume_state.segments_scrubbed if resume_state is not None else 0
+        ),
+        "scrub_failures": scrub_failures,
+    }
+    outcome.resume = {
+        "requested": resume,
+        "resumed": resume_state is not None,
+        "passes_skipped": (
+            len(resume_state.records) if resume_state is not None else 0
+        ),
+        "manifest_age_s": (
+            resume_state.manifest_age_s if resume_state is not None else None
+        ),
+        "reason": resume_problem,
+    }
+    if resume_state is not None:
+        outcome.runtime_degradations = resume_state.runtime_degradations
+    checkpoint = CheckpointWriter(
+        store_root, algorithm, signature,
+        replayed=resume_state.records if resume_state is not None else None,
+    )
+
     if worker_mem_budget is not None or disk_budget is not None:
         install_budgets(store_root, worker_mem_budget, disk_budget)
     # The marker, not an env var, carries the mode: pool workers fork
     # with a stale environment, and a degradation round may switch it.
     install_kernel_mode(store_root, plan.kernel_mode)
-
-    outcome = ExecutionOutcome(plan=plan)
     recovery: Dict[str, object] = {
         "retries": 0, "timeouts": 0, "inline_fallbacks": 0,
         "pool_dirty": False,
@@ -249,6 +315,8 @@ def execute_plan(
     # label -> {"moved": int, "pairs": int, "total": int}.
     stage_totals: Dict[str, Dict[str, int]] = {}
     checked_rules: set = set()
+    # Stage labels replayed from the checkpoint manifest this round.
+    replayed: set = set()
 
     def sample_disk() -> None:
         if governed:
@@ -296,6 +364,7 @@ def execute_plan(
                 )
 
     def run_stage(stage: Stage, current: JoinPlan) -> None:
+        checkpoint.begin_stage(store)
         units = plan_stage_units(store, ctx, stage, current, outcome)
         with span("stage", algo=algorithm, label=stage.label, kind=stage.kind):
             results = _dispatch_stage(
@@ -333,6 +402,22 @@ def execute_plan(
             )
             pair_results.extend(stage_pairs)
         check_conservation()
+        # The stage barrier held and its invariants passed: checkpoint
+        # the published artifacts so a crash from here on costs only the
+        # passes that have not run yet.
+        checkpoint.record_stage(
+            store,
+            label=stage.label,
+            kind=stage.kind,
+            wall_ms=outcome.pass_wall_ms[stage.label],
+            count=outcome.pass_counts[stage.label],
+            checksum=outcome.pass_checksums.get(stage.label),
+            totals=stage_totals[stage.label],
+            pair_files=stage_pairs,
+            rebalance=outcome.rebalance.get(stage.label),
+            plan=current.as_dict(),
+            runtime_degradations=outcome.runtime_degradations,
+        )
 
     def reset_round() -> None:
         """Wipe one failed round's partial state so the next is pristine.
@@ -352,6 +437,10 @@ def execute_plan(
         pair_results.clear()
         stage_totals.clear()
         checked_rules.clear()
+        replayed.clear()
+        # The manifest describes temps this reset is about to delete; a
+        # crash between here and the next barrier must find no manifest.
+        checkpoint.reset()
         for sidecar in Path(store_root).glob("metrics_*.json"):
             sidecar.unlink(missing_ok=True)
         store.cleanup_temps()
@@ -361,7 +450,50 @@ def execute_plan(
         if collect_metrics:
             (Path(store_root) / OBS_MARKER).touch()
             driver_registry = activate(MetricsRegistry())
-        if materialize:
+        if resume_state is not None:
+            # The manifest's scrub already proved R/S and every recorded
+            # artifact byte-good; replay the completed stages' outcomes
+            # and clear only the temps the manifest does *not* record —
+            # partial outputs of the incomplete stage a glob-driven
+            # consumer would otherwise double-count.
+            for disk in range(disks):
+                for path in store.temp_paths(disk):
+                    rel = str(path.relative_to(store.root))
+                    if rel not in resume_state.recorded_paths:
+                        path.unlink(missing_ok=True)
+            for record in resume_state.records:
+                label = record["label"]
+                replayed.add(label)
+                outcome.pass_wall_ms[label] = float(record["wall_ms"])
+                outcome.pass_counts[label] = int(record["count"])
+                outcome.pass_kinds[label] = record["kind"]
+                if record.get("checksum") is not None:
+                    outcome.pass_checksums[label] = int(record["checksum"])
+                if record.get("rebalance"):
+                    outcome.rebalance[label] = record["rebalance"]
+                stage_totals[label] = {
+                    key: int(value)
+                    for key, value in record["totals"].items()
+                }
+                pair_results.extend(
+                    PairResult(
+                        int(entry["count"]),
+                        int(entry["checksum"]),
+                        str(store.root / entry["path"]),
+                    )
+                    for entry in record["pair_files"]
+                )
+            check_conservation()
+        elif materialize or resume:
+            if resume:
+                # A declined resume leaves a store nothing proved good —
+                # possibly the very corruption that declined it.  Rebuild
+                # R/S and start from zero temps; recomputation is the
+                # price of not serving a rotten byte.
+                store.cleanup_temps()
+                for disk in range(disks):
+                    for name in ("R", "S"):
+                        store.path(disk, name).unlink(missing_ok=True)
             store.materialize(workload)
         else:
             for disk in range(disks):
@@ -385,6 +517,8 @@ def execute_plan(
         while True:
             try:
                 for stage in pass_plan.stages:
+                    if stage.label in replayed:
+                        continue
                     run_stage(stage, current)
                 break
             except ResourceExhausted as error:
@@ -410,6 +544,9 @@ def execute_plan(
                 reset_round()
                 install_kernel_mode(store_root, current.kernel_mode)
         outcome.plan = current
+        # A completed run needs no resume; a surviving manifest on a
+        # warm store would wrongly skip the *next* join's passes.
+        discard_manifest(store_root)
 
         if collect_pairs:
             pairs: List[JoinedPair] = []

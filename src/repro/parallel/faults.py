@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence
 import errno as _errno
 
 from repro.governor.errors import MemoryExhausted
-from repro.storage.segment import HEADER, MAGIC
+from repro.storage.segment import HEADER, MAGIC, PAGE_SIZE, MappedSegment
 
 #: Presence of this file in the store root arms fault injection.
 FAULTS_FILE = "faults.json"
@@ -51,7 +51,13 @@ FAULTS_FILE = "faults.json"
 #: ``disk-full`` and ``mem-pressure`` exercise the governor — they raise
 #: (never kill) in both pool and inline modes, because resource pressure
 #: is a *classified error* the runner degrades on, not a process death.
-FAULT_KINDS = ("crash", "hang", "torn-write", "disk-full", "mem-pressure")
+#: ``bit-flip`` and ``truncate-payload`` exercise the integrity layer: a
+#: *structurally valid published* segment whose payload silently rotted,
+#: which only the checksum footer (or the file-length check) can catch.
+FAULT_KINDS = (
+    "crash", "hang", "torn-write", "disk-full", "mem-pressure",
+    "bit-flip", "truncate-payload",
+)
 
 #: Worker task names per algorithm, in pass order — the coordinates a
 #: fault plan pins to, and the basis of "kill one worker in every pass".
@@ -89,6 +95,7 @@ _TORN_VICTIMS: Dict[str, Optional[str]] = {
 _EXIT_CRASH = 23
 _EXIT_HANG = 24
 _EXIT_TORN = 25
+_EXIT_CORRUPT = 26
 
 
 class FaultPlanError(ValueError):
@@ -113,6 +120,11 @@ class InjectedHang(InjectedFault):
 
 class InjectedTornWrite(InjectedFault):
     """Inline stand-in for a crash that leaves a torn output segment."""
+
+
+class InjectedCorruption(InjectedFault):
+    """Inline stand-in for a crash that leaves a *silently corrupt*
+    published segment — structurally valid header, rotten payload."""
 
 
 class InjectedDiskFull(InjectedFault, OSError):
@@ -334,6 +346,67 @@ def _write_torn_segment(path: Path) -> None:
     path.write_bytes(HEADER.pack(MAGIC, 128, 4, 977) + b"torn segment")
 
 
+def _read_payload_header(file_obj, path: Path) -> tuple:
+    header = file_obj.read(HEADER.size)
+    if len(header) < HEADER.size:
+        raise FaultPlanError(f"{path} is not a segment file")
+    magic, record_bytes, capacity, count = HEADER.unpack_from(header)
+    if magic != MAGIC or count <= 0:
+        raise FaultPlanError(f"{path} has no published records to corrupt")
+    return record_bytes, capacity, count
+
+
+def flip_payload_bit(
+    path: str | os.PathLike, record: int = 0, bit: int = 0
+) -> None:
+    """Flip one payload bit of a published segment, in place.
+
+    Header and checksum footer stay exactly as the writer left them —
+    this is *silent* corruption, invisible to the torn-header checks and
+    catchable only by the payload CRC.  The chaos harness's offline
+    corruption primitive; also what the ``bit-flip`` fault kind fires.
+    """
+    path = Path(path)
+    with open(path, "r+b") as file_obj:
+        record_bytes, _capacity, count = _read_payload_header(file_obj, path)
+        offset = PAGE_SIZE + (record % count) * record_bytes
+        file_obj.seek(offset)
+        byte = file_obj.read(1)
+        file_obj.seek(offset)
+        file_obj.write(bytes([byte[0] ^ (1 << (bit % 8))]))
+
+
+def truncate_payload(path: str | os.PathLike) -> None:
+    """Cut a published segment's data area short, in place.
+
+    Models a filesystem losing tail blocks after the atomic publish (the
+    rename protocol cannot help — the file *was* complete once).  The
+    shortened file fails the storage layer's declared-size check on the
+    next ``open``/``record_count``/scrub.
+    """
+    path = Path(path)
+    with open(path, "r+b") as file_obj:
+        record_bytes, capacity, _count = _read_payload_header(file_obj, path)
+        file_obj.truncate(PAGE_SIZE + capacity * record_bytes // 2)
+
+
+def _write_corrupt_segment(path: Path, kind: str) -> None:
+    """Publish a small *valid* segment at ``path``, then corrupt it the
+    way ``kind`` names — exactly the artifact a scrub must catch."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    segment = MappedSegment.create(path, 4, 32, overwrite=True)
+    try:
+        segment.append_batch(bytes(range(128)))
+    except BaseException:
+        segment.discard()
+        raise
+    segment.close()
+    if kind == "bit-flip":
+        flip_payload_bit(path)
+    else:
+        truncate_payload(path)
+
+
 def _fire(spec: FaultSpec, root: str, task: str, partition: int) -> None:
     in_pool = multiprocessing.current_process().daemon
     if spec.kind == "disk-full":
@@ -359,6 +432,22 @@ def _fire(spec: FaultSpec, root: str, task: str, partition: int) -> None:
             time.sleep(spec.hang_s)
             os._exit(_EXIT_HANG)
         raise InjectedHang(f"injected hang in {task} partition {partition}")
+    if spec.kind in ("bit-flip", "truncate-payload"):
+        # Silent corruption: a *published, structurally valid* victim
+        # whose payload rotted after the atomic rename.  The retry must
+        # overwrite it — and until it does, any reader must refuse it.
+        victim = _TORN_VICTIMS.get(task)
+        if victim is not None:
+            final = _disk_path(root, partition, victim.format(i=partition))
+            _write_corrupt_segment(final, spec.kind)
+        else:
+            tmp = _disk_path(root, partition, f"BS{partition}_from{partition}")
+            _write_torn_segment(tmp.with_name(tmp.name + ".tmp"))
+        if in_pool:
+            os._exit(_EXIT_CORRUPT)
+        raise InjectedCorruption(
+            f"injected {spec.kind} in {task} partition {partition}"
+        )
     # torn-write: leave partial output where the retry must overwrite it.
     victim = _TORN_VICTIMS.get(task)
     if victim is not None:

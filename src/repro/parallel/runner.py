@@ -92,6 +92,13 @@ class RealJoinResult:
     #: post_ratio}.  Empty when the plan ran with ``rebalance="off"`` or
     #: no stage is rebalance-capable.
     rebalance: Dict[str, dict] = field(default_factory=dict)
+    #: Checkpoint-resume accounting (stats ``totals.resume``): whether a
+    #: manifest was replayed, passes skipped, manifest age, and the
+    #: reason a requested resume was declined.
+    resume: Dict[str, object] = field(default_factory=dict)
+    #: Integrity accounting (stats ``totals.integrity``): segments fully
+    #: scrubbed and scrub failures during resume validation.
+    integrity: Dict[str, int] = field(default_factory=dict)
 
     def stats_document(self, workload: Optional[Workload] = None) -> dict:
         """Render this run as the versioned JSON stats document."""
@@ -128,6 +135,7 @@ def run_real_join(
     tenant: Optional[str] = None,
     priority: int = 0,
     rebalance: str = "auto",
+    resume: bool = False,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
 
@@ -182,6 +190,13 @@ def run_real_join(
     ``governor``'s admission queue (higher priority wins a freed slot)
     and into its per-tenant accounting; both are inert without a
     governor.
+
+    ``resume`` asks the executor to validate the store's checkpoint
+    manifest (full payload scrub of every recorded artifact) and replay
+    the completed passes a dead driver left behind, restarting from the
+    first incomplete stage; an invalid or missing manifest silently
+    falls back to a fresh run.  The resumed run is bit-identical to an
+    uninterrupted one.  ``RealJoinResult.resume`` records what happened.
     """
     if algorithm not in REAL_ALGORITHMS:
         raise RealJoinError(
@@ -298,6 +313,7 @@ def run_real_join(
             worker_mem_budget=worker_budget,
             disk_budget=disk_budget,
             materialize=not reuse_store,
+            resume=resume,
         )
     finally:
         if ticket is not None:
@@ -367,6 +383,8 @@ def run_real_join(
         governor=governor_doc,
         kernel_mode=outcome.plan.kernel_mode,
         rebalance=dict(outcome.rebalance),
+        resume=dict(outcome.resume),
+        integrity=dict(outcome.integrity),
     )
 
 

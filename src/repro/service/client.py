@@ -10,12 +10,22 @@ connections, one thread each).
 ``join`` returns a :class:`JoinReply`; with ``stream_pairs=True`` the
 reply's ``pairs`` accumulates the streamed batches (or flow through the
 caller's ``on_pairs`` callback instead, for joins too big to hold).
+
+Every join carries an idempotent request id (client-generated unless the
+caller supplies one) and retries *transport* failures — a connection
+refused, reset, or closed mid-conversation — with exponential backoff
+against the same id, so a daemon restart under the client turns into a
+resumed (or replayed) request instead of a lost one.  Errors the daemon
+itself classified (``bad-request``, ``rejected``, ``corrupt-data``, …)
+are never retried: the daemon answered; asking again would not change
+the answer.
 """
 
 from __future__ import annotations
 
 import socket
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -50,6 +60,10 @@ class JoinReply:
     retries: int = 0
     timeouts: int = 0
     inline_fallbacks: int = 0
+    replayed: bool = False
+    resumed: bool = False
+    passes_skipped: int = 0
+    attempts: int = 1
     stats_document: Optional[dict] = None
     pairs: List[tuple] = field(default_factory=list)
 
@@ -59,16 +73,26 @@ class JoinServiceClient:
 
     def __init__(self, socket_path: str, timeout: Optional[float] = None) -> None:
         self.socket_path = socket_path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
+        self._timeout = timeout
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self._timeout is not None:
+            sock.settimeout(self._timeout)
         try:
-            self._sock.connect(socket_path)
+            sock.connect(self.socket_path)
         except OSError as error:
-            self._sock.close()
+            sock.close()
             raise ClientError(
-                f"cannot connect to join service at {socket_path}: {error}"
+                f"cannot connect to join service at {self.socket_path}: "
+                f"{error}"
             )
+        return sock
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._sock = self._connect()
 
     def close(self) -> None:
         try:
@@ -90,7 +114,7 @@ class JoinServiceClient:
         return self._expect("pong")
 
     def stats(self) -> dict:
-        """The daemon's current schema-v4 service stats document."""
+        """The daemon's current schema-v5 service stats document."""
         send_frame(self._sock, {"op": "stats"})
         return self._expect("stats")["document"]
 
@@ -113,13 +137,89 @@ class JoinServiceClient:
         stream_pairs: bool = False,
         with_stats: bool = False,
         on_pairs: Optional[Callable[[List[tuple]], None]] = None,
+        request_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.25,
     ) -> JoinReply:
         """Run one join; block until its result frame arrives.
 
         With ``stream_pairs``, pair batches arrive before the result;
         they accumulate on the reply unless ``on_pairs`` consumes them.
+        (A retried attempt re-streams from the start, so an ``on_pairs``
+        callback may see batches redelivered across attempts; the reply
+        only ever holds the final attempt's pairs.)
+
+        ``request_id`` defaults to a fresh UUID; every retry re-submits
+        the *same* id, which is what lets a restarted daemon replay or
+        resume the request instead of redoing it.  Only transport
+        failures retry (``retries`` reconnect attempts, exponential
+        ``backoff_s`` doubling per attempt); daemon-classified errors
+        raise immediately.  ``deadline_s`` bounds the whole call —
+        backoff and all — and is propagated to the daemon, which tightens
+        its tenant deadline to the remaining budget.
         """
-        request = {"op": "join", "algorithm": algorithm}
+        if request_id is None:
+            request_id = "c-" + uuid.uuid4().hex
+        started = time.perf_counter()
+        backoff = max(0.0, backoff_s)
+        attempt = 0
+        while True:
+            attempt += 1
+            remaining = None
+            if deadline_s is not None:
+                remaining = deadline_s - (time.perf_counter() - started)
+                if remaining <= 0:
+                    raise ClientError(
+                        f"deadline of {deadline_s}s expired after "
+                        f"{attempt - 1} attempt(s)",
+                        code="deadline",
+                    )
+            try:
+                reply = self._attempt_join(
+                    algorithm,
+                    tenant=tenant, scale=scale, seed=seed, disks=disks,
+                    distribution=distribution, kernels=kernels,
+                    priority=priority, stream_pairs=stream_pairs,
+                    with_stats=with_stats, on_pairs=on_pairs,
+                    request_id=request_id, deadline_s=remaining,
+                    started=started,
+                )
+                reply.attempts = attempt
+                return reply
+            except ClientError as error:
+                if error.code is not None or attempt > retries:
+                    raise
+                pause = backoff * (2 ** (attempt - 1))
+                if deadline_s is not None:
+                    budget = deadline_s - (time.perf_counter() - started)
+                    if budget <= 0:
+                        raise ClientError(
+                            f"deadline of {deadline_s}s expired retrying "
+                            f"after: {error}",
+                            code="deadline",
+                        )
+                    pause = min(pause, budget)
+                if pause > 0:
+                    time.sleep(pause)
+                try:
+                    self._reconnect()
+                except ClientError:
+                    continue  # next attempt retries the connect too
+
+    def _attempt_join(
+        self,
+        algorithm: str,
+        *,
+        tenant, scale, seed, disks, distribution, kernels, priority,
+        stream_pairs: bool, with_stats: bool, on_pairs,
+        request_id: str, deadline_s: Optional[float], started: float,
+    ) -> JoinReply:
+        request = {
+            "op": "join",
+            "algorithm": algorithm,
+            "request_id": request_id,
+        }
         for key, value in (
             ("tenant", tenant),
             ("scale", scale),
@@ -128,6 +228,7 @@ class JoinServiceClient:
             ("distribution", distribution),
             ("kernels", kernels),
             ("priority", priority),
+            ("deadline_s", deadline_s),
         ):
             if value is not None:
                 request[key] = value
@@ -135,8 +236,10 @@ class JoinServiceClient:
             request["stream_pairs"] = True
         if with_stats:
             request["with_stats"] = True
-        started = time.perf_counter()
-        send_frame(self._sock, request)
+        try:
+            send_frame(self._sock, request)
+        except OSError as error:
+            raise ClientError(f"cannot send request: {error}")
         accepted = self._expect("accepted")
         pairs: List[tuple] = []
         while True:
@@ -166,6 +269,9 @@ class JoinServiceClient:
                     retries=frame.get("retries", 0),
                     timeouts=frame.get("timeouts", 0),
                     inline_fallbacks=frame.get("inline_fallbacks", 0),
+                    replayed=frame.get("replayed", False),
+                    resumed=frame.get("resumed", False),
+                    passes_skipped=frame.get("passes_skipped", 0),
                     stats_document=frame.get("stats_document"),
                     pairs=pairs,
                 )

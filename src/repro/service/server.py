@@ -14,7 +14,7 @@ One :class:`JoinService` owns what a per-run invocation of
   tenant policy table's per-tenant budgets, priorities and concurrency
   caps (``docs/serving.md``);
 * the **service registry** — ``service.*`` counters and the request
-  latency histogram that become the schema-v4 ``service`` section.
+  latency histogram that become the schema-v5 ``service`` section.
 
 Requests arrive over a unix socket as length-prefixed JSON frames
 (:mod:`repro.service.protocol`); pair output streams back in bounded
@@ -29,6 +29,19 @@ sweeps its own store, but only *inside* a run; a daemon that crashed
 mid-request leaves debris no future run would touch, hence the
 service-level sweep (:func:`sweep_service_root`), logged into the stats
 document's ``service.startup_sweep``.
+
+The sweep also *scrubs* the warm-store cache: every published ``*.seg``
+is payload-checksum verified, corrupt segments are deleted on the spot
+(a corrupt cached artifact is strictly worse than a cold one — a
+recompute is correct, a corrupt serve is not), and a store whose base
+R/S rotted is evicted whole so the next request rebuilds it.  Pass-level
+checkpoint manifests (``checkpoint.json``) and the request journal
+survive the sweep: they are exactly the state a restarted daemon resumes
+from.  Requests carry idempotent client-generated ids, journaled before
+execution (:mod:`repro.service.journal`); a retried id whose first
+attempt completed replays the stored result, and one whose first attempt
+died with a previous daemon re-executes with ``resume=True`` against the
+store's checkpoint manifest, skipping the passes already proved good.
 """
 
 from __future__ import annotations
@@ -58,9 +71,11 @@ from repro.parallel.engine.task import (
 )
 from repro.parallel.faults import FAULTS_FILE
 from repro.parallel.runner import REAL_ALGORITHMS, run_real_join
+from repro.service.journal import RequestJournal, valid_request_id
 from repro.service.protocol import ProtocolError, recv_frame, send_frame
 from repro.service.tenants import TenantConfig, TenantError, TenantPolicy
 from repro.storage.relation import iter_pairs_file
+from repro.storage.segment import StorageError, scrub_segment
 from repro.storage.store import Store, _tmp_writer_alive
 from repro.workload.generator import Workload, WorkloadSpec, generate_workload
 
@@ -74,17 +89,29 @@ _CONTROL_FILES = (OBS_MARKER, KERNEL_MODE_MARKER, FAULTS_FILE, GOVERNOR_FILE)
 
 
 def sweep_service_root(root: str | Path) -> Dict[str, int]:
-    """Sweep every store under ``root`` for a dead predecessor's debris.
+    """Sweep and scrub every store under ``root`` after a daemon death.
 
-    Returns what was removed, by category: ``seg_tmp`` (unpublished
-    segments whose writer no longer holds its create-time flock),
-    ``sidecars`` (worker metrics snapshots), and ``control_files``
+    Returns what was removed or verified, by category: ``seg_tmp``
+    (unpublished segments whose writer no longer holds its create-time
+    flock), ``sidecars`` (worker metrics snapshots), ``control_files``
     (metrics/kernel-mode markers, fault plans and attempt counters,
-    budget files).  Published ``*.seg`` data — warm R/S partitions — is
-    deliberately left in place: that is the daemon's cache, not debris.
+    budget files), ``scrubbed`` (published segments whose payload
+    checksum was fully verified), ``corrupt`` (segments that failed the
+    scrub — deleted), and ``evicted`` (intact base segments dropped
+    because a sibling R/S in the same store rotted: half a warm store is
+    not a warm store, and a later materialize must find neither half).
+
+    Published ``*.seg`` data that *passes* its scrub is left in place —
+    that is the daemon's cache, not debris.  Checkpoint manifests
+    (``checkpoint.json``) and the request journal directory are
+    deliberately untouched: they are the state a restarted daemon
+    resumes interrupted requests from.
     """
     root = Path(root)
-    counts = {"seg_tmp": 0, "sidecars": 0, "control_files": 0}
+    counts = {
+        "seg_tmp": 0, "sidecars": 0, "control_files": 0,
+        "scrubbed": 0, "corrupt": 0, "evicted": 0,
+    }
     if not root.exists():
         return counts
     for path in root.rglob("*.seg.tmp"):
@@ -93,6 +120,8 @@ def sweep_service_root(root: str | Path) -> Dict[str, int]:
         path.unlink(missing_ok=True)
         counts["seg_tmp"] += 1
     for path in root.rglob("metrics_*.json"):
+        if path.parent.name == "journal":
+            continue  # journal entries are durable state, not debris
         path.unlink(missing_ok=True)
         counts["sidecars"] += 1
     for name in _CONTROL_FILES:
@@ -102,6 +131,26 @@ def sweep_service_root(root: str | Path) -> Dict[str, int]:
     for path in root.rglob("fault_attempt_*"):
         path.unlink(missing_ok=True)
         counts["control_files"] += 1
+    # Scrub what survived the sweep: the warm cache is only warm if its
+    # bytes still match the checksums they were published with.
+    rotten_bases: set = set()
+    for path in sorted(root.rglob("*.seg")):
+        try:
+            scrub_segment(path)
+            counts["scrubbed"] += 1
+        except StorageError:
+            path.unlink(missing_ok=True)
+            counts["corrupt"] += 1
+            if path.name in ("R.seg", "S.seg"):
+                # disk<i>/R.seg — two parents up is the store directory.
+                rotten_bases.add(path.parent.parent)
+    for store_dir in rotten_bases:
+        for base in store_dir.glob("disk*/R.seg"):
+            base.unlink(missing_ok=True)
+            counts["evicted"] += 1
+        for base in store_dir.glob("disk*/S.seg"):
+            base.unlink(missing_ok=True)
+            counts["evicted"] += 1
     return counts
 
 
@@ -173,6 +222,12 @@ class JoinService:
         self._started_at = 0.0
         self._active_requests = 0
         self._requests_seen = 0
+        self._journal: Optional[RequestJournal] = None
+        self._inflight: set = set()
+        self._inflight_lock = threading.Lock()
+        #: Request ids found still ``running`` in the journal at startup —
+        #: joins that died with a previous daemon, awaiting their retry.
+        self.interrupted_requests: List[str] = []
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -184,9 +239,16 @@ class JoinService:
         root = Path(config.root)
         root.mkdir(parents=True, exist_ok=True)
         self.startup_sweep = sweep_service_root(root)
+        self._journal = RequestJournal(root)
+        self.interrupted_requests = self._journal.interrupted()
         with self._metrics_lock:
             for kind, n in self.startup_sweep.items():
                 self.registry.count("service.swept_total", n, kind=kind)
+            if self.interrupted_requests:
+                self.registry.count(
+                    "service.interrupted_requests",
+                    len(self.interrupted_requests),
+                )
         if config.use_processes:
             workers = config.pool_workers or config.disks
             self._pool = multiprocessing.Pool(processes=workers)
@@ -216,6 +278,21 @@ class JoinService:
             self.start()
         self._shutdown.wait()
         self.close()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (signal-handler safe).
+
+        Stops accepting new connections and unblocks ``serve_forever()``;
+        requests already in flight run to completion — their connection
+        threads are joined by :meth:`close`, so a client mid-stream still
+        receives its terminal frame before the daemon exits.
+        """
+        self._shutdown.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         """Stop accepting, drain request threads, retire the pool."""
@@ -301,13 +378,8 @@ class JoinService:
             return True
         if op == "shutdown":
             send_frame(conn, {"kind": "bye"})
-            self._shutdown.set()
             # Unblock serve_forever()/the accept loop right away.
-            if self._listener is not None:
-                try:
-                    self._listener.close()
-                except OSError:
-                    pass
+            self.request_shutdown()
             return False
         if op == "join":
             self._handle_join(conn, request)
@@ -320,7 +392,9 @@ class JoinService:
     def _handle_join(self, conn: socket.socket, request: dict) -> None:
         started = time.perf_counter()
         try:
-            algorithm, spec_args, policy, priority = self._validate(request)
+            algorithm, spec_args, policy, priority, deadline_s = (
+                self._validate(request)
+            )
         except TenantError as error:
             self._note_rejection(request.get("tenant"))
             send_frame(conn, _error("unknown-tenant", str(error)))
@@ -329,7 +403,52 @@ class JoinService:
             self._count("service.bad_requests_total")
             send_frame(conn, _error("bad-request", str(error)))
             return
-        request_id = self._next_request_id()
+        request_id = request.get("request_id")
+        if request_id is None:
+            request_id = self._next_request_id()
+        elif not valid_request_id(request_id):
+            self._count("service.bad_requests_total")
+            send_frame(conn, _error(
+                "bad-request",
+                f"request_id must be 1-128 chars of [A-Za-z0-9_.:-], "
+                f"starting alphanumeric: {request_id!r}",
+            ))
+            return
+        journaled = self._journal.get(request_id) if self._journal else None
+        if journaled is not None and journaled.get("state") == "done":
+            # Idempotent replay: the first attempt completed; a retry
+            # gets the stored answer, not a re-execution.  The run's
+            # pair segments were swept at first completion, so a replay
+            # never streams pairs — the counts and checksum stand in.
+            self._count("service.replayed_total", tenant=policy.name)
+            send_frame(conn, {
+                "kind": "accepted",
+                "request_id": request_id,
+                "tenant": policy.name,
+                "algorithm": algorithm,
+            })
+            send_frame(conn, dict(
+                journaled.get("result", {}),
+                replayed=True,
+                streamed_pairs=0,
+            ))
+            return
+        with self._inflight_lock:
+            if request_id in self._inflight:
+                self._count("service.duplicate_requests_total")
+                send_frame(conn, _error(
+                    "duplicate-request",
+                    f"request {request_id!r} is already executing",
+                    request_id=request_id,
+                ))
+                return
+            self._inflight.add(request_id)
+        # A journal entry still ``running`` belongs to a join that died
+        # with a previous daemon: re-execute with resume, so passes the
+        # dead daemon checkpointed are skipped, not recomputed.
+        resume = journaled is not None and journaled.get("state") == "running"
+        if resume:
+            self._count("service.resumed_total", tenant=policy.name)
         self._count(
             "service.requests_total", tenant=policy.name, algo=algorithm
         )
@@ -362,18 +481,39 @@ class JoinService:
                 )
             send_frame(conn, frame)
 
+        if self._journal is not None:
+            self._journal.begin(request_id, {
+                "algorithm": algorithm,
+                "tenant": policy.name,
+                "spec_args": spec_args,
+            })
         try:
-            with self._lease_store(signature) as entry:
+            with self._lease_store(signature, spec_args["disks"]) as entry:
                 result, reused = self._execute(
-                    algorithm, workload, entry, policy, priority, request
+                    algorithm, workload, entry, policy, priority, request,
+                    resume=resume, deadline_s=deadline_s,
                 )
                 self.governor.note_degraded(
                     policy.name, result.degradations_total
                 )
-                finish(self._stream_result(
+                frame = self._stream_result(
                     conn, request, request_id, policy, result, entry, reused
-                ))
+                )
+                if self._journal is not None:
+                    if frame.get("kind") == "result":
+                        # Cache the terminal frame for idempotent replay —
+                        # minus the stats document, which describes *this*
+                        # execution, not the request's answer.
+                        self._journal.finish(request_id, {
+                            key: value for key, value in frame.items()
+                            if key != "stats_document"
+                        })
+                    else:
+                        self._journal.forget(request_id)
+                finish(frame)
         except ResourceExhausted as error:
+            if self._journal is not None:
+                self._journal.forget(request_id)
             self._count(
                 "service.exhausted_total",
                 tenant=policy.name, resource=error.resource,
@@ -384,10 +524,22 @@ class JoinService:
                 request_id=request_id,
             ))
         except RealJoinError as error:
+            if self._journal is not None:
+                self._journal.forget(request_id)
             self._count("service.failed_total", tenant=policy.name)
             self._recycle_pool()
             finish(_error("failed", str(error), request_id=request_id))
+        except StorageError as error:
+            # Integrity machinery caught corruption mid-request; the
+            # classified error frame is the contract — garbage pairs are
+            # never served.
+            if self._journal is not None:
+                self._journal.forget(request_id)
+            self._count("service.corrupt_total", tenant=policy.name)
+            finish(_error("corrupt-data", str(error), request_id=request_id))
         finally:
+            with self._inflight_lock:
+                self._inflight.discard(request_id)
             with self._metrics_lock:
                 self._active_requests -= 1
 
@@ -425,13 +577,22 @@ class JoinService:
         distribution = request.get("distribution", "uniform")
         if not isinstance(distribution, str):
             raise ServiceError("distribution must be a string")
+        deadline_s = request.get("deadline_s")
+        if deadline_s is not None and (
+            not isinstance(deadline_s, (int, float))
+            or isinstance(deadline_s, bool)
+            or deadline_s <= 0
+        ):
+            raise ServiceError(
+                f"deadline_s must be a positive number: {deadline_s!r}"
+            )
         spec_args = {
             "scale": float(scale),
             "seed": seed,
             "disks": disks,
             "distribution": distribution,
         }
-        return algorithm, spec_args, policy, priority
+        return algorithm, spec_args, policy, priority, deadline_s
 
     def _workload_for(self, spec_args: dict):
         signature = "wl-" + hashlib.sha1(
@@ -453,13 +614,16 @@ class JoinService:
         return workload, signature
 
     @contextmanager
-    def _lease_store(self, signature: str):
+    def _lease_store(self, signature: str, disks: int):
         """Exclusive use of one warm store directory for ``signature``.
 
         Concurrent requests for the same workload each get their own
         store (created on demand), so no two runs ever share control
         files or temps; a store freed by one request is the next one's
-        warm start.
+        warm start.  A store directory inherited from a previous daemon
+        whose base relations all survived the startup scrub is warm
+        already — marking it materialized prevents the next request from
+        colliding with (or needlessly re-creating) the published R/S.
         """
         with self._cache_lock:
             entries = self._caches.stores.setdefault(signature, [])
@@ -470,6 +634,12 @@ class JoinService:
                     / "stores"
                     / f"{signature}-{len(entries)}"
                 )
+                if all(
+                    (entry.path / f"disk{disk}" / f"{name}.seg").exists()
+                    for disk in range(disks)
+                    for name in ("R", "S")
+                ):
+                    entry.materialized = True
                 entries.append(entry)
             entry.busy = True
         try:
@@ -479,10 +649,19 @@ class JoinService:
                 entry.busy = False
 
     def _execute(self, algorithm, workload, entry, policy: TenantPolicy,
-                 priority: int, request: dict):
+                 priority: int, request: dict, *,
+                 resume: bool = False, deadline_s: Optional[float] = None):
         reused = entry.materialized
         if reused:
             self._count("service.store_reuses_total")
+        # The effective deadline is the tighter of the tenant policy's
+        # and the one the client propagated with the request.
+        effective_deadline = policy.deadline_s
+        if deadline_s is not None:
+            effective_deadline = (
+                deadline_s if effective_deadline is None
+                else min(effective_deadline, deadline_s)
+            )
         with self._borrow_pool() as pool:
             result = run_real_join(
                 algorithm,
@@ -492,13 +671,14 @@ class JoinService:
                 pool=pool,
                 keep_store=True,
                 reuse_store=reused,
+                resume=resume,
                 collect_pairs=False,
                 collect_metrics=self.config.collect_metrics,
                 mem_budget=policy.mem_budget_bytes,
                 disk_budget=policy.disk_budget_bytes,
                 on_pressure=policy.on_pressure,
                 governor=self.governor,
-                deadline_s=policy.deadline_s,
+                deadline_s=effective_deadline,
                 tenant=policy.name,
                 priority=priority,
                 kernels=request.get("kernels"),
@@ -554,18 +734,28 @@ class JoinService:
         if stream:
             batch_size = self.config.stream_batch
             batch: List[list] = []
-            for pair_file in result.pair_files:
-                for pair in iter_pairs_file(pair_file.path, batch_size):
-                    batch.append(list(pair))
-                    if len(batch) >= batch_size:
-                        send_frame(conn, {
-                            "kind": "pairs",
-                            "request_id": request_id,
-                            "count": len(batch),
-                            "pairs": batch,
-                        })
-                        streamed += len(batch)
-                        batch = []
+            try:
+                for pair_file in result.pair_files:
+                    for pair in iter_pairs_file(pair_file.path, batch_size):
+                        batch.append(list(pair))
+                        if len(batch) >= batch_size:
+                            send_frame(conn, {
+                                "kind": "pairs",
+                                "request_id": request_id,
+                                "count": len(batch),
+                                "pairs": batch,
+                            })
+                            streamed += len(batch)
+                            batch = []
+            except StorageError as error:
+                # A published PAIRS segment failed its payload checksum
+                # between the barrier and the read — the client gets a
+                # classified error, never silently-wrong pairs.
+                self._sweep_temps(entry, result)
+                self._count("service.corrupt_total", tenant=policy.name)
+                return _error(
+                    "corrupt-data", str(error), request_id=request_id
+                )
             if batch:
                 send_frame(conn, {
                     "kind": "pairs",
@@ -597,6 +787,10 @@ class JoinService:
             "retries": result.retries_total,
             "timeouts": result.timeouts_total,
             "inline_fallbacks": result.inline_fallbacks,
+            "resumed": bool((result.resume or {}).get("resumed", False)),
+            "passes_skipped": int(
+                (result.resume or {}).get("passes_skipped", 0)
+            ),
             **(
                 {"stats_document": result.stats_document()}
                 if request.get("with_stats")
@@ -632,7 +826,7 @@ class JoinService:
             return f"r{self._requests_seen}-{os.getpid()}"
 
     def stats_document(self) -> dict:
-        """The schema-v4 service stats document, as of right now."""
+        """The schema-v5 service stats document, as of right now."""
         governor_snapshot = self.governor.snapshot()
         tenants = governor_snapshot["tenants"]
         # Configured-but-idle tenants still appear, with zero counts.

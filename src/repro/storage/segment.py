@@ -44,6 +44,7 @@ import mmap
 import os
 import struct
 import time
+import zlib
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
@@ -62,7 +63,173 @@ MAGIC = b"UDBSEG1\x00"
 HEADER = struct.Struct("<8sQQQ")  # magic, record_bytes, capacity, count
 PAGE_SIZE = mmap.PAGESIZE
 _META_LEN = struct.Struct("<Q")
-META_CAPACITY = PAGE_SIZE - HEADER.size - _META_LEN.size
+
+# Integrity footer: a per-payload CRC32C-style checksum (zlib's C-speed
+# CRC-32; the tag records which algorithm produced it so a future build
+# with a true CRC32C extension stays self-describing) written into the
+# *end* of the header page at close() and verified on open().  The torn-
+# header rejection of `_header_problem` catches writers that died mid-
+# publish; the footer extends that to silent payload corruption — a
+# flipped bit in a cold segment, a partial page lost by a dying disk.
+INTEGRITY_MAGIC = b"UDBCRC1\x00"
+_FOOTER = struct.Struct("<8s4sQQ")  # magic, algo tag, crc, count at crc
+FOOTER_OFFSET = PAGE_SIZE - _FOOTER.size
+_CRC_ALGO = b"crc2"  # zlib.crc32 (IEEE polynomial)
+_CRC_CHUNK = 1 << 20
+
+META_CAPACITY = PAGE_SIZE - HEADER.size - _META_LEN.size - _FOOTER.size
+
+#: Process-wide integrity switches.  ``None`` defers to the environment
+#: (``REPRO_INTEGRITY=off`` disables both — the bench harness's baseline
+#: knob, env-based so forked pool workers inherit it); anything else is
+#: an explicit in-process override via :func:`configure_integrity`.
+_INTEGRITY: dict = {"write": None, "verify": None}
+
+#: Payload-verification memo: (dev, ino, mtime_ns, size) -> verified crc.
+#: A pool worker re-opens the same R/S/spill segments task after task;
+#: re-hashing an unchanged file every time would turn the <5%% verify
+#: overhead into a full extra read per task.  Any write updates mtime/
+#: size, so a stale entry can never satisfy a changed file.
+_VERIFIED_CACHE: dict = {}
+_VERIFIED_CACHE_MAX = 8192
+
+
+def configure_integrity(
+    write: Optional[bool] = None, verify: Optional[bool] = None
+) -> None:
+    """Override checksum writing/verification process-wide.
+
+    Pass ``None`` to leave a switch on its environment-driven default.
+    The bench harness uses this (plus ``REPRO_INTEGRITY=off`` for forked
+    workers) to measure the checksum layer's overhead against a baseline.
+    """
+    _INTEGRITY["write"] = write
+    _INTEGRITY["verify"] = verify
+
+
+def _integrity_on(switch: str) -> bool:
+    override = _INTEGRITY[switch]
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_INTEGRITY", "").strip().lower() not in (
+        "off", "0", "none",
+    )
+
+
+def _payload_crc(fd: int, count: int, record_bytes: int) -> int:
+    """CRC over the written payload bytes, chunked pread (no mapping)."""
+    crc = 0
+    offset = PAGE_SIZE
+    remaining = count * record_bytes
+    while remaining:
+        chunk = os.pread(fd, min(_CRC_CHUNK, remaining), offset)
+        if not chunk:  # short file — the count check reports it precisely
+            break
+        crc = zlib.crc32(chunk, crc)
+        offset += len(chunk)
+        remaining -= len(chunk)
+    return crc
+
+
+def _parse_footer(buffer, offset: int = FOOTER_OFFSET) -> Optional[Tuple[int, int]]:
+    """The stored (crc, count), or None for pre-checksum segments."""
+    if len(buffer) < offset + _FOOTER.size:
+        return None
+    magic, _algo, crc, count = _FOOTER.unpack_from(buffer, offset)
+    if magic != INTEGRITY_MAGIC:
+        return None
+    return crc, count
+
+
+def _verify_payload(
+    path: Path, fd: int, count: int, record_bytes: int, stored_crc: int,
+    kind: str,
+) -> None:
+    """Prove the payload matches its stored checksum (memoized per file)."""
+    st = os.fstat(fd)
+    key = (st.st_dev, st.st_ino, st.st_mtime_ns, st.st_size)
+    if _VERIFIED_CACHE.get(key) == stored_crc:
+        _metrics().count("storage.integrity.cached", 1, kind=kind)
+        return
+    crc = _payload_crc(fd, count, record_bytes)
+    if crc != stored_crc:
+        raise StorageError(
+            f"{path} payload checksum mismatch (stored 0x{stored_crc:08x}, "
+            f"computed 0x{crc:08x} over {count} records)"
+        )
+    if len(_VERIFIED_CACHE) >= _VERIFIED_CACHE_MAX:
+        _VERIFIED_CACHE.clear()
+    _VERIFIED_CACHE[key] = stored_crc
+    _metrics().count("storage.integrity.verify", 1, kind=kind)
+
+
+def segment_footer(path: str | os.PathLike) -> Optional[Tuple[int, int]]:
+    """A published segment's stored (payload crc, record count).
+
+    ``None`` for pre-checksum segments (or ones closed with integrity
+    writing off).  Cheap — one small pread, no mapping, no payload scan.
+    """
+    try:
+        with open(path, "rb") as file_obj:
+            file_obj.seek(FOOTER_OFFSET)
+            return _parse_footer(file_obj.read(_FOOTER.size), 0)
+    except FileNotFoundError:
+        raise StorageError(f"no segment file at {path}") from None
+
+
+def scrub_segment(path: str | os.PathLike) -> str:
+    """Fully verify one segment file: header sanity plus payload checksum.
+
+    Unlike the open-time check this never consults the verified-file
+    memo — a scrub exists to catch corruption that happened *since* the
+    segment was last trusted.  Returns ``"verified"``, or ``"legacy"``
+    for a structurally-sound pre-checksum segment; raises
+    :class:`StorageError` with the precise problem otherwise.
+    """
+    path = Path(path)
+    kind = segment_kind(path.name)
+    try:
+        with open(path, "rb") as file_obj:
+            header = file_obj.read(HEADER.size)
+            if len(header) < HEADER.size:
+                raise StorageError(f"{path} is not a segment file")
+            magic, record_bytes, capacity, count = HEADER.unpack_from(header)
+            problem = _header_problem(
+                magic, record_bytes, capacity, count, os.fstat(file_obj.fileno()).st_size
+            )
+            if problem is not None:
+                raise StorageError(f"{path} {problem}")
+            file_obj.seek(FOOTER_OFFSET)
+            stored = _parse_footer(file_obj.read(_FOOTER.size), 0)
+            if stored is None:
+                _metrics().count("storage.integrity.scrub", 1, kind=kind)
+                return "legacy"
+            stored_crc, stored_count = stored
+            if stored_count != count:
+                raise StorageError(
+                    f"{path} is corrupt: integrity footer covers "
+                    f"{stored_count} records but the header claims {count}"
+                )
+            fd = file_obj.fileno()
+            crc = _payload_crc(fd, count, record_bytes)
+            if crc != stored_crc:
+                raise StorageError(
+                    f"{path} payload checksum mismatch (stored "
+                    f"0x{stored_crc:08x}, computed 0x{crc:08x} over "
+                    f"{count} records)"
+                )
+            # A scrubbed file is a freshly-proven file: prime the memo so
+            # the next open() of the unchanged bytes is free.
+            st = os.fstat(fd)
+            if len(_VERIFIED_CACHE) >= _VERIFIED_CACHE_MAX:
+                _VERIFIED_CACHE.clear()
+            _VERIFIED_CACHE[
+                (st.st_dev, st.st_ino, st.st_mtime_ns, st.st_size)
+            ] = stored_crc
+    except FileNotFoundError:
+        raise StorageError(f"no segment file at {path}") from None
+    _metrics().count("storage.integrity.scrub", 1, kind=kind)
+    return "verified"
 
 
 class StorageError(RuntimeError):
@@ -132,6 +299,23 @@ class MappedSegment:
         self._backing = backing_path if backing_path is not None else path
         self._pending = self._backing != self.path
         self._durable = durable
+        # Whether the payload (or its written extent) changed since the
+        # stored checksum was valid; created segments are born dirty so
+        # close() always stamps a fresh footer.
+        self._dirty = self._pending
+        # Streaming checksum over strictly-sequential appends.  While
+        # every write lands at the next free slot the payload CRC is
+        # already known when the footer is stamped — no second read of
+        # bytes this process just wrote.  ``None`` means the stream no
+        # longer covers the payload (in-place rewrite, reserve(), or a
+        # segment opened with pre-existing records) and the footer falls
+        # back to the full pread scan.
+        self._stream_crc: Optional[int] = 0 if count == 0 else None
+        self._stream_count = 0
+        # Header count as last persisted; lets a read-only open close
+        # without touching the file (a gratuitous header pwrite would
+        # bump mtime and evict the file's verified-payload memo entry).
+        self._disk_count = count if not self._pending else -1
         self._mapped_bytes = len(mapping) if mapping is not None else 0
         if self._mapped_bytes:
             _meter().map_bytes(self._mapped_bytes)
@@ -249,6 +433,25 @@ class MappedSegment:
                 layout = RecordLayout(record_bytes)
             except Exception:
                 problem = f"declares an unusable record size {record_bytes}"
+        if problem is None:
+            stored = _parse_footer(mapping)
+            if stored is not None:
+                stored_crc, stored_count = stored
+                if stored_count != count:
+                    problem = (
+                        f"is corrupt: integrity footer covers {stored_count} "
+                        f"records but the header claims {count}"
+                    )
+                elif _integrity_on("verify"):
+                    try:
+                        _verify_payload(
+                            path, file_obj.fileno(), count, record_bytes,
+                            stored_crc, segment_kind(path.name),
+                        )
+                    except StorageError:
+                        mapping.close()
+                        file_obj.close()
+                        raise
         if problem is not None:
             mapping.close()
             file_obj.close()
@@ -276,6 +479,8 @@ class MappedSegment:
         try:
             with open(path, "rb") as file_obj:
                 header = file_obj.read(HEADER.size)
+                file_obj.seek(FOOTER_OFFSET)
+                footer = file_obj.read(_FOOTER.size)
         except FileNotFoundError:
             raise StorageError(f"no segment file at {path}") from None
         if len(header) < HEADER.size:
@@ -286,6 +491,12 @@ class MappedSegment:
         )
         if problem is not None:
             raise StorageError(f"{path} {problem}")
+        stored = _parse_footer(footer, 0)
+        if stored is not None and stored[1] != count:
+            raise StorageError(
+                f"{path} is corrupt: integrity footer covers {stored[1]} "
+                f"records but the header claims {count}"
+            )
         return count
 
     @staticmethod
@@ -300,6 +511,8 @@ class MappedSegment:
     def flush(self) -> None:
         self._check_open()
         self._write_count()
+        if self._dirty and _integrity_on("write"):
+            self._write_footer()
         if self._map is not None:
             self._map.flush()
         _metrics().count("storage.flush", 1, kind=self.kind)
@@ -320,12 +533,29 @@ class MappedSegment:
         if self._closed:
             return
         self._write_count()
+        stamped = None
+        if self._dirty and _integrity_on("write"):
+            stamped = self._write_footer()
         if self._pending and self._durable:
             if self._map is not None:
                 self._map.flush()
             os.fsync(self._file.fileno())
         if self._map is not None:
             self._map.close()
+        if stamped is not None:
+            # The bytes behind this fd were hashed as they were written;
+            # prime the verified-file memo so a same-process re-open is
+            # free.  os.replace below preserves dev/ino/mtime/size, so
+            # the key survives the publish; if the kernel later bumps
+            # mtime for writeback of mapped pages the entry simply never
+            # hits again and the reader re-verifies — the memo can relax
+            # a check, never skip a needed one for changed bytes.
+            st = os.fstat(self._file.fileno())
+            if len(_VERIFIED_CACHE) >= _VERIFIED_CACHE_MAX:
+                _VERIFIED_CACHE.clear()
+            _VERIFIED_CACHE[
+                (st.st_dev, st.st_ino, st.st_mtime_ns, st.st_size)
+            ] = stamped
         self._file.close()
         self._closed = True
         if self._mapped_bytes:
@@ -438,6 +668,13 @@ class MappedSegment:
             )
         start = PAGE_SIZE + self.layout.offset_of(index)
         self._mapping()[start : start + self.layout.record_bytes] = data
+        self._dirty = True
+        if self._stream_crc is not None:
+            if index == self._stream_count:
+                self._stream_crc = zlib.crc32(data, self._stream_crc)
+                self._stream_count += 1
+            else:
+                self._stream_crc = None
         if index >= self._count:
             self._count = index + 1
 
@@ -458,6 +695,9 @@ class MappedSegment:
             )
         if count > self._count:
             self._count = count
+            self._dirty = True
+            # The reserved slots were never streamed through the CRC.
+            self._stream_crc = None
 
     def append_record(self, data: bytes) -> int:
         """Append one record; returns its index."""
@@ -548,6 +788,13 @@ class MappedSegment:
             lo = PAGE_SIZE + start * record_bytes
             _pwrite_all(self._file.fileno(), data, lo)
             self._count = start + count
+            self._dirty = True
+            if self._stream_crc is not None:
+                if start == self._stream_count:
+                    self._stream_crc = zlib.crc32(data, self._stream_crc)
+                    self._stream_count = self._count
+                else:
+                    self._stream_crc = None
             metrics = _metrics()
             if metrics.enabled:
                 metrics.count("storage.write.batches", 1, kind=self.kind)
@@ -558,7 +805,7 @@ class MappedSegment:
     # ------------------------------------------------------------ internal
 
     def _write_count(self) -> None:
-        if not self._file.closed:
+        if not self._file.closed and self._count != self._disk_count:
             _pwrite_all(
                 self._file.fileno(),
                 HEADER.pack(
@@ -567,6 +814,31 @@ class MappedSegment:
                 ),
                 0,
             )
+            self._disk_count = self._count
+
+    def _write_footer(self) -> int:
+        """Stamp the integrity footer over the current payload.
+
+        Sequentially-appended segments (every spill, run, and PAIRS file)
+        already hold the payload CRC in the append stream — stamping is
+        then one pwrite, not a full re-read of bytes this process just
+        wrote.  Anything else pays the scan once, which re-seeds the
+        stream so later appends extend it incrementally.
+        """
+        fd = self._file.fileno()
+        if self._stream_crc is not None and self._stream_count == self._count:
+            crc = self._stream_crc
+        else:
+            crc = _payload_crc(fd, self._count, self.layout.record_bytes)
+            self._stream_crc = crc
+            self._stream_count = self._count
+        _pwrite_all(
+            fd,
+            _FOOTER.pack(INTEGRITY_MAGIC, _CRC_ALGO, crc, self._count),
+            FOOTER_OFFSET,
+        )
+        self._dirty = False
+        return crc
 
     def _check_open(self) -> None:
         if self._closed:

@@ -14,6 +14,7 @@ import threading
 import pytest
 
 from repro.obs.export import validate_stats_document
+from repro.parallel.faults import flip_payload_bit
 from repro.parallel.runner import REAL_ALGORITHMS, run_real_join
 from repro.service import (
     ClientError,
@@ -22,6 +23,8 @@ from repro.service import (
     ServiceConfig,
     TenantConfig,
 )
+from repro.service.server import sweep_service_root
+from repro.storage.segment import MappedSegment
 from repro.workload.generator import WorkloadSpec, generate_workload
 
 SCALE = 0.01  # -> 1,024 objects after the service's max(64, 102_400 * scale)
@@ -216,16 +219,30 @@ def test_unknown_algorithm_is_a_bad_request(make_service):
 
 # ------------------------------------------------------------ startup sweep
 
+def _publish_segment(path, records=3):
+    """A real, checksum-footed segment the startup scrub can verify."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with MappedSegment.create(path, capacity=max(records, 1)) as seg:
+        for i in range(records):
+            seg.append_record(bytes([i % 251]) * seg.layout.record_bytes)
+    return path
+
+
 def test_startup_sweep_removes_orphans_but_keeps_warm_segments(tmp_path):
     root = tmp_path / "svc-root"
     store = root / "stores" / "wl-dead" / "disk0"
     store.mkdir(parents=True)
-    (store / "R.seg").write_bytes(b"warm data, not debris")
+    _publish_segment(store / "R.seg")  # intact: the daemon's warm cache
     (store / "RP_3.seg.tmp").write_bytes(b"dead writer's tmp")
     (store / "metrics_probe_0.json").write_text("{}")
     (root / "stores" / "wl-dead" / "faults.json").write_text("{}")
     (root / "stores" / "wl-dead" / "metrics.on").write_text("")
     (root / "stores" / "wl-dead" / "fault_attempt_scan_0").write_text("2")
+    # Durable recovery state must ride out the sweep untouched.
+    (root / "stores" / "wl-dead" / "checkpoint.json").write_text("{}")
+    journal_dir = root / "journal"
+    journal_dir.mkdir()
+    (journal_dir / "req-1.json").write_text('{"state": "done"}')
 
     service = JoinService(ServiceConfig(
         root=str(root),
@@ -237,10 +254,13 @@ def test_startup_sweep_removes_orphans_but_keeps_warm_segments(tmp_path):
     try:
         assert service.startup_sweep == {
             "seg_tmp": 1, "sidecars": 1, "control_files": 3,
+            "scrubbed": 1, "corrupt": 0, "evicted": 0,
         }
         assert (store / "R.seg").exists()  # the daemon's cache survives
         assert not (store / "RP_3.seg.tmp").exists()
         assert not (store / "metrics_probe_0.json").exists()
+        assert (root / "stores" / "wl-dead" / "checkpoint.json").exists()
+        assert (journal_dir / "req-1.json").exists()
         # The sweep is logged into the stats document.
         document = service.stats_document()
         assert document["service"]["startup_sweep"] == service.startup_sweep
@@ -248,16 +268,38 @@ def test_startup_sweep_removes_orphans_but_keeps_warm_segments(tmp_path):
         service.close()
 
 
+def test_startup_scrub_deletes_corrupt_segments_and_evicts_the_store(tmp_path):
+    root = tmp_path / "svc-root"
+    store = root / "stores" / "wl-rot"
+    rotten = _publish_segment(store / "disk0" / "R.seg")
+    flip_payload_bit(rotten, record=1, bit=3)
+    intact_sibling = _publish_segment(store / "disk0" / "S.seg")
+    # A corrupt *temp* artifact only costs itself, not its store.
+    other = root / "stores" / "wl-ok"
+    corrupt_temp = _publish_segment(other / "disk0" / "RP_0.seg")
+    flip_payload_bit(corrupt_temp, record=0, bit=0)
+    survivor = _publish_segment(other / "disk0" / "R.seg")
+
+    counts = sweep_service_root(root)
+    assert counts["corrupt"] == 2
+    assert counts["scrubbed"] == 2  # S.seg + the other store's R.seg
+    assert counts["evicted"] == 1  # wl-rot's intact S.seg, dropped whole
+    assert not rotten.exists()
+    assert not intact_sibling.exists()  # half a warm store is no store
+    assert not corrupt_temp.exists()
+    assert survivor.exists()
+
+
 # ------------------------------------------------------ stats doc & shutdown
 
-def test_stats_document_is_valid_v4_with_latency(make_service):
+def test_stats_document_is_valid_v5_with_latency(make_service):
     service = make_service()
     with JoinServiceClient(service.config.socket_path) as client:
         client.join("grace", **join_args())
         client.join("sort-merge", **join_args())
         document = client.stats()
     validate_stats_document(document)
-    assert document["schema_version"] == 4
+    assert document["schema_version"] == 5
     assert document["meta"]["backend"] == "join-service"
     section = document["service"]
     assert section["requests_total"] == 2
