@@ -37,6 +37,7 @@ from pathlib import Path
 
 from conftest import RESULTS_DIR, bench_scale
 
+from repro import config
 from repro.harness.report import format_table
 from repro.joins import verify_pairs
 from repro.joins.reference import expected_checksum
@@ -49,7 +50,14 @@ from repro.storage import (
 )
 from repro.workload import WorkloadSpec, generate_workload
 
-ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
+ALGORITHMS = (
+    "nested-loops",
+    "sort-merge",
+    "grace",
+    "grace-radix",
+    "grace-learned",
+    "hybrid-hash",
+)
 ROUNDS = 5
 BENCH_PATH = RESULTS_DIR / "BENCH_real_mmap.json"
 
@@ -317,7 +325,7 @@ def test_ext_real_mmap_kernel_scales(record):
     four-algorithm suite.
     """
     scales = list(KERNEL_SCALES)
-    full = os.environ.get("REPRO_BENCH_FULL") == "1"
+    full = config.env_flag("bench_full")
     if full:
         scales.append(FULL_SCALE)
 

@@ -12,11 +12,11 @@ value to override the defaults globally.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from repro import config
 from repro.harness.calibrate import calibrated_machine_parameters
 from repro.sim import SimConfig
 
@@ -25,8 +25,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def bench_scale(default: float) -> float:
     """The workload scale for a bench: env override or the bench default."""
-    override = os.environ.get("REPRO_BENCH_SCALE")
-    return float(override) if override else default
+    return config.env_float("bench_scale", default)
 
 
 @pytest.fixture(scope="session")

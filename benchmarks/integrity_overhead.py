@@ -23,6 +23,7 @@ import os
 import sys
 import tempfile
 
+from repro import config
 from repro.parallel import run_real_join
 from repro.storage import segment as segment_module
 from repro.workload import WorkloadSpec, generate_workload
@@ -37,10 +38,11 @@ MAX_OVERHEAD = 0.05
 
 
 def measure(workload, algorithm, integrity_on: bool):
+    integrity_env = config.knob("integrity").env
     if integrity_on:
-        os.environ.pop("REPRO_INTEGRITY", None)
+        os.environ.pop(integrity_env, None)
     else:
-        os.environ["REPRO_INTEGRITY"] = "off"
+        os.environ[integrity_env] = "off"
     # The env knob is read per-process; reset the in-process overrides
     # so this (single-process, inline) bench follows it too.
     segment_module.configure_integrity(
@@ -63,7 +65,7 @@ def measure(workload, algorithm, integrity_on: bool):
             "checksum": result.checksum,
         }
     finally:
-        os.environ.pop("REPRO_INTEGRITY", None)
+        os.environ.pop(integrity_env, None)
         segment_module.configure_integrity(write=None, verify=None)
 
 
@@ -112,7 +114,7 @@ def main() -> int:
             f"time, over the {MAX_OVERHEAD:.0%} budget"
         )
 
-    out = os.environ.get("REPRO_SMOKE_OUT")
+    out = config.env_value("smoke_out")
     if out:
         with open(out, "w") as handle:
             json.dump(report, handle, indent=2)

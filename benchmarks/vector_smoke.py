@@ -2,7 +2,8 @@
 regression gate.
 
 Standalone (no pytest): ``PYTHONPATH=src python benchmarks/vector_smoke.py``.
-Runs the four joins at 1/5th of the paper's validation geometry under both
+Runs the six registered plans (including the radix/learned partitioner
+variants of grace) at 1/5th of the paper's validation geometry under both
 kernel modes, asserts the modes agree bit-for-bit (pair count + checksum),
 and gates on the vectorized throughput: per-algorithm the vector kernels
 must not be slower than scalar, and the suite-aggregate speedup must hold
@@ -17,14 +18,21 @@ strictly additive; ``pairs_per_sec`` divides pairs by that best pass wall.
 """
 
 import json
-import os
 import sys
 import tempfile
 
+from repro import config
 from repro.parallel import run_real_join
 from repro.workload import WorkloadSpec, generate_workload
 
-ALGORITHMS = ("nested-loops", "sort-merge", "grace", "hybrid-hash")
+ALGORITHMS = (
+    "nested-loops",
+    "sort-merge",
+    "grace",
+    "grace-radix",
+    "grace-learned",
+    "hybrid-hash",
+)
 SCALE = 0.2
 ROUNDS = 3
 
@@ -104,7 +112,7 @@ def main() -> int:
             f"{AGGREGATE_FLOOR}x regression floor"
         )
 
-    out = os.environ.get("REPRO_SMOKE_OUT")
+    out = config.env_value("smoke_out")
     if out:
         with open(out, "w") as handle:
             json.dump(report, handle, indent=2)

@@ -38,6 +38,8 @@ from repro.harness.figures import all_figures, figure_1a, figure_1b, figure_5a, 
 from repro.harness.report import format_table, shape_summary
 from repro.joins import JoinEnvironment, make_algorithm, verify_pairs
 from repro.model import MemoryParameters
+from repro.parallel.engine.stages import PARTITIONER_NAMES
+from repro.parallel.engine.stages import algorithms as real_algorithms
 from repro.workload import (
     DISTRIBUTIONS,
     DistributionError,
@@ -78,7 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     join = sub.add_parser("join", help="run one verified join")
     _common_workload_args(join)
-    join.add_argument("algorithm", choices=sorted(MODEL_FUNCTIONS))
+    # The union of both backends' registries: the simulator's model
+    # functions plus every registered real-backend pass plan (the
+    # partitioner variants exist only there); _cmd_join rejects the
+    # combinations a backend does not implement.
+    join.add_argument(
+        "algorithm",
+        choices=sorted(set(MODEL_FUNCTIONS) | set(real_algorithms())),
+    )
     join.add_argument(
         "--fraction", type=float, default=0.1,
         help="memory grant as a fraction of |R| bytes",
@@ -137,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(vector, the default when numpy is importable) or the "
              "per-record scalar path (debugging/equivalence baselines); "
              "also settable via REPRO_KERNELS",
+    )
+    join.add_argument(
+        "--partitioner", choices=PARTITIONER_NAMES, default=None,
+        help="real-backend partitioning strategy for the bucketed plans: "
+             "the paper's order-preserving hash, the cache-budgeted "
+             "radix scatter, or the learned equal-depth CDF model; "
+             "default is the plan's declared strategy (grace-radix/"
+             "grace-learned differ from grace only there); also "
+             "settable via REPRO_PARTITIONER",
     )
     join.add_argument(
         "--resume", action="store_true",
@@ -484,6 +502,7 @@ def _cmd_join(args) -> int:
                     governor=governor,
                     kernels=args.kernels,
                     rebalance=args.rebalance,
+                    partitioner=args.partitioner,
                 )
             except ResourceExhausted as error:
                 # Classified exhaustion is an orderly refusal, not a crash:
@@ -539,6 +558,13 @@ def _cmd_join(args) -> int:
             print(f"stats document written to {args.stats_out}")
         return 0
 
+    if args.algorithm not in MODEL_FUNCTIONS:
+        print(
+            f"the simulator implements {', '.join(sorted(MODEL_FUNCTIONS))}; "
+            f"run {args.algorithm} with --real",
+            file=sys.stderr,
+        )
+        return 2
     memory = MemoryParameters.from_fractions(
         workload.relation_parameters(), args.fraction
     )

@@ -462,6 +462,7 @@ def build_real_stats_document(result, workload=None) -> dict:
         "backend": "real-mmap",
         "used_processes": result.used_processes,
         "kernel_mode": getattr(result, "kernel_mode", "scalar"),
+        "partitioner": getattr(result, "partitioner", None),
     }
     if workload is not None:
         meta.update(

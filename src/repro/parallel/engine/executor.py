@@ -63,6 +63,12 @@ from repro.parallel.engine.checkpoint import (
     validate_manifest,
     workload_signature,
 )
+from repro.parallel.engine.partition import (
+    fit_learned_state,
+    install_partitioner_state,
+    partitioner_class,
+    sweep_partitioner_state,
+)
 from repro.parallel.engine.rebalance import plan_stage_rebalance
 from repro.parallel.engine.stages import PassPlan, Stage, StageContext
 from repro.parallel.engine.task import (
@@ -148,6 +154,7 @@ def sweep_run_artifacts(store_root: str, store: Store) -> None:
     sweep_fault_state(root)
     sweep_budgets(root)
     sweep_kernel_mode(root)
+    sweep_partitioner_state(root)
     store.cleanup_orphans()
 
 
@@ -446,6 +453,32 @@ def execute_plan(
         store.cleanup_temps()
         store.cleanup_orphans()
 
+    def install_partitioners(current: JoinPlan) -> None:
+        """Fit and publish run-scoped partitioner state for this round.
+
+        The learned strategy's CDF model is fit driver-side from the
+        warm store (deterministic stride sampling, so a resumed or
+        retried run refits the identical model) and installed as a
+        marker file — like the kernel mode, an env var could neither
+        reach forked pool workers nor change between degradation
+        rounds.  Stateless strategies sweep any stale model instead.
+        """
+        # Walk the pass plan directly (not the registry): execute_plan
+        # also runs ad-hoc unregistered plans in tests.
+        name = None
+        for stage in pass_plan.stages:
+            declared = getattr(stage, "partitioner", None)
+            if declared is not None:
+                name = current.partitioner or declared
+                break
+        if name is not None and partitioner_class(name).requires_fit:
+            install_partitioner_state(
+                store_root,
+                fit_learned_state(store, disks, spec.s_objects, current.buckets),
+            )
+        else:
+            sweep_partitioner_state(store_root)
+
     try:
         if collect_metrics:
             (Path(store_root) / OBS_MARKER).touch()
@@ -505,6 +538,7 @@ def execute_plan(
                         )
             store.cleanup_temps()
         sample_disk()
+        install_partitioners(plan)
         if fault_plan is not None:
             fault_plan.install(store_root)
         if pool is None and use_processes and disks > 1:
@@ -543,6 +577,7 @@ def execute_plan(
                 )
                 reset_round()
                 install_kernel_mode(store_root, current.kernel_mode)
+                install_partitioners(current)
         outcome.plan = current
         # A completed run needs no resume; a surviving manifest on a
         # warm store would wrongly skip the *next* join's passes.

@@ -107,39 +107,54 @@ SORT_MERGE = register_plan(PassPlan(
     ),
 ))
 
-GRACE = register_plan(PassPlan(
-    algorithm="grace",
-    stages=(
-        PartitionStage(
-            label="partition",
-            kernel="grace_partition",
-            emits="moved",
-            build_args=lambda ctx, plan, i: (
-                ctx.store_root, ctx.disks, i, ctx.s_objects, ctx.r_bytes,
-                plan.buckets, plan.spill_threshold, plan.batch_records,
+def _grace_plan(algorithm: str, partitioner: str) -> PassPlan:
+    """The Grace plan family: one probe stage, a pluggable partitioner.
+
+    The three registered variants differ *only* in the partition stage's
+    declared strategy — the proof that a new partitioner is a pure
+    registration.  A ``plan.partitioner`` knob override (CLI/env/ladder)
+    beats the declared default at args-build time.
+    """
+    return PassPlan(
+        algorithm=algorithm,
+        stages=(
+            PartitionStage(
+                label="partition",
+                kernel="grace_partition",
+                emits="moved",
+                build_args=lambda ctx, plan, i: (
+                    ctx.store_root, ctx.disks, i, ctx.s_objects, ctx.r_bytes,
+                    plan.buckets, plan.spill_threshold, plan.batch_records,
+                    plan.partitioner or partitioner,
+                ),
+                buffered=True,
+                partitioner=partitioner,
             ),
-            buffered=True,
-        ),
-        ProbeStage(
-            label="probe",
-            kernel="grace_probe",
-            emits="pairs",
-            build_args=lambda ctx, plan, i: (
-                ctx.store_root, ctx.disks, i, ctx.s_objects, plan.buckets,
-                plan.tsize, plan.batch_records,
+            ProbeStage(
+                label="probe",
+                kernel="grace_probe",
+                emits="pairs",
+                build_args=lambda ctx, plan, i: (
+                    ctx.store_root, ctx.disks, i, ctx.s_objects, plan.buckets,
+                    plan.tsize, plan.batch_records,
+                ),
+                rebalance="buckets",
             ),
-            rebalance="buckets",
         ),
-    ),
-    conservation=(
-        ConservationRule(
-            "partitioned records", (("partition", "moved"),), "input"
+        conservation=(
+            ConservationRule(
+                "partitioned records", (("partition", "moved"),), "input"
+            ),
+            ConservationRule(
+                "probed records", (("probe", "pairs"),), ("partition", "moved")
+            ),
         ),
-        ConservationRule(
-            "probed records", (("probe", "pairs"),), ("partition", "moved")
-        ),
-    ),
-))
+    )
+
+
+GRACE = register_plan(_grace_plan("grace", "hash"))
+GRACE_RADIX = register_plan(_grace_plan("grace-radix", "radix"))
+GRACE_LEARNED = register_plan(_grace_plan("grace-learned", "learned"))
 
 HYBRID_HASH = register_plan(PassPlan(
     algorithm="hybrid-hash",
@@ -152,6 +167,7 @@ HYBRID_HASH = register_plan(PassPlan(
                 ctx.store_root, ctx.disks, i, ctx.s_objects, ctx.r_bytes,
                 plan.buckets, plan.effective_resident_buckets(),
                 plan.spill_threshold, plan.batch_records,
+                plan.partitioner or "hash",
             ),
             buffered=True,
             resident_join=True,

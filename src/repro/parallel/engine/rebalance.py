@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.parallel.engine.partition import cdf_quantiles, equal_depth_cuts
 from repro.parallel.engine.task import (
     Shard,
     bucket_spill_paths,
@@ -327,8 +328,7 @@ def _key_shards(store: Store, partition: int, count: int) -> List[Shard]:
         return []
     samples.sort()
     boundaries = [0]
-    for k in range(1, count):
-        boundary = samples[min(len(samples) - 1, k * len(samples) // count)]
+    for boundary in cdf_quantiles(samples, count):
         if boundary > boundaries[-1]:
             boundaries.append(boundary)
     boundaries.append(KEY_SENTINEL)
@@ -346,31 +346,18 @@ def _key_shards(store: Store, partition: int, count: int) -> List[Shard]:
 def _bucket_shards(histogram: List[int], count: int) -> List[Shard]:
     """Equal-depth contiguous bucket ranges over the exact histogram.
 
-    A greedy walk cuts whenever the running depth reaches the target;
-    trailing empty buckets ride along with the final range.  Dustbin
-    buckets (far below target depth) naturally coalesce into one shard.
+    Cut placement is delegated to the shared global-CDF walk in
+    :func:`repro.parallel.engine.partition.equal_depth_cuts` — the same
+    helper the learned partitioner uses — so bucket sharding and key
+    sharding round their tails identically.  Trailing empty buckets ride
+    along with the final range; dustbin buckets (far below target depth)
+    naturally coalesce into one shard.
     """
     total = sum(histogram)
     if not total or len(histogram) < 2:
         return []
-    target = total / count
-    ranges: List[Tuple[int, int]] = []
-    lo = 0
-    depth = 0
-    for bucket, weight in enumerate(histogram):
-        depth += weight
-        remaining_buckets = len(histogram) - bucket - 1
-        remaining_cuts = count - len(ranges) - 1
-        if (
-            depth >= target
-            and remaining_cuts > 0
-            and remaining_buckets >= remaining_cuts
-        ):
-            ranges.append((lo, bucket + 1))
-            lo = bucket + 1
-            depth = 0
-    ranges.append((lo, len(histogram)))
-    ranges = [(a, b) for a, b in ranges if a < b]
+    cuts = equal_depth_cuts(histogram, count)
+    ranges: List[Tuple[int, int]] = list(zip(cuts, cuts[1:]))
     if len(ranges) < 2:
         return []
     return [

@@ -46,6 +46,15 @@ EMIT_KINDS = ("moved", "pairs", "both")
 #: (equal-depth over the exact per-bucket histogram).
 REBALANCE_AXES = ("records", "keys", "buckets")
 
+#: Legal partitioning strategies a :class:`PartitionStage` may declare.
+#: The implementations live in :mod:`repro.parallel.engine.partition`
+#: (which imports this module, never the reverse — the names are
+#: mirrored here so plan validation stays import-light); a test pins the
+#: tuple against that module's registry.  ``"hash"`` is the paper's
+#: order-preserving range hash, ``"radix"`` the cache-budgeted multi-pass
+#: radix scatter, ``"learned"`` the equal-depth CDF model fit per run.
+PARTITIONER_NAMES = ("hash", "radix", "learned")
+
 
 class PassPlanError(ValueError):
     """Raised for malformed pass plans or stage wiring."""
@@ -134,13 +143,24 @@ class PartitionStage(Stage):
     ``spill_threshold`` knob applies.  ``resident_join`` — the kernel
     joins its plan-designated resident buckets during the scan (hybrid
     hash), so the stage emits pairs as well as moved records and the
-    ``resident_buckets`` knob applies.
+    ``resident_buckets`` knob applies.  ``partitioner`` — the strategy
+    the kernel scatters buckets with (the plan's declared default; the
+    governor's ``partitioner`` knob overrides it at run time).
     """
 
     kind: ClassVar[str] = "partition"
 
     buffered: bool = False
     resident_join: bool = False
+    partitioner: str = "hash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.partitioner not in PARTITIONER_NAMES:
+            raise PassPlanError(
+                f"stage {self.label!r} partitions via "
+                f"{self.partitioner!r}; choices: {PARTITIONER_NAMES}"
+            )
 
 
 @dataclass(frozen=True)

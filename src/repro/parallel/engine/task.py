@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import importlib
 import json
-import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple
@@ -39,6 +38,7 @@ try:  # pragma: no cover - numpy ships with the toolchain; guarded anyway
 except ImportError:  # pragma: no cover
     _np = None
 
+from repro import config
 from repro.core.records import RObject
 from repro.governor.budget import load_budgets
 from repro.governor.errors import ResourceExhausted, classify_os_error
@@ -69,8 +69,9 @@ KERNEL_MODE_MARKER = "kernels.mode"
 
 KERNEL_MODES = ("scalar", "vector")
 
-#: Environment fallback for direct kernel calls and un-marked stores.
-KERNELS_ENV = "REPRO_KERNELS"
+#: Environment fallback for direct kernel calls and un-marked stores
+#: (registered, with the rest of the REPRO_* knobs, in repro.config).
+KERNELS_ENV = config.knob("kernels").env
 
 
 def metrics_sidecar(root: str | Path, task: str, slot: int | str) -> Path:
@@ -134,8 +135,8 @@ def vector_kernels_available() -> bool:
 
 def default_kernel_mode() -> str:
     """Mode when nothing chose one: env override, else vector if possible."""
-    env = os.environ.get(KERNELS_ENV, "").strip().lower()
-    if env in KERNEL_MODES:
+    env = config.env_choice("kernels")
+    if env is not None:
         return env
     return "vector" if vector_kernels_available() else "scalar"
 

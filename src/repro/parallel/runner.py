@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import config
 from repro.core.records import JoinedPair
 from repro.governor.errors import DiskExhausted, MemoryExhausted
 from repro.governor.governor import ResourceGovernor
@@ -38,6 +39,7 @@ from repro.parallel.engine.executor import (
     execute_plan,
 )
 from repro.parallel.engine.rebalance import validate_rebalance_mode
+from repro.parallel.engine.stages import PARTITIONER_NAMES
 from repro.parallel.engine.stages import algorithms as registered_algorithms
 from repro.parallel.engine.stages import plan_for
 from repro.parallel.faults import FaultPlan, RetryPolicy
@@ -87,6 +89,9 @@ class RealJoinResult:
     #: numpy kernels or "scalar" per-record structs) — the mode of the
     #: plan that actually ran, after any admission/runtime degradation.
     kernel_mode: str = "vector"
+    #: The partitioning strategy the run's partition stage actually used
+    #: (after any ladder fallback); None for plans without one.
+    partitioner: Optional[str] = None
     #: Per-stage rebalance decisions from the executor's final round:
     #: stage label -> {axis, splits, tasks, moved_records, pre_ratio,
     #: post_ratio}.  Empty when the plan ran with ``rebalance="off"`` or
@@ -135,6 +140,7 @@ def run_real_join(
     tenant: Optional[str] = None,
     priority: int = 0,
     rebalance: str = "auto",
+    partitioner: Optional[str] = None,
     resume: bool = False,
 ) -> RealJoinResult:
     """Execute one pointer-based join on real mmap-backed files.
@@ -183,6 +189,14 @@ def run_real_join(
     of the shardable stages, ``"off"`` never shards.  Join output is
     bit-identical in every mode.
 
+    ``partitioner`` overrides the bucketed plans' partitioning strategy
+    (``"hash"``, ``"radix"``, ``"learned"``); unset falls back to the
+    ``REPRO_PARTITIONER`` environment knob and then to each plan's
+    declared strategy (``grace-radix``/``grace-learned`` are the
+    ``grace`` plan with a different declaration).  Join *pairs* are
+    identical under every strategy — only the bucket layout of the
+    spill files differs.
+
     ``reuse_store`` promises ``store_root`` already holds this exact
     workload (a warm store a previous ``keep_store=True`` run left
     behind) and skips re-materializing R/S — the join-service daemon's
@@ -228,6 +242,13 @@ def run_real_join(
     if kernel_mode == "vector" and not engine_task.vector_kernels_available():
         kernel_mode = "scalar"
     validate_rebalance_mode(rebalance)
+    if partitioner is None:
+        partitioner = config.env_choice("partitioner")
+    elif partitioner not in PARTITIONER_NAMES:
+        raise RealJoinError(
+            f"unknown partitioner {partitioner!r}; "
+            f"choices: {PARTITIONER_NAMES}"
+        )
     pass_plan = plan_for(algorithm)
     policy = RetryPolicy(
         retries=retries,
@@ -248,6 +269,7 @@ def run_real_join(
         resident_buckets=resident_buckets,
         kernel_mode=kernel_mode,
         rebalance=rebalance,
+        partitioner=partitioner,
     )
     governed = (
         mem_budget is not None or disk_budget is not None or governor is not None
@@ -382,6 +404,7 @@ def run_real_join(
         ),
         governor=governor_doc,
         kernel_mode=outcome.plan.kernel_mode,
+        partitioner=outcome.plan.effective_partitioner(algorithm),
         rebalance=dict(outcome.rebalance),
         resume=dict(outcome.resume),
         integrity=dict(outcome.integrity),

@@ -45,6 +45,7 @@ except ImportError:  # pragma: no cover
 from repro.core.pointer import PointerMap
 from repro.governor.watchdog import active_meter
 from repro.obs.registry import active as _metrics
+from repro.parallel.engine.partition import resolve_partitioner
 from repro.parallel.engine.task import (
     BATCH_RECORDS,
     RUN_SHARD_STRIDE,
@@ -538,12 +539,6 @@ def _merge_runs(
 
 # ------------------------------------------------------- grace / hybrid hash
 
-def _bucket_of(offs, parts, part_sizes, buckets: int):
-    """Vectorized ``order_preserving_bucket`` over located pointer lanes."""
-    sizes = part_sizes[parts]
-    return np.minimum(offs * np.uint64(buckets) // sizes, buckets - 1)
-
-
 def _flush_bucket_chunks(
     store: Store,
     grouped: Dict[int, List[tuple]],
@@ -551,14 +546,18 @@ def _flush_bucket_chunks(
     record_bytes: int,
     contributor: int,
     chunk: int | None,
+    order_fn=None,
 ) -> int:
     """Write accumulated per-target column chunks as bucketed spill files.
 
     The vector twin of the scalar ``_spill_bucket_groups``: one stable
-    argsort by bucket groups each target's records bucket-contiguously
-    (encounter order within a bucket preserved), and the whole blob lands
-    in one :meth:`BucketedRFile.append_buckets_packed` — byte-identical
-    segment and directory, one slice write instead of one per bucket.
+    bucket-contiguous permutation (the partitioner's ``order`` — for the
+    hash strategy, exactly the pre-refactor stable argsort; for
+    radix/learned, bounded-fan-out radix passes) groups each target's
+    records bucket-contiguously (encounter order within a bucket
+    preserved), and the whole blob lands in one
+    :meth:`BucketedRFile.append_buckets_packed` — byte-identical segment
+    and directory, one slice write instead of one per bucket.
     """
     flushed = 0
     for target, chunks in grouped.items():
@@ -566,7 +565,10 @@ def _flush_bucket_chunks(
         sptr = np.concatenate([c[1] for c in chunks])
         payload = np.concatenate([c[2] for c in chunks])
         bucket = np.concatenate([c[3] for c in chunks])
-        order = np.argsort(bucket, kind="stable")
+        if order_fn is None:
+            order = np.argsort(bucket, kind="stable")
+        else:
+            order = order_fn(bucket)
         counts = np.bincount(bucket.astype(np.int64), minlength=buckets)
         spill = BucketedRFile.create(
             store.path(target, bucket_spill_name(target, contributor, chunk)),
@@ -593,12 +595,12 @@ def grace_partition(args: Tuple[str, int, int, int, int, int]) -> int:
     root, disks, i, s_objects, record_bytes, buckets = args[:6]
     spill_threshold = args[6] if len(args) > 6 else None
     batch_records = args[7] if len(args) > 7 else BATCH_RECORDS
+    partitioner = args[8] if len(args) > 8 else "hash"
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
-    part_sizes = np.asarray(
-        [pmap.partition_size(j) for j in range(disks)], dtype=np.uint64
-    )
+    part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    part = resolve_partitioner(root, partitioner, part_sizes, buckets)
     grouped: Dict[int, List[tuple]] = {}
     moved = 0
     retained = 0
@@ -607,7 +609,7 @@ def grace_partition(args: Tuple[str, int, int, int, int, int]) -> int:
     def flush_groups(chunk: int | None) -> int:
         nonlocal retained
         flushed = _flush_bucket_chunks(
-            store, grouped, buckets, record_bytes, i, chunk
+            store, grouped, buckets, record_bytes, i, chunk, part.order
         )
         meter.release(retained * record_bytes)
         retained = 0
@@ -618,7 +620,7 @@ def grace_partition(args: Tuple[str, int, int, int, int, int]) -> int:
             meter.charge(len(rid) * record_bytes, "grace bucket groups")
             retained += len(rid)
             parts, offs = pmap.locate_array(sptr)
-            bucket = _bucket_of(offs, parts, part_sizes, buckets)
+            bucket = part.bucket_array(parts, offs, rid)
             for target in _targets_in_encounter_order(parts):
                 mask = parts == target
                 grouped.setdefault(target, []).append(
@@ -641,12 +643,12 @@ def hybrid_hash_partition(
     root, disks, i, s_objects, record_bytes, buckets, resident = args[:7]
     spill_threshold = args[7] if len(args) > 7 else None
     batch_records = args[8] if len(args) > 8 else BATCH_RECORDS
+    partitioner = args[9] if len(args) > 9 else "hash"
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
-    part_sizes = np.asarray(
-        [pmap.partition_size(j) for j in range(disks)], dtype=np.uint64
-    )
+    part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    part = resolve_partitioner(root, partitioner, part_sizes, buckets)
     grouped: Dict[int, List[tuple]] = {}
     moved = 0
     retained = 0
@@ -661,7 +663,7 @@ def hybrid_hash_partition(
     def flush_groups(chunk: int | None) -> int:
         nonlocal retained
         flushed = _flush_bucket_chunks(
-            store, grouped, buckets, record_bytes, i, chunk
+            store, grouped, buckets, record_bytes, i, chunk, part.order
         )
         meter.release(retained * record_bytes)
         retained = 0
@@ -673,7 +675,7 @@ def hybrid_hash_partition(
             for rid, sptr, payload in r_rel.iter_column_batches(batch_records):
                 meter.charge(len(rid) * record_bytes, "hybrid bucket groups")
                 parts, offs = pmap.locate_array(sptr)
-                bucket = _bucket_of(offs, parts, part_sizes, buckets)
+                bucket = part.bucket_array(parts, offs, rid)
                 home = bucket < resident
                 resident_count = int(home.sum())
                 if resident_count:

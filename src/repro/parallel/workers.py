@@ -42,7 +42,8 @@ from repro.governor.watchdog import active_meter
 
 from repro.core.pointer import PointerMap
 from repro.core.records import RObject
-from repro.joins.grace import order_preserving_bucket, refining_chain
+from repro.joins.grace import refining_chain
+from repro.parallel.engine.partition import resolve_partitioner
 from repro.parallel.engine.task import (
     BATCH_RECORDS,
     CHECKSUM_MOD,
@@ -517,10 +518,12 @@ def grace_partition(
     root, disks, i, s_objects, record_bytes, buckets = args[:6]
     spill_threshold = args[6] if len(args) > 6 else None
     batch_records = args[7] if len(args) > 7 else BATCH_RECORDS
+    partitioner = args[8] if len(args) > 8 else "hash"
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    part = resolve_partitioner(root, partitioner, part_sizes, buckets)
     grouped: Dict[int, Dict[int, List[RObject]]] = {}
     moved = 0
     retained = 0
@@ -541,9 +544,7 @@ def grace_partition(
             retained += len(batch)
             located = pmap.locate_many([obj[1] for obj in batch])
             for obj, (target, offset) in zip(batch, located):
-                bucket = order_preserving_bucket(
-                    offset, part_sizes[target], buckets
-                )
+                bucket = part.bucket_of(target, offset, obj[0])
                 grouped.setdefault(target, {}).setdefault(bucket, []).append(obj)
             if spill_threshold is not None and retained >= spill_threshold:
                 moved += flush_groups(chunk_id)
@@ -577,10 +578,12 @@ def hybrid_hash_partition(
     root, disks, i, s_objects, record_bytes, buckets, resident = args[:7]
     spill_threshold = args[7] if len(args) > 7 else None
     batch_records = args[8] if len(args) > 8 else BATCH_RECORDS
+    partitioner = args[9] if len(args) > 9 else "hash"
     store = _store(root, disks)
     pmap = _pmap(s_objects, disks)
     meter = active_meter()
     part_sizes = [pmap.partition_size(j) for j in range(disks)]
+    part = resolve_partitioner(root, partitioner, part_sizes, buckets)
     grouped: Dict[int, Dict[int, List[RObject]]] = {}
     moved = 0
     retained = 0
@@ -610,9 +613,7 @@ def hybrid_hash_partition(
                 by_target: Dict[int, Tuple[List[RObject], List[int]]] = {}
                 resident_count = 0
                 for obj, (target, offset) in zip(batch, located):
-                    bucket = order_preserving_bucket(
-                        offset, part_sizes[target], buckets
-                    )
+                    bucket = part.bucket_of(target, offset, obj[0])
                     if bucket < resident:
                         objs, offsets = by_target.setdefault(
                             target, ([], [])

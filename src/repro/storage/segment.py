@@ -53,6 +53,8 @@ try:  # pragma: no cover - POSIX-only; the flock guard degrades gracefully
 except ImportError:  # pragma: no cover
     _fcntl = None
 
+from repro import config
+
 from repro.governor.budget import disk_preflight
 from repro.governor.errors import classify_os_error
 from repro.governor.watchdog import active_meter as _meter
@@ -111,9 +113,7 @@ def _integrity_on(switch: str) -> bool:
     override = _INTEGRITY[switch]
     if override is not None:
         return override
-    return os.environ.get("REPRO_INTEGRITY", "").strip().lower() not in (
-        "off", "0", "none",
-    )
+    return config.env_enabled("integrity")
 
 
 def _payload_crc(fd: int, count: int, record_bytes: int) -> int:

@@ -74,6 +74,29 @@ class TestShardGeometry:
         assert _bucket_shards([500], 4) == []
         assert _bucket_shards([0, 0], 4) == []
 
+    def test_bucket_shards_tail_rounding_pinned(self):
+        # Regression: the old greedy walk cut this histogram at
+        # (0,2),(2,5),(5,6) — a 300-record final shard after a
+        # 300-record middle one starved the tail.  The shared global-CDF
+        # walk (equal_depth_cuts) lands the middle cut at bucket 4, so
+        # every shard carries 400/300 depths instead of 400/300/100+200.
+        histogram = [200, 200, 100, 100, 100, 100]
+        shards = _bucket_shards(histogram, 3)
+        assert [(s.lo, s.hi) for s in shards] == [(0, 2), (2, 4), (4, 6)]
+        depths = [sum(histogram[s.lo:s.hi]) for s in shards]
+        assert depths == [400, 200, 200]
+
+    def test_bucket_and_key_sharding_share_one_cdf(self):
+        # Both shard kinds must round tails identically: the bucket walk
+        # delegates to the same equal_depth_cuts helper the learned
+        # partitioner uses, so a pinned histogram yields pinned cuts.
+        from repro.parallel.engine.partition import equal_depth_cuts
+
+        histogram = [1000] + [10] * 15
+        cuts = equal_depth_cuts(histogram, 4)
+        shards = _bucket_shards(histogram, 4)
+        assert cuts == [shards[0].lo] + [s.hi for s in shards]
+
     def test_shard_counts_auto_proportional(self):
         counts = _shard_counts([600, 100, 100, 200], "auto", 8)
         assert counts[0] >= 2  # 2.4x the mean splits
